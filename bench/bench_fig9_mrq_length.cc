@@ -1,0 +1,34 @@
+// Figure 9: ablation of the MRQ length L (1..9). L=1 degrades LightMIRM to
+// single-sample meta-IRM and performs worst; the mean KS peaks around
+// L=7 and the worst KS around L=5 in the paper, with a stable plateau
+// around the optimum.
+#include "bench_util.h"
+
+using namespace lightmirm;
+using namespace lightmirm::bench;
+
+int main(int argc, char** argv) {
+  const ConfigMap cfg = ParseArgs(argc, argv);
+  core::ExperimentConfig config = MakeConfig(cfg);
+  Banner("Figure 9", "impact of the MRQ length on LightMIRM");
+
+  auto runner =
+      Unwrap(core::ExperimentRunner::Create(config), "setting up experiment");
+
+  std::printf("%-6s %-9s %-9s %-9s %-9s\n", "L", "mKS", "wKS", "mAUC",
+              "wAUC");
+  for (int length = 1; length <= 9; ++length) {
+    core::GbdtLrOptions options = config.model;
+    options.light_mirm.mrq_length = static_cast<size_t>(length);
+    core::MethodResult r = Unwrap(
+        runner->RunMethodWithOptions(core::Method::kLightMirm, options,
+                                     false),
+        "training LightMIRM");
+    std::printf("%-6d %-9.4f %-9.4f %-9.4f %-9.4f\n", length,
+                r.report.mean_ks, r.report.worst_ks, r.report.mean_auc,
+                r.report.worst_auc);
+  }
+  std::printf("\n(paper: L=1 worst on both metrics; mKS peaks near L=7, "
+              "wKS near L=5, stable around the optimum)\n");
+  return 0;
+}

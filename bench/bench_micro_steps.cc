@@ -1,0 +1,102 @@
+// Micro-benchmark of one outer iteration of meta-IRM (complete and
+// sampled) versus LightMIRM as the number of environments M grows. This is
+// the operation-count claim of §III-F: complete meta-IRM is O(2M^2) atomic
+// env passes per iteration while LightMIRM is O(4M) — the gap should widen
+// linearly with M.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "train/light_mirm.h"
+#include "train/meta_irm.h"
+#include "train/mrq.h"
+
+using namespace lightmirm;
+using namespace lightmirm::train;
+
+namespace {
+
+struct Fixture {
+  linear::FeatureMatrix x;
+  std::vector<int> labels;
+  std::vector<int> envs;
+  TrainData data;
+  linear::ParamVec params;
+
+  // rows_per_env rows per environment, dim dense features.
+  Fixture(size_t num_envs, size_t rows_per_env, size_t dim) {
+    Rng rng(99);
+    const size_t n = num_envs * rows_per_env;
+    Matrix feats(n, dim);
+    labels.resize(n);
+    envs.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      envs[i] = static_cast<int>(i % num_envs);
+      double z = 0.0;
+      for (size_t j = 0; j < dim; ++j) {
+        feats.At(i, j) = rng.Normal();
+        z += 0.3 * feats.At(i, j);
+      }
+      labels[i] = rng.Bernoulli(linear::Sigmoid(z)) ? 1 : 0;
+    }
+    x = linear::FeatureMatrix::FromDense(std::move(feats));
+    auto built = TrainData::Create(&x, &labels, &envs, 1);
+    data = std::move(built).value();
+    params.assign(dim + 1, 0.0);
+    for (double& p : params) p = rng.Normal(0.0, 0.1);
+  }
+};
+
+void BM_MetaIrmIteration(benchmark::State& state) {
+  const size_t num_envs = static_cast<size_t>(state.range(0));
+  Fixture fx(num_envs, 400, 32);
+  MetaIrmOptions options;
+  Rng rng(3);
+  MetaStepOutput out;
+  for (auto _ : state) {
+    (void)MetaIrmOuterGradient(fx.data.Context(), fx.data, fx.params,
+                               options, &rng, nullptr, &out);
+    benchmark::DoNotOptimize(out.outer_grad.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_MetaIrmSampled5Iteration(benchmark::State& state) {
+  const size_t num_envs = static_cast<size_t>(state.range(0));
+  Fixture fx(num_envs, 400, 32);
+  MetaIrmOptions options;
+  options.sample_size = 5;
+  Rng rng(3);
+  MetaStepOutput out;
+  for (auto _ : state) {
+    (void)MetaIrmOuterGradient(fx.data.Context(), fx.data, fx.params,
+                               options, &rng, nullptr, &out);
+    benchmark::DoNotOptimize(out.outer_grad.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_LightMirmIteration(benchmark::State& state) {
+  const size_t num_envs = static_cast<size_t>(state.range(0));
+  Fixture fx(num_envs, 400, 32);
+  LightMirmOptions options;
+  Rng rng(3);
+  std::vector<MetaLossReplayQueue> queues(
+      num_envs, *MetaLossReplayQueue::Create(options.mrq_length,
+                                             options.gamma));
+  MetaStepOutput out;
+  for (auto _ : state) {
+    (void)LightMirmOuterGradient(fx.data.Context(), fx.data, fx.params,
+                                 options, &rng, nullptr, &queues, &out);
+    benchmark::DoNotOptimize(out.outer_grad.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_MetaIrmIteration)->Arg(4)->Arg(8)->Arg(16)->Arg(31)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_MetaIrmSampled5Iteration)->Arg(8)->Arg(16)->Arg(31)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LightMirmIteration)->Arg(4)->Arg(8)->Arg(16)->Arg(31)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);

@@ -1,0 +1,92 @@
+// Table III + Figure 7: wall-clock cost of each training step (loading
+// data, transforming the format, inner optimization, calculating the
+// meta-losses, backward propagation; whole-epoch total) for complete
+// meta-IRM, meta-IRM(5), and LightMIRM. The paper measures ~30x faster
+// meta-loss calculation and ~12x faster epochs for LightMIRM vs complete
+// meta-IRM; the ratios follow from the O(2M^2)-vs-O(4M) operation counts
+// reproduced here (absolute seconds depend on the machine).
+#include "bench_util.h"
+#include "train/step_timer.h"
+
+using namespace lightmirm;
+using namespace lightmirm::bench;
+
+int main(int argc, char** argv) {
+  const ConfigMap cfg = ParseArgs(argc, argv);
+  core::ExperimentConfig config = MakeConfig(cfg);
+  // Timing-only run: fewer epochs by default.
+  config.model.trainer.epochs = static_cast<int>(cfg.GetInt("epochs", 40));
+  Banner("Table III + Fig 7", "time cost per training step");
+
+  auto runner =
+      Unwrap(core::ExperimentRunner::Create(config), "setting up experiment");
+
+  std::vector<std::string> names;
+  std::vector<core::MethodResult> results;
+  {
+    core::GbdtLrOptions options = config.model;
+    options.meta_irm.sample_size = 0;
+    names.push_back("meta-IRM");
+    results.push_back(Unwrap(
+        runner->RunMethodWithOptions(core::Method::kMetaIrm, options, false),
+        "training meta-IRM"));
+  }
+  {
+    core::GbdtLrOptions options = config.model;
+    options.meta_irm.sample_size = 5;
+    names.push_back("meta-IRM(5)");
+    results.push_back(Unwrap(
+        runner->RunMethodWithOptions(core::Method::kMetaIrm, options, false),
+        "training meta-IRM(5)"));
+  }
+  {
+    names.push_back("LightMIRM");
+    results.push_back(Unwrap(runner->RunMethodWithOptions(
+                                 core::Method::kLightMirm, config.model,
+                                 false),
+                             "training LightMIRM"));
+  }
+
+  std::vector<const StepTimer*> timers;
+  for (const core::MethodResult& r : results) timers.push_back(&r.step_times);
+  std::printf("mean seconds per step call (whole epoch row = total "
+              "seconds over %d epochs):\n\n%s\n",
+              config.model.trainer.epochs,
+              train::FormatStepTimeTable(names, timers).c_str());
+
+  // Figure 7: proportion of each step in the total time spent.
+  std::printf("proportion of each step in total epoch time (Fig 7):\n\n");
+  std::printf("%-30s", "Step");
+  for (const std::string& n : names) std::printf(" %12s", n.c_str());
+  std::printf("\n");
+  const std::vector<std::vector<train::StepTimeRow>> summaries = [&] {
+    std::vector<std::vector<train::StepTimeRow>> out;
+    for (const StepTimer* t : timers) {
+      out.push_back(train::SummarizeStepTimes(*t));
+    }
+    return out;
+  }();
+  for (size_t row = 0; row + 1 < summaries[0].size(); ++row) {
+    std::printf("%-30s", summaries[0][row].step.c_str());
+    for (const auto& s : summaries) {
+      std::printf(" %11.1f%%", 100.0 * s[row].fraction_of_total);
+    }
+    std::printf("\n");
+  }
+
+  const double full_epoch = results[0].step_times.TotalSeconds(
+      train::kStepEpoch);
+  const double light_epoch = results[2].step_times.TotalSeconds(
+      train::kStepEpoch);
+  const double full_meta =
+      results[0].step_times.MeanSeconds(train::kStepMetaLosses);
+  const double light_meta =
+      results[2].step_times.MeanSeconds(train::kStepMetaLosses);
+  std::printf("\nLightMIRM epoch speedup vs complete meta-IRM    : %.1fx "
+              "(paper: ~12x)\n",
+              full_epoch / light_epoch);
+  std::printf("LightMIRM meta-loss step speedup vs complete    : %.1fx "
+              "(paper: ~30x)\n",
+              full_meta / light_meta);
+  return 0;
+}

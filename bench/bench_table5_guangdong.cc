@@ -1,0 +1,51 @@
+// Table V: performance on Guangdong's 2020 data, which is
+// out-of-distribution because Guangdong's transaction share halved in 2020
+// (Fig 10). The paper finds LightMIRM best (KS 0.6539) — evidence that it
+// learned patterns that resist the distribution shift induced by time.
+#include "bench_util.h"
+#include "metrics/ks.h"
+#include "metrics/roc.h"
+
+using namespace lightmirm;
+using namespace lightmirm::bench;
+
+int main(int argc, char** argv) {
+  const ConfigMap cfg = ParseArgs(argc, argv);
+  core::ExperimentConfig config = MakeConfig(cfg);
+  Banner("Table V", "out-of-distribution performance on Guangdong 2020");
+
+  auto runner =
+      Unwrap(core::ExperimentRunner::Create(config), "setting up experiment");
+  const int guangdong =
+      Unwrap(data::LoanGenerator::ProvinceIndex("Guangdong"), "lookup");
+
+  // Rows of the test split belonging to Guangdong.
+  const data::Dataset& test = runner->test();
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < test.NumRows(); ++i) {
+    if (test.envs()[i] == guangdong) rows.push_back(i);
+  }
+  std::printf("Guangdong 2020 rows: %zu\n\n", rows.size());
+
+  std::printf("%-20s %-9s %-9s\n", "method", "KS", "AUC");
+  for (core::Method method :
+       {core::Method::kErm, core::Method::kUpSampling,
+        core::Method::kGroupDro, core::Method::kVRex, core::Method::kIrmV1,
+        core::Method::kMetaIrm, core::Method::kLightMirm}) {
+    core::MethodResult r =
+        Unwrap(runner->RunMethod(method), "training method");
+    std::vector<int> labels(rows.size());
+    std::vector<double> scores(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      labels[i] = test.labels()[rows[i]];
+      scores[i] = r.test_scores[rows[i]];
+    }
+    const double ks =
+        Unwrap(metrics::KsStatistic(labels, scores), "computing KS");
+    const double auc = Unwrap(metrics::Auc(labels, scores), "computing AUC");
+    std::printf("%-20s %-9.4f %-9.4f\n", r.method_name.c_str(), ks, auc);
+  }
+  std::printf("\n(paper: LightMIRM best KS 0.6539 / AUC 0.8821; ERM decent "
+              "AUC but relatively low KS)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table VI: the i.i.d. setting — the dataset is split randomly instead of
+// temporally, eliminating the time shift, so the comparison isolates
+// cross-province fairness. The paper finds complete meta-IRM best on the
+// mean metrics (more meta-losses -> better scores) at 12x LightMIRM's
+// cost, with LightMIRM best on the worst-province KS among the cheap
+// methods.
+#include "bench_util.h"
+
+using namespace lightmirm;
+using namespace lightmirm::bench;
+
+int main(int argc, char** argv) {
+  const ConfigMap cfg = ParseArgs(argc, argv);
+  core::ExperimentConfig config = MakeConfig(cfg);
+  config.iid_split = true;
+  config.iid_test_fraction = cfg.GetDouble("test_fraction", 0.25);
+  Banner("Table VI", "comparison under a random (i.i.d.) split");
+
+  auto runner =
+      Unwrap(core::ExperimentRunner::Create(config), "setting up experiment");
+
+  std::vector<core::MethodResult> results;
+  for (core::Method method :
+       {core::Method::kUpSampling, core::Method::kGroupDro,
+        core::Method::kVRex}) {
+    results.push_back(Unwrap(runner->RunMethod(method), "training"));
+  }
+  {
+    core::GbdtLrOptions options = config.model;
+    options.meta_irm.sample_size = 5;
+    core::MethodResult r = Unwrap(
+        runner->RunMethodWithOptions(core::Method::kMetaIrm, options, false),
+        "training meta-IRM(5)");
+    r.method_name = "meta-IRM (5)";
+    results.push_back(std::move(r));
+  }
+  {
+    core::MethodResult r =
+        Unwrap(runner->RunMethod(core::Method::kMetaIrm), "training");
+    r.method_name = "meta-IRM (complete)";
+    results.push_back(std::move(r));
+  }
+  results.push_back(
+      Unwrap(runner->RunMethod(core::Method::kLightMirm), "training"));
+
+  std::printf("%s\n", core::FormatComparisonTable(results).c_str());
+  std::printf("(paper: complete meta-IRM best mKS/mAUC; LightMIRM best wKS "
+              "0.5235 at ~1/12 the training time)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared plumbing for the table/figure reproduction harnesses. Every bench
+// accepts "key=value" CLI overrides so workload scale can be tuned without
+// recompiling, e.g. `bench_table1_main rows_per_year=20000 seeds=5`.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace lightmirm::bench {
+
+/// Parses CLI overrides; exits with a message on malformed input.
+inline ConfigMap ParseArgs(int argc, char** argv) {
+  auto cfg = ConfigMap::FromArgs(argc, argv);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "%s\n", cfg.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *cfg;
+}
+
+/// Builds the default experiment configuration used by the paper-shaped
+/// benches, honoring the common overrides (rows_per_year, seed, epochs,
+/// trees, lr).
+inline core::ExperimentConfig MakeConfig(const ConfigMap& cfg) {
+  core::ExperimentConfig config;
+  config.generator.rows_per_year =
+      static_cast<int>(cfg.GetInt("rows_per_year", 8000));
+  config.generator.seed = static_cast<uint64_t>(cfg.GetInt("seed", 42));
+  config.model.booster.num_trees =
+      static_cast<int>(cfg.GetInt("trees", config.model.booster.num_trees));
+  config.model.trainer.epochs = static_cast<int>(cfg.GetInt("epochs", 300));
+  config.model.trainer.optimizer.learning_rate = cfg.GetDouble(
+      "lr", config.model.trainer.optimizer.learning_rate);
+  return config;
+}
+
+/// Exits with a message when a Result/Status is not OK.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Prints a bench banner with the paper artifact it reproduces.
+inline void Banner(const char* artifact, const char* description) {
+  std::printf("=== %s — %s ===\n\n", artifact, description);
+}
+
+}  // namespace lightmirm::bench

@@ -1,0 +1,99 @@
+#include "autodiff/nn.h"
+
+#include "common/string_util.h"
+
+namespace lightmirm::autodiff::nn {
+
+Result<Mlp> Mlp::Create(const std::vector<size_t>& layer_sizes,
+                        double init_scale, Rng* rng,
+                        const std::string& activation) {
+  if (layer_sizes.size() < 2) {
+    return Status::InvalidArgument("need at least input and output sizes");
+  }
+  if (activation != "tanh" && activation != "relu" &&
+      activation != "sigmoid") {
+    return Status::InvalidArgument("unknown activation: " + activation);
+  }
+  Mlp mlp;
+  mlp.activation_ = activation;
+  for (size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+    Tensor w(layer_sizes[l], layer_sizes[l + 1]);
+    for (double& v : w.data()) v = rng->Normal(0.0, init_scale);
+    Tensor b(1, layer_sizes[l + 1], 0.0);
+    mlp.layers_.push_back(
+        LinearLayer{Var::Param(std::move(w)), Var::Param(std::move(b))});
+  }
+  return mlp;
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = Add(MatMul(h, layers_[l].weight), layers_[l].bias);
+    if (l + 1 < layers_.size()) {
+      if (activation_ == "tanh") {
+        h = Tanh(h);
+      } else if (activation_ == "relu") {
+        h = Relu(h);
+      } else {
+        h = Sigmoid(h);
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<Var> Mlp::Params() const {
+  std::vector<Var> params;
+  params.reserve(layers_.size() * 2);
+  for (const LinearLayer& layer : layers_) {
+    params.push_back(layer.weight);
+    params.push_back(layer.bias);
+  }
+  return params;
+}
+
+Result<Mlp> Mlp::WithParams(const std::vector<Var>& params) const {
+  if (params.size() != layers_.size() * 2) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu params, got %zu", layers_.size() * 2,
+                  params.size()));
+  }
+  Mlp out;
+  out.activation_ = activation_;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    if (!params[2 * l].value().SameShape(layers_[l].weight.value()) ||
+        !params[2 * l + 1].value().SameShape(layers_[l].bias.value())) {
+      return Status::InvalidArgument(
+          StrFormat("param shape mismatch at layer %zu", l));
+    }
+    out.layers_.push_back(LinearLayer{params[2 * l], params[2 * l + 1]});
+  }
+  return out;
+}
+
+Status Mlp::ApplySgd(const std::vector<Var>& grads, double lr) {
+  if (grads.size() != layers_.size() * 2) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu grads, got %zu", layers_.size() * 2,
+                  grads.size()));
+  }
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    for (int k = 0; k < 2; ++k) {
+      Var& param = k == 0 ? layers_[l].weight : layers_[l].bias;
+      const Var& grad = grads[2 * l + static_cast<size_t>(k)];
+      if (!grad.value().SameShape(param.value())) {
+        return Status::InvalidArgument(
+            StrFormat("grad shape mismatch at layer %zu", l));
+      }
+      Tensor updated = param.value();
+      for (size_t i = 0; i < updated.data().size(); ++i) {
+        updated.data()[i] -= lr * grad.value().data()[i];
+      }
+      param = Var::Param(std::move(updated));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lightmirm::autodiff::nn

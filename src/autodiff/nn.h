@@ -1,0 +1,54 @@
+// Small neural-network layer on top of the autodiff engine: linear layers
+// and an MLP with a choice of activation. Demonstrates that the meta-IRM /
+// LightMIRM objectives do not require a linear predictor (the paper's
+// footnote 3): the generic MAML path differentiates through the inner step
+// with the tape instead of the closed-form logistic HVP.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autodiff/ops.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace lightmirm::autodiff::nn {
+
+/// One dense layer: y = x W + b with W (in x out) and b (1 x out).
+struct LinearLayer {
+  Var weight;
+  Var bias;
+};
+
+/// Multi-layer perceptron producing logits (no final activation).
+class Mlp {
+ public:
+  /// layer_sizes = {in, hidden..., out}; activation "tanh", "relu" or
+  /// "sigmoid" applied between layers.
+  static Result<Mlp> Create(const std::vector<size_t>& layer_sizes,
+                            double init_scale, Rng* rng,
+                            const std::string& activation = "tanh");
+
+  /// Forward pass: x is (N x in), result is (N x out) logits.
+  Var Forward(const Var& x) const;
+
+  /// All parameters, layer by layer (weight then bias).
+  std::vector<Var> Params() const;
+
+  /// A copy of this MLP whose parameters are the given Vars (same order as
+  /// Params()); used to evaluate the network at MAML-adapted parameters
+  /// while keeping the graph differentiable.
+  Result<Mlp> WithParams(const std::vector<Var>& params) const;
+
+  /// In-place SGD: replaces each parameter with a fresh detached Param
+  /// value - lr * grad.
+  Status ApplySgd(const std::vector<Var>& grads, double lr);
+
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<LinearLayer> layers_;
+  std::string activation_;
+};
+
+}  // namespace lightmirm::autodiff::nn

@@ -1,0 +1,281 @@
+#include "autodiff/ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lightmirm::autodiff {
+namespace {
+
+// Output shape of a broadcasting binary op; asserts compatibility.
+void BroadcastShape(const Tensor& a, const Tensor& b, size_t* rows,
+                    size_t* cols) {
+  if (a.BroadcastCompatible(b)) {
+    *rows = a.rows();
+    *cols = a.cols();
+    return;
+  }
+  assert(b.BroadcastCompatible(a) && "incompatible broadcast shapes");
+  *rows = b.rows();
+  *cols = b.cols();
+}
+
+template <typename F>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
+  size_t rows, cols;
+  BroadcastShape(a, b, &rows, &cols);
+  Tensor out(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      out.At(r, c) = f(a.BroadcastAt(r, c), b.BroadcastAt(r, c));
+    }
+  }
+  return out;
+}
+
+// Reduce `g` (a Var of the broadcasted output shape) back to the shape of
+// input tensor `in`.
+Var ReduceToShapeOf(const Var& g, const Tensor& in) {
+  if (g.value().SameShape(in)) return g;
+  return ReduceSumTo(g, in.rows(), in.cols());
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  Tensor out = ElementwiseBinary(a.value(), b.value(),
+                                 [](double x, double y) { return x + y; });
+  return Var::Op("add", std::move(out), {a, b},
+                 [](const Var& g, const std::vector<Var>& in, const Var&) {
+                   return std::vector<Var>{ReduceToShapeOf(g, in[0].value()),
+                                           ReduceToShapeOf(g, in[1].value())};
+                 });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tensor out = ElementwiseBinary(a.value(), b.value(),
+                                 [](double x, double y) { return x - y; });
+  return Var::Op(
+      "sub", std::move(out), {a, b},
+      [](const Var& g, const std::vector<Var>& in, const Var&) {
+        return std::vector<Var>{ReduceToShapeOf(g, in[0].value()),
+                                ReduceToShapeOf(Neg(g), in[1].value())};
+      });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Tensor out = ElementwiseBinary(a.value(), b.value(),
+                                 [](double x, double y) { return x * y; });
+  return Var::Op(
+      "mul", std::move(out), {a, b},
+      [](const Var& g, const std::vector<Var>& in, const Var&) {
+        return std::vector<Var>{
+            ReduceToShapeOf(Mul(g, in[1]), in[0].value()),
+            ReduceToShapeOf(Mul(g, in[0]), in[1].value())};
+      });
+}
+
+Var Div(const Var& a, const Var& b) {
+  Tensor out = ElementwiseBinary(a.value(), b.value(),
+                                 [](double x, double y) { return x / y; });
+  return Var::Op(
+      "div", std::move(out), {a, b},
+      [](const Var& g, const std::vector<Var>& in, const Var&) {
+        const Var da = ReduceToShapeOf(Div(g, in[1]), in[0].value());
+        const Var db = ReduceToShapeOf(
+            Neg(Div(Mul(g, in[0]), Mul(in[1], in[1]))), in[1].value());
+        return std::vector<Var>{da, db};
+      });
+}
+
+Var Neg(const Var& x) {
+  return Var::Op("neg", x.value().Map([](double v) { return -v; }), {x},
+                 [](const Var& g, const std::vector<Var>&, const Var&) {
+                   return std::vector<Var>{Neg(g)};
+                 });
+}
+
+Var Log(const Var& x) {
+  return Var::Op("log", x.value().Map([](double v) { return std::log(v); }),
+                 {x},
+                 [](const Var& g, const std::vector<Var>& in, const Var&) {
+                   return std::vector<Var>{Div(g, in[0])};
+                 });
+}
+
+Var Exp(const Var& x) {
+  return Var::Op("exp", x.value().Map([](double v) { return std::exp(v); }),
+                 {x},
+                 [](const Var& g, const std::vector<Var>&, const Var& out) {
+                   return std::vector<Var>{Mul(g, out)};
+                 });
+}
+
+Var Sqrt(const Var& x) {
+  return Var::Op(
+      "sqrt", x.value().Map([](double v) { return std::sqrt(v); }), {x},
+      [](const Var& g, const std::vector<Var>&, const Var& out) {
+        return std::vector<Var>{Div(g, MulScalar(out, 2.0))};
+      });
+}
+
+Var Sigmoid(const Var& x) {
+  auto sig = [](double v) {
+    if (v >= 0.0) return 1.0 / (1.0 + std::exp(-v));
+    const double e = std::exp(v);
+    return e / (1.0 + e);
+  };
+  return Var::Op(
+      "sigmoid", x.value().Map(sig), {x},
+      [](const Var& g, const std::vector<Var>&, const Var& out) {
+        // g * y * (1 - y)
+        return std::vector<Var>{
+            Mul(g, Mul(out, Sub(Var::Scalar(1.0), out)))};
+      });
+}
+
+Var Softplus(const Var& x) {
+  auto sp = [](double v) {
+    // log(1 + e^v) = max(v, 0) + log1p(e^{-|v|})
+    return std::max(v, 0.0) + std::log1p(std::exp(-std::abs(v)));
+  };
+  return Var::Op("softplus", x.value().Map(sp), {x},
+                 [](const Var& g, const std::vector<Var>& in, const Var&) {
+                   return std::vector<Var>{Mul(g, Sigmoid(in[0]))};
+                 });
+}
+
+Var Tanh(const Var& x) {
+  return Var::Op(
+      "tanh", x.value().Map([](double v) { return std::tanh(v); }), {x},
+      [](const Var& g, const std::vector<Var>&, const Var& out) {
+        return std::vector<Var>{
+            Mul(g, Sub(Var::Scalar(1.0), Mul(out, out)))};
+      });
+}
+
+Var Relu(const Var& x) {
+  return Var::Op(
+      "relu", x.value().Map([](double v) { return v > 0.0 ? v : 0.0; }), {x},
+      [](const Var& g, const std::vector<Var>& in, const Var&) {
+        // Locally-constant mask; second derivative through it is zero.
+        Tensor mask = in[0].value().Map(
+            [](double v) { return v > 0.0 ? 1.0 : 0.0; });
+        return std::vector<Var>{Mul(g, Var::Constant(std::move(mask)))};
+      });
+}
+
+Var PowScalar(const Var& x, double p) {
+  return Var::Op(
+      "pow", x.value().Map([p](double v) { return std::pow(v, p); }), {x},
+      [p](const Var& g, const std::vector<Var>& in, const Var&) {
+        return std::vector<Var>{
+            Mul(g, MulScalar(PowScalar(in[0], p - 1.0), p))};
+      });
+}
+
+Var MulScalar(const Var& x, double s) {
+  return Var::Op("mul_scalar",
+                 x.value().Map([s](double v) { return v * s; }), {x},
+                 [s](const Var& g, const std::vector<Var>&, const Var&) {
+                   return std::vector<Var>{MulScalar(g, s)};
+                 });
+}
+
+Var AddScalar(const Var& x, double s) {
+  return Var::Op("add_scalar",
+                 x.value().Map([s](double v) { return v + s; }), {x},
+                 [](const Var& g, const std::vector<Var>&, const Var&) {
+                   return std::vector<Var>{g};
+                 });
+}
+
+Var Transpose(const Var& x) {
+  return Var::Op("transpose", x.value().Transposed(), {x},
+                 [](const Var& g, const std::vector<Var>&, const Var&) {
+                   return std::vector<Var>{Transpose(g)};
+                 });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  auto out = Tensor::MatMul(a.value(), b.value());
+  assert(out.ok() && "matmul shape mismatch");
+  return Var::Op(
+      "matmul", std::move(*out), {a, b},
+      [](const Var& g, const std::vector<Var>& in, const Var&) {
+        return std::vector<Var>{MatMul(g, Transpose(in[1])),
+                                MatMul(Transpose(in[0]), g)};
+      });
+}
+
+Var SumAll(const Var& x) {
+  return Var::Op("sum", Tensor::Scalar(x.value().Sum()), {x},
+                 [](const Var& g, const std::vector<Var>& in, const Var&) {
+                   return std::vector<Var>{BroadcastTo(
+                       g, in[0].value().rows(), in[0].value().cols())};
+                 });
+}
+
+Var MeanAll(const Var& x) {
+  const double n = static_cast<double>(x.value().size());
+  return MulScalar(SumAll(x), 1.0 / n);
+}
+
+Var BroadcastTo(const Var& x, size_t rows, size_t cols) {
+  Tensor out(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      out.At(r, c) = x.value().BroadcastAt(r, c);
+    }
+  }
+  return Var::Op("broadcast", std::move(out), {x},
+                 [](const Var& g, const std::vector<Var>& in, const Var&) {
+                   return std::vector<Var>{ReduceSumTo(
+                       g, in[0].value().rows(), in[0].value().cols())};
+                 });
+}
+
+Var ReduceSumTo(const Var& x, size_t rows, size_t cols) {
+  return Var::Op("reduce_sum", x.value().ReduceTo(rows, cols), {x},
+                 [](const Var& g, const std::vector<Var>& in, const Var&) {
+                   return std::vector<Var>{BroadcastTo(
+                       g, in[0].value().rows(), in[0].value().cols())};
+                 });
+}
+
+Var StackScalars(const std::vector<Var>& scalars) {
+  assert(!scalars.empty());
+  Tensor out(1, scalars.size());
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    out.At(0, i) = scalars[i].value().ScalarValue();
+  }
+  const size_t n = scalars.size();
+  return Var::Op(
+      "stack", std::move(out), scalars,
+      [n](const Var& g, const std::vector<Var>&, const Var&) {
+        std::vector<Var> grads;
+        grads.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          // Slice g[0, i] as a scalar: mask-multiply then sum. The mask is
+          // locally constant so higher-order derivatives remain correct.
+          Tensor mask(1, n, 0.0);
+          mask.At(0, i) = 1.0;
+          grads.push_back(SumAll(Mul(g, Var::Constant(std::move(mask)))));
+        }
+        return grads;
+      });
+}
+
+Var BceWithLogits(const Var& logits, const Var& labels) {
+  assert(labels.value().SameShape(logits.value()));
+  // mean(softplus(z) - y*z)
+  return MeanAll(Sub(Softplus(logits), Mul(labels, logits)));
+}
+
+Var StdDev(const Var& row, double eps) {
+  const Var mean = MeanAll(row);
+  const Var centered = Sub(row, mean);
+  const Var variance = MeanAll(Mul(centered, centered));
+  return Sqrt(AddScalar(variance, eps));
+}
+
+}  // namespace lightmirm::autodiff

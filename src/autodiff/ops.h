@@ -1,0 +1,55 @@
+// Differentiable operations. Every VJP is itself built from these ops, so
+// any gradient returned by Grad(..., create_graph=true) can be
+// differentiated again — the property MAML's second-order updates need.
+//
+// Broadcasting: binary elementwise ops accept operands of equal shape, or
+// where one operand is a scalar (1x1), a matching row vector (1xC), or a
+// matching column vector (Rx1); the output takes the larger shape and the
+// backward pass sum-reduces over the broadcast dimensions.
+#pragma once
+
+#include "autodiff/variable.h"
+
+namespace lightmirm::autodiff {
+
+// ---- elementwise binary (with broadcasting) ----
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+Var Div(const Var& a, const Var& b);
+
+// ---- elementwise unary ----
+Var Neg(const Var& x);
+Var Log(const Var& x);   ///< element-wise natural log (inputs must be > 0)
+Var Exp(const Var& x);
+Var Sqrt(const Var& x);
+Var Sigmoid(const Var& x);
+Var Softplus(const Var& x);  ///< log(1 + exp(x)), numerically stable
+Var Tanh(const Var& x);
+Var Relu(const Var& x);
+Var PowScalar(const Var& x, double p);
+Var MulScalar(const Var& x, double s);
+Var AddScalar(const Var& x, double s);
+
+// ---- shape / reduction ----
+Var Transpose(const Var& x);
+Var MatMul(const Var& a, const Var& b);  ///< shapes must agree (checked)
+Var SumAll(const Var& x);                ///< -> 1x1
+Var MeanAll(const Var& x);               ///< -> 1x1
+Var BroadcastTo(const Var& x, size_t rows, size_t cols);
+Var ReduceSumTo(const Var& x, size_t rows, size_t cols);
+
+/// Concatenates 1x1 scalars into a 1xN row vector (differentiable); used
+/// to take the std-dev of the per-environment meta-losses.
+Var StackScalars(const std::vector<Var>& scalars);
+
+// ---- composites ----
+/// Mean binary cross-entropy from logits: mean(softplus(z) - y .* z) with
+/// y a constant 0/1 tensor of the same shape as z.
+Var BceWithLogits(const Var& logits, const Var& labels);
+
+/// Population standard deviation of a row vector (adds `eps` inside the
+/// square root for differentiability at zero variance).
+Var StdDev(const Var& row, double eps = 1e-12);
+
+}  // namespace lightmirm::autodiff

@@ -1,0 +1,83 @@
+#include "autodiff/tensor.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace lightmirm::autodiff {
+
+Tensor::Tensor(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  assert(data_.size() == rows_ * cols_);
+}
+
+Tensor Tensor::Scalar(double v) {
+  Tensor t(1, 1);
+  t.data_[0] = v;
+  return t;
+}
+
+std::string Tensor::ShapeString() const {
+  return StrFormat("[%zu x %zu]", rows_, cols_);
+}
+
+bool Tensor::BroadcastCompatible(const Tensor& small) const {
+  if (SameShape(small)) return true;
+  if (small.IsScalar()) return true;
+  if (small.rows_ == 1 && small.cols_ == cols_) return true;
+  if (small.cols_ == 1 && small.rows_ == rows_) return true;
+  return false;
+}
+
+double Tensor::BroadcastAt(size_t r, size_t c) const {
+  const size_t rr = rows_ == 1 ? 0 : r;
+  const size_t cc = cols_ == 1 ? 0 : c;
+  return data_[rr * cols_ + cc];
+}
+
+double Tensor::Sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+Result<Tensor> Tensor::MatMul(const Tensor& a, const Tensor& b) {
+  if (a.cols_ != b.rows_) {
+    return Status::InvalidArgument("matmul shape mismatch: " +
+                                   a.ShapeString() + " * " + b.ShapeString());
+  }
+  Tensor out(a.rows_, b.cols_);
+  for (size_t i = 0; i < a.rows_; ++i) {
+    for (size_t k = 0; k < a.cols_; ++k) {
+      const double av = a.At(i, k);
+      if (av == 0.0) continue;
+      for (size_t j = 0; j < b.cols_; ++j) {
+        out.At(i, j) += av * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Tensor Tensor::ReduceTo(size_t target_rows, size_t target_cols) const {
+  if (target_rows == rows_ && target_cols == cols_) return *this;
+  Tensor out(target_rows, target_cols, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      const size_t tr = target_rows == 1 ? 0 : r;
+      const size_t tc = target_cols == 1 ? 0 : c;
+      out.At(tr, tc) += At(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace lightmirm::autodiff

@@ -1,0 +1,75 @@
+// Dense 2-D tensor of doubles backing the autodiff engine. Scalars are 1x1
+// tensors. Supports the broadcasting the ops layer needs: full-shape,
+// scalar (1x1), row (1xC) and column (Rx1) operands.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightmirm::autodiff {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Tensor(size_t rows, size_t cols, std::vector<double> data);
+
+  /// 1x1 scalar tensor.
+  static Tensor Scalar(double v);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool IsScalar() const { return rows_ == 1 && cols_ == 1; }
+  double ScalarValue() const { return data_[0]; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string ShapeString() const;
+
+  /// True if `small` can broadcast against a tensor of this shape
+  /// (identical, scalar, matching row vector, or matching column vector).
+  bool BroadcastCompatible(const Tensor& small) const;
+
+  /// Value at (r, c) with broadcasting.
+  double BroadcastAt(size_t r, size_t c) const;
+
+  /// Element-wise map.
+  template <typename F>
+  Tensor Map(F f) const {
+    Tensor out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+    return out;
+  }
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// Matrix product.
+  static Result<Tensor> MatMul(const Tensor& a, const Tensor& b);
+
+  /// Transpose.
+  Tensor Transposed() const;
+
+  /// Reduces this tensor to `target` shape by summing broadcast dimensions
+  /// (inverse of broadcasting). Target must be broadcast-compatible.
+  Tensor ReduceTo(size_t target_rows, size_t target_cols) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace lightmirm::autodiff

@@ -1,0 +1,141 @@
+#include "autodiff/variable.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lightmirm::autodiff {
+namespace {
+
+// Minimal add used for adjoint accumulation. Its VJP passes the upstream
+// gradient straight through, which keeps accumulated gradients
+// differentiable for higher-order derivatives.
+Var AccumAdd(const Var& a, const Var& b) {
+  Tensor out = a.value();
+  for (size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] += b.value().data()[i];
+  }
+  return Var::Op(
+      "accum_add", std::move(out), {a, b},
+      [](const Var& grad_out, const std::vector<Var>&, const Var&) {
+        return std::vector<Var>{grad_out, grad_out};
+      });
+}
+
+}  // namespace
+
+Var Var::Param(Tensor value) {
+  Var v;
+  v.node_ = std::make_shared<internal::Node>();
+  v.node_->value = std::move(value);
+  v.node_->requires_grad = true;
+  v.node_->op_name = "param";
+  return v;
+}
+
+Var Var::Constant(Tensor value) {
+  Var v;
+  v.node_ = std::make_shared<internal::Node>();
+  v.node_->value = std::move(value);
+  v.node_->requires_grad = false;
+  v.node_->op_name = "const";
+  return v;
+}
+
+Var Var::Op(const char* name, Tensor value, std::vector<Var> inputs,
+            VjpFn vjp) {
+  Var v;
+  v.node_ = std::make_shared<internal::Node>();
+  v.node_->value = std::move(value);
+  v.node_->inputs = std::move(inputs);
+  v.node_->vjp = std::move(vjp);
+  v.node_->op_name = name;
+  for (const Var& in : v.node_->inputs) {
+    if (in.requires_grad()) {
+      v.node_->requires_grad = true;
+      break;
+    }
+  }
+  return v;
+}
+
+std::vector<Var> Var::CallVjp(const Var& grad_out) const {
+  return node_->vjp(grad_out, node_->inputs, *this);
+}
+
+Result<std::vector<Var>> Grad(const Var& output, const std::vector<Var>& wrt,
+                              const GradOptions& options) {
+  if (!output.defined()) {
+    return Status::InvalidArgument("Grad: undefined output");
+  }
+  if (!output.value().IsScalar()) {
+    return Status::InvalidArgument(
+        "Grad: output must be a scalar, got shape " +
+        output.value().ShapeString());
+  }
+
+  // Topological order over nodes that require grad.
+  std::vector<Var> topo;
+  std::unordered_set<const void*> visited;
+  std::vector<std::pair<Var, size_t>> stack;  // (node, next input index)
+  if (output.requires_grad()) {
+    stack.emplace_back(output, 0);
+    visited.insert(output.id());
+  }
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node.inputs().size()) {
+      const Var& in = node.inputs()[next++];
+      if (in.requires_grad() && visited.insert(in.id()).second) {
+        stack.emplace_back(in, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  std::unordered_map<const void*, Var> adjoint;
+  adjoint.emplace(output.id(), Var::Constant(Tensor::Scalar(1.0)));
+
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Var& node = *it;
+    const auto adj_it = adjoint.find(node.id());
+    if (adj_it == adjoint.end()) continue;  // unreachable from output
+    if (node.inputs().empty()) continue;    // leaf
+    const std::vector<Var> input_grads = node.CallVjp(adj_it->second);
+    if (input_grads.size() != node.inputs().size()) {
+      return Status::Internal(std::string("vjp of op '") + node.op_name() +
+                              "' returned wrong arity");
+    }
+    for (size_t i = 0; i < node.inputs().size(); ++i) {
+      const Var& in = node.inputs()[i];
+      if (!in.requires_grad() || !input_grads[i].defined()) continue;
+      if (!input_grads[i].value().SameShape(in.value())) {
+        return Status::Internal(std::string("vjp of op '") + node.op_name() +
+                                "' produced gradient of shape " +
+                                input_grads[i].value().ShapeString() +
+                                " for input of shape " +
+                                in.value().ShapeString());
+      }
+      auto [pos, inserted] = adjoint.emplace(in.id(), input_grads[i]);
+      if (!inserted) pos->second = AccumAdd(pos->second, input_grads[i]);
+    }
+  }
+
+  std::vector<Var> grads;
+  grads.reserve(wrt.size());
+  for (const Var& w : wrt) {
+    const auto it = adjoint.find(w.id());
+    if (it == adjoint.end()) {
+      grads.push_back(
+          Var::Constant(Tensor(w.value().rows(), w.value().cols(), 0.0)));
+    } else if (options.create_graph) {
+      grads.push_back(it->second);
+    } else {
+      grads.push_back(Var::Constant(it->second.value()));
+    }
+  }
+  return grads;
+}
+
+}  // namespace lightmirm::autodiff

@@ -1,0 +1,82 @@
+// Reverse-mode automatic differentiation with higher-order gradient
+// support. A Var is a handle to a graph node; ops (see ops.h) build new
+// nodes, and each node's vector-Jacobian product is itself expressed with
+// ops, so gradients are differentiable graphs — Grad(Grad(...)) works.
+// This is the substrate behind the generic (non-linear) MAML path that the
+// paper's meta-IRM requires when the predictor is not logistic regression.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "autodiff/tensor.h"
+#include "common/result.h"
+
+namespace lightmirm::autodiff {
+
+class Var;
+
+/// Computes input adjoints given the upstream adjoint, the op inputs, and
+/// the op output, all as Vars so the results stay differentiable.
+using VjpFn = std::function<std::vector<Var>(
+    const Var& grad_out, const std::vector<Var>& inputs, const Var& output)>;
+
+namespace internal {
+
+struct Node {
+  Tensor value;
+  std::vector<Var> inputs;
+  VjpFn vjp;
+  bool requires_grad = false;
+  const char* op_name = "leaf";
+};
+
+}  // namespace internal
+
+/// Value-semantics handle to a graph node.
+class Var {
+ public:
+  Var() = default;
+
+  /// Leaf that participates in differentiation (a parameter).
+  static Var Param(Tensor value);
+
+  /// Leaf treated as a constant.
+  static Var Constant(Tensor value);
+  static Var Scalar(double v) { return Constant(Tensor::Scalar(v)); }
+
+  /// Interior node created by an op.
+  static Var Op(const char* name, Tensor value, std::vector<Var> inputs,
+                VjpFn vjp);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  bool requires_grad() const { return node_->requires_grad; }
+  const char* op_name() const { return node_->op_name; }
+  const std::vector<Var>& inputs() const { return node_->inputs; }
+
+  /// Identity of the underlying node (used as a map key).
+  const void* id() const { return node_.get(); }
+
+  /// Applies this node's VJP.
+  std::vector<Var> CallVjp(const Var& grad_out) const;
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+/// Options for Grad.
+struct GradOptions {
+  /// If true the returned gradients are differentiable graphs (needed for
+  /// second-order derivatives); if false they are detached constants.
+  bool create_graph = false;
+};
+
+/// Gradients of a scalar `output` with respect to each Var in `wrt`.
+/// Vars that do not influence the output get zero gradients of their own
+/// shape. Errors if output is not scalar (1x1).
+Result<std::vector<Var>> Grad(const Var& output, const std::vector<Var>& wrt,
+                              const GradOptions& options = {});
+
+}  // namespace lightmirm::autodiff

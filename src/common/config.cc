@@ -1,0 +1,70 @@
+#include "common/config.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lightmirm {
+
+Result<ConfigMap> ConfigMap::FromArgs(int argc, char** argv) {
+  ConfigMap cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected key=value, got: " + tok);
+    }
+    cfg.Set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void ConfigMap::Set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+bool ConfigMap::Has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+int64_t ConfigMap::GetInt(const std::string& key, int64_t def) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  auto parsed = ParseInt(it->second);
+  if (!parsed.ok()) {
+    LIGHTMIRM_LOG(Warning) << "config key '" << key << "': "
+                           << parsed.status().ToString() << "; using default";
+    return def;
+  }
+  return *parsed;
+}
+
+double ConfigMap::GetDouble(const std::string& key, double def) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  auto parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    LIGHTMIRM_LOG(Warning) << "config key '" << key << "': "
+                           << parsed.status().ToString() << "; using default";
+    return def;
+  }
+  return *parsed;
+}
+
+std::string ConfigMap::GetString(const std::string& key,
+                                 const std::string& def) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? def : it->second;
+}
+
+bool ConfigMap::GetBool(const std::string& key, bool def) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  LIGHTMIRM_LOG(Warning) << "config key '" << key << "': unrecognized bool '"
+                         << v << "'; using default";
+  return def;
+}
+
+}  // namespace lightmirm

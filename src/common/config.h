@@ -1,0 +1,42 @@
+// Key=value configuration map. Benches and examples accept "key=value"
+// command-line tokens so workload scale can be adjusted without recompiling,
+// e.g. `bench_table1_main rows=200000 envs=31 epochs=40`.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace lightmirm {
+
+/// An ordered map of string settings with typed getters.
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  /// Parses argv[1..argc) tokens of the form "key=value". Unknown shapes
+  /// yield InvalidArgument.
+  static Result<ConfigMap> FromArgs(int argc, char** argv);
+
+  /// Sets or overwrites a key.
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters with defaults; malformed values fall back to the default
+  /// and are reported via logging.
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace lightmirm

@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr. Intended for library-internal progress
+// and diagnostics; benches and examples print their results to stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lightmirm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the active level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LIGHTMIRM_LOG(level)                                            \
+  if (::lightmirm::LogLevel::k##level < ::lightmirm::GetLogLevel()) {  \
+  } else                                                                \
+    ::lightmirm::internal::LogMessage(::lightmirm::LogLevel::k##level,  \
+                                      __FILE__, __LINE__)               \
+        .stream()
+
+}  // namespace lightmirm

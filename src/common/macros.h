@@ -1,0 +1,24 @@
+// Common macros used across the lightmirm codebase.
+#pragma once
+
+// Disallow copy construction and copy assignment.
+#define LIGHTMIRM_DISALLOW_COPY(TypeName) \
+  TypeName(const TypeName&) = delete;     \
+  TypeName& operator=(const TypeName&) = delete
+
+// Propagate a non-ok Status from an expression, RocksDB-style.
+#define LIGHTMIRM_RETURN_NOT_OK(expr)                 \
+  do {                                                \
+    ::lightmirm::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+// Assign the value of a Result<T> expression to `lhs`, or propagate its error.
+#define LIGHTMIRM_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto LIGHTMIRM_CONCAT_(_res_, __LINE__) = (expr);   \
+  if (!LIGHTMIRM_CONCAT_(_res_, __LINE__).ok())       \
+    return LIGHTMIRM_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(LIGHTMIRM_CONCAT_(_res_, __LINE__)).value()
+
+#define LIGHTMIRM_CONCAT_IMPL_(a, b) a##b
+#define LIGHTMIRM_CONCAT_(a, b) LIGHTMIRM_CONCAT_IMPL_(a, b)

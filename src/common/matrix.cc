@@ -1,0 +1,74 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace lightmirm {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  assert(data_.size() == rows_ * cols_);
+}
+
+void Matrix::MatVec(const std::vector<double>& x,
+                    std::vector<double>* y) const {
+  assert(x.size() == cols_);
+  y->assign(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    (*y)[r] = acc;
+  }
+}
+
+void Matrix::TransposeMatVec(const std::vector<double>& x,
+                             std::vector<double>* y) const {
+  assert(x.size() == rows_);
+  y->assign(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) (*y)[c] += xr * row[c];
+  }
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* o_row = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+void Axpy(double a, const std::vector<double>& x, std::vector<double>* y) {
+  assert(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += a * x[i];
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+}  // namespace lightmirm

@@ -1,0 +1,73 @@
+// Dense row-major matrix of doubles with the handful of BLAS-like kernels
+// the library needs. This is deliberately small: the heavy lifting in
+// lightmirm happens on sparse multi-hot features (see linear/feature_matrix.h)
+// and inside the GBDT histograms.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace lightmirm {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates from explicit data (size must equal rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& At(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r.
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// y = this * x  (x has cols() entries; y gets rows() entries).
+  void MatVec(const std::vector<double>& x, std::vector<double>* y) const;
+
+  /// y = this^T * x  (x has rows() entries; y gets cols() entries).
+  void TransposeMatVec(const std::vector<double>& x,
+                       std::vector<double>* y) const;
+
+  /// Returns this * other.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place y += a * x. Sizes must match.
+void Axpy(double a, const std::vector<double>& x, std::vector<double>* y);
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+}  // namespace lightmirm

@@ -1,0 +1,64 @@
+// Result<T>: a value-or-Status holder, in the style of arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace lightmirm {
+
+/// Holds either a value of type T or an error Status. The error status of a
+/// Result is never OK; constructing one from an OK status is an internal
+/// error that is normalized to StatusCode::kInternal.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; Status::OK() when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace lightmirm

@@ -1,0 +1,36 @@
+#include "common/timer.h"
+
+namespace lightmirm {
+
+void StepTimer::Add(const std::string& name, double seconds) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    order_.push_back(name);
+    it = entries_.emplace(name, Entry{}).first;
+  }
+  it->second.total_seconds += seconds;
+  it->second.count += 1;
+}
+
+double StepTimer::TotalSeconds(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.total_seconds;
+}
+
+int64_t StepTimer::Count(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+double StepTimer::MeanSeconds(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.count == 0) return 0.0;
+  return it->second.total_seconds / static_cast<double>(it->second.count);
+}
+
+void StepTimer::Reset() {
+  entries_.clear();
+  order_.clear();
+}
+
+}  // namespace lightmirm

@@ -1,0 +1,78 @@
+// Wall-clock timing utilities. StepTimer accumulates named step durations,
+// which the training algorithms use to reproduce the per-step cost breakdown
+// of Table III / Figure 7 of the paper.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lightmirm {
+
+/// Simple monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates total duration and call count per named step.
+class StepTimer {
+ public:
+  /// RAII scope that adds its lifetime to `name`.
+  class Scope {
+   public:
+    Scope(StepTimer* timer, std::string name)
+        : timer_(timer), name_(std::move(name)) {}
+    ~Scope() {
+      if (timer_ != nullptr) timer_->Add(name_, watch_.Seconds());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    StepTimer* timer_;
+    std::string name_;
+    WallTimer watch_;
+  };
+
+  /// Adds `seconds` to the accumulator for `name`.
+  void Add(const std::string& name, double seconds);
+
+  /// Total accumulated seconds for `name` (0 if never recorded).
+  double TotalSeconds(const std::string& name) const;
+
+  /// Number of Add() calls for `name`.
+  int64_t Count(const std::string& name) const;
+
+  /// Mean seconds per call for `name` (0 if never recorded).
+  double MeanSeconds(const std::string& name) const;
+
+  /// All recorded step names in insertion order.
+  const std::vector<std::string>& StepNames() const { return order_; }
+
+  /// Clears all accumulators.
+  void Reset();
+
+ private:
+  struct Entry {
+    double total_seconds = 0.0;
+    int64_t count = 0;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace lightmirm

@@ -1,0 +1,106 @@
+#include "core/experiment.h"
+
+#include "metrics/ks.h"
+
+namespace lightmirm::core {
+
+Result<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
+    ExperimentConfig config) {
+  data::LoanGenerator generator(config.generator);
+  LIGHTMIRM_ASSIGN_OR_RETURN(data::Dataset dataset, generator.Generate());
+  return CreateWithDataset(std::move(config), std::move(dataset));
+}
+
+Result<std::unique_ptr<ExperimentRunner>> ExperimentRunner::CreateWithDataset(
+    ExperimentConfig config, data::Dataset dataset) {
+  std::unique_ptr<ExperimentRunner> runner(new ExperimentRunner());
+  runner->config_ = std::move(config);
+  runner->dataset_ = std::move(dataset);
+  LIGHTMIRM_RETURN_NOT_OK(runner->Init());
+  return runner;
+}
+
+Status ExperimentRunner::Init() {
+  if (config_.iid_split) {
+    Rng rng(config_.split_seed);
+    LIGHTMIRM_ASSIGN_OR_RETURN(
+        split_,
+        data::RandomSplit(dataset_, config_.iid_test_fraction, &rng));
+  } else {
+    LIGHTMIRM_ASSIGN_OR_RETURN(
+        split_, data::TemporalSplit(dataset_, config_.test_year));
+  }
+  if (split_.train.NumRows() == 0 || split_.test.NumRows() == 0) {
+    return Status::FailedPrecondition("empty train or test split");
+  }
+  // One shared feature extractor for every method, like the paper's
+  // comparisons.
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      gbdt::Booster booster,
+      gbdt::Booster::Train(split_.train.features(), split_.train.labels(),
+                           config_.model.booster));
+  booster_ = std::make_shared<const gbdt::Booster>(std::move(booster));
+  gbdt::LeafEncoder encoder(booster_.get());
+  LIGHTMIRM_ASSIGN_OR_RETURN(test_features_,
+                             encoder.Encode(split_.test.features()));
+  return Status::OK();
+}
+
+Result<MethodResult> ExperimentRunner::RunMethodWithOptions(
+    Method method, const GbdtLrOptions& options, bool trace_epochs) {
+  MethodResult result;
+  result.method = method;
+  result.method_name = MethodName(method);
+
+  GbdtLrOptions run_options = options;
+  run_options.trainer.timer = &result.step_times;
+
+  // "loading data": fetching the split rows into the training harness.
+  {
+    StepTimer::Scope scope(&result.step_times, "loading data");
+    (void)split_.train.NumRows();
+  }
+
+  // Per-epoch tracing of the pooled test KS.
+  linear::FeatureMatrix raw_test;
+  const linear::FeatureMatrix* eval_x = &test_features_;
+  if (run_options.use_raw_features) {
+    raw_test = linear::FeatureMatrix::FromDense(split_.test.features());
+    eval_x = &raw_test;
+  }
+  if (trace_epochs) {
+    run_options.trainer.epoch_callback =
+        [this, eval_x, &result](int, const linear::LogisticModel& model) {
+          const std::vector<double> scores = model.Predict(*eval_x);
+          auto ks = metrics::KsStatistic(split_.test.labels(), scores);
+          result.ks_per_epoch.push_back(ks.ok() ? *ks : 0.0);
+        };
+  }
+
+  WallTimer train_watch;
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      GbdtLrModel model,
+      GbdtLrModel::TrainWithBooster(booster_, split_.train, method,
+                                    run_options));
+  result.train_seconds = train_watch.Seconds();
+
+  if (run_options.use_raw_features) {
+    LIGHTMIRM_ASSIGN_OR_RETURN(result.test_scores, model.Predict(split_.test));
+  } else {
+    result.test_scores =
+        model.predictor().Predict(test_features_, &split_.test.envs());
+  }
+
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      result.report,
+      metrics::EvaluatePerEnv(split_.test, result.test_scores,
+                              config_.eval_min_rows));
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      const metrics::PooledMetrics pooled,
+      metrics::EvaluatePooled(split_.test.labels(), result.test_scores));
+  result.pooled_ks = pooled.ks;
+  result.pooled_auc = pooled.auc;
+  return result;
+}
+
+}  // namespace lightmirm::core

@@ -1,0 +1,89 @@
+// ExperimentRunner — shared harness for every table and figure of the
+// paper: generates (or accepts) a dataset, splits it temporally (2016-2019
+// train / 2020 test) or randomly (Table VI), trains one shared GBDT feature
+// extractor, then runs any subset of the training paradigms on the same
+// leaf features and evaluates them per province.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gbdt_lr_model.h"
+#include "data/env_split.h"
+#include "data/loan_generator.h"
+#include "metrics/env_report.h"
+
+namespace lightmirm::core {
+
+/// Full experiment configuration.
+struct ExperimentConfig {
+  data::LoanGeneratorOptions generator;
+  GbdtLrOptions model;
+  /// Temporal split: train on years < test_year, test on test_year.
+  int test_year = 2020;
+  /// If true use a random i.i.d. split instead (Table VI).
+  bool iid_split = false;
+  double iid_test_fraction = 0.25;
+  uint64_t split_seed = 99;
+  /// Environments need this many test rows to be scored.
+  size_t eval_min_rows = 80;
+};
+
+/// One method's evaluation outcome.
+struct MethodResult {
+  Method method = Method::kErm;
+  std::string method_name;
+  metrics::EnvReport report;      ///< per-province + mKS/wKS/mAUC/wAUC
+  double pooled_ks = 0.0;
+  double pooled_auc = 0.0;
+  double train_seconds = 0.0;     ///< wall-clock of the LR-head training
+  StepTimer step_times;           ///< per-step breakdown (Table III)
+  std::vector<double> test_scores;
+  /// KS on the pooled test set after each epoch when tracing was enabled.
+  std::vector<double> ks_per_epoch;
+};
+
+/// Harness shared by the benches and examples.
+class ExperimentRunner {
+ public:
+  /// Generates the dataset, splits it, trains the shared booster and
+  /// encodes train/test features.
+  static Result<std::unique_ptr<ExperimentRunner>> Create(
+      ExperimentConfig config);
+
+  /// Same, but on a caller-provided dataset.
+  static Result<std::unique_ptr<ExperimentRunner>> CreateWithDataset(
+      ExperimentConfig config, data::Dataset dataset);
+
+  /// Trains and evaluates one method with the config's options.
+  Result<MethodResult> RunMethod(Method method) {
+    return RunMethodWithOptions(method, config_.model, false);
+  }
+
+  /// Trains and evaluates with explicit pipeline options (ablations). If
+  /// `trace_epochs` is set, records pooled test KS after every epoch.
+  Result<MethodResult> RunMethodWithOptions(Method method,
+                                            const GbdtLrOptions& options,
+                                            bool trace_epochs);
+
+  const ExperimentConfig& config() const { return config_; }
+  const data::Dataset& full_dataset() const { return dataset_; }
+  const data::Dataset& train() const { return split_.train; }
+  const data::Dataset& test() const { return split_.test; }
+  const gbdt::Booster& booster() const { return *booster_; }
+
+ private:
+  ExperimentRunner() = default;
+  Status Init();
+
+  ExperimentConfig config_;
+  data::Dataset dataset_;
+  data::Split split_;
+  std::shared_ptr<const gbdt::Booster> booster_;
+  linear::FeatureMatrix test_features_;
+};
+
+}  // namespace lightmirm::core

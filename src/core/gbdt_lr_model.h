@@ -1,0 +1,115 @@
+// GbdtLrModel — the paper's full loan-default prediction pipeline (Fig 2):
+// a LightGBM-style booster performs automatic feature extraction (each tree
+// contributes a one-hot leaf feature, §III-C), and a logistic-regression
+// head on the multi-hot encoding is learned with one of the training
+// paradigms (ERM family or the IRM family, §III-D/E).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "data/dataset.h"
+#include "gbdt/booster.h"
+#include "gbdt/leaf_encoder.h"
+#include "train/fine_tune.h"
+#include "train/group_dro.h"
+#include "train/irmv1.h"
+#include "train/light_mirm.h"
+#include "train/meta_irm.h"
+#include "train/trainer.h"
+#include "train/up_sampling.h"
+#include "train/vrex.h"
+
+namespace lightmirm::core {
+
+/// The training paradigms compared in the paper's evaluation.
+enum class Method {
+  kErm,
+  kErmFineTune,
+  kUpSampling,
+  kGroupDro,
+  kVRex,
+  kIrmV1,
+  kMetaIrm,
+  kLightMirm,
+};
+
+/// Table-facing display name ("ERM", "LightMIRM", ...).
+std::string MethodName(Method method);
+
+/// Parses a method name (accepts the display names and lowercase slugs
+/// like "light_mirm"). Errors on unknown names.
+Result<Method> MethodFromName(const std::string& name);
+
+/// All methods in Table I order.
+const std::vector<Method>& AllMethods();
+
+/// Configuration for the full pipeline.
+struct GbdtLrOptions {
+  gbdt::BoosterOptions booster;
+  train::TrainerOptions trainer;
+  train::FineTuneOptions fine_tune;
+  train::UpSamplingTrainerOptions up_sampling;
+  train::GroupDroOptions group_dro;
+  train::VRexOptions vrex;
+  train::IrmV1Options irmv1;
+  train::MetaIrmOptions meta_irm;
+  train::LightMirmOptions light_mirm;
+  /// Environments smaller than this do not get their own training task.
+  size_t min_env_rows = 100;
+  /// Fraction of training rows held out for best-epoch selection (pooled
+  /// validation KS). 0 disables validation snapshotting.
+  double validation_fraction = 0.15;
+  uint64_t validation_seed = 1234;
+  /// Ablation: feed raw features to the LR head instead of leaf features.
+  bool use_raw_features = false;
+};
+
+/// Builds the trainer implementing `method` under `options`.
+Result<std::unique_ptr<train::Trainer>> MakeTrainer(
+    Method method, const GbdtLrOptions& options);
+
+/// A trained pipeline: booster + leaf encoder + LR predictor.
+class GbdtLrModel {
+ public:
+  /// Trains feature extraction and the LR head from scratch.
+  static Result<GbdtLrModel> Train(const data::Dataset& train, Method method,
+                                   const GbdtLrOptions& options);
+
+  /// Trains the LR head on top of an existing booster, so several methods
+  /// can share one feature extractor (as the paper's comparisons do).
+  static Result<GbdtLrModel> TrainWithBooster(
+      std::shared_ptr<const gbdt::Booster> booster,
+      const data::Dataset& train, Method method,
+      const GbdtLrOptions& options);
+
+  /// Reassembles a model from persisted parts (see core/model_io.h).
+  static Result<GbdtLrModel> FromParts(
+      std::shared_ptr<const gbdt::Booster> booster,
+      train::TrainedPredictor predictor, Method method,
+      bool use_raw_features);
+
+  /// Default probabilities for each row of `dataset`. Uses per-province
+  /// model overrides when the method produced them (fine-tuning).
+  Result<std::vector<double>> Predict(const data::Dataset& dataset) const;
+
+  /// Encodes a dataset into the LR head's input representation.
+  Result<linear::FeatureMatrix> EncodeFeatures(
+      const data::Dataset& dataset) const;
+
+  const gbdt::Booster& booster() const { return *booster_; }
+  const train::TrainedPredictor& predictor() const { return predictor_; }
+  Method method() const { return method_; }
+  bool use_raw_features() const { return use_raw_features_; }
+
+ private:
+  std::shared_ptr<const gbdt::Booster> booster_;
+  std::unique_ptr<gbdt::LeafEncoder> encoder_;
+  train::TrainedPredictor predictor_;
+  Method method_ = Method::kErm;
+  bool use_raw_features_ = false;
+};
+
+}  // namespace lightmirm::core

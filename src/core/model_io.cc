@@ -1,0 +1,126 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "gbdt/serialize.h"
+
+namespace lightmirm::core {
+namespace {
+
+constexpr const char* kMagic = "lightmirm-model-v1";
+
+Status WriteParams(const linear::ParamVec& params, std::ostream* out) {
+  (*out) << params.size();
+  for (double p : params) (*out) << StrFormat(" %.17g", p);
+  (*out) << "\n";
+  return out->good() ? Status::OK() : Status::IoError("write failed");
+}
+
+Result<linear::ParamVec> ReadParams(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::IoError("truncated model: missing params");
+  }
+  std::istringstream ss(line);
+  size_t count = 0;
+  if (!(ss >> count)) return Status::InvalidArgument("bad params header");
+  linear::ParamVec params(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(ss >> params[i])) {
+      return Status::InvalidArgument("truncated params line");
+    }
+  }
+  return params;
+}
+
+}  // namespace
+
+Status SaveModel(const GbdtLrModel& model, std::ostream* out) {
+  (*out) << kMagic << "\n";
+  (*out) << "method " << MethodName(model.method()) << "\n";
+  (*out) << "use_raw_features " << (model.use_raw_features() ? 1 : 0)
+         << "\n";
+  (*out) << "global ";
+  LIGHTMIRM_RETURN_NOT_OK(WriteParams(model.predictor().global.params(), out));
+  (*out) << "per_env " << model.predictor().per_env.size() << "\n";
+  for (const auto& [env, lr_model] : model.predictor().per_env) {
+    (*out) << env << " ";
+    LIGHTMIRM_RETURN_NOT_OK(WriteParams(lr_model.params(), out));
+  }
+  return gbdt::SaveBooster(model.booster(), out);
+}
+
+Status SaveModelToFile(const GbdtLrModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return SaveModel(model, &out);
+}
+
+Result<GbdtLrModel> LoadModel(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line) || Trim(line) != kMagic) {
+    return Status::InvalidArgument("bad model header");
+  }
+  if (!std::getline(*in, line)) return Status::IoError("truncated model");
+  Method method = Method::kErm;
+  {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.rfind("method ", 0) != 0) {
+      return Status::InvalidArgument("expected method line");
+    }
+    LIGHTMIRM_ASSIGN_OR_RETURN(
+        method, MethodFromName(std::string(trimmed.substr(7))));
+  }
+  bool use_raw = false;
+  {
+    if (!std::getline(*in, line)) return Status::IoError("truncated model");
+    std::istringstream ss(line);
+    std::string tag;
+    int value = 0;
+    if (!(ss >> tag >> value) || tag != "use_raw_features") {
+      return Status::InvalidArgument("expected use_raw_features line");
+    }
+    use_raw = value != 0;
+  }
+  train::TrainedPredictor predictor;
+  {
+    std::string tag;
+    (*in) >> tag;
+    if (tag != "global") return Status::InvalidArgument("expected global");
+    in->get();  // consume the space
+    LIGHTMIRM_ASSIGN_OR_RETURN(linear::ParamVec params, ReadParams(in));
+    predictor.global.set_params(std::move(params));
+  }
+  {
+    if (!std::getline(*in, line)) return Status::IoError("truncated model");
+    std::istringstream ss(line);
+    std::string tag;
+    size_t count = 0;
+    if (!(ss >> tag >> count) || tag != "per_env") {
+      return Status::InvalidArgument("expected per_env line");
+    }
+    for (size_t i = 0; i < count; ++i) {
+      int env = 0;
+      (*in) >> env;
+      in->get();
+      LIGHTMIRM_ASSIGN_OR_RETURN(linear::ParamVec params, ReadParams(in));
+      linear::LogisticModel lr_model;
+      lr_model.set_params(std::move(params));
+      predictor.per_env.emplace(env, std::move(lr_model));
+    }
+  }
+  LIGHTMIRM_ASSIGN_OR_RETURN(gbdt::Booster booster, gbdt::LoadBooster(in));
+  return GbdtLrModel::FromParts(
+      std::make_shared<const gbdt::Booster>(std::move(booster)),
+      std::move(predictor), method, use_raw);
+}
+
+Result<GbdtLrModel> LoadModelFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return LoadModel(&in);
+}
+
+}  // namespace lightmirm::core

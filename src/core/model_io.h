@@ -1,0 +1,23 @@
+// Persistence for the full GBDT+LR pipeline — booster, LR parameters,
+// per-province overrides, and method metadata — so a trained model can be
+// deployed as a standalone artifact (the paper's "plug-and-play companion
+// runner" deployment mode).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "core/gbdt_lr_model.h"
+
+namespace lightmirm::core {
+
+/// Writes the model in a line-oriented text format.
+Status SaveModel(const GbdtLrModel& model, std::ostream* out);
+Status SaveModelToFile(const GbdtLrModel& model, const std::string& path);
+
+/// Parses a model written by SaveModel.
+Result<GbdtLrModel> LoadModel(std::istream* in);
+Result<GbdtLrModel> LoadModelFromFile(const std::string& path);
+
+}  // namespace lightmirm::core

@@ -1,0 +1,100 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace lightmirm::core {
+
+std::string FormatTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    assert(row.size() == header.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+    }
+    out += "\n";
+    return out;
+  };
+  std::string out = render_row(header);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : 0, '-');
+  out += "\n";
+  for (const auto& row : rows) out += render_row(row);
+  return out;
+}
+
+std::string FormatComparisonTable(const std::vector<MethodResult>& results) {
+  // Find best per metric for the '*' marker (higher is better).
+  double best[4] = {-1.0, -1.0, -1.0, -1.0};
+  for (const MethodResult& r : results) {
+    best[0] = std::max(best[0], r.report.mean_ks);
+    best[1] = std::max(best[1], r.report.worst_ks);
+    best[2] = std::max(best[2], r.report.mean_auc);
+    best[3] = std::max(best[3], r.report.worst_auc);
+  }
+  auto cell = [](double v, double is_best) {
+    return StrFormat("%.4f%s", v, is_best ? "*" : " ");
+  };
+  std::vector<std::vector<std::string>> rows;
+  for (const MethodResult& r : results) {
+    rows.push_back({
+        r.method_name,
+        cell(r.report.mean_ks, r.report.mean_ks == best[0]),
+        cell(r.report.worst_ks, r.report.worst_ks == best[1]),
+        cell(r.report.mean_auc, r.report.mean_auc == best[2]),
+        cell(r.report.worst_auc, r.report.worst_auc == best[3]),
+        StrFormat("%.2fs", r.train_seconds),
+    });
+  }
+  return FormatTable({"Methods", "mKS", "wKS", "mAUC", "wAUC", "train"},
+                     rows);
+}
+
+std::string FormatProvinceTable(const MethodResult& result) {
+  std::vector<metrics::EnvMetrics> sorted = result.report.per_env;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const metrics::EnvMetrics& a, const metrics::EnvMetrics& b) {
+              return a.ks > b.ks;
+            });
+  std::vector<std::vector<std::string>> rows;
+  for (const metrics::EnvMetrics& m : sorted) {
+    rows.push_back({m.name, StrFormat("%zu", m.rows),
+                    StrFormat("%.4f", m.ks), StrFormat("%.4f", m.auc)});
+  }
+  return FormatTable({"Province", "rows", "KS", "AUC"}, rows);
+}
+
+std::string FormatTrainingCurves(const std::vector<MethodResult>& results) {
+  std::vector<std::string> header = {"epoch"};
+  size_t max_epochs = 0;
+  for (const MethodResult& r : results) {
+    header.push_back(r.method_name);
+    max_epochs = std::max(max_epochs, r.ks_per_epoch.size());
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (size_t e = 0; e < max_epochs; ++e) {
+    std::vector<std::string> row = {StrFormat("%zu", e)};
+    for (const MethodResult& r : results) {
+      row.push_back(e < r.ks_per_epoch.size()
+                        ? StrFormat("%.4f", r.ks_per_epoch[e])
+                        : "");
+    }
+    rows.push_back(std::move(row));
+  }
+  return FormatTable(header, rows);
+}
+
+}  // namespace lightmirm::core

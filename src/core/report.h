@@ -1,0 +1,29 @@
+// Plain-text table rendering for the bench harnesses, mirroring the layout
+// of the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace lightmirm::core {
+
+/// Table I / Table VI layout: one row per method with mKS/wKS/mAUC/wAUC.
+/// Best value per column is marked with '*'.
+std::string FormatComparisonTable(const std::vector<MethodResult>& results);
+
+/// Per-province breakdown (Fig 1 layout): province, rows, KS, AUC, sorted
+/// by KS descending.
+std::string FormatProvinceTable(const MethodResult& result);
+
+/// Training-curve series (Fig 6 / Fig 8): epoch index vs pooled test KS,
+/// one column per method.
+std::string FormatTrainingCurves(const std::vector<MethodResult>& results);
+
+/// Generic aligned table: `header` then rows. Every row must have
+/// header.size() cells.
+std::string FormatTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace lightmirm::core

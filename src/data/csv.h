@@ -1,0 +1,21 @@
+// CSV serialization for Dataset. The on-disk layout is
+//   label,env,year,half,<feature columns...>
+// with a header row carrying the feature names. Used by the examples for
+// data interchange; the benches generate data in memory.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace lightmirm::data {
+
+/// Writes `dataset` to `path`. Overwrites any existing file.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by WriteCsv. All feature columns are
+/// read back as kNumeric (kinds/cardinalities are not round-tripped).
+Result<Dataset> ReadCsv(const std::string& path);
+
+}  // namespace lightmirm::data

@@ -1,0 +1,91 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace lightmirm::data {
+
+Dataset::Dataset(Schema schema, Matrix features, std::vector<int> labels,
+                 std::vector<int> envs, std::vector<int> years,
+                 std::vector<int> halves)
+    : schema_(std::move(schema)),
+      features_(std::move(features)),
+      labels_(std::move(labels)),
+      envs_(std::move(envs)),
+      years_(std::move(years)),
+      halves_(std::move(halves)) {}
+
+std::string Dataset::EnvName(int e) const {
+  if (e >= 0 && static_cast<size_t>(e) < env_names_.size()) {
+    return env_names_[e];
+  }
+  return StrFormat("env%d", e);
+}
+
+int Dataset::NumEnvs() const {
+  int max_env = -1;
+  for (int e : envs_) max_env = std::max(max_env, e);
+  return max_env + 1;
+}
+
+double Dataset::PositiveRate() const {
+  if (labels_.empty()) return 0.0;
+  double pos = 0.0;
+  for (int y : labels_) pos += y;
+  return pos / static_cast<double>(labels_.size());
+}
+
+Result<Dataset> Dataset::Select(const std::vector<size_t>& rows) const {
+  Matrix feats(rows.size(), NumFeatures());
+  std::vector<int> labels(rows.size());
+  std::vector<int> envs(rows.size());
+  std::vector<int> years(rows.size());
+  std::vector<int> halves(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t r = rows[i];
+    if (r >= NumRows()) {
+      return Status::OutOfRange(
+          StrFormat("row index %zu out of range (%zu rows)", r, NumRows()));
+    }
+    std::copy(features_.Row(r), features_.Row(r) + NumFeatures(),
+              feats.Row(i));
+    labels[i] = labels_[r];
+    envs[i] = envs_[r];
+    years[i] = years_[r];
+    halves[i] = halves_[r];
+  }
+  Dataset out(schema_, std::move(feats), std::move(labels), std::move(envs),
+              std::move(years), std::move(halves));
+  out.set_env_names(env_names_);
+  return out;
+}
+
+Status Dataset::Validate() const {
+  const size_t n = NumRows();
+  if (labels_.size() != n || envs_.size() != n || years_.size() != n ||
+      halves_.size() != n) {
+    return Status::FailedPrecondition(StrFormat(
+        "column length mismatch: %zu rows but labels=%zu envs=%zu years=%zu "
+        "halves=%zu",
+        n, labels_.size(), envs_.size(), years_.size(), halves_.size()));
+  }
+  if (schema_.num_features() != NumFeatures()) {
+    return Status::FailedPrecondition(
+        StrFormat("schema has %zu fields but matrix has %zu columns",
+                  schema_.num_features(), NumFeatures()));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (labels_[i] != 0 && labels_[i] != 1) {
+      return Status::FailedPrecondition(
+          StrFormat("label at row %zu is %d, expected 0 or 1", i, labels_[i]));
+    }
+    if (envs_[i] < 0) {
+      return Status::FailedPrecondition(
+          StrFormat("negative environment id at row %zu", i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lightmirm::data

@@ -1,0 +1,72 @@
+// Dataset: an in-memory table of loan applications. Features are stored as
+// a dense row-major matrix; the label, environment (province), year, and
+// half-year columns are stored alongside because the training algorithms and
+// the evaluation harness key on them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "data/schema.h"
+
+namespace lightmirm::data {
+
+/// An immutable-by-convention table of instances. `env[i]` is the
+/// environment (province) index of row i; `year[i]` / `half[i]` record when
+/// the application was filed (half is 1 or 2).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Schema schema, Matrix features, std::vector<int> labels,
+          std::vector<int> envs, std::vector<int> years,
+          std::vector<int> halves);
+
+  size_t NumRows() const { return features_.rows(); }
+  size_t NumFeatures() const { return features_.cols(); }
+
+  const Schema& schema() const { return schema_; }
+  const Matrix& features() const { return features_; }
+  Matrix& mutable_features() { return features_; }
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<int>& envs() const { return envs_; }
+  const std::vector<int>& years() const { return years_; }
+  const std::vector<int>& halves() const { return halves_; }
+
+  /// Names of the environments; index e names envs()[i] == e. May be empty
+  /// if the producer did not attach names.
+  const std::vector<std::string>& env_names() const { return env_names_; }
+  void set_env_names(std::vector<std::string> names) {
+    env_names_ = std::move(names);
+  }
+
+  /// Human-readable name for environment e ("env<e>" when unnamed).
+  std::string EnvName(int e) const;
+
+  /// Number of distinct environment ids (max env + 1; 0 when empty).
+  int NumEnvs() const;
+
+  /// Fraction of rows with label == 1.
+  double PositiveRate() const;
+
+  /// Returns a new dataset containing the given rows (in order). Indices
+  /// out of range yield OutOfRange.
+  Result<Dataset> Select(const std::vector<size_t>& rows) const;
+
+  /// Validates internal consistency (column lengths match, labels in {0,1},
+  /// env ids non-negative).
+  Status Validate() const;
+
+ private:
+  Schema schema_;
+  Matrix features_;
+  std::vector<int> labels_;
+  std::vector<int> envs_;
+  std::vector<int> years_;
+  std::vector<int> halves_;
+  std::vector<std::string> env_names_;
+};
+
+}  // namespace lightmirm::data

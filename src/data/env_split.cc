@@ -1,0 +1,90 @@
+#include "data/env_split.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace lightmirm::data {
+
+std::vector<std::vector<size_t>> GroupByEnv(const Dataset& dataset) {
+  std::vector<std::vector<size_t>> groups(
+      static_cast<size_t>(std::max(dataset.NumEnvs(), 0)));
+  for (size_t i = 0; i < dataset.NumRows(); ++i) {
+    groups[static_cast<size_t>(dataset.envs()[i])].push_back(i);
+  }
+  return groups;
+}
+
+Result<Split> TemporalSplit(const Dataset& dataset, int test_year) {
+  std::vector<size_t> train_rows, test_rows;
+  for (size_t i = 0; i < dataset.NumRows(); ++i) {
+    const int y = dataset.years()[i];
+    if (y < test_year) {
+      train_rows.push_back(i);
+    } else if (y == test_year) {
+      test_rows.push_back(i);
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "row %zu has year %d after test year %d", i, y, test_year));
+    }
+  }
+  LIGHTMIRM_ASSIGN_OR_RETURN(Dataset train, dataset.Select(train_rows));
+  LIGHTMIRM_ASSIGN_OR_RETURN(Dataset test, dataset.Select(test_rows));
+  return Split{std::move(train), std::move(test)};
+}
+
+Result<Split> RandomSplit(const Dataset& dataset, double test_fraction,
+                          Rng* rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("test_fraction must be in (0,1), got %g", test_fraction));
+  }
+  std::vector<size_t> order(dataset.NumRows());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  const size_t n_test =
+      static_cast<size_t>(test_fraction * static_cast<double>(order.size()));
+  std::vector<size_t> test_rows(order.begin(), order.begin() + n_test);
+  std::vector<size_t> train_rows(order.begin() + n_test, order.end());
+  // Keep original row order within each side for reproducible iteration.
+  std::sort(test_rows.begin(), test_rows.end());
+  std::sort(train_rows.begin(), train_rows.end());
+  LIGHTMIRM_ASSIGN_OR_RETURN(Dataset train, dataset.Select(train_rows));
+  LIGHTMIRM_ASSIGN_OR_RETURN(Dataset test, dataset.Select(test_rows));
+  return Split{std::move(train), std::move(test)};
+}
+
+Result<std::vector<Dataset>> SplitByEnv(const Dataset& dataset,
+                                        size_t min_rows) {
+  const std::vector<std::vector<size_t>> groups = GroupByEnv(dataset);
+  std::vector<Dataset> out;
+  std::vector<size_t> rest;
+  for (const std::vector<size_t>& rows : groups) {
+    if (rows.empty()) continue;
+    if (rows.size() < min_rows) {
+      rest.insert(rest.end(), rows.begin(), rows.end());
+      continue;
+    }
+    LIGHTMIRM_ASSIGN_OR_RETURN(Dataset env_ds, dataset.Select(rows));
+    out.push_back(std::move(env_ds));
+  }
+  if (!rest.empty()) {
+    std::sort(rest.begin(), rest.end());
+    LIGHTMIRM_ASSIGN_OR_RETURN(Dataset rest_ds, dataset.Select(rest));
+    out.push_back(std::move(rest_ds));
+  }
+  if (out.empty()) {
+    return Status::FailedPrecondition("dataset has no rows to split by env");
+  }
+  return out;
+}
+
+std::vector<size_t> EnvCounts(const Dataset& dataset) {
+  std::vector<size_t> counts(
+      static_cast<size_t>(std::max(dataset.NumEnvs(), 0)), 0);
+  for (int e : dataset.envs()) counts[static_cast<size_t>(e)]++;
+  return counts;
+}
+
+}  // namespace lightmirm::data

@@ -1,0 +1,43 @@
+// Partitioning utilities: group rows by environment, temporal train/test
+// splits (the paper trains on 2016-2019 and tests on 2020), and random
+// i.i.d. splits (Table VI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace lightmirm::data {
+
+/// Row indices of each environment: groups[e] lists the rows with env == e.
+/// Environments with no rows get empty lists.
+std::vector<std::vector<size_t>> GroupByEnv(const Dataset& dataset);
+
+/// A train/test split of a dataset.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+/// Rows with year < `test_year` go to train; rows with year == `test_year`
+/// go to test. Rows from later years are rejected.
+Result<Split> TemporalSplit(const Dataset& dataset, int test_year);
+
+/// Random split with `test_fraction` of rows in test, shuffled with `rng`.
+Result<Split> RandomSplit(const Dataset& dataset, double test_fraction,
+                          Rng* rng);
+
+/// Per-environment datasets (views materialized as copies). Environments
+/// with fewer than `min_rows` rows are merged into a single synthetic
+/// "rest" environment appended at the end, so that tiny groups do not make
+/// per-environment losses meaningless. Pass min_rows = 0 to keep all.
+Result<std::vector<Dataset>> SplitByEnv(const Dataset& dataset,
+                                        size_t min_rows = 0);
+
+/// Per-environment row counts, indexed by env id.
+std::vector<size_t> EnvCounts(const Dataset& dataset);
+
+}  // namespace lightmirm::data

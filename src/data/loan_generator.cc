@@ -1,0 +1,331 @@
+#include "data/loan_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace lightmirm::data {
+namespace {
+
+// 31 provinces of mainland China. The index is the environment id used
+// throughout the library.
+const char* kProvinceNames[] = {
+    "Guangdong", "Jiangsu",   "Shandong",  "Zhejiang",     "Henan",
+    "Sichuan",   "Hubei",     "Hunan",     "Anhui",        "Hebei",
+    "Fujian",    "Shanghai",  "Beijing",   "Shaanxi",      "Jiangxi",
+    "Chongqing", "Liaoning",  "Yunnan",    "Guangxi",      "Shanxi",
+    "Guizhou",   "Inner Mongolia", "Tianjin", "Heilongjiang", "Jilin",
+    "Xinjiang",  "Gansu",     "Hainan",    "Ningxia",      "Qinghai",
+    "Tibet",
+};
+constexpr int kNumProvinces = 31;
+
+// Base application shares for 2016-2019 (unnormalized). Roughly power-law:
+// Guangdong largest, frontier provinces tiny.
+const double kBaseShare[kNumProvinces] = {
+    14.0, 8.5, 8.0, 7.0, 6.5, 6.0, 5.5, 5.0, 4.5, 4.2,  //
+    4.0,  3.8, 3.6, 3.2, 3.0, 2.8, 2.6, 2.4, 2.2, 2.0,  //
+    1.9,  1.8, 1.7, 1.6, 1.5, 1.3, 1.1, 1.0, 0.8, 0.7, 0.5,
+};
+
+// Economic development score in [0,1].
+const double kEconomy[kNumProvinces] = {
+    0.95, 0.92, 0.80, 0.93, 0.60, 0.62, 0.68, 0.63, 0.58, 0.57,  //
+    0.85, 0.99, 0.98, 0.60, 0.55, 0.66, 0.56, 0.45, 0.48, 0.52,  //
+    0.42, 0.50, 0.82, 0.48, 0.46, 0.35, 0.33, 0.54, 0.32, 0.30, 0.28,
+};
+
+constexpr int kNumVehicleTypes = 4;   // new_sedan, used_car, trailer, suv
+constexpr int kNumOccupations = 8;
+
+const char* kNumericNames[] = {
+    "age",
+    "annual_income",
+    "loan_amount",
+    "ltv_ratio",
+    "credit_score",
+    "prior_default_count",
+    "employment_years",
+    "debt_to_income",
+    "down_payment_ratio",
+    "num_credit_lines",
+    "months_since_delinquency",
+    "bank_relationship_years",
+};
+
+const char* kVehicleNames[] = {
+    "vehicle_new_sedan",
+    "vehicle_used_car",
+    "vehicle_trailer_truck",
+    "vehicle_suv",
+};
+
+}  // namespace
+
+LoanGenerator::LoanGenerator(LoanGeneratorOptions options)
+    : options_(std::move(options)) {
+  Rng rng(options_.seed ^ 0xC0FFEEULL);
+
+  // Province profiles. Underrepresented western provinces get spurious
+  // patterns that disagree with the national majority (low agree prob) and
+  // negative retention into 2020, which is what makes an ERM model collapse
+  // on them (Fig 1 / Table I "worst province" metrics).
+  profiles_.resize(kNumProvinces);
+  for (int m = 0; m < kNumProvinces; ++m) {
+    ProvinceProfile& p = profiles_[m];
+    p.name = kProvinceNames[m];
+    p.share = kBaseShare[m];
+    p.economy = kEconomy[m];
+    // Large developed provinces: spurious attrs strongly aligned in
+    // training; small frontier provinces: much weaker alignment.
+    // Spurious agreement rises with province size: the national bureau
+    // patterns are calibrated on the big markets. The smallest provinces
+    // sit *below* 0.5 — their local patterns mildly disagree with the
+    // national ones — so a pooled ERM model that leans on these attributes
+    // is actively wrong there, while the per-environment optimum differs
+    // in sign across provinces (the configuration IRM exploits).
+    p.spurious_agree_train = 0.40 +
+                             0.52 * std::min(1.0, p.share / 3.5) +
+                             rng.Uniform(-0.02, 0.02);
+    p.spurious_agree_train = std::clamp(p.spurious_agree_train, 0.42, 0.92);
+    // Retention of the (centered) spurious pattern into 2020. The 2020
+    // drift (business-mix shift + COVID) largely invalidates the learned
+    // bureau patterns of the big markets, while the small provinces' local
+    // disagreement is structural and persists — the combination that makes
+    // a spurious-leaning ERM model fail on 2020 and keep failing on the
+    // underrepresented provinces.
+    if (p.share < 1.5) {
+      p.retention_2020 = rng.Uniform(0.55, 0.80);
+    } else {
+      p.retention_2020 = rng.Uniform(0.15, 0.40);
+    }
+    p.base_logit_offset = rng.Uniform(-0.25, 0.25) + 0.3 * (0.5 - p.economy);
+  }
+
+  // Invariant default mechanism: fixed across provinces and years.
+  invariant_weights_.resize(options_.latent_dim);
+  double norm = 0.0;
+  for (double& w : invariant_weights_) {
+    w = rng.Normal();
+    norm += w * w;
+  }
+  norm = std::sqrt(norm);
+  for (double& w : invariant_weights_) w /= norm;
+
+  // Observation model: numeric features are near-diagonal views of the
+  // latent (each bureau attribute mostly reflects one underlying factor,
+  // with mild cross-talk). Keeping the mixing close to axis-aligned is
+  // also what makes the signal learnable by axis-aligned tree splits.
+  numeric_mixing_ = Matrix(options_.num_numeric, options_.latent_dim);
+  for (size_t r = 0; r < numeric_mixing_.rows(); ++r) {
+    for (size_t c = 0; c < numeric_mixing_.cols(); ++c) {
+      numeric_mixing_.At(r, c) = rng.Normal(0.0, 0.2);
+    }
+    numeric_mixing_.At(r, r % numeric_mixing_.cols()) += 1.4;
+  }
+
+  // Invariant vehicle / occupation effects on the default logit.
+  vehicle_logit_ = {0.0, 0.30, 0.45, 0.12};  // sedan, used, trailer, suv
+  occupation_logit_.resize(kNumOccupations);
+  for (double& v : occupation_logit_) v = rng.Uniform(-0.15, 0.15);
+}
+
+const std::vector<std::string>& LoanGenerator::ProvinceNames() {
+  static const std::vector<std::string> names(
+      kProvinceNames, kProvinceNames + kNumProvinces);
+  return names;
+}
+
+Result<int> LoanGenerator::ProvinceIndex(const std::string& name) {
+  const auto& names = ProvinceNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("unknown province: " + name);
+}
+
+int LoanGenerator::NumFeatures() const {
+  return options_.num_numeric + kNumVehicleTypes + kNumOccupations +
+         options_.num_spurious + options_.num_noise;
+}
+
+std::vector<double> LoanGenerator::YearShares(int year) const {
+  std::vector<double> shares(kNumProvinces);
+  for (int m = 0; m < kNumProvinces; ++m) shares[m] = profiles_[m].share;
+  if (year >= 2020) {
+    // Chery FS's business focus shifted away from Guangdong (Fig 10).
+    shares[0] *= options_.guangdong_2020_share_factor;
+  }
+  double total = 0.0;
+  for (double s : shares) total += s;
+  for (double& s : shares) s /= total;
+  return shares;
+}
+
+std::vector<double> LoanGenerator::VehicleMix(int province, int year) const {
+  const double economy = profiles_[province].economy;
+  // Trade-heavy provinces buy more trailer trucks; less developed ones buy
+  // more used cars. The used-car share also grows over the years while new
+  // sedans decline (Fig 4: the mix "changes from year to year").
+  const double t = static_cast<double>(year - options_.first_year) /
+                   std::max(1, options_.last_year - options_.first_year);
+  double new_sedan = 0.45 - 0.10 * t + 0.10 * economy;
+  double used_car = 0.20 + 0.12 * t + 0.25 * (1.0 - economy);
+  double trailer = 0.10 + 0.25 * economy;
+  double suv = 0.18 + 0.05 * t;
+  const double total = new_sedan + used_car + trailer + suv;
+  return {new_sedan / total, used_car / total, trailer / total, suv / total};
+}
+
+Result<Dataset> LoanGenerator::Generate(
+    std::vector<double>* true_logits) const {
+  const LoanGeneratorOptions& opt = options_;
+  if (opt.rows_per_year <= 0) {
+    return Status::InvalidArgument("rows_per_year must be positive");
+  }
+  if (opt.last_year < opt.first_year) {
+    return Status::InvalidArgument("last_year before first_year");
+  }
+  const int num_years = opt.last_year - opt.first_year + 1;
+  const size_t total_rows =
+      static_cast<size_t>(opt.rows_per_year) * static_cast<size_t>(num_years);
+  const int d = NumFeatures();
+
+  // Schema.
+  std::vector<FieldSpec> fields;
+  for (int i = 0; i < opt.num_numeric; ++i) {
+    fields.push_back({kNumericNames[i % 12], FeatureKind::kNumeric, 0});
+  }
+  for (int i = 0; i < kNumVehicleTypes; ++i) {
+    fields.push_back({kVehicleNames[i], FeatureKind::kBinary, 0});
+  }
+  for (int i = 0; i < kNumOccupations; ++i) {
+    fields.push_back({StrFormat("occupation_%d", i), FeatureKind::kBinary, 0});
+  }
+  for (int i = 0; i < opt.num_spurious; ++i) {
+    fields.push_back(
+        {StrFormat("bureau_attr_%02d", i), FeatureKind::kNumeric, 0});
+  }
+  for (int i = 0; i < opt.num_noise; ++i) {
+    fields.push_back({StrFormat("ext_attr_%03d", i), FeatureKind::kNumeric, 0});
+  }
+
+  Matrix feats(total_rows, static_cast<size_t>(d));
+  std::vector<int> labels(total_rows), envs(total_rows), years(total_rows),
+      halves(total_rows);
+  if (true_logits != nullptr) true_logits->assign(total_rows, 0.0);
+
+  // Province-dependent mean shifts for numeric features (covariate shift).
+  Rng shift_rng(opt.seed ^ 0x51F7ULL);
+  std::vector<std::vector<double>> mean_shift(kNumProvinces);
+  for (int m = 0; m < kNumProvinces; ++m) {
+    mean_shift[m].resize(opt.num_numeric);
+    for (double& v : mean_shift[m]) {
+      v = shift_rng.Normal(0.0, opt.covariate_shift);
+    }
+  }
+
+  Rng rng(opt.seed);
+  const int hubei = 6;  // index in kProvinceNames
+  std::vector<double> z(opt.latent_dim);
+  std::vector<double> xnum(opt.num_numeric);
+
+  size_t row = 0;
+  for (int year = opt.first_year; year <= opt.last_year; ++year) {
+    const std::vector<double> shares = YearShares(year);
+    for (int i = 0; i < opt.rows_per_year; ++i, ++row) {
+      const int m = static_cast<int>(rng.Categorical(shares));
+      const ProvinceProfile& prof = profiles_[m];
+      const int half = rng.Bernoulli(0.5) ? 2 : 1;
+      const bool covid = (year == 2020 && m == hubei && half == 1);
+
+      // Latent creditworthiness and the invariant part of the logit.
+      for (double& v : z) v = rng.Normal();
+      double inv_score = 0.0;
+      for (int k = 0; k < opt.latent_dim; ++k) {
+        inv_score += invariant_weights_[k] * z[k];
+      }
+      // Nonlinear invariant mechanisms (normalized to roughly unit
+      // variance): a leverage threshold effect on the first factor, and an
+      // affordability interaction between the next two. Axis-aligned tree
+      // splits capture these; a linear model on raw features cannot.
+      const double leverage_term = z[0] > 0.8 ? 1.0 : -0.27;
+      const double distress_term = z[3] < -1.0 ? 1.0 : -0.19;
+      const double interaction_term = z[1] * z[2];
+      const double nonlinear_score = 0.7 * leverage_term +
+                                     0.6 * distress_term +
+                                     0.35 * interaction_term;
+      double inv_scale = opt.invariant_strength;
+      if (covid) inv_scale *= opt.covid_invariant_retention;
+
+      // Vehicle type and occupation.
+      const std::vector<double> mix = VehicleMix(m, year);
+      const int vehicle = static_cast<int>(rng.Categorical(mix));
+      const int occupation = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(kNumOccupations)));
+
+      double logit = opt.base_rate_logit + prof.base_logit_offset +
+                     inv_scale * inv_score +
+                     (inv_scale / opt.invariant_strength) *
+                         opt.nonlinear_strength * nonlinear_score +
+                     vehicle_logit_[vehicle] +
+                     occupation_logit_[occupation];
+      if (covid) logit += opt.covid_logit_shock;
+      if (true_logits != nullptr) (*true_logits)[row] = logit;
+      const int y = rng.Bernoulli(1.0 / (1.0 + std::exp(-logit))) ? 1 : 0;
+
+      // Numeric causal features: noisy, province-shifted views of z.
+      // Developed provinces have cleaner bureau data.
+      const double noise_scale =
+          opt.numeric_noise * (1.25 - 0.5 * prof.economy);
+      numeric_mixing_.MatVec(z, &xnum);
+      double* out = feats.Row(row);
+      int col = 0;
+      for (int j = 0; j < opt.num_numeric; ++j) {
+        out[col++] =
+            xnum[j] + mean_shift[m][j] + rng.Normal(0.0, noise_scale);
+      }
+      // One-hot vehicle and occupation.
+      for (int j = 0; j < kNumVehicleTypes; ++j) {
+        out[col++] = (j == vehicle) ? 1.0 : 0.0;
+      }
+      for (int j = 0; j < kNumOccupations; ++j) {
+        out[col++] = (j == occupation) ? 1.0 : 0.0;
+      }
+      // Spurious bureau attributes: each agrees with the label with a
+      // province/period-dependent probability.
+      double agree_p = prof.spurious_agree_train;
+      if (year >= 2020) {
+        double retention = prof.retention_2020;
+        if (m == hubei) {
+          retention =
+              (half == 1) ? opt.covid_spurious_retention : 0.35;
+        }
+        agree_p = 0.5 + (agree_p - 0.5) * retention;
+      }
+      const double sign_y = y == 1 ? 1.0 : -1.0;
+      for (int j = 0; j < opt.num_spurious; ++j) {
+        const double dir = rng.Bernoulli(agree_p) ? sign_y : -sign_y;
+        out[col++] = opt.spurious_strength * dir + rng.Normal();
+      }
+      // Pure noise block.
+      for (int j = 0; j < opt.num_noise; ++j) out[col++] = rng.Normal();
+
+      labels[row] = y;
+      envs[row] = m;
+      years[row] = year;
+      halves[row] = half;
+    }
+  }
+
+  Dataset dataset(Schema(std::move(fields)), std::move(feats),
+                  std::move(labels), std::move(envs), std::move(years),
+                  std::move(halves));
+  dataset.set_env_names(ProvinceNames());
+  LIGHTMIRM_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace lightmirm::data

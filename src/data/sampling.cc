@@ -1,0 +1,56 @@
+#include "data/sampling.h"
+
+#include <algorithm>
+
+#include "data/env_split.h"
+
+namespace lightmirm::data {
+
+Result<Dataset> UpSampleEnvironments(const Dataset& dataset,
+                                     const UpSamplingOptions& options) {
+  if (options.target_fraction <= 0.0 || options.target_fraction > 1.0) {
+    return Status::InvalidArgument("target_fraction must be in (0,1]");
+  }
+  const std::vector<std::vector<size_t>> groups = GroupByEnv(dataset);
+  size_t max_count = 0;
+  for (const auto& g : groups) max_count = std::max(max_count, g.size());
+  const size_t target = static_cast<size_t>(
+      options.target_fraction * static_cast<double>(max_count));
+
+  Rng rng(options.seed);
+  std::vector<size_t> rows;
+  rows.reserve(dataset.NumRows());
+  for (size_t i = 0; i < dataset.NumRows(); ++i) rows.push_back(i);
+  for (const std::vector<size_t>& g : groups) {
+    if (g.empty() || g.size() >= target) continue;
+    const size_t extra = target - g.size();
+    for (size_t k = 0; k < extra; ++k) {
+      rows.push_back(g[rng.UniformInt(g.size())]);
+    }
+  }
+  return dataset.Select(rows);
+}
+
+std::vector<double> ClassBalanceWeights(const Dataset& dataset,
+                                        double target_pos_rate) {
+  const size_t n = dataset.NumRows();
+  std::vector<double> weights(n, 1.0);
+  const double pos_rate = dataset.PositiveRate();
+  if (pos_rate <= 0.0 || pos_rate >= 1.0 || n == 0) return weights;
+  const double pos_w = target_pos_rate / pos_rate;
+  const double neg_w = (1.0 - target_pos_rate) / (1.0 - pos_rate);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = dataset.labels()[i] == 1 ? pos_w : neg_w;
+  }
+  return weights;
+}
+
+std::vector<size_t> SampleBatch(size_t num_rows, size_t batch_size, Rng* rng) {
+  std::vector<size_t> batch(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    batch[i] = rng->UniformInt(num_rows);
+  }
+  return batch;
+}
+
+}  // namespace lightmirm::data

@@ -1,0 +1,36 @@
+// Resampling utilities: environment up-sampling (the "Up Sampling" baseline
+// of Table I) and class re-weighting helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace lightmirm::data {
+
+/// Options for environment up-sampling.
+struct UpSamplingOptions {
+  /// Environments smaller than `target_fraction * max_env_count` are
+  /// up-sampled (with replacement) to that size.
+  double target_fraction = 0.5;
+  uint64_t seed = 17;
+};
+
+/// Replicates rows of underrepresented environments so each environment has
+/// at least target_fraction of the largest environment's row count.
+Result<Dataset> UpSampleEnvironments(const Dataset& dataset,
+                                     const UpSamplingOptions& options);
+
+/// Per-row weights that re-balance the positive class to `target_pos_rate`
+/// of total weight. Used to "adjust the rate of negative samples in the
+/// loss function" (paper, Up-sampling baseline).
+std::vector<double> ClassBalanceWeights(const Dataset& dataset,
+                                        double target_pos_rate);
+
+/// Draws `batch_size` row indices uniformly with replacement.
+std::vector<size_t> SampleBatch(size_t num_rows, size_t batch_size, Rng* rng);
+
+}  // namespace lightmirm::data

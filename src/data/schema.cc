@@ -1,0 +1,30 @@
+#include "data/schema.h"
+
+namespace lightmirm::data {
+
+size_t Schema::AddField(FieldSpec spec) {
+  fields_.push_back(std::move(spec));
+  return fields_.size() - 1;
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const FieldSpec& a = fields_[i];
+    const FieldSpec& b = other.fields_[i];
+    if (a.name != b.name || a.kind != b.kind ||
+        a.cardinality != b.cardinality) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lightmirm::data

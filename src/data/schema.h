@@ -1,0 +1,51 @@
+// Column schema for loan datasets: feature names/kinds plus the special
+// label / environment / time columns used by environment-aware training.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightmirm::data {
+
+/// Kind of a feature column.
+enum class FeatureKind : int {
+  kNumeric = 0,      ///< real-valued
+  kBinary = 1,       ///< one-hot component, {0,1}
+  kCategorical = 2,  ///< small-integer category id stored as double
+};
+
+/// One feature column.
+struct FieldSpec {
+  std::string name;
+  FeatureKind kind = FeatureKind::kNumeric;
+  /// For kCategorical: number of categories; otherwise 0.
+  int cardinality = 0;
+};
+
+/// Ordered feature schema. Label/env/year/half live outside the feature
+/// matrix (see Dataset) so the schema describes only model inputs.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldSpec> fields)
+      : fields_(std::move(fields)) {}
+
+  size_t num_features() const { return fields_.size(); }
+  const FieldSpec& field(size_t i) const { return fields_[i]; }
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+
+  /// Appends a field and returns its index.
+  size_t AddField(FieldSpec spec);
+
+  /// Index of the field named `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<FieldSpec> fields_;
+};
+
+}  // namespace lightmirm::data

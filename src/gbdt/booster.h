@@ -1,0 +1,67 @@
+// Gradient boosting with binary logistic loss — the from-scratch LightGBM
+// stand-in used by the feature-extraction module (§III-C of the paper).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "gbdt/tree.h"
+
+namespace lightmirm::gbdt {
+
+/// Booster configuration.
+struct BoosterOptions {
+  int num_trees = 60;
+  int max_bins = 64;
+  TreeLearnerOptions tree;
+  /// Row subsample fraction per tree (1.0 = none).
+  double bagging_fraction = 1.0;
+  uint64_t seed = 123;
+};
+
+/// A trained gradient-boosted tree ensemble for binary classification.
+class Booster {
+ public:
+  Booster() = default;
+
+  /// Trains on raw features and 0/1 labels by minimizing logistic loss.
+  static Result<Booster> Train(const Matrix& features,
+                               const std::vector<int>& labels,
+                               const BoosterOptions& options);
+
+  /// Additive score (log-odds) for one raw feature row.
+  double PredictLogit(const double* row) const;
+
+  /// Default probability for one raw feature row.
+  double PredictProb(const double* row) const;
+
+  /// Probabilities for every row of a raw matrix.
+  std::vector<double> PredictProbs(const Matrix& features) const;
+
+  /// Per-tree leaf ordinals for one raw row (length = num trees). This is
+  /// the input of the leaf encoder.
+  void PredictLeaves(const double* row, std::vector<int>* leaves) const;
+
+  const std::vector<Tree>& trees() const { return trees_; }
+  double base_score() const { return base_score_; }
+
+  /// Sum over trees of their leaf counts — the width of the multi-hot
+  /// encoding.
+  int TotalLeaves() const;
+
+  /// Mean training logloss after each boosting iteration.
+  const std::vector<double>& train_loss_history() const {
+    return train_loss_history_;
+  }
+
+  /// Constructs directly from parts (used by deserialization).
+  Booster(double base_score, std::vector<Tree> trees);
+
+ private:
+  double base_score_ = 0.0;
+  std::vector<Tree> trees_;
+  std::vector<double> train_loss_history_;
+};
+
+}  // namespace lightmirm::gbdt

@@ -1,0 +1,100 @@
+#include "gbdt/histogram.h"
+
+#include <cassert>
+
+namespace lightmirm::gbdt {
+
+NodeHistogram::NodeHistogram(size_t num_features, int max_bins)
+    : num_features_(num_features),
+      max_bins_(max_bins),
+      stats_(num_features * static_cast<size_t>(max_bins)) {}
+
+void NodeHistogram::Build(const BinnedMatrix& binned,
+                          const std::vector<size_t>& rows,
+                          const std::vector<double>& grads,
+                          const std::vector<double>& hessians) {
+  std::fill(stats_.begin(), stats_.end(), BinStats{});
+  for (size_t f = 0; f < num_features_; ++f) {
+    const std::vector<uint16_t>& bins = binned.FeatureBins(f);
+    BinStats* feature_stats = &stats_[f * static_cast<size_t>(max_bins_)];
+    for (size_t r : rows) {
+      BinStats& s = feature_stats[bins[r]];
+      s.grad += grads[r];
+      s.hess += hessians[r];
+      s.count += 1.0;
+    }
+  }
+}
+
+void NodeHistogram::SubtractFrom(const NodeHistogram& parent,
+                                 const NodeHistogram& other) {
+  assert(parent.stats_.size() == stats_.size() &&
+         other.stats_.size() == stats_.size());
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    stats_[i].grad = parent.stats_[i].grad - other.stats_[i].grad;
+    stats_[i].hess = parent.stats_[i].hess - other.stats_[i].hess;
+    stats_[i].count = parent.stats_[i].count - other.stats_[i].count;
+  }
+}
+
+double LeafOutput(double grad_sum, double hess_sum, double lambda_l2) {
+  return -grad_sum / (hess_sum + lambda_l2);
+}
+
+double NodeScore(double grad_sum, double hess_sum, double lambda_l2) {
+  return grad_sum * grad_sum / (hess_sum + lambda_l2);
+}
+
+SplitInfo FindBestSplit(const NodeHistogram& hist,
+                        const std::vector<int>& feature_num_bins,
+                        double node_grad, double node_hess,
+                        double node_count, const SplitOptions& options) {
+  SplitInfo best;
+  const double parent_score =
+      NodeScore(node_grad, node_hess, options.lambda_l2);
+  for (size_t f = 0; f < hist.num_features(); ++f) {
+    if (!options.feature_mask.empty() && options.feature_mask[f] == 0) {
+      continue;
+    }
+    const int nbins = feature_num_bins[f];
+    if (nbins < 2) continue;
+    double left_grad = 0.0, left_hess = 0.0, left_count = 0.0;
+    // Cut after bin b: left = bins [0..b], right = rest.
+    for (int b = 0; b + 1 < nbins; ++b) {
+      const BinStats& s = hist.At(f, b);
+      left_grad += s.grad;
+      left_hess += s.hess;
+      left_count += s.count;
+      const double right_grad = node_grad - left_grad;
+      const double right_hess = node_hess - left_hess;
+      const double right_count = node_count - left_count;
+      if (left_count < options.min_data_in_leaf ||
+          right_count < options.min_data_in_leaf) {
+        continue;
+      }
+      if (left_hess < options.min_child_weight ||
+          right_hess < options.min_child_weight) {
+        continue;
+      }
+      const double gain =
+          NodeScore(left_grad, left_hess, options.lambda_l2) +
+          NodeScore(right_grad, right_hess, options.lambda_l2) -
+          parent_score;
+      if (gain > options.min_gain && gain > best.gain) {
+        best.valid = true;
+        best.feature = static_cast<int>(f);
+        best.bin_threshold = b;
+        best.gain = gain;
+        best.left_grad = left_grad;
+        best.left_hess = left_hess;
+        best.left_count = left_count;
+        best.right_grad = right_grad;
+        best.right_hess = right_hess;
+        best.right_count = right_count;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lightmirm::gbdt

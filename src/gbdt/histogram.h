@@ -1,0 +1,83 @@
+// Gradient/hessian histograms and best-split search for one tree node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbdt/bin_mapper.h"
+
+namespace lightmirm::gbdt {
+
+/// Accumulated first/second-order statistics of one bin.
+struct BinStats {
+  double grad = 0.0;
+  double hess = 0.0;
+  double count = 0.0;
+};
+
+/// Histogram over all features of one node: feature-major, bin-minor.
+class NodeHistogram {
+ public:
+  NodeHistogram() = default;
+  NodeHistogram(size_t num_features, int max_bins);
+
+  /// Accumulates the rows of `rows` into the histogram.
+  void Build(const BinnedMatrix& binned, const std::vector<size_t>& rows,
+             const std::vector<double>& grads,
+             const std::vector<double>& hessians);
+
+  /// this = parent - other (the LightGBM histogram-subtraction trick: the
+  /// larger child's histogram is derived from the parent's and the smaller
+  /// sibling's).
+  void SubtractFrom(const NodeHistogram& parent, const NodeHistogram& other);
+
+  const BinStats& At(size_t feature, int bin) const {
+    return stats_[feature * static_cast<size_t>(max_bins_) +
+                  static_cast<size_t>(bin)];
+  }
+
+  size_t num_features() const { return num_features_; }
+  int max_bins() const { return max_bins_; }
+
+ private:
+  size_t num_features_ = 0;
+  int max_bins_ = 0;
+  std::vector<BinStats> stats_;
+};
+
+/// A candidate split.
+struct SplitInfo {
+  bool valid = false;
+  int feature = -1;
+  int bin_threshold = -1;  ///< go left iff bin <= bin_threshold
+  double gain = 0.0;
+  double left_grad = 0.0, left_hess = 0.0, left_count = 0.0;
+  double right_grad = 0.0, right_hess = 0.0, right_count = 0.0;
+};
+
+/// Parameters of the split search.
+struct SplitOptions {
+  double lambda_l2 = 1.0;
+  double min_child_weight = 1e-3;  ///< min hessian sum per child
+  double min_data_in_leaf = 20.0;
+  double min_gain = 1e-6;
+  /// Per-feature enable mask (empty = all enabled); used for feature
+  /// subsampling.
+  std::vector<uint8_t> feature_mask;
+};
+
+/// Leaf objective value -G/(H+lambda) scaled by nothing; helper shared with
+/// the tree learner.
+double LeafOutput(double grad_sum, double hess_sum, double lambda_l2);
+
+/// Gain of keeping a node whole: G^2 / (H + lambda).
+double NodeScore(double grad_sum, double hess_sum, double lambda_l2);
+
+/// Scans all (feature, bin) cut points and returns the best split (valid =
+/// false if nothing passes the constraints).
+SplitInfo FindBestSplit(const NodeHistogram& hist,
+                        const std::vector<int>& feature_num_bins,
+                        double node_grad, double node_hess,
+                        double node_count, const SplitOptions& options);
+
+}  // namespace lightmirm::gbdt

@@ -1,0 +1,106 @@
+#include "gbdt/importance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lightmirm::gbdt {
+namespace {
+
+// Depth of each node within its tree (root = 0).
+std::vector<int> NodeDepths(const Tree& tree) {
+  std::vector<int> depth(tree.num_nodes(), 0);
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const TreeNode& n = tree.nodes()[i];
+    if (n.is_leaf) continue;
+    depth[static_cast<size_t>(n.left)] = depth[i] + 1;
+    depth[static_cast<size_t>(n.right)] = depth[i] + 1;
+  }
+  return depth;
+}
+
+}  // namespace
+
+std::vector<FeatureImportance> SplitImportance(const Booster& booster,
+                                               const data::Schema& schema) {
+  int max_feature = -1;
+  for (const Tree& tree : booster.trees()) {
+    for (const TreeNode& n : tree.nodes()) {
+      if (!n.is_leaf) max_feature = std::max(max_feature, n.feature);
+    }
+  }
+  std::vector<FeatureImportance> importances(
+      static_cast<size_t>(max_feature + 1));
+  for (size_t f = 0; f < importances.size(); ++f) {
+    importances[f].feature = static_cast<int>(f);
+    importances[f].name = f < schema.num_features()
+                              ? schema.field(f).name
+                              : StrFormat("feature_%zu", f);
+  }
+  for (const Tree& tree : booster.trees()) {
+    const std::vector<int> depth = NodeDepths(tree);
+    for (size_t i = 0; i < tree.num_nodes(); ++i) {
+      const TreeNode& n = tree.nodes()[i];
+      if (n.is_leaf) continue;
+      FeatureImportance& imp =
+          importances[static_cast<size_t>(n.feature)];
+      imp.split_count += 1;
+      imp.total_gain += std::pow(0.5, depth[i]);  // shallower = heavier
+    }
+  }
+  std::sort(importances.begin(), importances.end(),
+            [](const FeatureImportance& a, const FeatureImportance& b) {
+              if (a.total_gain != b.total_gain) {
+                return a.total_gain > b.total_gain;
+              }
+              return a.feature < b.feature;
+            });
+  return importances;
+}
+
+std::vector<ImportanceBucket> BucketImportance(
+    const std::vector<FeatureImportance>& importances,
+    const std::vector<std::string>& prefixes) {
+  std::vector<ImportanceBucket> buckets;
+  for (const std::string& prefix : prefixes) {
+    buckets.push_back(ImportanceBucket{prefix, 0, 0.0});
+  }
+  buckets.push_back(ImportanceBucket{"(other)", 0, 0.0});
+  int64_t total = 0;
+  for (const FeatureImportance& imp : importances) {
+    total += imp.split_count;
+    bool matched = false;
+    for (size_t b = 0; b < prefixes.size(); ++b) {
+      if (imp.name.rfind(prefixes[b], 0) == 0) {
+        buckets[b].split_count += imp.split_count;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) buckets.back().split_count += imp.split_count;
+  }
+  if (total > 0) {
+    for (ImportanceBucket& b : buckets) {
+      b.share = static_cast<double>(b.split_count) /
+                static_cast<double>(total);
+    }
+  }
+  return buckets;
+}
+
+std::string FormatImportanceTable(
+    const std::vector<FeatureImportance>& importances, size_t top_n) {
+  std::string out = StrFormat("%-28s %8s %12s\n", "feature", "splits",
+                              "depth-weight");
+  for (size_t i = 0; i < std::min(top_n, importances.size()); ++i) {
+    const FeatureImportance& imp = importances[i];
+    if (imp.split_count == 0) break;
+    out += StrFormat("%-28s %8lld %12.3f\n", imp.name.c_str(),
+                     static_cast<long long>(imp.split_count),
+                     imp.total_gain);
+  }
+  return out;
+}
+
+}  // namespace lightmirm::gbdt

@@ -1,0 +1,47 @@
+// Feature importance for the booster — the explainability/auditability leg
+// of the paper's trustworthiness requirements (§II-B, FEAS): which raw
+// features drive the automatic feature extraction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+#include "gbdt/booster.h"
+
+namespace lightmirm::gbdt {
+
+/// Importance of one raw feature.
+struct FeatureImportance {
+  int feature = -1;
+  std::string name;
+  int64_t split_count = 0;  ///< number of splits using the feature
+  double total_gain = 0.0;  ///< unavailable post-hoc; proxied, see below
+};
+
+/// Split-count importance per feature, sorted descending. Since trained
+/// trees do not retain per-split gains, total_gain here is a structural
+/// proxy: the number of training paths through the split weighted by depth
+/// (shallower splits matter more). Names are taken from `schema` when it
+/// has enough fields.
+std::vector<FeatureImportance> SplitImportance(const Booster& booster,
+                                               const data::Schema& schema);
+
+/// Groups importances by prefix buckets — for the synthetic loan schema
+/// this reports how much of the booster's structure keys on causal bureau
+/// numerics vs spurious "bureau_attr_*" vs pure-noise "ext_attr_*" columns.
+struct ImportanceBucket {
+  std::string prefix;
+  int64_t split_count = 0;
+  double share = 0.0;
+};
+std::vector<ImportanceBucket> BucketImportance(
+    const std::vector<FeatureImportance>& importances,
+    const std::vector<std::string>& prefixes);
+
+/// Renders an aligned text table of the top `top_n` features.
+std::string FormatImportanceTable(
+    const std::vector<FeatureImportance>& importances, size_t top_n = 20);
+
+}  // namespace lightmirm::gbdt

@@ -1,0 +1,30 @@
+#include "gbdt/leaf_encoder.h"
+
+namespace lightmirm::gbdt {
+
+LeafEncoder::LeafEncoder(const Booster* booster) : booster_(booster) {
+  offsets_.reserve(booster_->trees().size());
+  size_t offset = 0;
+  for (const Tree& tree : booster_->trees()) {
+    offsets_.push_back(offset);
+    offset += static_cast<size_t>(tree.num_leaves());
+  }
+  num_columns_ = offset;
+}
+
+Result<linear::FeatureMatrix> LeafEncoder::Encode(const Matrix& raw) const {
+  std::vector<std::vector<uint32_t>> rows(raw.rows());
+  const auto& trees = booster_->trees();
+  for (size_t r = 0; r < raw.rows(); ++r) {
+    rows[r].reserve(trees.size());
+    const double* raw_row = raw.Row(r);
+    for (size_t t = 0; t < trees.size(); ++t) {
+      const int leaf = trees[t].PredictLeaf(raw_row);
+      rows[r].push_back(static_cast<uint32_t>(ColumnOf(t, leaf)));
+    }
+  }
+  return linear::FeatureMatrix::FromSparseBinary(num_columns_,
+                                                 std::move(rows));
+}
+
+}  // namespace lightmirm::gbdt

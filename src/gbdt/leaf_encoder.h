@@ -1,0 +1,38 @@
+// Leaf encoder (§III-C): treats each trained tree as a categorical feature
+// transform — the index of the leaf an instance falls into — and one-hot
+// encodes it. Concatenating over trees yields the multi-hot vector the LR
+// head consumes (exactly one active column per tree).
+#pragma once
+
+#include "common/result.h"
+#include "gbdt/booster.h"
+#include "linear/feature_matrix.h"
+
+namespace lightmirm::gbdt {
+
+/// Maps raw feature rows to sparse multi-hot leaf features.
+class LeafEncoder {
+ public:
+  /// Builds the encoder for a trained booster. Column layout: tree t's
+  /// leaves occupy columns [offset[t], offset[t] + num_leaves_t).
+  explicit LeafEncoder(const Booster* booster);
+
+  /// Total number of encoded columns (sum of leaf counts).
+  size_t num_columns() const { return num_columns_; }
+
+  /// Column index of (tree, leaf ordinal).
+  size_t ColumnOf(size_t tree, int leaf) const {
+    return offsets_[tree] + static_cast<size_t>(leaf);
+  }
+
+  /// Encodes a raw matrix into a sparse-binary FeatureMatrix (one active
+  /// column per tree per row).
+  Result<linear::FeatureMatrix> Encode(const Matrix& raw) const;
+
+ private:
+  const Booster* booster_;  // not owned
+  std::vector<size_t> offsets_;
+  size_t num_columns_ = 0;
+};
+
+}  // namespace lightmirm::gbdt

@@ -1,0 +1,185 @@
+#include "gbdt/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace lightmirm::gbdt {
+
+Tree::Tree(std::vector<TreeNode> nodes) : nodes_(std::move(nodes)) {
+  for (const TreeNode& n : nodes_) {
+    if (n.is_leaf) ++num_leaves_;
+  }
+}
+
+double Tree::Predict(const double* row) const {
+  if (nodes_.empty()) return 0.0;
+  int idx = 0;
+  while (!nodes_[idx].is_leaf) {
+    const TreeNode& n = nodes_[idx];
+    idx = row[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[idx].leaf_value;
+}
+
+int Tree::PredictLeaf(const double* row) const {
+  if (nodes_.empty()) return 0;
+  int idx = 0;
+  while (!nodes_[idx].is_leaf) {
+    const TreeNode& n = nodes_[idx];
+    idx = row[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[idx].leaf_ordinal;
+}
+
+namespace {
+
+// Bookkeeping for one open (not yet split or finalized) leaf.
+struct OpenLeaf {
+  int node = -1;
+  std::vector<size_t> rows;
+  double grad_sum = 0.0;
+  double hess_sum = 0.0;
+  std::unique_ptr<NodeHistogram> hist;
+  SplitInfo best;
+};
+
+}  // namespace
+
+Result<Tree> GrowTree(const BinnedMatrix& binned,
+                      const std::vector<size_t>& rows,
+                      const std::vector<double>& grads,
+                      const std::vector<double>& hessians,
+                      const TreeLearnerOptions& options, Rng* rng) {
+  if (options.max_leaves < 2) {
+    return Status::InvalidArgument("max_leaves must be >= 2");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot grow a tree on zero rows");
+  }
+  const size_t num_features = binned.num_features();
+  const int max_bins = binned.MaxBinCount();
+  std::vector<int> feature_num_bins(num_features);
+  for (size_t f = 0; f < num_features; ++f) {
+    feature_num_bins[f] = binned.mapper(f).num_bins();
+  }
+
+  SplitOptions split_options = options.split;
+  if (options.feature_fraction < 1.0) {
+    split_options.feature_mask.assign(num_features, 0);
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(options.feature_fraction *
+                               static_cast<double>(num_features)));
+    std::vector<size_t> order(num_features);
+    for (size_t f = 0; f < num_features; ++f) order[f] = f;
+    rng->Shuffle(&order);
+    for (size_t i = 0; i < keep; ++i) split_options.feature_mask[order[i]] = 1;
+  }
+
+  std::vector<TreeNode> nodes(1);  // root, provisionally a leaf
+  std::vector<OpenLeaf> open;
+
+  {
+    OpenLeaf root;
+    root.node = 0;
+    root.rows = rows;
+    for (size_t r : rows) {
+      root.grad_sum += grads[r];
+      root.hess_sum += hessians[r];
+    }
+    root.hist = std::make_unique<NodeHistogram>(num_features, max_bins);
+    root.hist->Build(binned, root.rows, grads, hessians);
+    root.best = FindBestSplit(*root.hist, feature_num_bins, root.grad_sum,
+                              root.hess_sum,
+                              static_cast<double>(root.rows.size()),
+                              split_options);
+    open.push_back(std::move(root));
+  }
+
+  int num_leaves = 1;
+  while (num_leaves < options.max_leaves) {
+    // Pick the open leaf with the best gain.
+    int best_idx = -1;
+    double best_gain = 0.0;
+    for (size_t i = 0; i < open.size(); ++i) {
+      if (open[i].best.valid && open[i].best.gain > best_gain) {
+        best_gain = open[i].best.gain;
+        best_idx = static_cast<int>(i);
+      }
+    }
+    if (best_idx < 0) break;
+
+    OpenLeaf leaf = std::move(open[static_cast<size_t>(best_idx)]);
+    open.erase(open.begin() + best_idx);
+    const SplitInfo& split = leaf.best;
+
+    // Materialize the split in the node array.
+    TreeNode& parent = nodes[static_cast<size_t>(leaf.node)];
+    parent.is_leaf = false;
+    parent.feature = split.feature;
+    parent.threshold =
+        binned.mapper(static_cast<size_t>(split.feature))
+            .UpperBound(split.bin_threshold);
+    parent.left = static_cast<int>(nodes.size());
+    parent.right = static_cast<int>(nodes.size() + 1);
+    nodes.emplace_back();
+    nodes.emplace_back();
+
+    // Partition rows by bin.
+    const std::vector<uint16_t>& bins =
+        binned.FeatureBins(static_cast<size_t>(split.feature));
+    OpenLeaf left, right;
+    left.node = parent.left;
+    right.node = parent.right;
+    for (size_t r : leaf.rows) {
+      if (bins[r] <= static_cast<uint16_t>(split.bin_threshold)) {
+        left.rows.push_back(r);
+      } else {
+        right.rows.push_back(r);
+      }
+    }
+    left.grad_sum = split.left_grad;
+    left.hess_sum = split.left_hess;
+    right.grad_sum = split.right_grad;
+    right.hess_sum = split.right_hess;
+
+    // Histogram subtraction: build the smaller child, derive the larger.
+    OpenLeaf* small = left.rows.size() <= right.rows.size() ? &left : &right;
+    OpenLeaf* large = small == &left ? &right : &left;
+    small->hist = std::make_unique<NodeHistogram>(num_features, max_bins);
+    small->hist->Build(binned, small->rows, grads, hessians);
+    large->hist = std::make_unique<NodeHistogram>(num_features, max_bins);
+    large->hist->SubtractFrom(*leaf.hist, *small->hist);
+    leaf.hist.reset();
+
+    for (OpenLeaf* child : {&left, &right}) {
+      child->best = FindBestSplit(
+          *child->hist, feature_num_bins, child->grad_sum, child->hess_sum,
+          static_cast<double>(child->rows.size()), split_options);
+    }
+    open.push_back(std::move(left));
+    open.push_back(std::move(right));
+    ++num_leaves;
+  }
+
+  // Finalize remaining open leaves: ordinals in node order for stable
+  // encoding, shrunken Newton outputs.
+  std::sort(open.begin(), open.end(),
+            [](const OpenLeaf& a, const OpenLeaf& b) {
+              return a.node < b.node;
+            });
+  int ordinal = 0;
+  for (const OpenLeaf& leaf : open) {
+    TreeNode& n = nodes[static_cast<size_t>(leaf.node)];
+    n.is_leaf = true;
+    n.leaf_ordinal = ordinal++;
+    n.leaf_value =
+        options.shrinkage *
+        LeafOutput(leaf.grad_sum, leaf.hess_sum, split_options.lambda_l2);
+  }
+  return Tree(std::move(nodes));
+}
+
+}  // namespace lightmirm::gbdt

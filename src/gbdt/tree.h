@@ -1,0 +1,65 @@
+// Decision tree: structure, raw-value prediction, leaf-index prediction,
+// and a leaf-wise (best-first) histogram learner in the LightGBM style.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "gbdt/histogram.h"
+
+namespace lightmirm::gbdt {
+
+/// One node; leaves have is_leaf = true and carry a value and a dense leaf
+/// ordinal (used by the leaf encoder of §III-C).
+struct TreeNode {
+  bool is_leaf = true;
+  int feature = -1;
+  double threshold = 0.0;  ///< go left iff value <= threshold
+  int left = -1;
+  int right = -1;
+  double leaf_value = 0.0;
+  int leaf_ordinal = -1;
+};
+
+/// An immutable trained tree.
+class Tree {
+ public:
+  Tree() = default;
+  explicit Tree(std::vector<TreeNode> nodes);
+
+  int num_leaves() const { return num_leaves_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Additive output for a raw feature row (length >= max feature id + 1).
+  double Predict(const double* row) const;
+
+  /// Dense leaf ordinal in [0, num_leaves()) that `row` falls into.
+  int PredictLeaf(const double* row) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+  int num_leaves_ = 0;
+};
+
+/// Leaf-wise growth parameters.
+struct TreeLearnerOptions {
+  int max_leaves = 31;
+  SplitOptions split;
+  double shrinkage = 0.1;  ///< learning rate applied to leaf outputs
+  /// Fraction of features considered per tree (LightGBM feature_fraction);
+  /// 1.0 = all.
+  double feature_fraction = 1.0;
+};
+
+/// Grows one tree on (grads, hessians) over the given rows.
+Result<Tree> GrowTree(const BinnedMatrix& binned,
+                      const std::vector<size_t>& rows,
+                      const std::vector<double>& grads,
+                      const std::vector<double>& hessians,
+                      const TreeLearnerOptions& options, Rng* rng);
+
+}  // namespace lightmirm::gbdt

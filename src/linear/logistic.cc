@@ -1,0 +1,43 @@
+#include "linear/logistic.h"
+
+#include <cmath>
+
+namespace lightmirm::linear {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+LogisticModel::LogisticModel(size_t num_features)
+    : params_(num_features + 1, 0.0) {}
+
+LogisticModel LogisticModel::RandomInit(size_t num_features,
+                                        double init_scale, Rng* rng) {
+  LogisticModel model(num_features);
+  for (double& p : model.params_) p = rng->Normal(0.0, init_scale);
+  return model;
+}
+
+double LogisticModel::PredictRow(const FeatureMatrix& x, size_t r) const {
+  return Sigmoid(x.RowDot(r, params_) + params_.back());
+}
+
+std::vector<double> LogisticModel::Predict(const FeatureMatrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = PredictRow(x, r);
+  return out;
+}
+
+std::vector<double> LogisticModel::PredictRows(
+    const FeatureMatrix& x, const std::vector<size_t>& rows) const {
+  std::vector<double> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) out[i] = PredictRow(x, rows[i]);
+  return out;
+}
+
+}  // namespace lightmirm::linear

@@ -1,0 +1,85 @@
+#include "linear/loss.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lightmirm::linear {
+namespace {
+
+// Clamped log to keep the loss finite for saturated probabilities.
+double SafeLog(double v) { return std::log(std::max(v, 1e-12)); }
+
+}  // namespace
+
+double BceLoss(const LossContext& ctx, const std::vector<size_t>& rows,
+               const ParamVec& params) {
+  assert(ctx.x != nullptr && ctx.labels != nullptr && !rows.empty());
+  double loss = 0.0, total_w = 0.0;
+  for (size_t r : rows) {
+    const double w = ctx.weights != nullptr ? (*ctx.weights)[r] : 1.0;
+    const double p = Sigmoid(ctx.x->RowDot(r, params) + params.back());
+    const int y = (*ctx.labels)[r];
+    loss -= w * (y == 1 ? SafeLog(p) : SafeLog(1.0 - p));
+    total_w += w;
+  }
+  return loss / total_w;
+}
+
+double BceLossGrad(const LossContext& ctx, const std::vector<size_t>& rows,
+                   const ParamVec& params, ParamVec* grad) {
+  assert(ctx.x != nullptr && ctx.labels != nullptr && !rows.empty());
+  grad->assign(params.size(), 0.0);
+  double loss = 0.0, total_w = 0.0;
+  for (size_t r : rows) {
+    const double w = ctx.weights != nullptr ? (*ctx.weights)[r] : 1.0;
+    const double p = Sigmoid(ctx.x->RowDot(r, params) + params.back());
+    const int y = (*ctx.labels)[r];
+    loss -= w * (y == 1 ? SafeLog(p) : SafeLog(1.0 - p));
+    const double residual = w * (p - static_cast<double>(y));
+    ctx.x->AddScaledRow(r, residual, grad);
+    grad->back() += residual;
+    total_w += w;
+  }
+  const double inv_w = 1.0 / total_w;
+  for (double& g : *grad) g *= inv_w;
+  return loss * inv_w;
+}
+
+void BceHvp(const LossContext& ctx, const std::vector<size_t>& rows,
+            const ParamVec& params, const ParamVec& v, ParamVec* hv) {
+  assert(ctx.x != nullptr && ctx.labels != nullptr && !rows.empty());
+  assert(v.size() == params.size());
+  hv->assign(params.size(), 0.0);
+  double total_w = 0.0;
+  for (size_t r : rows) {
+    const double w = ctx.weights != nullptr ? (*ctx.weights)[r] : 1.0;
+    const double p = Sigmoid(ctx.x->RowDot(r, params) + params.back());
+    const double s = p * (1.0 - p);
+    const double xv = ctx.x->RowDot(r, v) + v.back();
+    const double coeff = w * s * xv;
+    ctx.x->AddScaledRow(r, coeff, hv);
+    hv->back() += coeff;
+    total_w += w;
+  }
+  const double inv_w = 1.0 / total_w;
+  for (double& h : *hv) h *= inv_w;
+}
+
+double AddL2(const ParamVec& params, double l2, ParamVec* grad) {
+  if (l2 == 0.0) return 0.0;
+  double penalty = 0.0;
+  for (size_t j = 0; j + 1 < params.size(); ++j) {
+    penalty += params[j] * params[j];
+    if (grad != nullptr) (*grad)[j] += l2 * params[j];
+  }
+  return 0.5 * l2 * penalty;
+}
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  return rows;
+}
+
+}  // namespace lightmirm::linear

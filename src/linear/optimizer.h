@@ -1,0 +1,42 @@
+// First-order optimizers operating on packed parameter vectors. The outer
+// loop of meta-IRM / LightMIRM and the ERM-family baselines all step
+// through this interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linear/logistic.h"
+
+namespace lightmirm::linear {
+
+/// Optimizer configuration.
+struct OptimizerOptions {
+  std::string kind = "sgd";  ///< "sgd", "momentum", or "adam"
+  double learning_rate = 0.1;
+  double momentum = 0.9;  ///< for "momentum"
+  double beta1 = 0.9;     ///< for "adam"
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Stateful gradient-descent stepper.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update: params -= f(grad). Sizes must match the first
+  /// call's.
+  virtual void Step(const ParamVec& grad, ParamVec* params) = 0;
+
+  /// Clears internal state (momentum buffers etc.).
+  virtual void Reset() = 0;
+
+  /// Factory by options; errors on unknown kind.
+  static Result<std::unique_ptr<Optimizer>> Create(
+      const OptimizerOptions& options);
+};
+
+}  // namespace lightmirm::linear

@@ -1,0 +1,125 @@
+#include "metrics/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "metrics/ks.h"
+#include "metrics/roc.h"
+
+namespace lightmirm::metrics {
+namespace {
+
+Status CheckOptions(const BootstrapOptions& options) {
+  if (options.num_resamples < 10) {
+    return Status::InvalidArgument("need at least 10 resamples");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+ConfidenceInterval Percentiles(std::vector<double> samples, double point,
+                               double confidence) {
+  std::sort(samples.begin(), samples.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const size_t n = samples.size();
+  const size_t lo_idx = static_cast<size_t>(alpha * (n - 1));
+  const size_t hi_idx = static_cast<size_t>((1.0 - alpha) * (n - 1));
+  return ConfidenceInterval{point, samples[lo_idx], samples[hi_idx]};
+}
+
+// Resamples (labels, scores) with replacement until both classes appear.
+void Resample(const std::vector<int>& labels,
+              const std::vector<double>& scores, Rng* rng,
+              std::vector<int>* rl, std::vector<double>* rs) {
+  const size_t n = labels.size();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    rl->clear();
+    rs->clear();
+    bool pos = false, neg = false;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pick = rng->UniformInt(n);
+      rl->push_back(labels[pick]);
+      rs->push_back(scores[pick]);
+      (labels[pick] == 1 ? pos : neg) = true;
+    }
+    if (pos && neg) return;
+  }
+}
+
+template <typename MetricFn>
+Result<ConfidenceInterval> BootstrapMetric(const std::vector<int>& labels,
+                                           const std::vector<double>& scores,
+                                           const BootstrapOptions& options,
+                                           MetricFn metric) {
+  LIGHTMIRM_RETURN_NOT_OK(CheckOptions(options));
+  LIGHTMIRM_ASSIGN_OR_RETURN(const double point, metric(labels, scores));
+  Rng rng(options.seed);
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(options.num_resamples));
+  std::vector<int> rl;
+  std::vector<double> rs;
+  for (int b = 0; b < options.num_resamples; ++b) {
+    Resample(labels, scores, &rng, &rl, &rs);
+    auto value = metric(rl, rs);
+    if (value.ok()) samples.push_back(*value);
+  }
+  if (samples.size() < 10) {
+    return Status::FailedPrecondition("too few valid bootstrap resamples");
+  }
+  return Percentiles(std::move(samples), point, options.confidence);
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> BootstrapKs(const std::vector<int>& labels,
+                                       const std::vector<double>& scores,
+                                       const BootstrapOptions& options) {
+  return BootstrapMetric(labels, scores, options, KsStatistic);
+}
+
+Result<ConfidenceInterval> BootstrapAuc(const std::vector<int>& labels,
+                                        const std::vector<double>& scores,
+                                        const BootstrapOptions& options) {
+  return BootstrapMetric(labels, scores, options, Auc);
+}
+
+Result<double> PairedKsWinRate(const std::vector<int>& labels,
+                               const std::vector<double>& scores_a,
+                               const std::vector<double>& scores_b,
+                               const BootstrapOptions& options) {
+  LIGHTMIRM_RETURN_NOT_OK(CheckOptions(options));
+  if (labels.size() != scores_a.size() ||
+      labels.size() != scores_b.size()) {
+    return Status::InvalidArgument("paired inputs must align");
+  }
+  Rng rng(options.seed);
+  const size_t n = labels.size();
+  int wins = 0, valid = 0;
+  std::vector<int> rl(n);
+  std::vector<double> ra(n), rb(n);
+  for (int b = 0; b < options.num_resamples; ++b) {
+    bool pos = false, neg = false;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pick = rng.UniformInt(n);
+      rl[i] = labels[pick];
+      ra[i] = scores_a[pick];
+      rb[i] = scores_b[pick];
+      (rl[i] == 1 ? pos : neg) = true;
+    }
+    if (!pos || !neg) continue;
+    const auto ks_a = KsStatistic(rl, ra);
+    const auto ks_b = KsStatistic(rl, rb);
+    if (!ks_a.ok() || !ks_b.ok()) continue;
+    ++valid;
+    if (*ks_a > *ks_b) ++wins;
+  }
+  if (valid < 10) {
+    return Status::FailedPrecondition("too few valid bootstrap resamples");
+  }
+  return static_cast<double>(wins) / static_cast<double>(valid);
+}
+
+}  // namespace lightmirm::metrics

@@ -1,0 +1,43 @@
+// Bootstrap confidence intervals for KS and AUC — standard model-governance
+// practice for credit scorecards, and the honest way to read the small
+// per-province differences the paper's tables report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightmirm::metrics {
+
+struct ConfidenceInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+struct BootstrapOptions {
+  int num_resamples = 500;
+  double confidence = 0.95;
+  uint64_t seed = 1729;
+};
+
+/// Percentile-bootstrap CI for the KS statistic.
+Result<ConfidenceInterval> BootstrapKs(const std::vector<int>& labels,
+                                       const std::vector<double>& scores,
+                                       const BootstrapOptions& options = {});
+
+/// Percentile-bootstrap CI for the AUC.
+Result<ConfidenceInterval> BootstrapAuc(const std::vector<int>& labels,
+                                        const std::vector<double>& scores,
+                                        const BootstrapOptions& options = {});
+
+/// Paired-bootstrap p-style check: fraction of resamples in which model A's
+/// KS exceeds model B's (0.5 = indistinguishable). Both score vectors must
+/// align with `labels`.
+Result<double> PairedKsWinRate(const std::vector<int>& labels,
+                               const std::vector<double>& scores_a,
+                               const std::vector<double>& scores_b,
+                               const BootstrapOptions& options = {});
+
+}  // namespace lightmirm::metrics

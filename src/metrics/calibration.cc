@@ -1,0 +1,85 @@
+#include "metrics/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/env_split.h"
+#include "metrics/threshold.h"
+
+namespace lightmirm::metrics {
+
+Result<std::vector<CalibrationBin>> CalibrationBins(
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    int num_bins) {
+  if (labels.size() != scores.size()) {
+    return Status::InvalidArgument("labels/scores length mismatch");
+  }
+  if (num_bins < 1) return Status::InvalidArgument("num_bins must be >= 1");
+  std::vector<CalibrationBin> bins(static_cast<size_t>(num_bins));
+  std::vector<double> score_sum(bins.size(), 0.0);
+  std::vector<double> label_sum(bins.size(), 0.0);
+  for (size_t b = 0; b < bins.size(); ++b) {
+    bins[b].score_lo = static_cast<double>(b) / num_bins;
+    bins[b].score_hi = static_cast<double>(b + 1) / num_bins;
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double s = std::clamp(scores[i], 0.0, 1.0);
+    size_t b = std::min(static_cast<size_t>(s * num_bins), bins.size() - 1);
+    bins[b].count++;
+    score_sum[b] += s;
+    label_sum[b] += labels[i];
+  }
+  for (size_t b = 0; b < bins.size(); ++b) {
+    if (bins[b].count > 0) {
+      bins[b].mean_score = score_sum[b] / static_cast<double>(bins[b].count);
+      bins[b].observed_rate =
+          label_sum[b] / static_cast<double>(bins[b].count);
+    }
+  }
+  return bins;
+}
+
+Result<double> ExpectedCalibrationError(const std::vector<int>& labels,
+                                        const std::vector<double>& scores,
+                                        int num_bins) {
+  LIGHTMIRM_ASSIGN_OR_RETURN(const std::vector<CalibrationBin> bins,
+                             CalibrationBins(labels, scores, num_bins));
+  double total = 0.0, weighted = 0.0;
+  for (const CalibrationBin& b : bins) {
+    if (b.count == 0) continue;
+    total += static_cast<double>(b.count);
+    weighted += static_cast<double>(b.count) *
+                std::abs(b.mean_score - b.observed_rate);
+  }
+  return total == 0.0 ? 0.0 : weighted / total;
+}
+
+Result<double> FprDisparity(const data::Dataset& dataset,
+                            const std::vector<double>& scores,
+                            double threshold, size_t min_rows) {
+  if (scores.size() != dataset.NumRows()) {
+    return Status::InvalidArgument("scores size != dataset rows");
+  }
+  const auto groups = data::GroupByEnv(dataset);
+  double max_fpr = -1.0, min_fpr = 2.0;
+  for (const std::vector<size_t>& rows : groups) {
+    if (rows.size() < min_rows) continue;
+    int64_t fp = 0, tn = 0;
+    for (size_t r : rows) {
+      if (dataset.labels()[r] == 0) {
+        (scores[r] >= threshold ? fp : tn)++;
+      }
+    }
+    if (fp + tn == 0) continue;
+    const double fpr =
+        static_cast<double>(fp) / static_cast<double>(fp + tn);
+    max_fpr = std::max(max_fpr, fpr);
+    min_fpr = std::min(min_fpr, fpr);
+  }
+  if (max_fpr < 0.0) {
+    return Status::FailedPrecondition("no environment large enough");
+  }
+  return max_fpr - min_fpr;
+}
+
+}  // namespace lightmirm::metrics

@@ -1,0 +1,39 @@
+// Calibration diagnostics. The paper's fairness notion is calibration-style
+// (similar false positive rates across groups); these helpers quantify both
+// probability calibration and cross-group FPR disparity.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace lightmirm::metrics {
+
+/// One calibration bin: predicted vs observed default rate.
+struct CalibrationBin {
+  double score_lo = 0.0;
+  double score_hi = 0.0;
+  size_t count = 0;
+  double mean_score = 0.0;
+  double observed_rate = 0.0;
+};
+
+/// Equal-width binning over [0,1]. Empty bins are retained with count 0.
+Result<std::vector<CalibrationBin>> CalibrationBins(
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    int num_bins = 10);
+
+/// Expected calibration error: count-weighted mean |mean_score -
+/// observed_rate| over non-empty bins.
+Result<double> ExpectedCalibrationError(const std::vector<int>& labels,
+                                        const std::vector<double>& scores,
+                                        int num_bins = 10);
+
+/// Max minus min false positive rate across environments at `threshold`
+/// (environments with < min_rows rows or no negatives are skipped).
+Result<double> FprDisparity(const data::Dataset& dataset,
+                            const std::vector<double>& scores,
+                            double threshold, size_t min_rows = 50);
+
+}  // namespace lightmirm::metrics

@@ -1,0 +1,71 @@
+#include "metrics/env_report.h"
+
+#include <algorithm>
+
+#include "data/env_split.h"
+#include "metrics/ks.h"
+#include "metrics/roc.h"
+
+namespace lightmirm::metrics {
+
+Result<EnvReport> EvaluatePerEnv(const data::Dataset& dataset,
+                                 const std::vector<double>& scores,
+                                 size_t min_rows) {
+  if (scores.size() != dataset.NumRows()) {
+    return Status::InvalidArgument("scores size != dataset rows");
+  }
+  const std::vector<std::vector<size_t>> groups = data::GroupByEnv(dataset);
+  EnvReport report;
+  double sum_ks = 0.0, sum_auc = 0.0;
+  double worst_ks = 2.0, worst_auc = 2.0;
+  for (size_t e = 0; e < groups.size(); ++e) {
+    const std::vector<size_t>& rows = groups[e];
+    if (rows.size() < min_rows) continue;
+    std::vector<int> labels(rows.size());
+    std::vector<double> env_scores(rows.size());
+    bool has_pos = false, has_neg = false;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      labels[i] = dataset.labels()[rows[i]];
+      env_scores[i] = scores[rows[i]];
+      (labels[i] == 1 ? has_pos : has_neg) = true;
+    }
+    if (!has_pos || !has_neg) continue;
+    LIGHTMIRM_ASSIGN_OR_RETURN(const double ks,
+                               KsStatistic(labels, env_scores));
+    LIGHTMIRM_ASSIGN_OR_RETURN(const double auc, Auc(labels, env_scores));
+    EnvMetrics m;
+    m.env = static_cast<int>(e);
+    m.name = dataset.EnvName(static_cast<int>(e));
+    m.rows = rows.size();
+    m.ks = ks;
+    m.auc = auc;
+    report.per_env.push_back(m);
+    sum_ks += ks;
+    sum_auc += auc;
+    if (ks < worst_ks) {
+      worst_ks = ks;
+      report.worst_ks_env = static_cast<int>(e);
+    }
+    worst_auc = std::min(worst_auc, auc);
+  }
+  if (report.per_env.empty()) {
+    return Status::FailedPrecondition(
+        "no environment had enough rows of both classes to evaluate");
+  }
+  const double count = static_cast<double>(report.per_env.size());
+  report.mean_ks = sum_ks / count;
+  report.mean_auc = sum_auc / count;
+  report.worst_ks = worst_ks;
+  report.worst_auc = worst_auc;
+  return report;
+}
+
+Result<PooledMetrics> EvaluatePooled(const std::vector<int>& labels,
+                                     const std::vector<double>& scores) {
+  PooledMetrics m;
+  LIGHTMIRM_ASSIGN_OR_RETURN(m.ks, KsStatistic(labels, scores));
+  LIGHTMIRM_ASSIGN_OR_RETURN(m.auc, Auc(labels, scores));
+  return m;
+}
+
+}  // namespace lightmirm::metrics

@@ -1,0 +1,50 @@
+// Per-environment evaluation: KS and AUC per province plus the aggregate
+// fairness metrics of the paper — mKS/mAUC (mean over environments, overall
+// performance) and wKS/wAUC (worst environment, minimax fairness).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace lightmirm::metrics {
+
+/// Metrics of one environment.
+struct EnvMetrics {
+  int env = -1;
+  std::string name;
+  size_t rows = 0;
+  double ks = 0.0;
+  double auc = 0.0;
+};
+
+/// The paper's four headline numbers plus the per-environment breakdown.
+struct EnvReport {
+  std::vector<EnvMetrics> per_env;
+  double mean_ks = 0.0;   ///< mKS
+  double worst_ks = 0.0;  ///< wKS
+  double mean_auc = 0.0;  ///< mAUC
+  double worst_auc = 0.0; ///< wAUC
+
+  /// Environment with the worst KS.
+  int worst_ks_env = -1;
+};
+
+/// Evaluates `scores` against `dataset` per environment. Environments with
+/// fewer than `min_rows` rows or a single class are skipped (they cannot
+/// support a KS/AUC estimate); at least one environment must survive.
+Result<EnvReport> EvaluatePerEnv(const data::Dataset& dataset,
+                                 const std::vector<double>& scores,
+                                 size_t min_rows = 50);
+
+/// KS and AUC over all rows pooled together.
+struct PooledMetrics {
+  double ks = 0.0;
+  double auc = 0.0;
+};
+Result<PooledMetrics> EvaluatePooled(const std::vector<int>& labels,
+                                     const std::vector<double>& scores);
+
+}  // namespace lightmirm::metrics

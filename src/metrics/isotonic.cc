@@ -1,0 +1,86 @@
+#include "metrics/isotonic.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lightmirm::metrics {
+
+Result<IsotonicCalibrator> IsotonicCalibrator::Fit(
+    const std::vector<double>& scores, const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("cannot fit on empty data");
+  }
+  bool pos = false, neg = false;
+  for (int y : labels) {
+    if (y == 1) {
+      pos = true;
+    } else if (y == 0) {
+      neg = true;
+    } else {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+  }
+  if (!pos || !neg) {
+    return Status::FailedPrecondition("need both classes to calibrate");
+  }
+
+  // Sort by score.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Pool adjacent violators on blocks of (sum, count, min_score).
+  struct Block {
+    double sum;
+    double count;
+    double min_score;
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(scores.size());
+  for (size_t i : order) {
+    blocks.push_back(
+        Block{static_cast<double>(labels[i]), 1.0, scores[i]});
+    while (blocks.size() >= 2) {
+      const Block& last = blocks.back();
+      const Block& prev = blocks[blocks.size() - 2];
+      if (prev.sum / prev.count <= last.sum / last.count) break;
+      Block merged{prev.sum + last.sum, prev.count + last.count,
+                   prev.min_score};
+      blocks.pop_back();
+      blocks.pop_back();
+      blocks.push_back(merged);
+    }
+  }
+
+  IsotonicCalibrator calibrator;
+  calibrator.thresholds_.reserve(blocks.size());
+  calibrator.values_.reserve(blocks.size());
+  for (const Block& b : blocks) {
+    calibrator.thresholds_.push_back(b.min_score);
+    calibrator.values_.push_back(b.sum / b.count);
+  }
+  return calibrator;
+}
+
+double IsotonicCalibrator::Calibrate(double score) const {
+  // Last block whose start is <= score.
+  const auto it = std::upper_bound(thresholds_.begin(), thresholds_.end(),
+                                   score);
+  if (it == thresholds_.begin()) return values_.front();
+  const size_t idx = static_cast<size_t>(it - thresholds_.begin()) - 1;
+  return values_[idx];
+}
+
+std::vector<double> IsotonicCalibrator::CalibrateAll(
+    const std::vector<double>& scores) const {
+  std::vector<double> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) out[i] = Calibrate(scores[i]);
+  return out;
+}
+
+}  // namespace lightmirm::metrics

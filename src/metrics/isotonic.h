@@ -1,0 +1,37 @@
+// Isotonic-regression score calibration (pool-adjacent-violators). The
+// paper's fairness notion is calibration-style; this post-processor maps
+// raw model scores to calibrated default probabilities without changing
+// their ranking (KS/AUC are preserved exactly).
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightmirm::metrics {
+
+/// A monotone step-function calibrator fit by PAV.
+class IsotonicCalibrator {
+ public:
+  /// Fits score -> P(default) on (scores, labels). Requires both classes.
+  static Result<IsotonicCalibrator> Fit(const std::vector<double>& scores,
+                                        const std::vector<int>& labels);
+
+  /// Calibrated probability for a raw score (piecewise-constant with
+  /// midpoint interpolation between blocks).
+  double Calibrate(double score) const;
+
+  /// Calibrates a batch.
+  std::vector<double> CalibrateAll(const std::vector<double>& scores) const;
+
+  /// Number of monotone blocks the PAV fit produced.
+  size_t num_blocks() const { return thresholds_.size(); }
+
+ private:
+  // Block i covers scores in [thresholds_[i], thresholds_[i+1]) and maps
+  // to values_[i]; values_ is non-decreasing.
+  std::vector<double> thresholds_;
+  std::vector<double> values_;
+};
+
+}  // namespace lightmirm::metrics

@@ -1,0 +1,95 @@
+#include "metrics/ks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace lightmirm::metrics {
+namespace {
+
+Status CheckInputs(const std::vector<int>& labels,
+                   const std::vector<double>& scores, double* num_pos,
+                   double* num_neg) {
+  if (labels.size() != scores.size()) {
+    return Status::InvalidArgument(
+        StrFormat("labels (%zu) and scores (%zu) differ in length",
+                  labels.size(), scores.size()));
+  }
+  *num_pos = 0.0;
+  *num_neg = 0.0;
+  for (int y : labels) {
+    if (y == 1) {
+      *num_pos += 1.0;
+    } else if (y == 0) {
+      *num_neg += 1.0;
+    } else {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+  }
+  if (*num_pos == 0.0 || *num_neg == 0.0) {
+    return Status::FailedPrecondition("need both classes present for KS");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> KsStatistic(const std::vector<int>& labels,
+                           const std::vector<double>& scores) {
+  double num_pos, num_neg;
+  LIGHTMIRM_RETURN_NOT_OK(CheckInputs(labels, scores, &num_pos, &num_neg));
+  const size_t n = labels.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  double cum_pos = 0.0, cum_neg = 0.0, best = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    const double s = scores[order[i]];
+    while (i < n && scores[order[i]] == s) {
+      if (labels[order[i]] == 1) {
+        cum_pos += 1.0;
+      } else {
+        cum_neg += 1.0;
+      }
+      ++i;
+    }
+    best = std::max(best, std::abs(cum_neg / num_neg - cum_pos / num_pos));
+  }
+  return best;
+}
+
+Result<std::vector<KsPoint>> KsCurve(const std::vector<int>& labels,
+                                     const std::vector<double>& scores) {
+  double num_pos, num_neg;
+  LIGHTMIRM_RETURN_NOT_OK(CheckInputs(labels, scores, &num_pos, &num_neg));
+  const size_t n = labels.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<KsPoint> curve;
+  double cum_pos = 0.0, cum_neg = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    const double s = scores[order[i]];
+    while (i < n && scores[order[i]] == s) {
+      if (labels[order[i]] == 1) {
+        cum_pos += 1.0;
+      } else {
+        cum_neg += 1.0;
+      }
+      ++i;
+    }
+    curve.push_back(
+        KsPoint{s, std::abs(cum_neg / num_neg - cum_pos / num_pos)});
+  }
+  return curve;
+}
+
+}  // namespace lightmirm::metrics

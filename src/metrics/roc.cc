@@ -1,0 +1,99 @@
+#include "metrics/roc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace lightmirm::metrics {
+namespace {
+
+Status CheckInputs(const std::vector<int>& labels,
+                   const std::vector<double>& scores) {
+  if (labels.size() != scores.size()) {
+    return Status::InvalidArgument(
+        StrFormat("labels (%zu) and scores (%zu) differ in length",
+                  labels.size(), scores.size()));
+  }
+  size_t pos = 0, neg = 0;
+  for (int y : labels) {
+    if (y == 1) {
+      ++pos;
+    } else if (y == 0) {
+      ++neg;
+    } else {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+  }
+  if (pos == 0 || neg == 0) {
+    return Status::FailedPrecondition(
+        StrFormat("need both classes present (pos=%zu neg=%zu)", pos, neg));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Auc(const std::vector<int>& labels,
+                   const std::vector<double>& scores) {
+  LIGHTMIRM_RETURN_NOT_OK(CheckInputs(labels, scores));
+  const size_t n = labels.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  // Mann-Whitney with midranks for ties.
+  double rank_sum_pos = 0.0;
+  size_t num_pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j - 1) + 1.0;
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] == 1) {
+        rank_sum_pos += midrank;
+        ++num_pos;
+      }
+    }
+    i = j;
+  }
+  const size_t num_neg = n - num_pos;
+  const double u = rank_sum_pos - static_cast<double>(num_pos) *
+                                      (static_cast<double>(num_pos) + 1.0) /
+                                      2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+Result<std::vector<RocPoint>> RocCurve(const std::vector<int>& labels,
+                                       const std::vector<double>& scores) {
+  LIGHTMIRM_RETURN_NOT_OK(CheckInputs(labels, scores));
+  const size_t n = labels.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  double num_pos = 0.0, num_neg = 0.0;
+  for (int y : labels) (y == 1 ? num_pos : num_neg) += 1.0;
+
+  std::vector<RocPoint> curve;
+  double tp = 0.0, fp = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    const double threshold = scores[order[i]];
+    while (i < n && scores[order[i]] == threshold) {
+      if (labels[order[i]] == 1) {
+        tp += 1.0;
+      } else {
+        fp += 1.0;
+      }
+      ++i;
+    }
+    curve.push_back(RocPoint{threshold, tp / num_pos, fp / num_neg});
+  }
+  return curve;
+}
+
+}  // namespace lightmirm::metrics

@@ -1,0 +1,27 @@
+// ROC analysis: AUC and ROC curve points for binary classifiers.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightmirm::metrics {
+
+/// One point of an ROC curve.
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;  ///< true positive rate at score >= threshold
+  double fpr = 0.0;  ///< false positive rate at score >= threshold
+};
+
+/// Area under the ROC curve via the Mann-Whitney statistic with proper tie
+/// handling (ties contribute 1/2). Errors if either class is absent.
+Result<double> Auc(const std::vector<int>& labels,
+                   const std::vector<double>& scores);
+
+/// Full ROC curve, one point per distinct score threshold, sorted by
+/// descending threshold. Errors if either class is absent.
+Result<std::vector<RocPoint>> RocCurve(const std::vector<int>& labels,
+                                       const std::vector<double>& scores);
+
+}  // namespace lightmirm::metrics

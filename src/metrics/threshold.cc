@@ -1,0 +1,92 @@
+#include "metrics/threshold.h"
+
+#include "common/string_util.h"
+
+namespace lightmirm::metrics {
+
+double Confusion::TruePositiveRate() const {
+  const int64_t p = tp + fn;
+  return p == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(p);
+}
+
+double Confusion::FalsePositiveRate() const {
+  const int64_t n = fp + tn;
+  return n == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(n);
+}
+
+double Confusion::Precision() const {
+  const int64_t pred_pos = tp + fp;
+  return pred_pos == 0
+             ? 0.0
+             : static_cast<double>(tp) / static_cast<double>(pred_pos);
+}
+
+double Confusion::Accuracy() const {
+  const int64_t total = tp + fp + tn + fn;
+  return total == 0
+             ? 0.0
+             : static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+Result<Confusion> ConfusionAt(const std::vector<int>& labels,
+                              const std::vector<double>& scores,
+                              double threshold) {
+  if (labels.size() != scores.size()) {
+    return Status::InvalidArgument(
+        StrFormat("labels (%zu) and scores (%zu) differ in length",
+                  labels.size(), scores.size()));
+  }
+  Confusion c;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const bool predicted_default = scores[i] >= threshold;
+    if (labels[i] == 1) {
+      (predicted_default ? c.tp : c.fn)++;
+    } else if (labels[i] == 0) {
+      (predicted_default ? c.fp : c.tn)++;
+    } else {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+  }
+  return c;
+}
+
+double BadDebtRateAt(const std::vector<int>& labels,
+                     const std::vector<double>& scores, double threshold) {
+  int64_t approved = 0, bad = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (scores[i] < threshold) {
+      ++approved;
+      if (labels[i] == 1) ++bad;
+    }
+  }
+  return approved == 0
+             ? 0.0
+             : static_cast<double>(bad) / static_cast<double>(approved);
+}
+
+Result<std::vector<TradeOffPoint>> TradeOffCurve(
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    int num_points) {
+  if (num_points < 2) {
+    return Status::InvalidArgument("num_points must be >= 2");
+  }
+  std::vector<TradeOffPoint> curve;
+  curve.reserve(static_cast<size_t>(num_points));
+  for (int i = 0; i < num_points; ++i) {
+    const double threshold =
+        static_cast<double>(i) / static_cast<double>(num_points - 1);
+    LIGHTMIRM_ASSIGN_OR_RETURN(const Confusion c,
+                               ConfusionAt(labels, scores, threshold));
+    TradeOffPoint p;
+    p.threshold = threshold;
+    const double total = static_cast<double>(labels.size());
+    p.refusal_rate = total == 0.0 ? 0.0
+                                  : static_cast<double>(c.tp + c.fp) / total;
+    p.fp_rate = c.FalsePositiveRate();
+    p.bad_debt_rate = BadDebtRateAt(labels, scores, threshold);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+}  // namespace lightmirm::metrics

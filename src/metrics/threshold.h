@@ -1,0 +1,51 @@
+// Threshold-based operating metrics: confusion matrices, bad-debt-rate vs
+// refusal-rate trade-off curves (the paper's online evaluation, Fig 5).
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightmirm::metrics {
+
+/// Confusion counts at a decision threshold (score >= threshold -> predict
+/// default -> refuse the loan).
+struct Confusion {
+  int64_t tp = 0;  ///< defaulter refused
+  int64_t fp = 0;  ///< good customer refused
+  int64_t tn = 0;  ///< good customer approved
+  int64_t fn = 0;  ///< defaulter approved (becomes bad debt)
+
+  double TruePositiveRate() const;
+  double FalsePositiveRate() const;
+  double Precision() const;
+  double Accuracy() const;
+};
+
+/// Computes the confusion matrix at `threshold`.
+Result<Confusion> ConfusionAt(const std::vector<int>& labels,
+                              const std::vector<double>& scores,
+                              double threshold);
+
+/// One point of the online-style trade-off curve: refusing every
+/// application with score >= threshold yields this refusal rate and this
+/// bad-debt rate among approved loans.
+struct TradeOffPoint {
+  double threshold = 0.0;
+  double refusal_rate = 0.0;   ///< fraction of applications refused
+  double fp_rate = 0.0;        ///< fraction of good customers refused
+  double bad_debt_rate = 0.0;  ///< default rate among approved loans
+};
+
+/// Sweeps `num_points` evenly spaced thresholds over [0, 1] and reports the
+/// trade-off curve (Fig 5).
+Result<std::vector<TradeOffPoint>> TradeOffCurve(
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    int num_points = 101);
+
+/// Bad-debt rate among approved loans at `threshold` (approve score <
+/// threshold). Returns 0 when nothing is approved.
+double BadDebtRateAt(const std::vector<int>& labels,
+                     const std::vector<double>& scores, double threshold);
+
+}  // namespace lightmirm::metrics

@@ -1,0 +1,76 @@
+#include "train/env_inference.h"
+
+#include <cmath>
+
+namespace lightmirm::train {
+
+Result<InferredEnvs> InferEnvironments(const linear::LossContext& ctx,
+                                       const std::vector<size_t>& rows,
+                                       const linear::ParamVec& params,
+                                       const EnvInferenceOptions& options) {
+  if (rows.empty()) return Status::InvalidArgument("no rows");
+  if (options.steps < 1 || options.learning_rate <= 0.0) {
+    return Status::InvalidArgument("bad optimization options");
+  }
+  const size_t n = rows.size();
+
+  // Per-row dummy-classifier derivative contribution: d_i = (p_i - y_i)*z_i
+  // under the fixed reference model.
+  std::vector<double> d(n);
+  for (size_t k = 0; k < n; ++k) {
+    const size_t r = rows[k];
+    const double z = ctx.x->RowDot(r, params) + params.back();
+    const double p = linear::Sigmoid(z);
+    d[k] = (p - static_cast<double>((*ctx.labels)[r])) * z;
+  }
+
+  // Soft assignment logits, randomly initialized. Ascend
+  //   J(q) = D1(q)^2 + D0(q)^2,  D_e = sum w_i d_i / sum w_i
+  // with w_i = q_i for env 1 and (1 - q_i) for env 0.
+  Rng rng(options.seed);
+  std::vector<double> logits(n);
+  for (double& v : logits) v = rng.Normal(0.0, 0.1);
+
+  std::vector<double> q(n);
+  for (int step = 0; step < options.steps; ++step) {
+    double s1 = 0.0, w1 = 0.0, s0 = 0.0, w0 = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      q[k] = linear::Sigmoid(logits[k]);
+      s1 += q[k] * d[k];
+      w1 += q[k];
+      s0 += (1.0 - q[k]) * d[k];
+      w0 += 1.0 - q[k];
+    }
+    if (w1 < 1e-9 || w0 < 1e-9) break;
+    const double d1 = s1 / w1, d0 = s0 / w0;
+    // dJ/dq_k = 2*D1*(d_k - D1)/w1 - 2*D0*(d_k - D0)/w0; chain through the
+    // sigmoid parametrization.
+    for (size_t k = 0; k < n; ++k) {
+      const double grad_q = 2.0 * d1 * (d[k] - d1) / w1 -
+                            2.0 * d0 * (d[k] - d0) / w0;
+      const double grad_logit = grad_q * q[k] * (1.0 - q[k]);
+      logits[k] += options.learning_rate *
+                   (static_cast<double>(n) * grad_logit -
+                    options.logit_decay * logits[k]);
+    }
+  }
+
+  InferredEnvs result;
+  result.soft_assignment.resize(n);
+  result.hard_assignment.resize(n);
+  double s1 = 0.0, w1 = 0.0, s0 = 0.0, w0 = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    result.soft_assignment[k] = linear::Sigmoid(logits[k]);
+    result.hard_assignment[k] = result.soft_assignment[k] >= 0.5 ? 1 : 0;
+    s1 += result.soft_assignment[k] * d[k];
+    w1 += result.soft_assignment[k];
+    s0 += (1.0 - result.soft_assignment[k]) * d[k];
+    w0 += 1.0 - result.soft_assignment[k];
+  }
+  if (w1 > 1e-9 && w0 > 1e-9) {
+    result.penalty = (s1 / w1) * (s1 / w1) + (s0 / w0) * (s0 / w0);
+  }
+  return result;
+}
+
+}  // namespace lightmirm::train

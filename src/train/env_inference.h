@@ -1,0 +1,45 @@
+// Environment inference (EIIL-style, Creager et al. 2021 — cited by the
+// paper as related invariant-learning work, and the natural extension when
+// province labels are unavailable): given a reference ERM model, find a
+// soft partition of the training rows into two pseudo-environments that
+// MAXIMIZES the IRMv1 invariance penalty. Rows whose residual pattern
+// disagrees with the majority get separated out, recovering the latent
+// environment structure that IRM training needs.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linear/loss.h"
+
+namespace lightmirm::train {
+
+struct EnvInferenceOptions {
+  int steps = 300;
+  double learning_rate = 0.5;
+  uint64_t seed = 33;
+  /// L2 pull of the assignment logits toward 0 (keeps q away from
+  /// degenerate all-one/all-zero splits).
+  double logit_decay = 1e-3;
+};
+
+/// Result of environment inference.
+struct InferredEnvs {
+  /// Soft probability of each row belonging to pseudo-environment 1.
+  std::vector<double> soft_assignment;
+  /// Hard 0/1 environment ids (threshold 0.5).
+  std::vector<int> hard_assignment;
+  /// The invariance penalty value achieved by the split.
+  double penalty = 0.0;
+};
+
+/// Infers two pseudo-environments by ascending the soft IRMv1 penalty of
+/// the split under the fixed reference model `params` (the dummy-classifier
+/// derivative D_e = weighted mean of (p-y)*logit per pseudo-env).
+Result<InferredEnvs> InferEnvironments(const linear::LossContext& ctx,
+                                       const std::vector<size_t>& rows,
+                                       const linear::ParamVec& params,
+                                       const EnvInferenceOptions& options);
+
+}  // namespace lightmirm::train

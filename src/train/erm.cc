@@ -1,0 +1,34 @@
+#include "train/erm.h"
+
+namespace lightmirm::train {
+
+Result<TrainedPredictor> ErmTrainer::Fit(const TrainData& data) {
+  Rng rng(options_.seed);
+  linear::LogisticModel model = linear::LogisticModel::RandomInit(
+      data.x->cols(), options_.init_scale, &rng);
+  LIGHTMIRM_ASSIGN_OR_RETURN(std::unique_ptr<linear::Optimizer> opt,
+                             linear::Optimizer::Create(options_.optimizer));
+  const linear::LossContext ctx = data.Context();
+  linear::ParamVec grad;
+  BestModelTracker tracker(&options_);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    WallTimer epoch_watch;
+    {
+      StepTimer::Scope scope(options_.timer, kStepBackward);
+      linear::BceLossGrad(ctx, data.all_rows, model.params(), &grad);
+      linear::AddL2(model.params(), options_.l2, &grad);
+      opt->Step(grad, &model.mutable_params());
+    }
+    if (options_.timer != nullptr) {
+      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
+    }
+    if (options_.epoch_callback) options_.epoch_callback(epoch, model);
+    if (!tracker.Observe(model)) break;
+  }
+  tracker.Finalize(&model);
+  TrainedPredictor predictor;
+  predictor.global = std::move(model);
+  return predictor;
+}
+
+}  // namespace lightmirm::train

@@ -1,0 +1,24 @@
+// ERM baseline: minimizes the pooled binary cross-entropy over all
+// environments (the conventional learning paradigm the paper argues lacks
+// minimax fairness).
+#pragma once
+
+#include "train/trainer.h"
+
+namespace lightmirm::train {
+
+/// Full-batch ERM with the configured outer optimizer.
+class ErmTrainer : public Trainer {
+ public:
+  explicit ErmTrainer(TrainerOptions options) : options_(std::move(options)) {}
+
+  std::string Name() const override { return "ERM"; }
+  Result<TrainedPredictor> Fit(const TrainData& data) override;
+
+  const TrainerOptions& options() const { return options_; }
+
+ private:
+  TrainerOptions options_;
+};
+
+}  // namespace lightmirm::train

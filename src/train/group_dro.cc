@@ -1,0 +1,61 @@
+#include "train/group_dro.h"
+
+#include <cmath>
+
+namespace lightmirm::train {
+
+Result<TrainedPredictor> GroupDroTrainer::Fit(const TrainData& data) {
+  Rng rng(options_.seed);
+  linear::LogisticModel model = linear::LogisticModel::RandomInit(
+      data.x->cols(), options_.init_scale, &rng);
+  LIGHTMIRM_ASSIGN_OR_RETURN(std::unique_ptr<linear::Optimizer> opt,
+                             linear::Optimizer::Create(options_.optimizer));
+  const linear::LossContext ctx = data.Context();
+  const size_t num_tasks = data.NumTasks();
+  std::vector<double> q(num_tasks, 1.0 / static_cast<double>(num_tasks));
+  const double l2 = options_.l2 * dro_.l2_multiplier;
+
+  linear::ParamVec grad, env_grad;
+  BestModelTracker tracker(&options_);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    WallTimer epoch_watch;
+    grad.assign(model.params().size(), 0.0);
+    {
+      StepTimer::Scope scope(options_.timer, kStepBackward);
+      // Per-group risks and gradients.
+      double q_total = 0.0;
+      std::vector<double> risks(num_tasks);
+      std::vector<linear::ParamVec> grads(num_tasks);
+      for (size_t t = 0; t < num_tasks; ++t) {
+        risks[t] =
+            linear::BceLossGrad(ctx, data.env_rows[t], model.params(),
+                                &grads[t]);
+      }
+      // Exponentiated-gradient ascent on q.
+      for (size_t t = 0; t < num_tasks; ++t) {
+        q[t] *= std::exp(dro_.group_step * risks[t]);
+        q_total += q[t];
+      }
+      for (double& v : q) v /= q_total;
+      // Descend on the q-weighted risk.
+      for (size_t t = 0; t < num_tasks; ++t) {
+        for (size_t j = 0; j < grad.size(); ++j) {
+          grad[j] += q[t] * grads[t][j];
+        }
+      }
+      linear::AddL2(model.params(), l2, &grad);
+      opt->Step(grad, &model.mutable_params());
+    }
+    if (options_.timer != nullptr) {
+      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
+    }
+    if (options_.epoch_callback) options_.epoch_callback(epoch, model);
+    if (!tracker.Observe(model)) break;
+  }
+  tracker.Finalize(&model);
+  TrainedPredictor predictor;
+  predictor.global = std::move(model);
+  return predictor;
+}
+
+}  // namespace lightmirm::train

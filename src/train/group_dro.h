@@ -1,0 +1,31 @@
+// Group DRO baseline (Sagawa et al. 2019): online exponentiated-gradient
+// ascent on per-group mixture weights q, descending on the q-weighted risk.
+// Couples worst-group emphasis with increased L2 regularization, as the
+// paper describes.
+#pragma once
+
+#include "train/trainer.h"
+
+namespace lightmirm::train {
+
+struct GroupDroOptions {
+  /// Step size of the exponentiated-gradient update on q.
+  double group_step = 1.5;
+  /// Multiplier on TrainerOptions::l2 ("increased regularization").
+  double l2_multiplier = 1.0;
+};
+
+class GroupDroTrainer : public Trainer {
+ public:
+  GroupDroTrainer(TrainerOptions options, GroupDroOptions dro)
+      : options_(std::move(options)), dro_(dro) {}
+
+  std::string Name() const override { return "Group DRO"; }
+  Result<TrainedPredictor> Fit(const TrainData& data) override;
+
+ private:
+  TrainerOptions options_;
+  GroupDroOptions dro_;
+};
+
+}  // namespace lightmirm::train

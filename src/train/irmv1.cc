@@ -1,0 +1,100 @@
+#include "train/irmv1.h"
+
+#include <cmath>
+
+namespace lightmirm::train {
+namespace {
+
+// Computes, for one environment:
+//   risk        = mean BCE
+//   risk_grad   += mean BCE gradient (accumulated with coefficient 1/M)
+//   D           = d/dw R(w*z)|_{w=1} = mean (p - y) * z
+//   D_grad      = grad_theta D = mean [(p - y) + s z] * x_tilde
+// and returns D so the caller can add 2*lambda*D*D_grad.
+double EnvPenaltyTerms(const linear::LossContext& ctx,
+                       const std::vector<size_t>& rows,
+                       const linear::ParamVec& params, double inv_m,
+                       linear::ParamVec* risk_grad,
+                       linear::ParamVec* d_grad, double* risk_out) {
+  d_grad->assign(params.size(), 0.0);
+  double risk = 0.0, d_val = 0.0, total_w = 0.0;
+  linear::ParamVec local_grad(params.size(), 0.0);
+  for (size_t r : rows) {
+    const double w = ctx.weights != nullptr ? (*ctx.weights)[r] : 1.0;
+    const double z = ctx.x->RowDot(r, params) + params.back();
+    const double p = linear::Sigmoid(z);
+    const int y = (*ctx.labels)[r];
+    risk -= w * (y == 1 ? std::log(std::max(p, 1e-12))
+                        : std::log(std::max(1.0 - p, 1e-12)));
+    const double residual = p - static_cast<double>(y);
+    const double s = p * (1.0 - p);
+    // Risk gradient.
+    ctx.x->AddScaledRow(r, w * residual, &local_grad);
+    local_grad.back() += w * residual;
+    // Dummy-classifier derivative and its gradient.
+    d_val += w * residual * z;
+    const double coeff = w * (residual + s * z);
+    ctx.x->AddScaledRow(r, coeff, d_grad);
+    d_grad->back() += coeff;
+    total_w += w;
+  }
+  const double inv_w = 1.0 / total_w;
+  risk *= inv_w;
+  d_val *= inv_w;
+  for (size_t j = 0; j < params.size(); ++j) {
+    (*risk_grad)[j] += inv_m * inv_w * local_grad[j];
+    (*d_grad)[j] *= inv_w;
+  }
+  *risk_out = risk;
+  return d_val;
+}
+
+}  // namespace
+
+Result<TrainedPredictor> IrmV1Trainer::Fit(const TrainData& data) {
+  Rng rng(options_.seed);
+  linear::LogisticModel model = linear::LogisticModel::RandomInit(
+      data.x->cols(), options_.init_scale, &rng);
+  LIGHTMIRM_ASSIGN_OR_RETURN(std::unique_ptr<linear::Optimizer> opt,
+                             linear::Optimizer::Create(options_.optimizer));
+  const linear::LossContext ctx = data.Context();
+  const size_t num_tasks = data.NumTasks();
+  const double inv_m = 1.0 / static_cast<double>(num_tasks);
+
+  linear::ParamVec grad, d_grad;
+  BestModelTracker tracker(&options_);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    WallTimer epoch_watch;
+    {
+      StepTimer::Scope scope(options_.timer, kStepBackward);
+      grad.assign(model.params().size(), 0.0);
+      const double lambda =
+          epoch >= irm_.penalty_anneal_epochs ? irm_.penalty_weight : 0.0;
+      for (size_t t = 0; t < num_tasks; ++t) {
+        double risk;
+        const double d_val =
+            EnvPenaltyTerms(ctx, data.env_rows[t], model.params(), inv_m,
+                            &grad, &d_grad, &risk);
+        if (lambda > 0.0) {
+          const double coeff = inv_m * 2.0 * lambda * d_val;
+          for (size_t j = 0; j < grad.size(); ++j) {
+            grad[j] += coeff * d_grad[j];
+          }
+        }
+      }
+      linear::AddL2(model.params(), options_.l2, &grad);
+      opt->Step(grad, &model.mutable_params());
+    }
+    if (options_.timer != nullptr) {
+      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
+    }
+    if (options_.epoch_callback) options_.epoch_callback(epoch, model);
+    if (!tracker.Observe(model)) break;
+  }
+  tracker.Finalize(&model);
+  TrainedPredictor predictor;
+  predictor.global = std::move(model);
+  return predictor;
+}
+
+}  // namespace lightmirm::train

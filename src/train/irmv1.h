@@ -1,0 +1,33 @@
+// IRMv1 (Arjovsky et al. 2019): ERM plus the gradient-penalty approximation
+// of the IRM constraint with a fixed scalar "dummy" classifier w = 1:
+//   penalty_m = ( d/dw R^m(w * logits) |_{w=1} )^2.
+// Included as a reference implementation; the paper argues meta-IRM is the
+// more faithful solver of the bi-level problem.
+#pragma once
+
+#include "train/trainer.h"
+
+namespace lightmirm::train {
+
+struct IrmV1Options {
+  /// Weight of the invariance penalty.
+  double penalty_weight = 10.0;
+  /// Epoch at which the penalty ramps in (0 = from the start), following
+  /// the common IRMv1 annealing recipe.
+  int penalty_anneal_epochs = 0;
+};
+
+class IrmV1Trainer : public Trainer {
+ public:
+  IrmV1Trainer(TrainerOptions options, IrmV1Options irm)
+      : options_(std::move(options)), irm_(irm) {}
+
+  std::string Name() const override { return "IRMv1"; }
+  Result<TrainedPredictor> Fit(const TrainData& data) override;
+
+ private:
+  TrainerOptions options_;
+  IrmV1Options irm_;
+};
+
+}  // namespace lightmirm::train

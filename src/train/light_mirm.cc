@@ -1,0 +1,126 @@
+#include "train/light_mirm.h"
+
+#include "common/string_util.h"
+#include "train/meta_irm.h"
+#include "train/mrq.h"
+
+namespace lightmirm::train {
+
+Status LightMirmOuterGradient(const linear::LossContext& ctx,
+                              const TrainData& data,
+                              const linear::ParamVec& params,
+                              const LightMirmOptions& options, Rng* rng,
+                              StepTimer* timer,
+                              std::vector<MetaLossReplayQueue>* queues,
+                              MetaStepOutput* out) {
+  const size_t num_tasks = data.NumTasks();
+  if (queues->size() != num_tasks) {
+    return Status::InvalidArgument("need one MRQ per task");
+  }
+  const size_t dim = params.size();
+  std::vector<linear::ParamVec> theta_bar(num_tasks);
+  std::vector<linear::ParamVec> sampled_grads(num_tasks);
+  out->meta_losses.assign(num_tasks, 0.0);
+  linear::ParamVec grad_m, hv;
+
+  // Inner loop (Algorithm 2, lines 6-7).
+  {
+    StepTimer::Scope scope(timer, kStepInnerOptimization);
+    for (size_t m = 0; m < num_tasks; ++m) {
+      linear::BceLossGrad(ctx, data.env_rows[m], params, &grad_m);
+      theta_bar[m] = params;
+      for (size_t j = 0; j < dim; ++j) {
+        theta_bar[m][j] -= options.inner_lr * grad_m[j];
+      }
+    }
+  }
+
+  // Environment sampling + meta-loss replaying (lines 8-10): one sampled
+  // environment per task, pushed through the MRQ.
+  {
+    StepTimer::Scope scope(timer, kStepMetaLosses);
+    for (size_t m = 0; m < num_tasks; ++m) {
+      size_t s = rng->UniformInt(num_tasks - 1);
+      if (s >= m) ++s;  // s_m != m
+      const double loss = linear::BceLossGrad(ctx, data.env_rows[s],
+                                              theta_bar[m],
+                                              &sampled_grads[m]);
+      (*queues)[m].Push(loss);
+      out->meta_losses[m] = (*queues)[m].ReplayedLoss();
+    }
+  }
+
+  // Outer gradient (lines 12-13). Only the newest queue element depends on
+  // the current theta_bar_m, and its decay weight is gamma^0 = 1, so the
+  // gradient of the replayed meta-loss w.r.t. theta_bar_m is exactly the
+  // sampled environment's gradient.
+  {
+    StepTimer::Scope scope(timer, kStepBackward);
+    const std::vector<double> coeffs =
+        OuterCoefficients(out->meta_losses, options.lambda);
+    out->outer_grad.assign(dim, 0.0);
+    for (size_t m = 0; m < num_tasks; ++m) {
+      if (options.second_order) {
+        linear::BceHvp(ctx, data.env_rows[m], params, sampled_grads[m], &hv);
+        for (size_t j = 0; j < dim; ++j) {
+          out->outer_grad[j] +=
+              coeffs[m] * (sampled_grads[m][j] - options.inner_lr * hv[j]);
+        }
+      } else {
+        for (size_t j = 0; j < dim; ++j) {
+          out->outer_grad[j] += coeffs[m] * sampled_grads[m][j];
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<TrainedPredictor> LightMirmTrainer::Fit(const TrainData& data) {
+  const size_t num_tasks = data.NumTasks();
+  if (num_tasks < 2) {
+    return Status::FailedPrecondition(
+        "LightMIRM needs at least 2 environments");
+  }
+  if (light_.inner_lr <= 0.0) {
+    return Status::InvalidArgument("inner_lr must be positive");
+  }
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      MetaLossReplayQueue proto,
+      MetaLossReplayQueue::Create(light_.mrq_length, light_.gamma));
+  std::vector<MetaLossReplayQueue> queues(num_tasks, proto);
+
+  Rng rng(options_.seed);
+  linear::LogisticModel model = linear::LogisticModel::RandomInit(
+      data.x->cols(), options_.init_scale, &rng);
+  LIGHTMIRM_ASSIGN_OR_RETURN(std::unique_ptr<linear::Optimizer> opt,
+                             linear::Optimizer::Create(options_.optimizer));
+  const linear::LossContext ctx = data.Context();
+
+  MetaStepOutput step;
+  BestModelTracker tracker(&options_);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    WallTimer epoch_watch;
+    LIGHTMIRM_RETURN_NOT_OK(LightMirmOuterGradient(ctx, data, model.params(),
+                                                   light_, &rng,
+                                                   options_.timer, &queues,
+                                                   &step));
+    {
+      StepTimer::Scope scope(options_.timer, kStepBackward);
+      linear::AddL2(model.params(), options_.l2, &step.outer_grad);
+      opt->Step(step.outer_grad, &model.mutable_params());
+    }
+    if (options_.timer != nullptr) {
+      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
+    }
+    if (options_.epoch_callback) options_.epoch_callback(epoch, model);
+    if (!tracker.Observe(model)) break;
+  }
+  tracker.Finalize(&model);
+
+  TrainedPredictor predictor;
+  predictor.global = std::move(model);
+  return predictor;
+}
+
+}  // namespace lightmirm::train

@@ -1,0 +1,59 @@
+// LightMIRM (Algorithm 2 of the paper): meta-IRM accelerated by
+//   1) environment sampling — each task m computes its meta-loss on a
+//      single randomly sampled environment s_m != m, and
+//   2) meta-loss replaying — a fixed-length queue H_m (see train/mrq.h)
+//      recycles the losses from previous iterations with decay gamma, so
+//      the replayed meta-loss approximates the full sum at O(1) cost.
+// Only the newest queue element carries gradients (the paper's complexity
+// analysis relies on this), so the backward pass costs one HVP + one
+// gradient per environment: O(4M) per iteration vs O(2M^2) for meta-IRM.
+#pragma once
+
+#include "train/trainer.h"
+
+namespace lightmirm::train {
+
+struct LightMirmOptions {
+  /// Inner-loop learning rate alpha.
+  double inner_lr = 0.3;
+  /// Weight lambda of the meta-loss standard-deviation term.
+  double lambda = 6.0;
+  /// MRQ length L (Fig 9 ablates 1..9; the paper uses 5).
+  size_t mrq_length = 5;
+  /// Decay gamma of the replayed losses (Table IV ablates 0.1..1.0; the
+  /// paper's default is 0.9).
+  double gamma = 0.9;
+  /// If false, drop the Hessian term (first-order MAML, ablation).
+  bool second_order = true;
+};
+
+class MetaLossReplayQueue;  // see train/mrq.h
+
+/// One LightMIRM outer iteration at `params` (exposed for testing and
+/// micro-benchmarks): environment sampling, MRQ push/replay, and the exact
+/// outer gradient (without L2). `queues` must hold one MRQ per task and is
+/// updated in place. `out->meta_losses` receives the replayed losses.
+Status LightMirmOuterGradient(const linear::LossContext& ctx,
+                              const TrainData& data,
+                              const linear::ParamVec& params,
+                              const LightMirmOptions& options, Rng* rng,
+                              StepTimer* timer,
+                              std::vector<class MetaLossReplayQueue>* queues,
+                              struct MetaStepOutput* out);
+
+class LightMirmTrainer : public Trainer {
+ public:
+  LightMirmTrainer(TrainerOptions options, LightMirmOptions light)
+      : options_(std::move(options)), light_(light) {}
+
+  std::string Name() const override { return "LightMIRM"; }
+  Result<TrainedPredictor> Fit(const TrainData& data) override;
+
+  const LightMirmOptions& light_options() const { return light_; }
+
+ private:
+  TrainerOptions options_;
+  LightMirmOptions light_;
+};
+
+}  // namespace lightmirm::train

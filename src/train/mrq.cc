@@ -1,0 +1,44 @@
+#include "train/mrq.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lightmirm::train {
+
+MetaLossReplayQueue::MetaLossReplayQueue(size_t length, double gamma)
+    : values_(length, 0.0), gamma_(gamma) {}
+
+Result<MetaLossReplayQueue> MetaLossReplayQueue::Create(size_t length,
+                                                        double gamma) {
+  if (length < 1) {
+    return Status::InvalidArgument("MRQ length must be >= 1");
+  }
+  if (gamma <= 0.0 || gamma > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("MRQ gamma must be in (0,1], got %g", gamma));
+  }
+  return MetaLossReplayQueue(length, gamma);
+}
+
+void MetaLossReplayQueue::Push(double loss) {
+  for (size_t i = 0; i + 1 < values_.size(); ++i) {
+    values_[i] = values_[i + 1];
+  }
+  values_.back() = loss;
+  ++pushes_;
+}
+
+double MetaLossReplayQueue::ReplayedLoss() const {
+  double total = 0.0;
+  for (size_t i = 1; i <= values_.size(); ++i) {
+    total += SlotWeight(i) * values_[i - 1];
+  }
+  return total;
+}
+
+double MetaLossReplayQueue::SlotWeight(size_t i) const {
+  return std::pow(gamma_, static_cast<double>(values_.size() - i));
+}
+
+}  // namespace lightmirm::train

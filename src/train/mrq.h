@@ -1,0 +1,50 @@
+// Meta-loss Replaying Queue (MRQ) — the fixed-length loss history of
+// LightMIRM (Eq. 8 / Eq. 9 of the paper). One queue per environment stores
+// the meta-losses of previously sampled environments; the replayed
+// meta-loss is the decay-weighted sum
+//   R_meta = sum_{i=1..L} gamma^{L-i} * H^i,
+// paying more attention to the most recent entries. Elements start at zero
+// (Algorithm 2, initialization).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightmirm::train {
+
+class MetaLossReplayQueue {
+ public:
+  /// Creates a queue of `length` zeros with decay `gamma`. Errors are
+  /// reported through Create; this constructor trusts its inputs.
+  MetaLossReplayQueue(size_t length, double gamma);
+
+  /// Validating factory: length >= 1, gamma in (0, 1].
+  static Result<MetaLossReplayQueue> Create(size_t length, double gamma);
+
+  /// Eq. 8: shifts entries forward one slot and stores `loss` in the last.
+  void Push(double loss);
+
+  /// Eq. 9: the decay-weighted replayed meta-loss.
+  double ReplayedLoss() const;
+
+  /// Weight gamma^{L-i} applied to slot i (1-based, i = L is the newest).
+  double SlotWeight(size_t i) const;
+
+  size_t length() const { return values_.size(); }
+  double gamma() const { return gamma_; }
+
+  /// Slot values, oldest first (slot 1 .. slot L).
+  const std::vector<double>& values() const { return values_; }
+
+  /// Number of Push() calls so far.
+  size_t pushes() const { return pushes_; }
+
+ private:
+  std::vector<double> values_;
+  double gamma_;
+  size_t pushes_ = 0;
+};
+
+}  // namespace lightmirm::train

@@ -1,0 +1,70 @@
+#include "train/step_timer.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "train/trainer.h"
+
+namespace lightmirm::train {
+namespace {
+
+const char* kTableSteps[] = {
+    "loading data",
+    "transforming the format",
+    kStepInnerOptimization,
+    kStepMetaLosses,
+    kStepBackward,
+};
+
+}  // namespace
+
+std::vector<StepTimeRow> SummarizeStepTimes(const StepTimer& timer) {
+  std::vector<StepTimeRow> rows;
+  const double epoch_total = timer.TotalSeconds(kStepEpoch);
+  for (const char* step : kTableSteps) {
+    StepTimeRow row;
+    row.step = step;
+    row.mean_seconds = timer.MeanSeconds(step);
+    row.total_seconds = timer.TotalSeconds(step);
+    row.fraction_of_total =
+        epoch_total > 0.0 ? row.total_seconds / epoch_total : 0.0;
+    rows.push_back(row);
+  }
+  StepTimeRow epoch;
+  epoch.step = kStepEpoch;
+  epoch.mean_seconds = timer.MeanSeconds(kStepEpoch);
+  epoch.total_seconds = epoch_total;
+  epoch.fraction_of_total = epoch_total > 0.0 ? 1.0 : 0.0;
+  rows.push_back(epoch);
+  return rows;
+}
+
+std::string FormatStepTimeTable(
+    const std::vector<std::string>& method_names,
+    const std::vector<const StepTimer*>& timers) {
+  assert(method_names.size() == timers.size());
+  std::string out = StrFormat("%-30s", "Step");
+  for (const std::string& name : method_names) {
+    out += StrFormat(" %16s", name.c_str());
+  }
+  out += "\n";
+  std::vector<std::vector<StepTimeRow>> all;
+  all.reserve(timers.size());
+  for (const StepTimer* t : timers) all.push_back(SummarizeStepTimes(*t));
+  const size_t num_rows = all.empty() ? 0 : all[0].size();
+  for (size_t r = 0; r < num_rows; ++r) {
+    const bool epoch_row = all[0][r].step == kStepEpoch;
+    out += StrFormat("%-30s", all[0][r].step.c_str());
+    for (const auto& rows : all) {
+      if (epoch_row) {
+        out += StrFormat(" %15.3fs", rows[r].total_seconds);
+      } else {
+        out += StrFormat(" %15.6fs", rows[r].mean_seconds);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lightmirm::train

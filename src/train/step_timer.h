@@ -1,0 +1,30 @@
+// Formatting of per-step training timings into the layout of Table III /
+// Figure 7 of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace lightmirm::train {
+
+/// One method's timing breakdown.
+struct StepTimeRow {
+  std::string step;
+  double mean_seconds = 0.0;
+  double total_seconds = 0.0;
+  double fraction_of_total = 0.0;  ///< share of the epoch time (Fig 7)
+};
+
+/// Extracts the Table III rows (mean seconds per call for each training
+/// step, total seconds for "the whole epoch") from a StepTimer populated by
+/// a trainer. Steps that never ran are reported with zeros.
+std::vector<StepTimeRow> SummarizeStepTimes(const StepTimer& timer);
+
+/// Renders a side-by-side Table III given per-method timers.
+std::string FormatStepTimeTable(
+    const std::vector<std::string>& method_names,
+    const std::vector<const StepTimer*>& timers);
+
+}  // namespace lightmirm::train

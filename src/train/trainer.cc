@@ -1,0 +1,98 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace lightmirm::train {
+
+Result<TrainData> TrainData::Create(const linear::FeatureMatrix* x,
+                                    const std::vector<int>* labels,
+                                    const std::vector<int>* envs,
+                                    size_t min_env_rows,
+                                    const std::vector<double>* weights,
+                                    const std::vector<size_t>* include_rows) {
+  if (x == nullptr || labels == nullptr || envs == nullptr) {
+    return Status::InvalidArgument("x, labels and envs must be non-null");
+  }
+  const size_t n = x->rows();
+  if (labels->size() != n || envs->size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("size mismatch: x has %zu rows, labels %zu, envs %zu", n,
+                  labels->size(), envs->size()));
+  }
+  if (weights != nullptr && weights->size() != n) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  int max_env = -1;
+  for (int e : *envs) {
+    if (e < 0) return Status::InvalidArgument("negative environment id");
+    max_env = std::max(max_env, e);
+  }
+  std::vector<std::vector<size_t>> groups(
+      static_cast<size_t>(max_env + 1));
+  TrainData data;
+  if (include_rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      groups[static_cast<size_t>((*envs)[i])].push_back(i);
+    }
+    data.all_rows = linear::AllRows(n);
+  } else {
+    for (size_t i : *include_rows) {
+      if (i >= n) return Status::OutOfRange("include_rows index out of range");
+      groups[static_cast<size_t>((*envs)[i])].push_back(i);
+    }
+    data.all_rows = *include_rows;
+  }
+  data.x = x;
+  data.labels = labels;
+  data.weights = weights;
+  for (size_t e = 0; e < groups.size(); ++e) {
+    if (groups[e].size() >= min_env_rows) {
+      data.env_rows.push_back(std::move(groups[e]));
+      data.env_ids.push_back(static_cast<int>(e));
+    }
+  }
+  if (data.env_rows.empty()) {
+    return Status::FailedPrecondition(StrFormat(
+        "no environment has >= %zu rows", min_env_rows));
+  }
+  return data;
+}
+
+bool BestModelTracker::Observe(const linear::LogisticModel& model) {
+  if (!options_->validation_fn) return true;
+  const double score = options_->validation_fn(model);
+  if (score > best_score_) {
+    best_score_ = score;
+    best_params_ = model.params();
+    since_best_ = 0;
+  } else {
+    ++since_best_;
+    if (options_->early_stop_patience > 0 &&
+        since_best_ >= options_->early_stop_patience) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BestModelTracker::Finalize(linear::LogisticModel* model) const {
+  if (!best_params_.empty()) model->set_params(best_params_);
+}
+
+std::vector<double> TrainedPredictor::Predict(
+    const linear::FeatureMatrix& x, const std::vector<int>* envs) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const linear::LogisticModel* model = &global;
+    if (envs != nullptr && !per_env.empty()) {
+      const auto it = per_env.find((*envs)[r]);
+      if (it != per_env.end()) model = &it->second;
+    }
+    out[r] = model->PredictRow(x, r);
+  }
+  return out;
+}
+
+}  // namespace lightmirm::train

@@ -1,0 +1,138 @@
+// Trainer interface shared by every learning algorithm in the paper's
+// evaluation: ERM, ERM+fine-tuning, Up-sampling, Group DRO, V-REx, IRMv1,
+// meta-IRM (full and sampled) and LightMIRM.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "linear/loss.h"
+#include "linear/optimizer.h"
+
+namespace lightmirm::train {
+
+/// Training inputs grouped by environment. Holds row-index views into a
+/// shared design matrix so per-environment losses never copy features.
+struct TrainData {
+  const linear::FeatureMatrix* x = nullptr;
+  const std::vector<int>* labels = nullptr;
+  /// Optional per-row weights (class re-balancing); nullptr = all ones.
+  const std::vector<double>* weights = nullptr;
+
+  /// env_rows[t] are the rows of task (environment) t; env_ids[t] is the
+  /// original environment id of task t. Only environments with at least
+  /// `min_env_rows` rows become tasks; smaller ones are folded into the
+  /// pooled rows but not given their own task.
+  std::vector<std::vector<size_t>> env_rows;
+  std::vector<int> env_ids;
+  std::vector<size_t> all_rows;
+
+  /// Number of tasks M.
+  size_t NumTasks() const { return env_rows.size(); }
+
+  /// Builds the per-environment grouping. Errors if no environment reaches
+  /// `min_env_rows` or inputs are inconsistent. If `include_rows` is
+  /// non-null only those rows participate in training (the rest are e.g.
+  /// a held-out validation set).
+  static Result<TrainData> Create(const linear::FeatureMatrix* x,
+                                  const std::vector<int>* labels,
+                                  const std::vector<int>* envs,
+                                  size_t min_env_rows = 50,
+                                  const std::vector<double>* weights = nullptr,
+                                  const std::vector<size_t>* include_rows = nullptr);
+
+  /// LossContext over this data.
+  linear::LossContext Context() const {
+    return linear::LossContext{x, labels, weights};
+  }
+};
+
+/// The result of training: a global LR model plus optional per-environment
+/// overrides (used by the fine-tuning baseline).
+struct TrainedPredictor {
+  linear::LogisticModel global;
+  std::map<int, linear::LogisticModel> per_env;
+
+  /// Scores rows of `x`; row i uses the override for envs[i] when present,
+  /// the global model otherwise. Pass envs = nullptr to force global.
+  std::vector<double> Predict(const linear::FeatureMatrix& x,
+                              const std::vector<int>* envs) const;
+};
+
+/// Invoked after each outer-loop epoch with the current parameters; used by
+/// the benches that trace KS-vs-epoch training curves (Fig 6 / Fig 8).
+using EpochCallback =
+    std::function<void(int epoch, const linear::LogisticModel& model)>;
+
+/// Scores a candidate model on held-out data (higher is better); used for
+/// best-epoch snapshotting (the "stop condition" of Algorithms 1/2).
+using ValidationFn = std::function<double(const linear::LogisticModel&)>;
+
+/// Options shared by all trainers.
+struct TrainerOptions {
+  int epochs = 60;
+  double l2 = 1e-4;
+  uint64_t seed = 7;
+  double init_scale = 0.01;
+  linear::OptimizerOptions optimizer = {"adam", 0.05, 0.9, 0.9, 0.999, 1e-8};
+  /// Optional per-step timing sink (Table III); not owned.
+  StepTimer* timer = nullptr;
+  /// Optional per-epoch hook.
+  EpochCallback epoch_callback;
+  /// Optional validation scorer. When set, training returns the parameters
+  /// of the best-scoring epoch instead of the last one.
+  ValidationFn validation_fn;
+  /// With a validation_fn set, stop early after this many epochs without
+  /// improvement (0 = never stop early).
+  int early_stop_patience = 0;
+};
+
+/// Tracks the best-validation parameters across epochs. When no validation
+/// function is configured it is a no-op and Finalize keeps the last model.
+class BestModelTracker {
+ public:
+  explicit BestModelTracker(const TrainerOptions* options)
+      : options_(options) {}
+
+  /// Scores `model` (if validation is configured) and snapshots it when it
+  /// improves. Returns false when early-stopping patience is exhausted.
+  bool Observe(const linear::LogisticModel& model);
+
+  /// Replaces `model` with the best snapshot (if any).
+  void Finalize(linear::LogisticModel* model) const;
+
+  double best_score() const { return best_score_; }
+
+ private:
+  const TrainerOptions* options_;
+  double best_score_ = -1e300;
+  int since_best_ = 0;
+  linear::ParamVec best_params_;
+};
+
+/// Canonical step names recorded into TrainerOptions::timer, matching the
+/// rows of Table III.
+inline constexpr const char* kStepInnerOptimization = "inner optimization";
+inline constexpr const char* kStepMetaLosses = "calculating the meta-losses";
+inline constexpr const char* kStepBackward = "backward propagation";
+inline constexpr const char* kStepEpoch = "the whole epoch";
+
+/// Abstract learning algorithm.
+class Trainer {
+ public:
+  virtual ~Trainer() = default;
+
+  /// Algorithm name as it appears in the paper's tables.
+  virtual std::string Name() const = 0;
+
+  /// Runs the full training loop and returns the learned predictor.
+  virtual Result<TrainedPredictor> Fit(const TrainData& data) = 0;
+};
+
+}  // namespace lightmirm::train

@@ -1,0 +1,35 @@
+// Up-sampling baseline: re-weights rows so underrepresented environments
+// count as much as a fixed fraction of the largest one, optionally also
+// re-balancing the positive class ("we could adjust the rate of negative
+// samples in the loss function", Table I baseline). Implemented as weighted
+// ERM — mathematically identical to replicating rows, without the memory
+// blow-up.
+#pragma once
+
+#include "train/trainer.h"
+
+namespace lightmirm::train {
+
+struct UpSamplingTrainerOptions {
+  /// Environments are weighted up to `target_fraction` of the largest
+  /// environment's row count.
+  double target_fraction = 0.5;
+  /// If > 0, additionally re-balance the positive class to this share of
+  /// total weight.
+  double target_pos_rate = 0.0;
+};
+
+class UpSamplingTrainer : public Trainer {
+ public:
+  UpSamplingTrainer(TrainerOptions options, UpSamplingTrainerOptions up)
+      : options_(std::move(options)), up_(up) {}
+
+  std::string Name() const override { return "Up Sampling"; }
+  Result<TrainedPredictor> Fit(const TrainData& data) override;
+
+ private:
+  TrainerOptions options_;
+  UpSamplingTrainerOptions up_;
+};
+
+}  // namespace lightmirm::train

@@ -1,0 +1,28 @@
+// V-REx baseline (Krueger et al. 2021): minimizes the mean of the
+// per-environment risks plus beta times their variance, shrinking the
+// performance gap between environments.
+#pragma once
+
+#include "train/trainer.h"
+
+namespace lightmirm::train {
+
+struct VRexOptions {
+  /// Weight of the risk-variance penalty.
+  double beta = 5.0;
+};
+
+class VRexTrainer : public Trainer {
+ public:
+  VRexTrainer(TrainerOptions options, VRexOptions vrex)
+      : options_(std::move(options)), vrex_(vrex) {}
+
+  std::string Name() const override { return "V-REx"; }
+  Result<TrainedPredictor> Fit(const TrainData& data) override;
+
+ private:
+  TrainerOptions options_;
+  VRexOptions vrex_;
+};
+
+}  // namespace lightmirm::train

@@ -1,0 +1,128 @@
+// Double-backward (grad-of-grad) checks — the property MAML's second-order
+// updates rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/ops.h"
+#include "common/rng.h"
+
+namespace lightmirm::autodiff {
+namespace {
+
+TEST(HigherOrderTest, SecondDerivativeOfCube) {
+  // f = x^3: f' = 3x^2, f'' = 6x.
+  const Var x = Var::Param(Tensor::Scalar(2.0));
+  const Var f = Mul(Mul(x, x), x);
+  const auto g1 = *Grad(f, {x}, {.create_graph = true});
+  EXPECT_DOUBLE_EQ(g1[0].value().ScalarValue(), 12.0);
+  const auto g2 = *Grad(g1[0], {x});
+  EXPECT_DOUBLE_EQ(g2[0].value().ScalarValue(), 12.0);
+}
+
+TEST(HigherOrderTest, ThirdDerivative) {
+  // f = x^4: f''' = 24x.
+  const Var x = Var::Param(Tensor::Scalar(1.5));
+  const Var x2 = Mul(x, x);
+  const Var f = Mul(x2, x2);
+  const auto g1 = *Grad(f, {x}, {.create_graph = true});
+  const auto g2 = *Grad(g1[0], {x}, {.create_graph = true});
+  const auto g3 = *Grad(g2[0], {x});
+  EXPECT_NEAR(g3[0].value().ScalarValue(), 24.0 * 1.5, 1e-9);
+}
+
+TEST(HigherOrderTest, SigmoidSecondDerivative) {
+  // s'' = s(1-s)(1-2s).
+  const double x0 = 0.7;
+  const Var x = Var::Param(Tensor::Scalar(x0));
+  const Var f = Sigmoid(x);
+  // f is not scalar-loss shaped? It is 1x1, fine.
+  const auto g1 = *Grad(f, {x}, {.create_graph = true});
+  const auto g2 = *Grad(g1[0], {x});
+  const double s = 1.0 / (1.0 + std::exp(-x0));
+  EXPECT_NEAR(g2[0].value().ScalarValue(), s * (1 - s) * (1 - 2 * s), 1e-9);
+}
+
+TEST(HigherOrderTest, MixedPartials) {
+  // f = x^2 * y: d2f/dxdy = 2x.
+  const Var x = Var::Param(Tensor::Scalar(3.0));
+  const Var y = Var::Param(Tensor::Scalar(5.0));
+  const Var f = Mul(Mul(x, x), y);
+  const auto gx = *Grad(f, {x}, {.create_graph = true});
+  const auto gxy = *Grad(gx[0], {y});
+  EXPECT_DOUBLE_EQ(gxy[0].value().ScalarValue(), 6.0);
+}
+
+TEST(HigherOrderTest, HessianVectorProductViaDoubleBackward) {
+  // L(w) = 0.5 * sum((Xw)^2); H = X^T X. HVP = X^T X v.
+  Rng rng(41);
+  Tensor x0(4, 3);
+  for (double& v : x0.data()) v = rng.Normal();
+  Tensor w0(3, 1), v0(3, 1);
+  for (double& v : w0.data()) v = rng.Normal();
+  for (double& v : v0.data()) v = rng.Normal();
+
+  const Var w = Var::Param(w0);
+  const Var x = Var::Constant(x0);
+  const Var xw = MatMul(x, w);
+  const Var loss = MulScalar(SumAll(Mul(xw, xw)), 0.5);
+  const auto grad = *Grad(loss, {w}, {.create_graph = true});
+  // scalar g.v then backward again -> H v.
+  const Var gv = SumAll(Mul(grad[0], Var::Constant(v0)));
+  const auto hvp = *Grad(gv, {w});
+
+  // Reference: X^T (X v).
+  const Tensor xv = *Tensor::MatMul(x0, v0);
+  const Tensor expected = *Tensor::MatMul(x0.Transposed(), xv);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(hvp[0].value().At(i, 0), expected.At(i, 0), 1e-9);
+  }
+}
+
+TEST(HigherOrderTest, LogisticHvpMatchesClosedForm) {
+  // BCE Hessian for logistic regression: H = X^T diag(p(1-p)) X / n.
+  Rng rng(43);
+  const size_t n = 12, d = 3;
+  Tensor x0(n, d), y0(n, 1), w0(d, 1), v0(d, 1);
+  for (double& v : x0.data()) v = rng.Normal();
+  for (double& v : y0.data()) v = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  for (double& v : w0.data()) v = rng.Normal(0.0, 0.5);
+  for (double& v : v0.data()) v = rng.Normal();
+
+  const Var w = Var::Param(w0);
+  const Var logits = MatMul(Var::Constant(x0), w);
+  const Var loss = BceWithLogits(logits, Var::Constant(y0));
+  const auto grad = *Grad(loss, {w}, {.create_graph = true});
+  const Var gv = SumAll(Mul(grad[0], Var::Constant(v0)));
+  const auto hvp = *Grad(gv, {w});
+
+  // Closed form.
+  Tensor expected(d, 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double z = 0.0;
+    for (size_t j = 0; j < d; ++j) z += x0.At(i, j) * w0.At(j, 0);
+    const double p = 1.0 / (1.0 + std::exp(-z));
+    double xv = 0.0;
+    for (size_t j = 0; j < d; ++j) xv += x0.At(i, j) * v0.At(j, 0);
+    const double coeff = p * (1.0 - p) * xv / static_cast<double>(n);
+    for (size_t j = 0; j < d; ++j) {
+      expected.At(j, 0) += coeff * x0.At(i, j);
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(hvp[0].value().At(j, 0), expected.At(j, 0), 1e-9);
+  }
+}
+
+TEST(HigherOrderTest, StdDevDoubleBackwardRuns) {
+  // Smoke: grad-of-grad through the sigma term used by meta-IRM.
+  const Var a = Var::Param(Tensor::Scalar(1.0));
+  const Var b = Var::Param(Tensor::Scalar(3.0));
+  const Var sigma = StdDev(StackScalars({a, b, Mul(a, b)}), 1e-9);
+  const auto g1 = *Grad(sigma, {a}, {.create_graph = true});
+  const auto g2 = *Grad(g1[0], {b});
+  EXPECT_TRUE(std::isfinite(g2[0].value().ScalarValue()));
+}
+
+}  // namespace
+}  // namespace lightmirm::autodiff

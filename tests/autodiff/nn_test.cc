@@ -1,0 +1,85 @@
+#include "autodiff/nn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lightmirm::autodiff::nn {
+namespace {
+
+TEST(MlpTest, CreateValidatesInputs) {
+  Rng rng(1);
+  EXPECT_FALSE(Mlp::Create({4}, 0.1, &rng).ok());
+  EXPECT_FALSE(Mlp::Create({4, 2}, 0.1, &rng, "swish").ok());
+  EXPECT_TRUE(Mlp::Create({4, 8, 1}, 0.1, &rng).ok());
+}
+
+TEST(MlpTest, ForwardShapes) {
+  Rng rng(2);
+  const Mlp mlp = *Mlp::Create({3, 5, 2}, 0.1, &rng);
+  const Var x = Var::Constant(Tensor(7, 3, 0.5));
+  const Var out = mlp.Forward(x);
+  EXPECT_EQ(out.value().rows(), 7u);
+  EXPECT_EQ(out.value().cols(), 2u);
+  EXPECT_EQ(mlp.num_layers(), 2u);
+  EXPECT_EQ(mlp.Params().size(), 4u);
+}
+
+TEST(MlpTest, SgdTrainingReducesLoss) {
+  Rng rng(3);
+  Mlp mlp = *Mlp::Create({2, 8, 1}, 0.5, &rng);
+  // XOR-ish data, learnable by a small tanh net.
+  Tensor xs(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor ys(4, 1, {0, 1, 1, 0});
+  const Var x = Var::Constant(xs);
+  const Var y = Var::Constant(ys);
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    const Var loss = BceWithLogits(mlp.Forward(x), y);
+    if (step == 0) first_loss = loss.value().ScalarValue();
+    last_loss = loss.value().ScalarValue();
+    const auto grads = *Grad(loss, mlp.Params());
+    ASSERT_TRUE(mlp.ApplySgd(grads, 0.8).ok());
+  }
+  EXPECT_LT(last_loss, 0.5 * first_loss);
+  EXPECT_LT(last_loss, 0.3);
+}
+
+TEST(MlpTest, WithParamsRebindsAndValidates) {
+  Rng rng(4);
+  const Mlp mlp = *Mlp::Create({2, 3, 1}, 0.1, &rng);
+  auto params = mlp.Params();
+  EXPECT_TRUE(mlp.WithParams(params).ok());
+  params.pop_back();
+  EXPECT_FALSE(mlp.WithParams(params).ok());
+}
+
+TEST(MlpTest, WithParamsShapeMismatchRejected) {
+  Rng rng(5);
+  const Mlp mlp = *Mlp::Create({2, 3, 1}, 0.1, &rng);
+  auto params = mlp.Params();
+  params[0] = Var::Param(Tensor(9, 9, 0.0));
+  EXPECT_FALSE(mlp.WithParams(params).ok());
+}
+
+TEST(MlpTest, ApplySgdRejectsWrongArityOrShape) {
+  Rng rng(6);
+  Mlp mlp = *Mlp::Create({2, 3, 1}, 0.1, &rng);
+  std::vector<Var> bad;
+  EXPECT_FALSE(mlp.ApplySgd(bad, 0.1).ok());
+  auto grads = mlp.Params();
+  grads[1] = Var::Constant(Tensor(5, 5, 0.0));
+  EXPECT_FALSE(mlp.ApplySgd(grads, 0.1).ok());
+}
+
+TEST(MlpTest, ReluAndSigmoidActivationsWork) {
+  for (const char* act : {"relu", "sigmoid"}) {
+    Rng rng(7);
+    const Mlp mlp = *Mlp::Create({3, 4, 1}, 0.3, &rng, act);
+    const Var out = mlp.Forward(Var::Constant(Tensor(2, 3, 0.5)));
+    EXPECT_TRUE(std::isfinite(out.value().At(0, 0)));
+  }
+}
+
+}  // namespace
+}  // namespace lightmirm::autodiff::nn

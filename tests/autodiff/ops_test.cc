@@ -1,0 +1,181 @@
+#include "autodiff/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace lightmirm::autodiff {
+namespace {
+
+// Central finite-difference check of d(f)/d(x) for a scalar-valued graph.
+void CheckGradient(const std::function<Var(const Var&)>& f, Tensor x0,
+                   double tolerance = 1e-5) {
+  const Var x = Var::Param(x0);
+  const Var y = f(x);
+  ASSERT_TRUE(y.value().IsScalar());
+  const auto grads = *Grad(y, {x});
+  const double h = 1e-6;
+  for (size_t i = 0; i < x0.size(); ++i) {
+    Tensor plus = x0, minus = x0;
+    plus.data()[i] += h;
+    minus.data()[i] -= h;
+    const double fd = (f(Var::Constant(plus)).value().ScalarValue() -
+                       f(Var::Constant(minus)).value().ScalarValue()) /
+                      (2.0 * h);
+    EXPECT_NEAR(grads[0].value().data()[i], fd,
+                tolerance * (1.0 + std::abs(fd)))
+        << "component " << i;
+  }
+}
+
+Tensor RandomTensor(size_t r, size_t c, uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  for (double& v : t.data()) v = rng.Normal(0.0, scale);
+  return t;
+}
+
+TEST(OpsTest, AddSubMulDivForward) {
+  const Var a = Var::Constant(Tensor(1, 2, {4.0, 9.0}));
+  const Var b = Var::Constant(Tensor(1, 2, {2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(Add(a, b).value().At(0, 1), 12.0);
+  EXPECT_DOUBLE_EQ(Sub(a, b).value().At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(Mul(a, b).value().At(0, 1), 27.0);
+  EXPECT_DOUBLE_EQ(Div(a, b).value().At(0, 0), 2.0);
+}
+
+TEST(OpsTest, BroadcastForward) {
+  const Var m = Var::Constant(Tensor(2, 2, {1, 2, 3, 4}));
+  const Var row = Var::Constant(Tensor(1, 2, {10, 20}));
+  const Var col = Var::Constant(Tensor(2, 1, {100, 200}));
+  const Var s = Var::Scalar(1000.0);
+  EXPECT_DOUBLE_EQ(Add(m, row).value().At(1, 1), 24.0);
+  EXPECT_DOUBLE_EQ(Add(m, col).value().At(1, 0), 203.0);
+  EXPECT_DOUBLE_EQ(Add(m, s).value().At(0, 0), 1001.0);
+  EXPECT_DOUBLE_EQ(Sub(s, m).value().At(0, 1), 998.0);  // scalar first
+}
+
+TEST(OpsTest, UnaryForward) {
+  const Var x = Var::Constant(Tensor(1, 3, {0.0, 1.0, -1.0}));
+  EXPECT_DOUBLE_EQ(Sigmoid(x).value().At(0, 0), 0.5);
+  EXPECT_NEAR(Softplus(x).value().At(0, 1), std::log(1 + std::exp(1.0)),
+              1e-12);
+  EXPECT_DOUBLE_EQ(Relu(x).value().At(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(Tanh(x).value().At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Neg(x).value().At(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(AddScalar(x, 5.0).value().At(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(MulScalar(x, 3.0).value().At(0, 1), 3.0);
+}
+
+TEST(OpsTest, ReductionsForward) {
+  const Var x = Var::Constant(Tensor(2, 2, {1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(SumAll(x).value().ScalarValue(), 10.0);
+  EXPECT_DOUBLE_EQ(MeanAll(x).value().ScalarValue(), 2.5);
+}
+
+TEST(OpsTest, StackScalarsForward) {
+  const Var a = Var::Scalar(1.0);
+  const Var b = Var::Scalar(2.0);
+  const Var s = StackScalars({a, b});
+  EXPECT_EQ(s.value().cols(), 2u);
+  EXPECT_DOUBLE_EQ(s.value().At(0, 1), 2.0);
+}
+
+TEST(OpsTest, StdDevForward) {
+  const Var x = Var::Constant(Tensor(1, 4, {1.0, 2.0, 3.0, 4.0}));
+  // population std of {1,2,3,4} = sqrt(1.25)
+  EXPECT_NEAR(StdDev(x).value().ScalarValue(), std::sqrt(1.25), 1e-6);
+}
+
+// --- gradient checks against finite differences ---
+
+TEST(OpsGradTest, ElementwiseChain) {
+  CheckGradient(
+      [](const Var& x) {
+        return SumAll(Mul(Sigmoid(x), Tanh(MulScalar(x, 0.5))));
+      },
+      RandomTensor(3, 4, 21));
+}
+
+TEST(OpsGradTest, DivAndLogExp) {
+  CheckGradient(
+      [](const Var& x) {
+        const Var pos = AddScalar(Mul(x, x), 1.0);  // strictly positive
+        return SumAll(Div(Log(pos), AddScalar(Exp(MulScalar(x, 0.3)), 1.0)));
+      },
+      RandomTensor(2, 3, 22));
+}
+
+TEST(OpsGradTest, MatMulTranspose) {
+  const Tensor w0 = RandomTensor(3, 2, 23);
+  CheckGradient(
+      [&](const Var& x) {
+        const Var w = Var::Constant(w0);
+        return SumAll(Mul(MatMul(x, w), MatMul(x, w)));
+      },
+      RandomTensor(4, 3, 24));
+}
+
+TEST(OpsGradTest, BroadcastRowAndColumn) {
+  const Tensor big0 = RandomTensor(4, 3, 25);
+  CheckGradient(
+      [&](const Var& row) {
+        const Var big = Var::Constant(big0);
+        return SumAll(Mul(Add(big, row), Add(big, row)));
+      },
+      RandomTensor(1, 3, 26));
+  CheckGradient(
+      [&](const Var& col) {
+        const Var big = Var::Constant(big0);
+        return SumAll(Mul(big, Sub(big, col)));
+      },
+      RandomTensor(4, 1, 27));
+}
+
+TEST(OpsGradTest, SoftplusAndBce) {
+  Rng rng(28);
+  Tensor labels(5, 1);
+  for (double& v : labels.data()) v = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  CheckGradient(
+      [&](const Var& logits) {
+        return BceWithLogits(logits, Var::Constant(labels));
+      },
+      RandomTensor(5, 1, 29, 2.0));
+}
+
+TEST(OpsGradTest, StdDevOfStack) {
+  CheckGradient(
+      [](const Var& x) {
+        // Build scalars from slices via mask-mul + sum, then StdDev.
+        std::vector<Var> scalars;
+        for (size_t i = 0; i < 3; ++i) {
+          Tensor mask(1, 3, 0.0);
+          mask.At(0, i) = 1.0;
+          scalars.push_back(SumAll(Mul(x, Var::Constant(mask))));
+        }
+        return StdDev(StackScalars(scalars));
+      },
+      RandomTensor(1, 3, 30));
+}
+
+TEST(OpsGradTest, PowScalar) {
+  CheckGradient(
+      [](const Var& x) {
+        return SumAll(PowScalar(AddScalar(Mul(x, x), 1.0), 1.7));
+      },
+      RandomTensor(2, 2, 31));
+}
+
+TEST(OpsGradTest, SqrtChain) {
+  CheckGradient(
+      [](const Var& x) {
+        return SumAll(Sqrt(AddScalar(Mul(x, x), 0.5)));
+      },
+      RandomTensor(2, 3, 32));
+}
+
+}  // namespace
+}  // namespace lightmirm::autodiff

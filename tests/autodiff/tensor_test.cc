@@ -1,0 +1,83 @@
+#include "autodiff/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm::autodiff {
+namespace {
+
+TEST(TensorTest, ScalarConstruction) {
+  const Tensor t = Tensor::Scalar(2.5);
+  EXPECT_TRUE(t.IsScalar());
+  EXPECT_DOUBLE_EQ(t.ScalarValue(), 2.5);
+}
+
+TEST(TensorTest, ShapeAndAccess) {
+  Tensor t(2, 3, 1.0);
+  t.At(1, 2) = -4.0;
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_DOUBLE_EQ(t.At(1, 2), -4.0);
+  EXPECT_EQ(t.ShapeString(), "[2 x 3]");
+}
+
+TEST(TensorTest, BroadcastCompatibility) {
+  const Tensor full(3, 4);
+  EXPECT_TRUE(full.BroadcastCompatible(Tensor(3, 4)));
+  EXPECT_TRUE(full.BroadcastCompatible(Tensor(1, 1)));
+  EXPECT_TRUE(full.BroadcastCompatible(Tensor(1, 4)));
+  EXPECT_TRUE(full.BroadcastCompatible(Tensor(3, 1)));
+  EXPECT_FALSE(full.BroadcastCompatible(Tensor(2, 4)));
+  EXPECT_FALSE(full.BroadcastCompatible(Tensor(3, 2)));
+}
+
+TEST(TensorTest, BroadcastAt) {
+  Tensor row(1, 3, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(row.BroadcastAt(5, 2), 3.0);
+  Tensor col(2, 1, {4.0, 5.0});
+  EXPECT_DOUBLE_EQ(col.BroadcastAt(1, 7), 5.0);
+}
+
+TEST(TensorTest, MapAndSum) {
+  Tensor t(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const Tensor sq = t.Map([](double v) { return v * v; });
+  EXPECT_DOUBLE_EQ(sq.At(1, 1), 16.0);
+  EXPECT_DOUBLE_EQ(t.Sum(), 10.0);
+}
+
+TEST(TensorTest, MatMul) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 1, {1, 0, -1});
+  const Tensor c = *Tensor::MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), -2.0);
+}
+
+TEST(TensorTest, MatMulShapeMismatchErrors) {
+  EXPECT_FALSE(Tensor::MatMul(Tensor(2, 3), Tensor(2, 3)).ok());
+}
+
+TEST(TensorTest, Transposed) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor t = a.Transposed();
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 4.0);
+}
+
+TEST(TensorTest, ReduceToSumsBroadcastDims) {
+  Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor to_scalar = t.ReduceTo(1, 1);
+  EXPECT_DOUBLE_EQ(to_scalar.ScalarValue(), 21.0);
+  const Tensor to_row = t.ReduceTo(1, 3);
+  EXPECT_DOUBLE_EQ(to_row.At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(to_row.At(0, 2), 9.0);
+  const Tensor to_col = t.ReduceTo(2, 1);
+  EXPECT_DOUBLE_EQ(to_col.At(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(to_col.At(1, 0), 15.0);
+  const Tensor same = t.ReduceTo(2, 3);
+  EXPECT_DOUBLE_EQ(same.At(1, 2), 6.0);
+}
+
+}  // namespace
+}  // namespace lightmirm::autodiff

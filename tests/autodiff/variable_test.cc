@@ -1,0 +1,87 @@
+#include "autodiff/variable.h"
+
+#include <gtest/gtest.h>
+
+#include "autodiff/ops.h"
+
+namespace lightmirm::autodiff {
+namespace {
+
+TEST(VariableTest, LeavesCarryRequiresGrad) {
+  const Var p = Var::Param(Tensor::Scalar(1.0));
+  const Var c = Var::Constant(Tensor::Scalar(2.0));
+  EXPECT_TRUE(p.requires_grad());
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(VariableTest, OpsPropagateRequiresGrad) {
+  const Var p = Var::Param(Tensor::Scalar(1.0));
+  const Var c = Var::Constant(Tensor::Scalar(2.0));
+  EXPECT_TRUE(Mul(p, c).requires_grad());
+  EXPECT_FALSE(Mul(c, c).requires_grad());
+}
+
+TEST(GradTest, SimpleProductRule) {
+  const Var x = Var::Param(Tensor::Scalar(3.0));
+  const Var y = Var::Param(Tensor::Scalar(4.0));
+  const Var f = Mul(x, y);  // df/dx = y, df/dy = x
+  const auto grads = *Grad(f, {x, y});
+  EXPECT_DOUBLE_EQ(grads[0].value().ScalarValue(), 4.0);
+  EXPECT_DOUBLE_EQ(grads[1].value().ScalarValue(), 3.0);
+}
+
+TEST(GradTest, AccumulatesThroughFanOut) {
+  const Var x = Var::Param(Tensor::Scalar(2.0));
+  const Var f = Add(Mul(x, x), x);  // f = x^2 + x, f' = 2x + 1 = 5
+  const auto grads = *Grad(f, {x});
+  EXPECT_DOUBLE_EQ(grads[0].value().ScalarValue(), 5.0);
+}
+
+TEST(GradTest, UnrelatedVarGetsZeroOfItsShape) {
+  const Var x = Var::Param(Tensor::Scalar(2.0));
+  const Var z = Var::Param(Tensor(2, 3, 1.0));
+  const auto grads = *Grad(Mul(x, x), {z});
+  EXPECT_EQ(grads[0].value().rows(), 2u);
+  EXPECT_EQ(grads[0].value().cols(), 3u);
+  EXPECT_DOUBLE_EQ(grads[0].value().Sum(), 0.0);
+}
+
+TEST(GradTest, NonScalarOutputRejected) {
+  const Var x = Var::Param(Tensor(2, 2, 1.0));
+  EXPECT_FALSE(Grad(Mul(x, x), {x}).ok());
+}
+
+TEST(GradTest, UndefinedOutputRejected) {
+  Var undefined;
+  const Var x = Var::Param(Tensor::Scalar(1.0));
+  EXPECT_FALSE(Grad(undefined, {x}).ok());
+}
+
+TEST(GradTest, ConstantsDoNotReceiveGradients) {
+  const Var x = Var::Param(Tensor::Scalar(2.0));
+  const Var c = Var::Constant(Tensor::Scalar(5.0));
+  const Var f = Mul(x, c);
+  const auto grads = *Grad(f, {c});
+  EXPECT_DOUBLE_EQ(grads[0].value().ScalarValue(), 0.0);
+}
+
+TEST(GradTest, DetachedByDefaultDifferentiableOnRequest) {
+  const Var x = Var::Param(Tensor::Scalar(2.0));
+  const Var f = Mul(Mul(x, x), x);  // x^3
+  const auto detached = *Grad(f, {x});
+  EXPECT_FALSE(detached[0].requires_grad());
+  const auto graphed = *Grad(f, {x}, {.create_graph = true});
+  EXPECT_TRUE(graphed[0].requires_grad());
+}
+
+TEST(GradTest, DeepChainIsStable) {
+  // Iterated doubling: f = 2^20 * x, gradient must be exact.
+  Var x = Var::Param(Tensor::Scalar(1.0));
+  Var f = x;
+  for (int i = 0; i < 20; ++i) f = Add(f, f);
+  const auto grads = *Grad(f, {x});
+  EXPECT_DOUBLE_EQ(grads[0].value().ScalarValue(), 1048576.0);
+}
+
+}  // namespace
+}  // namespace lightmirm::autodiff

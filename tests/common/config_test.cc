@@ -1,0 +1,70 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm {
+namespace {
+
+ConfigMap Parse(std::vector<std::string> tokens) {
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  for (auto& t : tokens) argv.push_back(t.data());
+  auto cfg = ConfigMap::FromArgs(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(cfg.ok()) << cfg.status().ToString();
+  return *cfg;
+}
+
+TEST(ConfigMapTest, ParsesKeyValueTokens) {
+  const ConfigMap cfg = Parse({"rows=100", "lr=0.5", "name=abc"});
+  EXPECT_EQ(cfg.GetInt("rows", 0), 100);
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("lr", 0.0), 0.5);
+  EXPECT_EQ(cfg.GetString("name", ""), "abc");
+}
+
+TEST(ConfigMapTest, MissingKeysUseDefaults) {
+  const ConfigMap cfg = Parse({});
+  EXPECT_EQ(cfg.GetInt("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("absent", 1.5), 1.5);
+  EXPECT_EQ(cfg.GetString("absent", "d"), "d");
+  EXPECT_TRUE(cfg.GetBool("absent", true));
+  EXPECT_FALSE(cfg.Has("absent"));
+}
+
+TEST(ConfigMapTest, MalformedTokenIsError) {
+  std::string bad = "noequals";
+  char* argv[] = {const_cast<char*>("prog"), bad.data()};
+  EXPECT_FALSE(ConfigMap::FromArgs(2, argv).ok());
+  std::string empty_key = "=v";
+  char* argv2[] = {const_cast<char*>("prog"), empty_key.data()};
+  EXPECT_FALSE(ConfigMap::FromArgs(2, argv2).ok());
+}
+
+TEST(ConfigMapTest, MalformedValueFallsBackToDefault) {
+  const ConfigMap cfg = Parse({"rows=abc"});
+  EXPECT_EQ(cfg.GetInt("rows", 3), 3);
+}
+
+TEST(ConfigMapTest, BoolSpellings) {
+  const ConfigMap cfg =
+      Parse({"a=1", "b=true", "c=off", "d=no", "e=garbage"});
+  EXPECT_TRUE(cfg.GetBool("a", false));
+  EXPECT_TRUE(cfg.GetBool("b", false));
+  EXPECT_FALSE(cfg.GetBool("c", true));
+  EXPECT_FALSE(cfg.GetBool("d", true));
+  EXPECT_TRUE(cfg.GetBool("e", true));  // falls back to default
+}
+
+TEST(ConfigMapTest, SetOverwrites) {
+  ConfigMap cfg;
+  cfg.Set("k", "1");
+  cfg.Set("k", "2");
+  EXPECT_EQ(cfg.GetInt("k", 0), 2);
+  EXPECT_EQ(cfg.entries().size(), 1u);
+}
+
+TEST(ConfigMapTest, ValueMayContainEquals) {
+  const ConfigMap cfg = Parse({"expr=a=b"});
+  EXPECT_EQ(cfg.GetString("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace lightmirm

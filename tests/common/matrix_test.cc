@@ -1,0 +1,81 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm {
+namespace {
+
+TEST(MatrixTest, ConstructAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), -2.0);
+}
+
+TEST(MatrixTest, ConstructFromData) {
+  Matrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 4.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1.0, 0.0, -1.0};
+  std::vector<double> y;
+  m.MatVec(x, &y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, TransposeMatVec) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y;
+  m.TransposeMatVec(x, &y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputed) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposedInvolution) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+  const Matrix back = t.Transposed();
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(back.At(r, c), m.At(r, c));
+    }
+  }
+}
+
+TEST(VectorOpsTest, AxpyDotNorm) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {1.0, 1.0, 1.0};
+  Axpy(2.0, x, &y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+  EXPECT_DOUBLE_EQ(Dot(x, x), 14.0);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace lightmirm

@@ -1,0 +1,63 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm {
+namespace {
+
+TEST(WallTimerTest, MeasuresNonNegativeTime) {
+  WallTimer t;
+  EXPECT_GE(t.Seconds(), 0.0);
+}
+
+TEST(StepTimerTest, AccumulatesTotalsAndCounts) {
+  StepTimer timer;
+  timer.Add("step", 1.0);
+  timer.Add("step", 2.0);
+  timer.Add("other", 0.5);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds("step"), 3.0);
+  EXPECT_EQ(timer.Count("step"), 2);
+  EXPECT_DOUBLE_EQ(timer.MeanSeconds("step"), 1.5);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds("other"), 0.5);
+}
+
+TEST(StepTimerTest, UnknownStepIsZero) {
+  StepTimer timer;
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds("missing"), 0.0);
+  EXPECT_EQ(timer.Count("missing"), 0);
+  EXPECT_DOUBLE_EQ(timer.MeanSeconds("missing"), 0.0);
+}
+
+TEST(StepTimerTest, PreservesInsertionOrder) {
+  StepTimer timer;
+  timer.Add("b", 1.0);
+  timer.Add("a", 1.0);
+  timer.Add("b", 1.0);
+  ASSERT_EQ(timer.StepNames().size(), 2u);
+  EXPECT_EQ(timer.StepNames()[0], "b");
+  EXPECT_EQ(timer.StepNames()[1], "a");
+}
+
+TEST(StepTimerTest, ScopeRecordsElapsedTime) {
+  StepTimer timer;
+  {
+    StepTimer::Scope scope(&timer, "scoped");
+  }
+  EXPECT_EQ(timer.Count("scoped"), 1);
+  EXPECT_GE(timer.TotalSeconds("scoped"), 0.0);
+}
+
+TEST(StepTimerTest, ScopeWithNullTimerIsSafe) {
+  StepTimer::Scope scope(nullptr, "ignored");
+}
+
+TEST(StepTimerTest, ResetClearsEverything) {
+  StepTimer timer;
+  timer.Add("x", 1.0);
+  timer.Reset();
+  EXPECT_TRUE(timer.StepNames().empty());
+  EXPECT_EQ(timer.Count("x"), 0);
+}
+
+}  // namespace
+}  // namespace lightmirm

@@ -1,0 +1,92 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm::core {
+namespace {
+
+ExperimentConfig FastConfig() {
+  ExperimentConfig config;
+  config.generator.rows_per_year = 2000;
+  config.generator.seed = 3;
+  config.model.booster.num_trees = 15;
+  config.model.booster.tree.max_leaves = 8;
+  config.model.trainer.epochs = 40;
+  config.model.min_env_rows = 60;
+  config.eval_min_rows = 40;
+  return config;
+}
+
+TEST(ExperimentRunnerTest, TemporalSplitIsolatesTestYear) {
+  const auto runner = std::move(ExperimentRunner::Create(FastConfig())).value();
+  EXPECT_GT(runner->train().NumRows(), 0u);
+  EXPECT_GT(runner->test().NumRows(), 0u);
+  for (int y : runner->train().years()) EXPECT_LT(y, 2020);
+  for (int y : runner->test().years()) EXPECT_EQ(y, 2020);
+}
+
+TEST(ExperimentRunnerTest, IidSplitUsesFraction) {
+  ExperimentConfig config = FastConfig();
+  config.iid_split = true;
+  config.iid_test_fraction = 0.25;
+  const auto runner = std::move(ExperimentRunner::Create(config)).value();
+  const double frac =
+      static_cast<double>(runner->test().NumRows()) /
+      static_cast<double>(runner->full_dataset().NumRows());
+  EXPECT_NEAR(frac, 0.25, 0.01);
+}
+
+TEST(ExperimentRunnerTest, RunMethodProducesFullResult) {
+  const auto runner = std::move(ExperimentRunner::Create(FastConfig())).value();
+  const MethodResult r = *runner->RunMethod(Method::kErm);
+  EXPECT_EQ(r.method, Method::kErm);
+  EXPECT_EQ(r.method_name, "ERM");
+  EXPECT_EQ(r.test_scores.size(), runner->test().NumRows());
+  EXPECT_GT(r.report.per_env.size(), 3u);
+  EXPECT_GT(r.pooled_auc, 0.6);
+  EXPECT_GE(r.report.mean_ks, r.report.worst_ks);
+  EXPECT_GE(r.report.mean_auc, r.report.worst_auc);
+  EXPECT_GT(r.train_seconds, 0.0);
+}
+
+TEST(ExperimentRunnerTest, TraceEpochsRecordsCurve) {
+  const auto runner = std::move(ExperimentRunner::Create(FastConfig())).value();
+  const MethodResult r = *runner->RunMethodWithOptions(
+      Method::kLightMirm, runner->config().model, true);
+  EXPECT_EQ(r.ks_per_epoch.size(), 40u);
+  for (double ks : r.ks_per_epoch) {
+    EXPECT_GE(ks, 0.0);
+    EXPECT_LE(ks, 1.0);
+  }
+}
+
+TEST(ExperimentRunnerTest, StepTimesPopulated) {
+  const auto runner = std::move(ExperimentRunner::Create(FastConfig())).value();
+  const MethodResult r = *runner->RunMethod(Method::kMetaIrm);
+  EXPECT_GT(r.step_times.TotalSeconds(train::kStepMetaLosses), 0.0);
+  EXPECT_GT(r.step_times.TotalSeconds(train::kStepInnerOptimization), 0.0);
+  EXPECT_GT(r.step_times.TotalSeconds(train::kStepEpoch), 0.0);
+  EXPECT_GT(r.step_times.TotalSeconds("transforming the format"), 0.0);
+}
+
+TEST(ExperimentRunnerTest, DeterministicAcrossRunnersWithSameConfig) {
+  const auto a = std::move(ExperimentRunner::Create(FastConfig())).value();
+  const auto b = std::move(ExperimentRunner::Create(FastConfig())).value();
+  const MethodResult ra = *a->RunMethod(Method::kVRex);
+  const MethodResult rb = *b->RunMethod(Method::kVRex);
+  ASSERT_EQ(ra.test_scores.size(), rb.test_scores.size());
+  for (size_t i = 0; i < ra.test_scores.size(); i += 101) {
+    EXPECT_DOUBLE_EQ(ra.test_scores[i], rb.test_scores[i]);
+  }
+}
+
+TEST(ExperimentRunnerTest, CreateWithProvidedDataset) {
+  data::LoanGeneratorOptions gen = FastConfig().generator;
+  data::Dataset dataset = *data::LoanGenerator(gen).Generate();
+  const auto runner =
+      std::move(ExperimentRunner::CreateWithDataset(FastConfig(), std::move(dataset))).value();
+  EXPECT_GT(runner->train().NumRows(), 0u);
+}
+
+}  // namespace
+}  // namespace lightmirm::core

@@ -1,0 +1,94 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/loan_generator.h"
+
+namespace lightmirm::core {
+namespace {
+
+GbdtLrModel TrainSmallModel(Method method) {
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = 1000;
+  gen.last_year = 2018;
+  gen.seed = 11;
+  const data::Dataset train = *data::LoanGenerator(gen).Generate();
+  GbdtLrOptions options;
+  options.booster.num_trees = 8;
+  options.booster.tree.max_leaves = 5;
+  options.trainer.epochs = 20;
+  options.min_env_rows = 40;
+  return std::move(GbdtLrModel::Train(train, method, options)).value();
+}
+
+TEST(ModelIoTest, RoundTripPreservesScores) {
+  const GbdtLrModel original = TrainSmallModel(Method::kLightMirm);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveModel(original, &buffer).ok());
+  const GbdtLrModel loaded = std::move(LoadModel(&buffer)).value();
+  EXPECT_EQ(loaded.method(), Method::kLightMirm);
+
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = 400;
+  gen.last_year = 2018;
+  gen.seed = 12;
+  const data::Dataset fresh = *data::LoanGenerator(gen).Generate();
+  const auto a = *original.Predict(fresh);
+  const auto b = *loaded.Predict(fresh);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 13) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(ModelIoTest, RoundTripPreservesPerEnvOverrides) {
+  const GbdtLrModel original = TrainSmallModel(Method::kErmFineTune);
+  ASSERT_GT(original.predictor().per_env.size(), 0u);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveModel(original, &buffer).ok());
+  const GbdtLrModel loaded = std::move(LoadModel(&buffer)).value();
+  EXPECT_EQ(loaded.predictor().per_env.size(),
+            original.predictor().per_env.size());
+  for (const auto& [env, lr_model] : original.predictor().per_env) {
+    const auto it = loaded.predictor().per_env.find(env);
+    ASSERT_NE(it, loaded.predictor().per_env.end());
+    for (size_t j = 0; j < lr_model.params().size(); ++j) {
+      EXPECT_DOUBLE_EQ(it->second.params()[j], lr_model.params()[j]);
+    }
+  }
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const std::string path = std::string(::testing::TempDir()) + "/model.txt";
+  const GbdtLrModel original = TrainSmallModel(Method::kErm);
+  ASSERT_TRUE(SaveModelToFile(original, path).ok());
+  const auto loaded = LoadModelFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->method(), Method::kErm);
+}
+
+TEST(ModelIoTest, RejectsBadHeader) {
+  std::stringstream buffer("garbage\n");
+  EXPECT_FALSE(LoadModel(&buffer).ok());
+}
+
+TEST(ModelIoTest, RejectsTruncatedModel) {
+  const GbdtLrModel original = TrainSmallModel(Method::kErm);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveModel(original, &buffer).ok());
+  std::string text = buffer.str();
+  text.resize(text.size() / 3);
+  std::stringstream truncated(text);
+  EXPECT_FALSE(LoadModel(&truncated).ok());
+}
+
+TEST(ModelIoTest, MissingFileIsIoError) {
+  auto r = LoadModelFromFile("/no/such/model.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace lightmirm::core

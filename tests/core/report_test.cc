@@ -1,0 +1,66 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm::core {
+namespace {
+
+MethodResult MakeResult(const std::string& name, double mks, double wks) {
+  MethodResult r;
+  r.method_name = name;
+  r.report.mean_ks = mks;
+  r.report.worst_ks = wks;
+  r.report.mean_auc = 0.8;
+  r.report.worst_auc = 0.7;
+  metrics::EnvMetrics env;
+  env.env = 0;
+  env.name = "Guangdong";
+  env.rows = 100;
+  env.ks = mks;
+  env.auc = 0.8;
+  r.report.per_env.push_back(env);
+  env.name = "Tibet";
+  env.ks = wks;
+  r.report.per_env.push_back(env);
+  r.ks_per_epoch = {0.1, 0.2, 0.3};
+  return r;
+}
+
+TEST(FormatTableTest, AlignsColumns) {
+  const std::string out =
+      FormatTable({"a", "long_header"}, {{"xxxx", "1"}, {"y", "22"}});
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(ComparisonTableTest, MarksBestValues) {
+  const std::vector<MethodResult> results = {
+      MakeResult("ERM", 0.50, 0.30), MakeResult("LightMIRM", 0.60, 0.40)};
+  const std::string out = FormatComparisonTable(results);
+  EXPECT_NE(out.find("LightMIRM"), std::string::npos);
+  EXPECT_NE(out.find("0.6000*"), std::string::npos);
+  EXPECT_NE(out.find("0.4000*"), std::string::npos);
+  // ERM's values are not starred.
+  EXPECT_EQ(out.find("0.5000*"), std::string::npos);
+}
+
+TEST(ProvinceTableTest, SortsByKsDescending) {
+  const MethodResult r = MakeResult("ERM", 0.6, 0.2);
+  const std::string out = FormatProvinceTable(r);
+  EXPECT_LT(out.find("Guangdong"), out.find("Tibet"));
+}
+
+TEST(TrainingCurvesTest, OneColumnPerMethod) {
+  const std::vector<MethodResult> results = {MakeResult("A", 0.5, 0.3),
+                                             MakeResult("B", 0.6, 0.4)};
+  const std::string out = FormatTrainingCurves(results);
+  EXPECT_NE(out.find("epoch"), std::string::npos);
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("B"), std::string::npos);
+  EXPECT_NE(out.find("0.3000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lightmirm::core

@@ -1,0 +1,77 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm::data {
+namespace {
+
+Dataset MakeDataset() {
+  Schema schema({{"f0", FeatureKind::kNumeric, 0},
+                 {"f1", FeatureKind::kNumeric, 0}});
+  Matrix feats(4, 2, {0, 1, 2, 3, 4, 5, 6, 7});
+  Dataset ds(std::move(schema), std::move(feats), {0, 1, 0, 1},
+             {0, 0, 1, 2}, {2016, 2017, 2018, 2020}, {1, 2, 1, 2});
+  ds.set_env_names({"A", "B", "C"});
+  return ds;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset ds = MakeDataset();
+  EXPECT_EQ(ds.NumRows(), 4u);
+  EXPECT_EQ(ds.NumFeatures(), 2u);
+  EXPECT_EQ(ds.NumEnvs(), 3);
+  EXPECT_DOUBLE_EQ(ds.PositiveRate(), 0.5);
+  EXPECT_EQ(ds.EnvName(1), "B");
+  EXPECT_EQ(ds.EnvName(9), "env9");
+}
+
+TEST(DatasetTest, ValidateAcceptsConsistentData) {
+  EXPECT_TRUE(MakeDataset().Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsBadLabel) {
+  Schema schema({{"f", FeatureKind::kNumeric, 0}});
+  Dataset ds(std::move(schema), Matrix(1, 1), {2}, {0}, {2016}, {1});
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsColumnMismatch) {
+  Schema schema({{"f", FeatureKind::kNumeric, 0}});
+  Dataset ds(std::move(schema), Matrix(2, 1), {0}, {0, 0}, {2016, 2016},
+             {1, 1});
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsSchemaWidthMismatch) {
+  Schema schema({{"f", FeatureKind::kNumeric, 0},
+                 {"g", FeatureKind::kNumeric, 0}});
+  Dataset ds(std::move(schema), Matrix(1, 1), {0}, {0}, {2016}, {1});
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, SelectExtractsRowsInOrder) {
+  const Dataset ds = MakeDataset();
+  const Dataset sub = *ds.Select({2, 0});
+  ASSERT_EQ(sub.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(sub.features().At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sub.features().At(1, 0), 0.0);
+  EXPECT_EQ(sub.labels()[0], 0);
+  EXPECT_EQ(sub.envs()[0], 1);
+  EXPECT_EQ(sub.years()[1], 2016);
+  EXPECT_EQ(sub.EnvName(1), "B");  // env names propagate
+}
+
+TEST(DatasetTest, SelectRejectsOutOfRange) {
+  const Dataset ds = MakeDataset();
+  EXPECT_FALSE(ds.Select({7}).ok());
+}
+
+TEST(DatasetTest, SelectAllowsDuplicates) {
+  const Dataset ds = MakeDataset();
+  const Dataset sub = *ds.Select({1, 1, 1});
+  EXPECT_EQ(sub.NumRows(), 3u);
+  EXPECT_EQ(sub.labels()[2], 1);
+}
+
+}  // namespace
+}  // namespace lightmirm::data

@@ -1,0 +1,88 @@
+#include "data/env_split.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm::data {
+namespace {
+
+Dataset MakeDataset() {
+  // 8 rows, 3 envs (env 2 empty), years 2016..2020.
+  Schema schema({{"f", FeatureKind::kNumeric, 0}});
+  Matrix feats(8, 1);
+  for (size_t i = 0; i < 8; ++i) feats.At(i, 0) = static_cast<double>(i);
+  return Dataset(std::move(schema), std::move(feats),
+                 {0, 1, 0, 1, 0, 1, 0, 1}, {0, 0, 1, 1, 0, 3, 3, 0},
+                 {2016, 2017, 2018, 2019, 2020, 2020, 2016, 2018},
+                 {1, 1, 2, 2, 1, 2, 1, 1});
+}
+
+TEST(GroupByEnvTest, GroupsRowsByEnvironment) {
+  const auto groups = GroupByEnv(MakeDataset());
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].size(), 4u);
+  EXPECT_EQ(groups[1].size(), 2u);
+  EXPECT_TRUE(groups[2].empty());
+  EXPECT_EQ(groups[3].size(), 2u);
+}
+
+TEST(TemporalSplitTest, SplitsByYear) {
+  const Split split = *TemporalSplit(MakeDataset(), 2020);
+  EXPECT_EQ(split.train.NumRows(), 6u);
+  EXPECT_EQ(split.test.NumRows(), 2u);
+  for (int y : split.train.years()) EXPECT_LT(y, 2020);
+  for (int y : split.test.years()) EXPECT_EQ(y, 2020);
+}
+
+TEST(TemporalSplitTest, RejectsRowsAfterTestYear) {
+  EXPECT_FALSE(TemporalSplit(MakeDataset(), 2019).ok());
+}
+
+TEST(RandomSplitTest, PartitionsAllRows) {
+  Rng rng(3);
+  const Split split = *RandomSplit(MakeDataset(), 0.25, &rng);
+  EXPECT_EQ(split.test.NumRows(), 2u);
+  EXPECT_EQ(split.train.NumRows(), 6u);
+}
+
+TEST(RandomSplitTest, RejectsDegenerateFractions) {
+  Rng rng(3);
+  EXPECT_FALSE(RandomSplit(MakeDataset(), 0.0, &rng).ok());
+  EXPECT_FALSE(RandomSplit(MakeDataset(), 1.0, &rng).ok());
+}
+
+TEST(RandomSplitTest, DeterministicGivenSeed) {
+  Rng rng1(5), rng2(5);
+  const Split a = *RandomSplit(MakeDataset(), 0.5, &rng1);
+  const Split b = *RandomSplit(MakeDataset(), 0.5, &rng2);
+  ASSERT_EQ(a.test.NumRows(), b.test.NumRows());
+  for (size_t i = 0; i < a.test.NumRows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.test.features().At(i, 0),
+                     b.test.features().At(i, 0));
+  }
+}
+
+TEST(SplitByEnvTest, SeparatesEnvironments) {
+  const auto parts = *SplitByEnv(MakeDataset());
+  ASSERT_EQ(parts.size(), 3u);  // env 2 has no rows
+  EXPECT_EQ(parts[0].NumRows(), 4u);
+  EXPECT_EQ(parts[1].NumRows(), 2u);
+  EXPECT_EQ(parts[2].NumRows(), 2u);
+}
+
+TEST(SplitByEnvTest, MergesTinyEnvironmentsIntoRest) {
+  const auto parts = *SplitByEnv(MakeDataset(), 3);
+  // envs 1 and 3 (2 rows each) merge into one "rest" dataset.
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].NumRows(), 4u);
+  EXPECT_EQ(parts[1].NumRows(), 4u);
+}
+
+TEST(EnvCountsTest, CountsPerEnvironment) {
+  const auto counts = EnvCounts(MakeDataset());
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 4u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+}  // namespace
+}  // namespace lightmirm::data

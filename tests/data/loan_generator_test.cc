@@ -1,0 +1,178 @@
+#include "data/loan_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/env_split.h"
+#include "metrics/env_report.h"
+
+namespace lightmirm::data {
+namespace {
+
+LoanGeneratorOptions SmallOptions() {
+  LoanGeneratorOptions options;
+  options.rows_per_year = 2000;
+  options.seed = 77;
+  return options;
+}
+
+TEST(LoanGeneratorTest, ProvinceNamesAndLookup) {
+  EXPECT_EQ(LoanGenerator::ProvinceNames().size(), 31u);
+  EXPECT_EQ(*LoanGenerator::ProvinceIndex("Guangdong"), 0);
+  EXPECT_EQ(*LoanGenerator::ProvinceIndex("Hubei"), 6);
+  EXPECT_FALSE(LoanGenerator::ProvinceIndex("Atlantis").ok());
+}
+
+TEST(LoanGeneratorTest, GeneratesRequestedShape) {
+  const LoanGenerator gen(SmallOptions());
+  const Dataset ds = *gen.Generate();
+  EXPECT_EQ(ds.NumRows(), 2000u * 5u);
+  EXPECT_EQ(static_cast<int>(ds.NumFeatures()), gen.NumFeatures());
+  EXPECT_EQ(gen.NumFeatures(), 210);  // the paper's dimensionality
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(LoanGeneratorTest, DeterministicGivenSeed) {
+  const Dataset a = *LoanGenerator(SmallOptions()).Generate();
+  const Dataset b = *LoanGenerator(SmallOptions()).Generate();
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  for (size_t i = 0; i < a.NumRows(); i += 97) {
+    EXPECT_EQ(a.labels()[i], b.labels()[i]);
+    EXPECT_EQ(a.envs()[i], b.envs()[i]);
+    EXPECT_DOUBLE_EQ(a.features().At(i, 0), b.features().At(i, 0));
+  }
+}
+
+TEST(LoanGeneratorTest, DifferentSeedsDiffer) {
+  LoanGeneratorOptions other = SmallOptions();
+  other.seed = 78;
+  const Dataset a = *LoanGenerator(SmallOptions()).Generate();
+  const Dataset b = *LoanGenerator(other).Generate();
+  size_t diff = 0;
+  for (size_t i = 0; i < a.NumRows(); i += 13) {
+    if (a.labels()[i] != b.labels()[i]) ++diff;
+  }
+  EXPECT_GT(diff, 0u);
+}
+
+TEST(LoanGeneratorTest, DefaultRateInPlausibleBand) {
+  const Dataset ds = *LoanGenerator(SmallOptions()).Generate();
+  EXPECT_GT(ds.PositiveRate(), 0.04);
+  EXPECT_LT(ds.PositiveRate(), 0.20);
+}
+
+TEST(LoanGeneratorTest, GuangdongShareHalvesIn2020) {
+  const LoanGenerator gen(SmallOptions());
+  const std::vector<double> pre = gen.YearShares(2019);
+  const std::vector<double> post = gen.YearShares(2020);
+  const double ratio = post[0] / pre[0];
+  EXPECT_LT(ratio, 0.65);
+  EXPECT_GT(ratio, 0.40);
+}
+
+TEST(LoanGeneratorTest, YearSharesNormalized) {
+  const LoanGenerator gen(SmallOptions());
+  for (int year : {2016, 2020}) {
+    double total = 0.0;
+    for (double s : gen.YearShares(year)) total += s;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LoanGeneratorTest, VehicleMixIsDistributionAndShiftsWithEconomy) {
+  const LoanGenerator gen(SmallOptions());
+  const int shanghai = *LoanGenerator::ProvinceIndex("Shanghai");
+  const int tibet = *LoanGenerator::ProvinceIndex("Tibet");
+  for (int p : {shanghai, tibet}) {
+    const auto mix = gen.VehicleMix(p, 2018);
+    double total = 0.0;
+    for (double v : mix) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  // Developed Shanghai buys more trailer trucks; Tibet more used cars.
+  EXPECT_GT(gen.VehicleMix(shanghai, 2018)[2], gen.VehicleMix(tibet, 2018)[2]);
+  EXPECT_LT(gen.VehicleMix(shanghai, 2018)[1], gen.VehicleMix(tibet, 2018)[1]);
+}
+
+TEST(LoanGeneratorTest, UsedCarShareGrowsOverYears) {
+  const LoanGenerator gen(SmallOptions());
+  const int henan = *LoanGenerator::ProvinceIndex("Henan");
+  EXPECT_GT(gen.VehicleMix(henan, 2020)[1], gen.VehicleMix(henan, 2016)[1]);
+}
+
+TEST(LoanGeneratorTest, TrueLogitsAreBayesOptimal) {
+  std::vector<double> logits;
+  const Dataset ds = *LoanGenerator(SmallOptions()).Generate(&logits);
+  ASSERT_EQ(logits.size(), ds.NumRows());
+  // The true logit must rank labels far better than chance.
+  const auto pooled = metrics::EvaluatePooled(ds.labels(), logits);
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_GT(pooled->auc, 0.85);
+}
+
+TEST(LoanGeneratorTest, CovidRaisesHubeiH1DefaultRate) {
+  LoanGeneratorOptions options = SmallOptions();
+  options.rows_per_year = 20000;  // enough Hubei-2020 rows
+  const Dataset ds = *LoanGenerator(options).Generate();
+  const int hubei = *LoanGenerator::ProvinceIndex("Hubei");
+  double h1_pos = 0, h1_n = 0, h2_pos = 0, h2_n = 0;
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    if (ds.envs()[i] != hubei || ds.years()[i] != 2020) continue;
+    if (ds.halves()[i] == 1) {
+      h1_n += 1;
+      h1_pos += ds.labels()[i];
+    } else {
+      h2_n += 1;
+      h2_pos += ds.labels()[i];
+    }
+  }
+  ASSERT_GT(h1_n, 100);
+  ASSERT_GT(h2_n, 100);
+  EXPECT_GT(h1_pos / h1_n, 1.15 * (h2_pos / h2_n));
+}
+
+TEST(LoanGeneratorTest, RejectsBadOptions) {
+  LoanGeneratorOptions options = SmallOptions();
+  options.rows_per_year = 0;
+  EXPECT_FALSE(LoanGenerator(options).Generate().ok());
+  options = SmallOptions();
+  options.last_year = options.first_year - 1;
+  EXPECT_FALSE(LoanGenerator(options).Generate().ok());
+}
+
+TEST(LoanGeneratorTest, ProfilesGiveSmallProvincesDisagreeingPatterns) {
+  const LoanGenerator gen(SmallOptions());
+  const auto& profiles = gen.profiles();
+  // Guangdong (largest): strongly aligned spurious patterns.
+  EXPECT_GT(profiles[0].spurious_agree_train, 0.85);
+  // Tibet (smallest): below 0.5 -> locally flipped.
+  EXPECT_LT(profiles[30].spurious_agree_train, 0.5);
+}
+
+// Property sweep: every year's env column stays within range for several
+// seeds.
+class GeneratorSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedTest, EnvAndHalfColumnsWellFormed) {
+  LoanGeneratorOptions options;
+  options.rows_per_year = 500;
+  options.seed = GetParam();
+  const Dataset ds = *LoanGenerator(options).Generate();
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    EXPECT_GE(ds.envs()[i], 0);
+    EXPECT_LT(ds.envs()[i], 31);
+    EXPECT_TRUE(ds.halves()[i] == 1 || ds.halves()[i] == 2);
+    EXPECT_GE(ds.years()[i], 2016);
+    EXPECT_LE(ds.years()[i], 2020);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(1, 42, 77, 1234, 99999));
+
+}  // namespace
+}  // namespace lightmirm::data

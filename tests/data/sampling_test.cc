@@ -1,0 +1,83 @@
+#include "data/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "data/env_split.h"
+
+namespace lightmirm::data {
+namespace {
+
+Dataset MakeImbalanced() {
+  // env 0: 8 rows, env 1: 2 rows; 20% positives overall.
+  Schema schema({{"f", FeatureKind::kNumeric, 0}});
+  Matrix feats(10, 1);
+  std::vector<int> labels = {1, 0, 0, 0, 0, 1, 0, 0, 0, 0};
+  std::vector<int> envs = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1};
+  std::vector<int> years(10, 2016);
+  std::vector<int> halves(10, 1);
+  return Dataset(std::move(schema), std::move(feats), std::move(labels),
+                 std::move(envs), std::move(years), std::move(halves));
+}
+
+TEST(UpSamplingTest, LiftsSmallEnvironments) {
+  UpSamplingOptions options;
+  options.target_fraction = 0.75;  // target = 6 rows
+  const Dataset up = *UpSampleEnvironments(MakeImbalanced(), options);
+  const auto counts = EnvCounts(up);
+  EXPECT_EQ(counts[0], 8u);
+  EXPECT_EQ(counts[1], 6u);
+}
+
+TEST(UpSamplingTest, NoOpWhenAlreadyBalanced) {
+  UpSamplingOptions options;
+  options.target_fraction = 0.25;  // target = 2, env 1 already has 2
+  const Dataset up = *UpSampleEnvironments(MakeImbalanced(), options);
+  EXPECT_EQ(up.NumRows(), 10u);
+}
+
+TEST(UpSamplingTest, RejectsBadFraction) {
+  EXPECT_FALSE(UpSampleEnvironments(MakeImbalanced(), {0.0, 1}).ok());
+  EXPECT_FALSE(UpSampleEnvironments(MakeImbalanced(), {1.5, 1}).ok());
+}
+
+TEST(UpSamplingTest, DeterministicGivenSeed) {
+  UpSamplingOptions options;
+  options.target_fraction = 1.0;
+  options.seed = 9;
+  const Dataset a = *UpSampleEnvironments(MakeImbalanced(), options);
+  const Dataset b = *UpSampleEnvironments(MakeImbalanced(), options);
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_EQ(a.envs()[i], b.envs()[i]);
+  }
+}
+
+TEST(ClassBalanceWeightsTest, RebalancesPositiveMass) {
+  const Dataset ds = MakeImbalanced();
+  const std::vector<double> w = ClassBalanceWeights(ds, 0.5);
+  double pos_mass = 0.0, total = 0.0;
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    total += w[i];
+    if (ds.labels()[i] == 1) pos_mass += w[i];
+  }
+  EXPECT_NEAR(pos_mass / total, 0.5, 1e-9);
+}
+
+TEST(ClassBalanceWeightsTest, SingleClassYieldsOnes) {
+  Schema schema({{"f", FeatureKind::kNumeric, 0}});
+  Dataset ds(std::move(schema), Matrix(2, 1), {0, 0}, {0, 0}, {2016, 2016},
+             {1, 1});
+  const std::vector<double> w = ClassBalanceWeights(ds, 0.5);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+}
+
+TEST(SampleBatchTest, IndicesInRangeAndSized) {
+  Rng rng(4);
+  const auto batch = SampleBatch(17, 64, &rng);
+  EXPECT_EQ(batch.size(), 64u);
+  for (size_t i : batch) EXPECT_LT(i, 17u);
+}
+
+}  // namespace
+}  // namespace lightmirm::data

@@ -1,0 +1,30 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm::data {
+namespace {
+
+TEST(SchemaTest, AddAndLookupFields) {
+  Schema schema;
+  EXPECT_EQ(schema.AddField({"age", FeatureKind::kNumeric, 0}), 0u);
+  EXPECT_EQ(schema.AddField({"vehicle", FeatureKind::kCategorical, 4}), 1u);
+  EXPECT_EQ(schema.num_features(), 2u);
+  EXPECT_EQ(*schema.FieldIndex("vehicle"), 1u);
+  EXPECT_EQ(schema.field(1).cardinality, 4);
+  EXPECT_FALSE(schema.FieldIndex("missing").ok());
+}
+
+TEST(SchemaTest, EqualityComparesAllFields) {
+  Schema a({{"x", FeatureKind::kNumeric, 0}});
+  Schema b({{"x", FeatureKind::kNumeric, 0}});
+  Schema c({{"x", FeatureKind::kBinary, 0}});
+  Schema d({{"y", FeatureKind::kNumeric, 0}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  EXPECT_FALSE(a == Schema());
+}
+
+}  // namespace
+}  // namespace lightmirm::data

@@ -1,0 +1,105 @@
+#include "gbdt/bin_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lightmirm::gbdt {
+namespace {
+
+TEST(BinMapperTest, BinsAreOrderedAndCoverRange) {
+  Rng rng(1);
+  std::vector<double> values(1000);
+  for (double& v : values) v = rng.Normal();
+  const BinMapper mapper = BinMapper::Fit(values, 16);
+  EXPECT_GT(mapper.num_bins(), 4);
+  EXPECT_LE(mapper.num_bins(), 16);
+  const auto& bounds = mapper.upper_bounds();
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(BinMapperTest, BinOfRespectsBoundaries) {
+  Rng rng(2);
+  std::vector<double> values(500);
+  for (double& v : values) v = rng.Uniform();
+  const BinMapper mapper = BinMapper::Fit(values, 8);
+  for (double v : values) {
+    const uint16_t b = mapper.BinOf(v);
+    ASSERT_LT(b, mapper.num_bins());
+    // bin b covers (ub[b-1], ub[b]]
+    if (b > 0) EXPECT_GT(v, mapper.UpperBound(b - 1));
+    if (b + 1 < mapper.num_bins()) EXPECT_LE(v, mapper.UpperBound(b));
+  }
+}
+
+TEST(BinMapperTest, ExtremeValuesLandInEdgeBins) {
+  std::vector<double> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  const BinMapper mapper = BinMapper::Fit(values, 4);
+  EXPECT_EQ(mapper.BinOf(-100.0), 0);
+  EXPECT_EQ(mapper.BinOf(100.0), mapper.num_bins() - 1);
+}
+
+TEST(BinMapperTest, FewDistinctValuesCollapseBins) {
+  std::vector<double> values(100, 1.0);
+  values.resize(200, 1.0);
+  for (size_t i = 0; i < 100; ++i) values.push_back(2.0);
+  const BinMapper mapper = BinMapper::Fit(values, 32);
+  EXPECT_LE(mapper.num_bins(), 3);
+  EXPECT_NE(mapper.BinOf(1.0), mapper.BinOf(2.0));
+}
+
+TEST(BinMapperTest, ConstantFeatureGetsOneBin) {
+  std::vector<double> values(100, 5.0);
+  const BinMapper mapper = BinMapper::Fit(values, 16);
+  EXPECT_EQ(mapper.num_bins(), 1);
+  EXPECT_EQ(mapper.BinOf(5.0), 0);
+  EXPECT_EQ(mapper.BinOf(99.0), 0);
+}
+
+TEST(BinnedMatrixTest, BuildsAllColumns) {
+  Rng rng(3);
+  Matrix raw(200, 4);
+  for (size_t r = 0; r < raw.rows(); ++r) {
+    for (size_t c = 0; c < raw.cols(); ++c) raw.At(r, c) = rng.Normal();
+  }
+  const BinnedMatrix binned = *BinnedMatrix::Build(raw, 16);
+  EXPECT_EQ(binned.rows(), 200u);
+  EXPECT_EQ(binned.num_features(), 4u);
+  EXPECT_LE(binned.MaxBinCount(), 16);
+  for (size_t f = 0; f < 4; ++f) {
+    const auto& bins = binned.FeatureBins(f);
+    ASSERT_EQ(bins.size(), 200u);
+    for (size_t r = 0; r < 200; ++r) {
+      EXPECT_EQ(bins[r], binned.mapper(f).BinOf(raw.At(r, f)));
+    }
+  }
+}
+
+TEST(BinnedMatrixTest, RejectsBadInputs) {
+  EXPECT_FALSE(BinnedMatrix::Build(Matrix(0, 0), 16).ok());
+  EXPECT_FALSE(BinnedMatrix::Build(Matrix(10, 2), 1).ok());
+  EXPECT_FALSE(BinnedMatrix::Build(Matrix(10, 2), 100000).ok());
+}
+
+// Property: binning is monotone — larger values never get smaller bins.
+class BinMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinMonotoneTest, BinOfIsMonotone) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> values(400);
+  for (double& v : values) v = rng.Normal(0.0, 3.0);
+  const BinMapper mapper = BinMapper::Fit(values, GetParam() % 60 + 4);
+  double prev = -10.0;
+  for (double v = -10.0; v <= 10.0; v += 0.05) {
+    EXPECT_LE(mapper.BinOf(prev), mapper.BinOf(v));
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinMonotoneTest,
+                         ::testing::Values(2, 7, 19, 64, 255));
+
+}  // namespace
+}  // namespace lightmirm::gbdt

@@ -1,0 +1,86 @@
+#include "gbdt/importance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linear/logistic.h"
+
+namespace lightmirm::gbdt {
+namespace {
+
+// Feature 0 carries all the signal; features 1-3 are noise.
+Booster TrainSignalBooster(data::Schema* schema_out) {
+  Rng rng(1);
+  const size_t n = 2000;
+  Matrix features(n, 4);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 4; ++j) features.At(i, j) = rng.Normal();
+    labels[i] =
+        rng.Bernoulli(linear::Sigmoid(2.5 * features.At(i, 0))) ? 1 : 0;
+  }
+  BoosterOptions options;
+  options.num_trees = 15;
+  options.tree.max_leaves = 6;
+  *schema_out = data::Schema({{"signal", data::FeatureKind::kNumeric, 0},
+                              {"noise_a", data::FeatureKind::kNumeric, 0},
+                              {"noise_b", data::FeatureKind::kNumeric, 0},
+                              {"noise_c", data::FeatureKind::kNumeric, 0}});
+  return *Booster::Train(features, labels, options);
+}
+
+TEST(ImportanceTest, SignalFeatureDominates) {
+  data::Schema schema;
+  const Booster booster = TrainSignalBooster(&schema);
+  const auto importances = SplitImportance(booster, schema);
+  ASSERT_FALSE(importances.empty());
+  EXPECT_EQ(importances[0].name, "signal");
+  EXPECT_GT(importances[0].split_count, 3);
+  // The signal feature has more splits than all noise combined.
+  int64_t noise_splits = 0;
+  for (size_t i = 1; i < importances.size(); ++i) {
+    noise_splits += importances[i].split_count;
+  }
+  EXPECT_GT(importances[0].split_count, noise_splits);
+}
+
+TEST(ImportanceTest, SplitCountsSumToTreeSplits) {
+  data::Schema schema;
+  const Booster booster = TrainSignalBooster(&schema);
+  const auto importances = SplitImportance(booster, schema);
+  int64_t total_from_importance = 0;
+  for (const auto& imp : importances) {
+    total_from_importance += imp.split_count;
+  }
+  int64_t total_splits = 0;
+  for (const Tree& tree : booster.trees()) {
+    total_splits += static_cast<int64_t>(tree.num_nodes()) -
+                    static_cast<int64_t>(tree.num_leaves());
+  }
+  EXPECT_EQ(total_from_importance, total_splits);
+}
+
+TEST(ImportanceTest, BucketsPartitionSplits) {
+  data::Schema schema;
+  const Booster booster = TrainSignalBooster(&schema);
+  const auto importances = SplitImportance(booster, schema);
+  const auto buckets = BucketImportance(importances, {"signal", "noise_"});
+  ASSERT_EQ(buckets.size(), 3u);  // signal, noise_, (other)
+  double total_share = 0.0;
+  for (const auto& b : buckets) total_share += b.share;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+  EXPECT_GT(buckets[0].share, 0.5);
+  EXPECT_EQ(buckets[2].split_count, 0);
+}
+
+TEST(ImportanceTest, FormatTableIsReadable) {
+  data::Schema schema;
+  const Booster booster = TrainSignalBooster(&schema);
+  const auto importances = SplitImportance(booster, schema);
+  const std::string table = FormatImportanceTable(importances, 3);
+  EXPECT_NE(table.find("signal"), std::string::npos);
+  EXPECT_NE(table.find("splits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lightmirm::gbdt

@@ -1,0 +1,112 @@
+#include "gbdt/leaf_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linear/logistic.h"
+
+namespace lightmirm::gbdt {
+namespace {
+
+Booster TrainSmallBooster(Matrix* features_out, std::vector<int>* labels_out,
+                          int num_trees = 10) {
+  Rng rng(1);
+  const size_t n = 1000;
+  Matrix features(n, 3);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 3; ++j) features.At(i, j) = rng.Normal();
+    labels[i] =
+        rng.Bernoulli(linear::Sigmoid(features.At(i, 0) * 2.0)) ? 1 : 0;
+  }
+  BoosterOptions options;
+  options.num_trees = num_trees;
+  options.tree.max_leaves = 6;
+  Booster booster = *Booster::Train(features, labels, options);
+  *features_out = std::move(features);
+  *labels_out = std::move(labels);
+  return booster;
+}
+
+TEST(LeafEncoderTest, OneActiveColumnPerTree) {
+  Matrix features;
+  std::vector<int> labels;
+  const Booster booster = TrainSmallBooster(&features, &labels);
+  const LeafEncoder encoder(&booster);
+  const linear::FeatureMatrix encoded = *encoder.Encode(features);
+  EXPECT_EQ(encoded.rows(), features.rows());
+  EXPECT_EQ(encoded.cols(), static_cast<size_t>(booster.TotalLeaves()));
+  EXPECT_FALSE(encoded.dense_mode());
+  for (size_t r = 0; r < encoded.rows(); r += 31) {
+    EXPECT_EQ(encoded.SparseRow(r).size(), booster.trees().size());
+  }
+  EXPECT_DOUBLE_EQ(encoded.MeanRowNnz(),
+                   static_cast<double>(booster.trees().size()));
+}
+
+TEST(LeafEncoderTest, ColumnsSegmentByTree) {
+  Matrix features;
+  std::vector<int> labels;
+  const Booster booster = TrainSmallBooster(&features, &labels);
+  const LeafEncoder encoder(&booster);
+  const linear::FeatureMatrix encoded = *encoder.Encode(features);
+  // Active column t must lie in tree t's segment.
+  size_t offset = 0;
+  std::vector<std::pair<size_t, size_t>> segments;
+  for (const Tree& tree : booster.trees()) {
+    segments.emplace_back(offset,
+                          offset + static_cast<size_t>(tree.num_leaves()));
+    offset += static_cast<size_t>(tree.num_leaves());
+  }
+  for (size_t r = 0; r < encoded.rows(); r += 17) {
+    const auto& active = encoded.SparseRow(r);
+    for (size_t t = 0; t < active.size(); ++t) {
+      EXPECT_GE(active[t], segments[t].first);
+      EXPECT_LT(active[t], segments[t].second);
+    }
+  }
+}
+
+TEST(LeafEncoderTest, EncodingMatchesPredictLeaves) {
+  Matrix features;
+  std::vector<int> labels;
+  const Booster booster = TrainSmallBooster(&features, &labels);
+  const LeafEncoder encoder(&booster);
+  const linear::FeatureMatrix encoded = *encoder.Encode(features);
+  std::vector<int> leaves;
+  for (size_t r = 0; r < features.rows(); r += 23) {
+    booster.PredictLeaves(features.Row(r), &leaves);
+    const auto& active = encoded.SparseRow(r);
+    for (size_t t = 0; t < leaves.size(); ++t) {
+      EXPECT_EQ(active[t], encoder.ColumnOf(t, leaves[t]));
+    }
+  }
+}
+
+TEST(LeafEncoderTest, LeafFeaturesLinearlyRecoverBoosterScore) {
+  // A linear model over the leaf one-hots with weights = leaf values
+  // reproduces the booster's logit exactly (§III-C consistency).
+  Matrix features;
+  std::vector<int> labels;
+  const Booster booster = TrainSmallBooster(&features, &labels);
+  const LeafEncoder encoder(&booster);
+  const linear::FeatureMatrix encoded = *encoder.Encode(features);
+
+  std::vector<double> weights(encoder.num_columns() + 1, 0.0);
+  for (size_t t = 0; t < booster.trees().size(); ++t) {
+    for (const TreeNode& node : booster.trees()[t].nodes()) {
+      if (node.is_leaf) {
+        weights[encoder.ColumnOf(t, node.leaf_ordinal)] = node.leaf_value;
+      }
+    }
+  }
+  weights.back() = booster.base_score();
+  for (size_t r = 0; r < features.rows(); r += 41) {
+    const double via_leaves =
+        encoded.RowDot(r, weights) + weights.back();
+    EXPECT_NEAR(via_leaves, booster.PredictLogit(features.Row(r)), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lightmirm::gbdt

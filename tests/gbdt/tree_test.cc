@@ -1,0 +1,161 @@
+#include "gbdt/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace lightmirm::gbdt {
+namespace {
+
+struct Problem {
+  Matrix raw;
+  BinnedMatrix binned;
+  std::vector<double> grads;
+  std::vector<double> hessians;
+  std::vector<size_t> rows;
+};
+
+// Gradient pattern an ideal tree can fit: grad = -sign(x0) - sign(x1)/2.
+Problem MakeProblem(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Problem p{Matrix(n, 2), BinnedMatrix(), {}, {}, {}};
+  p.grads.resize(n);
+  p.hessians.assign(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    p.raw.At(i, 0) = rng.Normal();
+    p.raw.At(i, 1) = rng.Normal();
+    p.grads[i] = -(p.raw.At(i, 0) > 0 ? 1.0 : -1.0) -
+                 0.5 * (p.raw.At(i, 1) > 0 ? 1.0 : -1.0);
+    p.rows.push_back(i);
+  }
+  p.binned = *BinnedMatrix::Build(p.raw, 32);
+  return p;
+}
+
+TEST(GrowTreeTest, RespectsMaxLeaves) {
+  Problem p = MakeProblem(500, 1);
+  TreeLearnerOptions options;
+  options.max_leaves = 4;
+  Rng rng(2);
+  const Tree tree =
+      *GrowTree(p.binned, p.rows, p.grads, p.hessians, options, &rng);
+  EXPECT_LE(tree.num_leaves(), 4);
+  EXPECT_GE(tree.num_leaves(), 2);
+}
+
+TEST(GrowTreeTest, LeafOrdinalsAreDense) {
+  Problem p = MakeProblem(500, 3);
+  TreeLearnerOptions options;
+  options.max_leaves = 8;
+  Rng rng(4);
+  const Tree tree =
+      *GrowTree(p.binned, p.rows, p.grads, p.hessians, options, &rng);
+  std::set<int> ordinals;
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.is_leaf) ordinals.insert(node.leaf_ordinal);
+  }
+  EXPECT_EQ(static_cast<int>(ordinals.size()), tree.num_leaves());
+  EXPECT_EQ(*ordinals.begin(), 0);
+  EXPECT_EQ(*ordinals.rbegin(), tree.num_leaves() - 1);
+}
+
+TEST(GrowTreeTest, PredictLeafMatchesTraversal) {
+  Problem p = MakeProblem(300, 5);
+  TreeLearnerOptions options;
+  options.max_leaves = 6;
+  Rng rng(6);
+  const Tree tree =
+      *GrowTree(p.binned, p.rows, p.grads, p.hessians, options, &rng);
+  for (size_t i = 0; i < 300; i += 7) {
+    const int leaf = tree.PredictLeaf(p.raw.Row(i));
+    EXPECT_GE(leaf, 0);
+    EXPECT_LT(leaf, tree.num_leaves());
+    // Rows in the same leaf share the same prediction.
+    EXPECT_EQ(tree.Predict(p.raw.Row(i)),
+              tree.Predict(p.raw.Row(i)));
+  }
+}
+
+TEST(GrowTreeTest, FitsSignPattern) {
+  // With 4 leaves the tree can capture the 2x2 sign structure: predictions
+  // should be positively correlated with -grad.
+  Problem p = MakeProblem(2000, 7);
+  TreeLearnerOptions options;
+  options.max_leaves = 4;
+  options.shrinkage = 1.0;
+  Rng rng(8);
+  const Tree tree =
+      *GrowTree(p.binned, p.rows, p.grads, p.hessians, options, &rng);
+  double corr = 0.0;
+  for (size_t i = 0; i < 2000; ++i) {
+    corr += tree.Predict(p.raw.Row(i)) * (-p.grads[i]);
+  }
+  EXPECT_GT(corr / 2000.0, 0.5);
+}
+
+TEST(GrowTreeTest, ShrinkageScalesLeafValues) {
+  Problem p = MakeProblem(500, 9);
+  TreeLearnerOptions full, tenth;
+  full.max_leaves = 4;
+  full.shrinkage = 1.0;
+  tenth.max_leaves = 4;
+  tenth.shrinkage = 0.1;
+  Rng rng1(10), rng2(10);
+  const Tree t1 =
+      *GrowTree(p.binned, p.rows, p.grads, p.hessians, full, &rng1);
+  const Tree t2 =
+      *GrowTree(p.binned, p.rows, p.grads, p.hessians, tenth, &rng2);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(t2.Predict(p.raw.Row(i)), 0.1 * t1.Predict(p.raw.Row(i)),
+                1e-9);
+  }
+}
+
+TEST(GrowTreeTest, PureNodeStopsEarly) {
+  // Uniform gradient: no split has positive gain -> single leaf.
+  const size_t n = 100;
+  Matrix raw(n, 1);
+  Rng data_rng(11);
+  for (size_t i = 0; i < n; ++i) raw.At(i, 0) = data_rng.Normal();
+  const BinnedMatrix binned = *BinnedMatrix::Build(raw, 16);
+  std::vector<double> grads(n, 1.0), hessians(n, 1.0);
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < n; ++i) rows.push_back(i);
+  TreeLearnerOptions options;
+  options.max_leaves = 16;
+  Rng rng(12);
+  const Tree tree = *GrowTree(binned, rows, grads, hessians, options, &rng);
+  EXPECT_EQ(tree.num_leaves(), 1);
+}
+
+TEST(GrowTreeTest, RejectsBadInputs) {
+  Problem p = MakeProblem(50, 13);
+  TreeLearnerOptions options;
+  Rng rng(14);
+  options.max_leaves = 1;
+  EXPECT_FALSE(
+      GrowTree(p.binned, p.rows, p.grads, p.hessians, options, &rng).ok());
+  options.max_leaves = 4;
+  EXPECT_FALSE(
+      GrowTree(p.binned, {}, p.grads, p.hessians, options, &rng).ok());
+}
+
+TEST(GrowTreeTest, FeatureFractionLimitsFeatures) {
+  Problem p = MakeProblem(500, 15);
+  TreeLearnerOptions options;
+  options.max_leaves = 8;
+  options.feature_fraction = 0.5;  // only 1 of 2 features per tree
+  Rng rng(16);
+  const Tree tree =
+      *GrowTree(p.binned, p.rows, p.grads, p.hessians, options, &rng);
+  std::set<int> used;
+  for (const TreeNode& node : tree.nodes()) {
+    if (!node.is_leaf) used.insert(node.feature);
+  }
+  EXPECT_LE(used.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lightmirm::gbdt

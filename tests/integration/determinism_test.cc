@@ -1,0 +1,66 @@
+// Determinism: the whole stack is reproducible bit-for-bit given seeds —
+// generation, GBDT training, leaf encoding, and every trainer.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "gbdt/serialize.h"
+
+#include <sstream>
+
+namespace lightmirm::core {
+namespace {
+
+ExperimentConfig FastConfig(uint64_t seed) {
+  ExperimentConfig config;
+  config.generator.rows_per_year = 1200;
+  config.generator.seed = seed;
+  config.model.booster.num_trees = 10;
+  config.model.trainer.epochs = 25;
+  config.model.min_env_rows = 40;
+  config.eval_min_rows = 30;
+  return config;
+}
+
+TEST(DeterminismTest, BoosterSerializationIsIdenticalAcrossRuns) {
+  const auto a = std::move(ExperimentRunner::Create(FastConfig(5))).value();
+  const auto b = std::move(ExperimentRunner::Create(FastConfig(5))).value();
+  std::stringstream sa, sb;
+  ASSERT_TRUE(gbdt::SaveBooster(a->booster(), &sa).ok());
+  ASSERT_TRUE(gbdt::SaveBooster(b->booster(), &sb).ok());
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(DeterminismTest, EveryMethodReproducesItsScores) {
+  const auto a = std::move(ExperimentRunner::Create(FastConfig(6))).value();
+  const auto b = std::move(ExperimentRunner::Create(FastConfig(6))).value();
+  for (Method method :
+       {Method::kErm, Method::kUpSampling, Method::kGroupDro, Method::kVRex,
+        Method::kIrmV1, Method::kLightMirm}) {
+    const MethodResult ra = *a->RunMethod(method);
+    const MethodResult rb = *b->RunMethod(method);
+    ASSERT_EQ(ra.test_scores.size(), rb.test_scores.size());
+    for (size_t i = 0; i < ra.test_scores.size(); i += 37) {
+      EXPECT_DOUBLE_EQ(ra.test_scores[i], rb.test_scores[i])
+          << MethodName(method) << " row " << i;
+    }
+  }
+}
+
+TEST(DeterminismTest, RepeatedRunsOnSameRunnerAreIdentical) {
+  const auto runner = std::move(ExperimentRunner::Create(FastConfig(7))).value();
+  const MethodResult first = *runner->RunMethod(Method::kLightMirm);
+  const MethodResult second = *runner->RunMethod(Method::kLightMirm);
+  EXPECT_DOUBLE_EQ(first.report.mean_ks, second.report.mean_ks);
+  EXPECT_DOUBLE_EQ(first.report.worst_ks, second.report.worst_ks);
+}
+
+TEST(DeterminismTest, DifferentSeedsChangeOutcomes) {
+  const auto a = std::move(ExperimentRunner::Create(FastConfig(8))).value();
+  const auto b = std::move(ExperimentRunner::Create(FastConfig(9))).value();
+  const MethodResult ra = *a->RunMethod(Method::kErm);
+  const MethodResult rb = *b->RunMethod(Method::kErm);
+  EXPECT_NE(ra.report.mean_ks, rb.report.mean_ks);
+}
+
+}  // namespace
+}  // namespace lightmirm::core

@@ -1,0 +1,89 @@
+// Full-pipeline integration test: synthetic data -> temporal split ->
+// shared GBDT feature extraction -> every training paradigm -> per-province
+// evaluation. Checks the qualitative shapes the paper reports (at a scale
+// small enough for CI).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace lightmirm::core {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentConfig config;
+    config.generator.rows_per_year = 4000;
+    config.generator.seed = 42;
+    config.model.booster.num_trees = 30;
+    config.model.trainer.epochs = 120;
+    config.model.min_env_rows = 80;
+    config.eval_min_rows = 60;
+    runner_ = std::move(ExperimentRunner::Create(config)).value().release();
+  }
+
+  static void TearDownTestSuite() {
+    delete runner_;
+    runner_ = nullptr;
+  }
+
+  static ExperimentRunner* runner_;
+};
+
+ExperimentRunner* EndToEndTest::runner_ = nullptr;
+
+TEST_F(EndToEndTest, ErmIsAccurateButUnfair) {
+  const MethodResult erm = *runner_->RunMethod(Method::kErm);
+  EXPECT_GT(erm.report.mean_auc, 0.72);
+  EXPECT_GT(erm.report.mean_ks, 0.40);
+  // The minimax gap the paper motivates: the worst province is far below
+  // the mean.
+  EXPECT_LT(erm.report.worst_ks, 0.85 * erm.report.mean_ks);
+}
+
+TEST_F(EndToEndTest, LightMirmImprovesWorstProvince) {
+  const MethodResult erm = *runner_->RunMethod(Method::kErm);
+  const MethodResult light = *runner_->RunMethod(Method::kLightMirm);
+  // Headline claim (Table I shape): better minimax fairness without
+  // sacrificing overall accuracy.
+  EXPECT_GT(light.report.worst_ks, erm.report.worst_ks);
+  EXPECT_GT(light.report.mean_ks, 0.95 * erm.report.mean_ks);
+  EXPECT_GT(light.report.worst_auc, erm.report.worst_auc - 0.01);
+}
+
+TEST_F(EndToEndTest, LightMirmMuchFasterThanMetaIrm) {
+  const MethodResult meta = *runner_->RunMethod(Method::kMetaIrm);
+  const MethodResult light = *runner_->RunMethod(Method::kLightMirm);
+  // Table III shape: at M ~ 25-30 environments the meta-loss step should
+  // be an order of magnitude cheaper and the whole run several-fold
+  // faster.
+  EXPECT_LT(light.train_seconds * 3.0, meta.train_seconds);
+  EXPECT_LT(
+      light.step_times.TotalSeconds(train::kStepMetaLosses) * 8.0,
+      meta.step_times.TotalSeconds(train::kStepMetaLosses));
+  // And comparable quality (Table II shape).
+  EXPECT_GT(light.report.mean_ks, meta.report.mean_ks - 0.02);
+}
+
+TEST_F(EndToEndTest, SampledMetaIrmIsCheaperButNoBetter) {
+  ExperimentConfig config = runner_->config();
+  GbdtLrOptions sampled = config.model;
+  sampled.meta_irm.sample_size = 5;
+  const MethodResult s5 =
+      *runner_->RunMethodWithOptions(Method::kMetaIrm, sampled, false);
+  const MethodResult full = *runner_->RunMethod(Method::kMetaIrm);
+  EXPECT_LT(s5.train_seconds, full.train_seconds);
+}
+
+TEST_F(EndToEndTest, ComparisonTableRenders) {
+  std::vector<MethodResult> results;
+  results.push_back(*runner_->RunMethod(Method::kErm));
+  results.push_back(*runner_->RunMethod(Method::kLightMirm));
+  const std::string table = FormatComparisonTable(results);
+  EXPECT_NE(table.find("ERM"), std::string::npos);
+  EXPECT_NE(table.find("LightMIRM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lightmirm::core

@@ -1,0 +1,104 @@
+// Property-style invariants of the evaluation stack, swept over seeds:
+// report aggregates are consistent, scores are probabilities, Bayes scores
+// upper-bound trained models, and fairness metrics behave sanely.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "metrics/calibration.h"
+#include "metrics/env_report.h"
+
+namespace lightmirm::core {
+namespace {
+
+class FairnessPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FairnessPropertyTest, ReportInvariantsHold) {
+  ExperimentConfig config;
+  config.generator.rows_per_year = 1500;
+  config.generator.seed = GetParam();
+  config.model.booster.num_trees = 12;
+  config.model.trainer.epochs = 30;
+  config.model.min_env_rows = 50;
+  config.eval_min_rows = 40;
+  const auto runner = std::move(ExperimentRunner::Create(config)).value();
+  const MethodResult r = *runner->RunMethod(Method::kErm);
+
+  // Scores are probabilities.
+  for (double s : r.test_scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  // Aggregates are consistent with the per-env table.
+  double mean_ks = 0.0, worst_ks = 2.0, mean_auc = 0.0, worst_auc = 2.0;
+  for (const auto& env : r.report.per_env) {
+    mean_ks += env.ks;
+    mean_auc += env.auc;
+    worst_ks = std::min(worst_ks, env.ks);
+    worst_auc = std::min(worst_auc, env.auc);
+    EXPECT_GE(env.ks, 0.0);
+    EXPECT_LE(env.ks, 1.0);
+    EXPECT_GE(env.auc, 0.0);
+    EXPECT_LE(env.auc, 1.0);
+  }
+  mean_ks /= static_cast<double>(r.report.per_env.size());
+  mean_auc /= static_cast<double>(r.report.per_env.size());
+  EXPECT_NEAR(r.report.mean_ks, mean_ks, 1e-12);
+  EXPECT_NEAR(r.report.mean_auc, mean_auc, 1e-12);
+  EXPECT_NEAR(r.report.worst_ks, worst_ks, 1e-12);
+  EXPECT_NEAR(r.report.worst_auc, worst_auc, 1e-12);
+  EXPECT_LE(r.report.worst_ks, r.report.mean_ks);
+  EXPECT_LE(r.report.worst_auc, r.report.mean_auc);
+}
+
+TEST_P(FairnessPropertyTest, BayesScoresUpperBoundTrainedModel) {
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = 2000;
+  gen.seed = GetParam();
+  std::vector<double> logits;
+  const data::Dataset dataset = *data::LoanGenerator(gen).Generate(&logits);
+  const auto split = *data::TemporalSplit(dataset, 2020);
+
+  // Bayes scores on the test year.
+  std::vector<double> bayes;
+  for (size_t i = 0; i < dataset.NumRows(); ++i) {
+    if (dataset.years()[i] == 2020) bayes.push_back(logits[i]);
+  }
+  const auto bayes_pooled =
+      *metrics::EvaluatePooled(split.test.labels(), bayes);
+
+  ExperimentConfig config;
+  config.generator = gen;
+  config.model.booster.num_trees = 12;
+  config.model.trainer.epochs = 30;
+  config.model.min_env_rows = 50;
+  config.eval_min_rows = 40;
+  const auto runner =
+      std::move(ExperimentRunner::CreateWithDataset(config, dataset)).value();
+  const MethodResult r = *runner->RunMethod(Method::kErm);
+  // No model can beat the generative logit by a real margin.
+  EXPECT_LE(r.pooled_auc, bayes_pooled.auc + 0.02);
+  EXPECT_LE(r.pooled_ks, bayes_pooled.ks + 0.03);
+}
+
+TEST_P(FairnessPropertyTest, FprDisparityWithinBounds) {
+  ExperimentConfig config;
+  config.generator.rows_per_year = 1500;
+  config.generator.seed = GetParam();
+  config.model.booster.num_trees = 12;
+  config.model.trainer.epochs = 30;
+  config.model.min_env_rows = 50;
+  config.eval_min_rows = 40;
+  const auto runner = std::move(ExperimentRunner::Create(config)).value();
+  const MethodResult r = *runner->RunMethod(Method::kErm);
+  const auto disparity =
+      metrics::FprDisparity(runner->test(), r.test_scores, 0.5, 40);
+  ASSERT_TRUE(disparity.ok());
+  EXPECT_GE(*disparity, 0.0);
+  EXPECT_LE(*disparity, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairnessPropertyTest,
+                         ::testing::Values(11, 222, 3333));
+
+}  // namespace
+}  // namespace lightmirm::core

@@ -1,0 +1,62 @@
+#include "linear/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lightmirm::linear {
+namespace {
+
+TEST(SigmoidTest, ValuesAndStability) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-15);
+  // Extreme inputs stay finite and saturate correctly.
+  EXPECT_DOUBLE_EQ(Sigmoid(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(Sigmoid(-1000.0), 0.0);
+  EXPECT_TRUE(std::isfinite(Sigmoid(-745.0)));
+}
+
+TEST(LogisticModelTest, ZeroModelPredictsHalf) {
+  const LogisticModel model(3);
+  const FeatureMatrix x = FeatureMatrix::FromDense(Matrix(2, 3, 1.0));
+  EXPECT_DOUBLE_EQ(model.PredictRow(x, 0), 0.5);
+  EXPECT_EQ(model.num_features(), 3u);
+}
+
+TEST(LogisticModelTest, PredictMatchesFormula) {
+  LogisticModel model(2);
+  model.set_params({0.5, -1.0, 0.25});  // w = (0.5,-1), b = 0.25
+  Matrix m(1, 2, {2.0, 1.0});
+  const FeatureMatrix x = FeatureMatrix::FromDense(std::move(m));
+  const double expected = Sigmoid(0.5 * 2.0 - 1.0 * 1.0 + 0.25);
+  EXPECT_DOUBLE_EQ(model.PredictRow(x, 0), expected);
+  EXPECT_DOUBLE_EQ(model.bias(), 0.25);
+}
+
+TEST(LogisticModelTest, PredictAllAndSubset) {
+  LogisticModel model(1);
+  model.set_params({1.0, 0.0});
+  Matrix m(3, 1, {-1.0, 0.0, 1.0});
+  const FeatureMatrix x = FeatureMatrix::FromDense(std::move(m));
+  const auto all = model.Predict(x);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_LT(all[0], 0.5);
+  EXPECT_DOUBLE_EQ(all[1], 0.5);
+  EXPECT_GT(all[2], 0.5);
+  const auto subset = model.PredictRows(x, {2, 0});
+  EXPECT_DOUBLE_EQ(subset[0], all[2]);
+  EXPECT_DOUBLE_EQ(subset[1], all[0]);
+}
+
+TEST(LogisticModelTest, RandomInitDeterministic) {
+  Rng a(5), b(5);
+  const LogisticModel m1 = LogisticModel::RandomInit(4, 0.1, &a);
+  const LogisticModel m2 = LogisticModel::RandomInit(4, 0.1, &b);
+  for (size_t i = 0; i < m1.params().size(); ++i) {
+    EXPECT_DOUBLE_EQ(m1.params()[i], m2.params()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace lightmirm::linear

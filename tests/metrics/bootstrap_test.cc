@@ -1,0 +1,95 @@
+#include "metrics/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/ks.h"
+#include "metrics/roc.h"
+
+namespace lightmirm::metrics {
+namespace {
+
+void MakeData(size_t n, double separation, uint64_t seed,
+              std::vector<int>* labels, std::vector<double>* scores) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    labels->push_back(rng.Bernoulli(0.3) ? 1 : 0);
+    scores->push_back(rng.Normal() + separation * labels->back());
+  }
+}
+
+TEST(BootstrapTest, IntervalContainsPointEstimate) {
+  std::vector<int> labels;
+  std::vector<double> scores;
+  MakeData(800, 1.0, 1, &labels, &scores);
+  const ConfidenceInterval ks = *BootstrapKs(labels, scores);
+  const ConfidenceInterval auc = *BootstrapAuc(labels, scores);
+  EXPECT_DOUBLE_EQ(ks.point, *KsStatistic(labels, scores));
+  EXPECT_DOUBLE_EQ(auc.point, *Auc(labels, scores));
+  EXPECT_LE(ks.lo, ks.point + 0.03);
+  EXPECT_GE(ks.hi, ks.point - 0.03);
+  EXPECT_LT(ks.lo, ks.hi);
+  EXPECT_LT(auc.lo, auc.hi);
+}
+
+TEST(BootstrapTest, WiderIntervalsOnSmallerSamples) {
+  std::vector<int> small_l, big_l;
+  std::vector<double> small_s, big_s;
+  MakeData(150, 1.0, 2, &small_l, &small_s);
+  MakeData(5000, 1.0, 3, &big_l, &big_s);
+  const ConfidenceInterval small_ci = *BootstrapKs(small_l, small_s);
+  const ConfidenceInterval big_ci = *BootstrapKs(big_l, big_s);
+  EXPECT_GT(small_ci.hi - small_ci.lo, big_ci.hi - big_ci.lo);
+}
+
+TEST(BootstrapTest, DeterministicGivenSeed) {
+  std::vector<int> labels;
+  std::vector<double> scores;
+  MakeData(400, 0.8, 4, &labels, &scores);
+  BootstrapOptions options;
+  options.seed = 99;
+  const ConfidenceInterval a = *BootstrapKs(labels, scores, options);
+  const ConfidenceInterval b = *BootstrapKs(labels, scores, options);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, RejectsBadOptions) {
+  std::vector<int> labels;
+  std::vector<double> scores;
+  MakeData(100, 1.0, 5, &labels, &scores);
+  BootstrapOptions options;
+  options.num_resamples = 2;
+  EXPECT_FALSE(BootstrapKs(labels, scores, options).ok());
+  options = BootstrapOptions{};
+  options.confidence = 1.5;
+  EXPECT_FALSE(BootstrapKs(labels, scores, options).ok());
+}
+
+TEST(PairedWinRateTest, ClearlyBetterModelWinsAlmostAlways) {
+  Rng rng(6);
+  std::vector<int> labels;
+  std::vector<double> strong, weak;
+  for (int i = 0; i < 1200; ++i) {
+    labels.push_back(rng.Bernoulli(0.3) ? 1 : 0);
+    const double base = rng.Normal();
+    strong.push_back(base + 2.0 * labels.back());
+    weak.push_back(base + 0.2 * labels.back());
+  }
+  EXPECT_GT(*PairedKsWinRate(labels, strong, weak), 0.95);
+  EXPECT_LT(*PairedKsWinRate(labels, weak, strong), 0.05);
+}
+
+TEST(PairedWinRateTest, IdenticalModelsNeverWin) {
+  std::vector<int> labels;
+  std::vector<double> scores;
+  MakeData(300, 1.0, 7, &labels, &scores);
+  EXPECT_DOUBLE_EQ(*PairedKsWinRate(labels, scores, scores), 0.0);
+}
+
+TEST(PairedWinRateTest, RejectsMisalignedInputs) {
+  EXPECT_FALSE(PairedKsWinRate({0, 1}, {0.1, 0.2}, {0.1}).ok());
+}
+
+}  // namespace
+}  // namespace lightmirm::metrics

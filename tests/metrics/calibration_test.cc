@@ -1,0 +1,85 @@
+#include "metrics/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lightmirm::metrics {
+namespace {
+
+TEST(CalibrationBinsTest, BinsCoverUnitInterval) {
+  const auto bins = *CalibrationBins({0, 1}, {0.05, 0.95}, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_DOUBLE_EQ(bins[0].score_lo, 0.0);
+  EXPECT_DOUBLE_EQ(bins[9].score_hi, 1.0);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[9].count, 1u);
+  EXPECT_DOUBLE_EQ(bins[9].observed_rate, 1.0);
+}
+
+TEST(CalibrationBinsTest, ScoreOneLandsInLastBin) {
+  const auto bins = *CalibrationBins({1}, {1.0}, 5);
+  EXPECT_EQ(bins[4].count, 1u);
+}
+
+TEST(CalibrationBinsTest, RejectsBadInputs) {
+  EXPECT_FALSE(CalibrationBins({0}, {0.5, 0.6}, 10).ok());
+  EXPECT_FALSE(CalibrationBins({0}, {0.5}, 0).ok());
+}
+
+TEST(EceTest, PerfectlyCalibratedScoresHaveLowEce) {
+  Rng rng(8);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 50000; ++i) {
+    const double p = rng.Uniform();
+    scores.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1 : 0);
+  }
+  EXPECT_LT(*ExpectedCalibrationError(labels, scores, 10), 0.02);
+}
+
+TEST(EceTest, MiscalibratedScoresHaveHighEce) {
+  Rng rng(9);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 20000; ++i) {
+    const double p = rng.Uniform();
+    scores.push_back(p);
+    // True probability is much lower than the score claims.
+    labels.push_back(rng.Bernoulli(p * 0.3) ? 1 : 0);
+  }
+  EXPECT_GT(*ExpectedCalibrationError(labels, scores, 10), 0.2);
+}
+
+TEST(FprDisparityTest, DetectsCrossEnvGap) {
+  data::Schema schema({{"f", data::FeatureKind::kNumeric, 0}});
+  const size_t n = 400;
+  Matrix feats(n, 1);
+  std::vector<int> labels(n, 0), envs(n), years(n, 2020), halves(n, 1);
+  std::vector<double> scores(n);
+  // env 0 negatives get low scores (FPR 0), env 1 negatives get high
+  // scores (FPR 1).
+  for (size_t i = 0; i < n; ++i) {
+    envs[i] = i < n / 2 ? 0 : 1;
+    scores[i] = envs[i] == 0 ? 0.1 : 0.9;
+  }
+  data::Dataset ds(std::move(schema), std::move(feats), std::move(labels),
+                   std::move(envs), std::move(years), std::move(halves));
+  EXPECT_DOUBLE_EQ(*FprDisparity(ds, scores, 0.5, 10), 1.0);
+}
+
+TEST(FprDisparityTest, ZeroWhenIdentical) {
+  data::Schema schema({{"f", data::FeatureKind::kNumeric, 0}});
+  const size_t n = 200;
+  Matrix feats(n, 1);
+  std::vector<int> labels(n, 0), envs(n), years(n, 2020), halves(n, 1);
+  std::vector<double> scores(n, 0.2);
+  for (size_t i = 0; i < n; ++i) envs[i] = static_cast<int>(i % 2);
+  data::Dataset ds(std::move(schema), std::move(feats), std::move(labels),
+                   std::move(envs), std::move(years), std::move(halves));
+  EXPECT_DOUBLE_EQ(*FprDisparity(ds, scores, 0.5, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace lightmirm::metrics

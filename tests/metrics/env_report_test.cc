@@ -1,0 +1,86 @@
+#include "metrics/env_report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lightmirm::metrics {
+namespace {
+
+data::Dataset MakeDataset(size_t rows_per_env, int num_envs, Rng* rng) {
+  const size_t n = rows_per_env * static_cast<size_t>(num_envs);
+  Matrix feats(n, 1);
+  std::vector<int> labels(n), envs(n), years(n, 2020), halves(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    envs[i] = static_cast<int>(i % static_cast<size_t>(num_envs));
+    labels[i] = rng->Bernoulli(0.3) ? 1 : 0;
+  }
+  data::Schema schema({{"f", data::FeatureKind::kNumeric, 0}});
+  return data::Dataset(std::move(schema), std::move(feats),
+                       std::move(labels), std::move(envs), std::move(years),
+                       std::move(halves));
+}
+
+TEST(EnvReportTest, AggregatesMeanAndWorst) {
+  Rng rng(3);
+  const data::Dataset ds = MakeDataset(200, 3, &rng);
+  // Scores informative in env 0/1, pure noise in env 2.
+  std::vector<double> scores(ds.NumRows());
+  Rng noise(4);
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    const double signal = ds.envs()[i] == 2 ? 0.0 : 1.5 * ds.labels()[i];
+    scores[i] = noise.Normal() + signal;
+  }
+  const EnvReport report = *EvaluatePerEnv(ds, scores, 50);
+  ASSERT_EQ(report.per_env.size(), 3u);
+  EXPECT_EQ(report.worst_ks_env, 2);
+  EXPECT_LT(report.worst_ks, report.mean_ks);
+  EXPECT_LT(report.worst_auc, report.mean_auc);
+  double mean = 0.0;
+  for (const EnvMetrics& m : report.per_env) mean += m.ks / 3.0;
+  EXPECT_NEAR(mean, report.mean_ks, 1e-12);
+}
+
+TEST(EnvReportTest, SkipsSmallEnvironments) {
+  Rng rng(5);
+  const data::Dataset ds = MakeDataset(60, 4, &rng);
+  std::vector<double> scores(ds.NumRows(), 0.0);
+  Rng noise(6);
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    scores[i] = noise.Normal() + ds.labels()[i];
+  }
+  // min_rows below the env size: all four environments are evaluated.
+  EXPECT_EQ((*EvaluatePerEnv(ds, scores, 50)).per_env.size(), 4u);
+  // min_rows above the env size: nothing qualifies -> error.
+  EXPECT_FALSE(EvaluatePerEnv(ds, scores, 100).ok());
+}
+
+TEST(EnvReportTest, SkipsSingleClassEnvironments) {
+  data::Schema schema({{"f", data::FeatureKind::kNumeric, 0}});
+  Matrix feats(6, 1);
+  // env 0 has both classes, env 1 only negatives.
+  data::Dataset ds(std::move(schema), std::move(feats), {0, 1, 0, 0, 0, 0},
+                   {0, 0, 0, 1, 1, 1}, {2020, 2020, 2020, 2020, 2020, 2020},
+                   {1, 1, 1, 1, 1, 1});
+  const std::vector<double> scores = {0.1, 0.9, 0.2, 0.5, 0.5, 0.5};
+  const EnvReport report = *EvaluatePerEnv(ds, scores, 1);
+  ASSERT_EQ(report.per_env.size(), 1u);
+  EXPECT_EQ(report.per_env[0].env, 0);
+}
+
+TEST(EnvReportTest, RejectsSizeMismatch) {
+  Rng rng(7);
+  const data::Dataset ds = MakeDataset(10, 2, &rng);
+  EXPECT_FALSE(EvaluatePerEnv(ds, {0.5}, 1).ok());
+}
+
+TEST(EvaluatePooledTest, ComputesBothMetrics) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const PooledMetrics m = *EvaluatePooled(labels, scores);
+  EXPECT_DOUBLE_EQ(m.ks, 1.0);
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+}
+
+}  // namespace
+}  // namespace lightmirm::metrics

@@ -1,0 +1,89 @@
+#include "metrics/isotonic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/calibration.h"
+#include "metrics/ks.h"
+#include "metrics/roc.h"
+
+namespace lightmirm::metrics {
+namespace {
+
+TEST(IsotonicTest, FitValidatesInputs) {
+  EXPECT_FALSE(IsotonicCalibrator::Fit({}, {}).ok());
+  EXPECT_FALSE(IsotonicCalibrator::Fit({0.5}, {0.5 > 0 ? 1 : 0}).ok());
+  EXPECT_FALSE(IsotonicCalibrator::Fit({0.1, 0.2}, {0}).ok());
+  EXPECT_FALSE(IsotonicCalibrator::Fit({0.1, 0.2}, {2, 0}).ok());
+}
+
+TEST(IsotonicTest, PerfectlySeparatedDataGetsStepFunction) {
+  const IsotonicCalibrator cal =
+      *IsotonicCalibrator::Fit({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(cal.Calibrate(0.15), 0.0);
+  EXPECT_DOUBLE_EQ(cal.Calibrate(0.85), 1.0);
+}
+
+TEST(IsotonicTest, OutputIsMonotone) {
+  Rng rng(1);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 2000; ++i) {
+    const double s = rng.Uniform();
+    scores.push_back(s);
+    labels.push_back(rng.Bernoulli(s * s) ? 1 : 0);  // miscalibrated
+  }
+  const IsotonicCalibrator cal = *IsotonicCalibrator::Fit(scores, labels);
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0; s += 0.01) {
+    const double c = cal.Calibrate(s);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(IsotonicTest, ImprovesCalibrationError) {
+  Rng rng(2);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    const double s = rng.Uniform();
+    scores.push_back(s);
+    labels.push_back(rng.Bernoulli(0.3 * s) ? 1 : 0);  // over-confident
+  }
+  const IsotonicCalibrator cal = *IsotonicCalibrator::Fit(scores, labels);
+  const std::vector<double> calibrated = cal.CalibrateAll(scores);
+  EXPECT_LT(*ExpectedCalibrationError(labels, calibrated, 10),
+            0.3 * *ExpectedCalibrationError(labels, scores, 10));
+}
+
+TEST(IsotonicTest, PreservesRankingMetrics) {
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 3000; ++i) {
+    labels.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+    scores.push_back(rng.Normal() + 1.2 * labels.back());
+  }
+  const IsotonicCalibrator cal = *IsotonicCalibrator::Fit(scores, labels);
+  const std::vector<double> calibrated = cal.CalibrateAll(scores);
+  // Isotonic mapping is monotone non-decreasing: AUC/KS cannot increase
+  // and typically stay (nearly) equal — ties may merge blocks.
+  EXPECT_NEAR(*Auc(labels, calibrated), *Auc(labels, scores), 0.02);
+  EXPECT_NEAR(*KsStatistic(labels, calibrated),
+              *KsStatistic(labels, scores), 0.02);
+}
+
+TEST(IsotonicTest, PavPoolsViolations) {
+  // Scores anti-correlated with labels collapse to few blocks.
+  const IsotonicCalibrator cal =
+      *IsotonicCalibrator::Fit({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1});
+  EXPECT_LE(cal.num_blocks(), 2u);
+  // Fully pooled: every score maps to the base rate.
+  EXPECT_DOUBLE_EQ(cal.Calibrate(0.5), 0.5);
+}
+
+}  // namespace
+}  // namespace lightmirm::metrics

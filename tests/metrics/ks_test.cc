@@ -1,0 +1,111 @@
+#include "metrics/ks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "metrics/roc.h"
+
+namespace lightmirm::metrics {
+namespace {
+
+TEST(KsTest, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(*KsStatistic({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(KsTest, IdenticalDistributionsNearZero) {
+  // Same score multiset for both classes.
+  EXPECT_DOUBLE_EQ(
+      *KsStatistic({0, 1, 0, 1}, {0.3, 0.3, 0.7, 0.7}), 0.0);
+}
+
+TEST(KsTest, HandComputed) {
+  // neg: {0.1, 0.4}, pos: {0.6, 0.9}.
+  // After 0.4: F_neg = 1.0, F_pos = 0.0 -> KS = 1.0.
+  EXPECT_DOUBLE_EQ(*KsStatistic({0, 0, 1, 1}, {0.1, 0.4, 0.6, 0.9}), 1.0);
+  // Interleaved: neg {0.1, 0.6}, pos {0.4, 0.9}: max gap 0.5.
+  EXPECT_DOUBLE_EQ(*KsStatistic({0, 1, 0, 1}, {0.1, 0.4, 0.6, 0.9}), 0.5);
+}
+
+TEST(KsTest, BoundedInUnitInterval) {
+  Rng rng(9);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 500; ++i) {
+    labels.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+    scores.push_back(rng.Normal());
+  }
+  const double ks = *KsStatistic(labels, scores);
+  EXPECT_GE(ks, 0.0);
+  EXPECT_LE(ks, 1.0);
+}
+
+TEST(KsTest, InvariantUnderMonotoneTransform) {
+  Rng rng(11);
+  std::vector<int> labels;
+  std::vector<double> scores, transformed;
+  for (int i = 0; i < 400; ++i) {
+    labels.push_back(rng.Bernoulli(0.3) ? 1 : 0);
+    const double s = rng.Normal() + labels.back();
+    scores.push_back(s);
+    transformed.push_back(std::tanh(s) * 10.0);
+  }
+  EXPECT_NEAR(*KsStatistic(labels, scores),
+              *KsStatistic(labels, transformed), 1e-12);
+}
+
+TEST(KsTest, InvariantUnderScoreInversion) {
+  // KS measures CDF distance, so flipping the score sign keeps it.
+  const std::vector<int> labels = {0, 1, 0, 1, 0, 1};
+  const std::vector<double> scores = {0.1, 0.9, 0.3, 0.7, 0.2, 0.5};
+  std::vector<double> flipped;
+  for (double s : scores) flipped.push_back(-s);
+  EXPECT_NEAR(*KsStatistic(labels, scores), *KsStatistic(labels, flipped),
+              1e-12);
+}
+
+TEST(KsTest, ErrorsOnDegenerateInputs) {
+  EXPECT_FALSE(KsStatistic({1, 1}, {0.1, 0.2}).ok());
+  EXPECT_FALSE(KsStatistic({0, 1}, {0.1}).ok());
+  EXPECT_FALSE(KsStatistic({0, 3}, {0.1, 0.2}).ok());
+}
+
+TEST(KsCurveTest, PeakMatchesStatistic) {
+  Rng rng(13);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 300; ++i) {
+    labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+    scores.push_back(rng.Normal() + 0.8 * labels.back());
+  }
+  const auto curve = *KsCurve(labels, scores);
+  double peak = 0.0;
+  for (const KsPoint& p : curve) peak = std::max(peak, p.gap);
+  EXPECT_NEAR(peak, *KsStatistic(labels, scores), 1e-12);
+}
+
+// Property: stronger class separation yields larger KS, and KS relates
+// sensibly to AUC (KS high -> AUC far from 0.5).
+class KsSeparationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KsSeparationTest, MonotoneInSeparation) {
+  const double shift = GetParam();
+  Rng rng(17);
+  std::vector<int> labels;
+  std::vector<double> weak, strong;
+  for (int i = 0; i < 3000; ++i) {
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    const double base = rng.Normal();
+    weak.push_back(base + shift * labels.back());
+    strong.push_back(base + (shift + 0.5) * labels.back());
+  }
+  EXPECT_LT(*KsStatistic(labels, weak), *KsStatistic(labels, strong));
+  EXPECT_LT(*Auc(labels, weak), *Auc(labels, strong));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, KsSeparationTest,
+                         ::testing::Values(0.2, 0.5, 1.0, 1.5));
+
+}  // namespace
+}  // namespace lightmirm::metrics

@@ -1,0 +1,97 @@
+#include "metrics/roc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lightmirm::metrics {
+namespace {
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(*Auc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(AucTest, PerfectInversionIsZero) {
+  EXPECT_DOUBLE_EQ(*Auc({1, 1, 0, 0}, {0.1, 0.2, 0.8, 0.9}), 0.0);
+}
+
+TEST(AucTest, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(*Auc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(AucTest, HandComputedWithTies) {
+  // pos scores {0.5, 0.9}, neg scores {0.5, 0.1}.
+  // pairs: (0.5 vs 0.5)=0.5, (0.5 vs 0.1)=1, (0.9 vs 0.5)=1, (0.9 vs 0.1)=1
+  // AUC = 3.5/4.
+  EXPECT_DOUBLE_EQ(*Auc({1, 0, 1, 0}, {0.5, 0.5, 0.9, 0.1}), 3.5 / 4.0);
+}
+
+TEST(AucTest, MatchesBruteForcePairCount) {
+  Rng rng(3);
+  const size_t n = 500;
+  std::vector<int> labels(n);
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = rng.Bernoulli(0.3) ? 1 : 0;
+    scores[i] = std::round(rng.Uniform() * 20.0) / 20.0;  // force ties
+  }
+  double wins = 0.0, pairs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] != 1) continue;
+    for (size_t j = 0; j < n; ++j) {
+      if (labels[j] != 0) continue;
+      pairs += 1.0;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(*Auc(labels, scores), wins / pairs, 1e-12);
+}
+
+TEST(AucTest, InvariantUnderMonotoneTransform) {
+  Rng rng(5);
+  std::vector<int> labels;
+  std::vector<double> scores, transformed;
+  for (int i = 0; i < 300; ++i) {
+    labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+    const double s = rng.Normal();
+    scores.push_back(s);
+    transformed.push_back(std::exp(0.5 * s) + 3.0);  // strictly monotone
+  }
+  EXPECT_NEAR(*Auc(labels, scores), *Auc(labels, transformed), 1e-12);
+}
+
+TEST(AucTest, ErrorsOnDegenerateInputs) {
+  EXPECT_FALSE(Auc({1, 1}, {0.1, 0.2}).ok());
+  EXPECT_FALSE(Auc({0, 0}, {0.1, 0.2}).ok());
+  EXPECT_FALSE(Auc({0, 1}, {0.1}).ok());
+  EXPECT_FALSE(Auc({0, 2}, {0.1, 0.2}).ok());
+}
+
+TEST(RocCurveTest, EndpointsAndMonotonicity) {
+  Rng rng(7);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 200; ++i) {
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    scores.push_back(rng.Uniform());
+  }
+  const auto curve = *RocCurve(labels, scores);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].tpr, curve[i].tpr);
+    EXPECT_LE(curve[i - 1].fpr, curve[i].fpr);
+    EXPECT_GT(curve[i - 1].threshold, curve[i].threshold);
+  }
+}
+
+}  // namespace
+}  // namespace lightmirm::metrics

@@ -1,0 +1,69 @@
+#include "metrics/threshold.h"
+
+#include <gtest/gtest.h>
+
+namespace lightmirm::metrics {
+namespace {
+
+const std::vector<int> kLabels = {1, 0, 1, 0, 0, 1, 0, 0};
+const std::vector<double> kScores = {0.9, 0.8, 0.7, 0.4, 0.3, 0.6, 0.2, 0.1};
+
+TEST(ConfusionTest, CountsAtThreshold) {
+  const Confusion c = *ConfusionAt(kLabels, kScores, 0.5);
+  EXPECT_EQ(c.tp, 3);  // 0.9, 0.7, 0.6
+  EXPECT_EQ(c.fp, 1);  // 0.8
+  EXPECT_EQ(c.fn, 0);
+  EXPECT_EQ(c.tn, 4);
+  EXPECT_DOUBLE_EQ(c.TruePositiveRate(), 1.0);
+  EXPECT_DOUBLE_EQ(c.FalsePositiveRate(), 0.2);
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 7.0 / 8.0);
+}
+
+TEST(ConfusionTest, ThresholdIsInclusive) {
+  const Confusion c = *ConfusionAt({1, 0}, {0.5, 0.4}, 0.5);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.tn, 1);
+}
+
+TEST(ConfusionTest, DegenerateRatesAreZero) {
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.TruePositiveRate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.FalsePositiveRate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+}
+
+TEST(ConfusionTest, RejectsBadInputs) {
+  EXPECT_FALSE(ConfusionAt({1}, {0.1, 0.2}, 0.5).ok());
+  EXPECT_FALSE(ConfusionAt({2}, {0.1}, 0.5).ok());
+}
+
+TEST(BadDebtRateTest, RateAmongApprovedOnly) {
+  // threshold 0.5: approved scores {0.4, 0.3, 0.2, 0.1}, all label 0.
+  EXPECT_DOUBLE_EQ(BadDebtRateAt(kLabels, kScores, 0.5), 0.0);
+  // threshold 0.65: approved adds 0.6 (label 1) -> 1 of 5.
+  EXPECT_DOUBLE_EQ(BadDebtRateAt(kLabels, kScores, 0.65), 0.2);
+  // approve nothing -> rate 0
+  EXPECT_DOUBLE_EQ(BadDebtRateAt(kLabels, kScores, 0.0), 0.0);
+}
+
+TEST(TradeOffCurveTest, MonotoneRefusalAndEndpoints) {
+  const auto curve = *TradeOffCurve(kLabels, kScores, 21);
+  ASSERT_EQ(curve.size(), 21u);
+  // Refusal rate decreases as the threshold increases.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].refusal_rate, curve[i - 1].refusal_rate);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().refusal_rate, 1.0);   // threshold 0
+  EXPECT_DOUBLE_EQ(curve.front().bad_debt_rate, 0.0);  // nothing approved
+  // At threshold 1.0 (> max score) everything is approved.
+  EXPECT_DOUBLE_EQ(curve.back().bad_debt_rate, 3.0 / 8.0);
+}
+
+TEST(TradeOffCurveTest, RejectsTooFewPoints) {
+  EXPECT_FALSE(TradeOffCurve(kLabels, kScores, 1).ok());
+}
+
+}  // namespace
+}  // namespace lightmirm::metrics

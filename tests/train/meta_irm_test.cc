@@ -1,0 +1,164 @@
+#include "train/meta_irm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/roc.h"
+#include "test_util.h"
+
+namespace lightmirm::train {
+namespace {
+
+using testing::MakeEasyProblem;
+using testing::MakeIrmProblem;
+
+TrainerOptions FastOptions() {
+  TrainerOptions options;
+  options.epochs = 120;
+  options.optimizer.learning_rate = 0.15;
+  return options;
+}
+
+TEST(PopulationStdDevTest, MatchesEq7) {
+  // std of {1, 3} (population) = 1.
+  EXPECT_DOUBLE_EQ(PopulationStdDev({1.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(PopulationStdDev({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationStdDev({}), 0.0);
+  EXPECT_NEAR(PopulationStdDev({1.0, 2.0, 3.0, 4.0}), std::sqrt(1.25),
+              1e-12);
+}
+
+TEST(OuterCoefficientsTest, DerivativeOfSumPlusLambdaSigma) {
+  const std::vector<double> losses = {1.0, 3.0};
+  // sigma = 1, mean = 2; c_m = 1 + lambda*(R_m - 2)/(2*1).
+  const auto coeffs = OuterCoefficients(losses, 2.0);
+  EXPECT_DOUBLE_EQ(coeffs[0], 1.0 + 2.0 * (-1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(coeffs[1], 1.0 + 2.0 * (1.0) / 2.0);
+  // Zero sigma or lambda -> plain ones.
+  const auto flat = OuterCoefficients({2.0, 2.0}, 5.0);
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+  const auto no_lambda = OuterCoefficients(losses, 0.0);
+  EXPECT_DOUBLE_EQ(no_lambda[1], 1.0);
+}
+
+TEST(MetaIrmGradientTest, MatchesFiniteDifferences) {
+  const auto p = MakeIrmProblem({0.9, 0.6, 0.3}, 30, 1);
+  const TrainData data = p.Data(5);
+  const linear::LossContext ctx = data.Context();
+  Rng prng(2);
+  linear::ParamVec params(3);
+  for (double& v : params) v = prng.Normal(0.0, 0.3);
+
+  MetaIrmOptions options;
+  options.inner_lr = 0.3;
+  options.lambda = 1.7;
+  options.sample_size = 0;
+  options.second_order = true;
+  MetaStepOutput step;
+  Rng rng(3);
+  ASSERT_TRUE(MetaIrmOuterGradient(ctx, data, params, options, &rng, nullptr,
+                                   &step)
+                  .ok());
+  const double h = 1e-6;
+  for (size_t j = 0; j < params.size(); ++j) {
+    linear::ParamVec plus = params, minus = params;
+    plus[j] += h;
+    minus[j] -= h;
+    const double fd = (MetaIrmObjective(ctx, data, plus, options) -
+                       MetaIrmObjective(ctx, data, minus, options)) /
+                      (2.0 * h);
+    EXPECT_NEAR(step.outer_grad[j], fd, 1e-5 * (1.0 + std::abs(fd)))
+        << "param " << j;
+  }
+}
+
+TEST(MetaIrmGradientTest, FirstOrderDropsHessianTerm) {
+  const auto p = MakeIrmProblem({0.9, 0.4}, 40, 4);
+  const TrainData data = p.Data(5);
+  const linear::LossContext ctx = data.Context();
+  linear::ParamVec params = {0.5, -0.2, 0.1};
+  MetaIrmOptions second, first;
+  second.inner_lr = first.inner_lr = 0.5;
+  first.second_order = false;
+  MetaStepOutput s2, s1;
+  Rng r1(5), r2(5);
+  ASSERT_TRUE(
+      MetaIrmOuterGradient(ctx, data, params, second, &r1, nullptr, &s2)
+          .ok());
+  ASSERT_TRUE(
+      MetaIrmOuterGradient(ctx, data, params, first, &r2, nullptr, &s1).ok());
+  // Same meta-losses, different gradients (Hessian correction).
+  for (size_t t = 0; t < s1.meta_losses.size(); ++t) {
+    EXPECT_DOUBLE_EQ(s1.meta_losses[t], s2.meta_losses[t]);
+  }
+  double diff = 0.0;
+  for (size_t j = 0; j < params.size(); ++j) {
+    diff += std::abs(s1.outer_grad[j] - s2.outer_grad[j]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(MetaIrmTrainerTest, LearnsAndPrefersInvariantFeature) {
+  // Spurious agreement varies wildly across envs; meta-IRM should place
+  // relatively more weight on the invariant feature than ERM does.
+  const auto p = MakeIrmProblem({0.95, 0.8, 0.2, 0.05}, 400, 6);
+  const TrainData data = p.Data();
+  MetaIrmOptions meta;
+  meta.inner_lr = 0.3;
+  meta.lambda = 1.0;
+  MetaIrmTrainer trainer(FastOptions(), meta);
+  const TrainedPredictor predictor = *trainer.Fit(data);
+  EXPECT_GT(testing::InvariantWeightShare(predictor.global), 0.6);
+  const auto scores = predictor.Predict(p.x, nullptr);
+  EXPECT_GT(*metrics::Auc(p.labels, scores), 0.75);
+}
+
+TEST(MetaIrmTrainerTest, SampledVariantRunsAndNames) {
+  const auto p = MakeIrmProblem({0.9, 0.6, 0.3}, 100, 7);
+  const TrainData data = p.Data();
+  MetaIrmOptions meta;
+  meta.sample_size = 2;
+  TrainerOptions options = FastOptions();
+  options.epochs = 30;
+  MetaIrmTrainer trainer(options, meta);
+  EXPECT_EQ(trainer.Name(), "meta-IRM(2)");
+  EXPECT_TRUE(trainer.Fit(data).ok());
+  MetaIrmTrainer complete(options, MetaIrmOptions{});
+  EXPECT_EQ(complete.Name(), "meta-IRM");
+}
+
+TEST(MetaIrmTrainerTest, RejectsBadConfig) {
+  const auto p = MakeIrmProblem({0.9, 0.6}, 50, 8);
+  const TrainData data = p.Data();
+  MetaIrmOptions meta;
+  meta.sample_size = 2;  // only 1 other env available
+  EXPECT_FALSE(MetaIrmTrainer(FastOptions(), meta).Fit(data).ok());
+  meta.sample_size = 0;
+  meta.inner_lr = 0.0;
+  EXPECT_FALSE(MetaIrmTrainer(FastOptions(), meta).Fit(data).ok());
+}
+
+TEST(MetaIrmTrainerTest, NeedsAtLeastTwoEnvironments) {
+  const auto p = MakeEasyProblem(1, 100, 9);
+  const TrainData data = p.Data();
+  EXPECT_FALSE(
+      MetaIrmTrainer(FastOptions(), MetaIrmOptions{}).Fit(data).ok());
+}
+
+TEST(MetaIrmTrainerTest, DeterministicGivenSeed) {
+  const auto p = MakeIrmProblem({0.8, 0.4}, 100, 10);
+  const TrainData data = p.Data();
+  TrainerOptions options = FastOptions();
+  options.epochs = 20;
+  MetaIrmOptions meta;
+  meta.sample_size = 1;
+  const TrainedPredictor a = *MetaIrmTrainer(options, meta).Fit(data);
+  const TrainedPredictor b = *MetaIrmTrainer(options, meta).Fit(data);
+  for (size_t j = 0; j < a.global.params().size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.global.params()[j], b.global.params()[j]);
+  }
+}
+
+}  // namespace
+}  // namespace lightmirm::train

@@ -1,0 +1,98 @@
+#include "train/mrq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lightmirm::train {
+namespace {
+
+TEST(MrqTest, CreateValidates) {
+  EXPECT_FALSE(MetaLossReplayQueue::Create(0, 0.9).ok());
+  EXPECT_FALSE(MetaLossReplayQueue::Create(5, 0.0).ok());
+  EXPECT_FALSE(MetaLossReplayQueue::Create(5, 1.5).ok());
+  EXPECT_TRUE(MetaLossReplayQueue::Create(5, 1.0).ok());
+  EXPECT_TRUE(MetaLossReplayQueue::Create(1, 0.5).ok());
+}
+
+TEST(MrqTest, StartsAtZero) {
+  const MetaLossReplayQueue q = *MetaLossReplayQueue::Create(4, 0.9);
+  EXPECT_DOUBLE_EQ(q.ReplayedLoss(), 0.0);
+  for (double v : q.values()) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(q.pushes(), 0u);
+}
+
+TEST(MrqTest, PushShiftsForward) {
+  MetaLossReplayQueue q = *MetaLossReplayQueue::Create(3, 0.9);
+  q.Push(1.0);
+  q.Push(2.0);
+  q.Push(3.0);
+  q.Push(4.0);  // 1.0 falls out
+  EXPECT_DOUBLE_EQ(q.values()[0], 2.0);
+  EXPECT_DOUBLE_EQ(q.values()[1], 3.0);
+  EXPECT_DOUBLE_EQ(q.values()[2], 4.0);
+  EXPECT_EQ(q.pushes(), 4u);
+}
+
+TEST(MrqTest, ReplayedLossMatchesEq9) {
+  // R = sum_i gamma^{L-i} H_i with i = 1..L (newest has weight 1).
+  MetaLossReplayQueue q = *MetaLossReplayQueue::Create(3, 0.5);
+  q.Push(8.0);   // slot 3 -> will shift
+  q.Push(4.0);
+  q.Push(2.0);
+  // values (oldest..newest) = {8, 4, 2}; weights = {0.25, 0.5, 1}.
+  EXPECT_DOUBLE_EQ(q.ReplayedLoss(), 0.25 * 8.0 + 0.5 * 4.0 + 1.0 * 2.0);
+}
+
+TEST(MrqTest, SlotWeightsAreGammaPowers) {
+  const MetaLossReplayQueue q = *MetaLossReplayQueue::Create(4, 0.7);
+  EXPECT_NEAR(q.SlotWeight(4), 1.0, 1e-12);
+  EXPECT_NEAR(q.SlotWeight(3), 0.7, 1e-12);
+  EXPECT_NEAR(q.SlotWeight(1), std::pow(0.7, 3), 1e-12);
+}
+
+TEST(MrqTest, LengthOneDegeneratesToLastLoss) {
+  // The paper: L=1 makes LightMIRM degrade into single-sample meta-IRM.
+  MetaLossReplayQueue q = *MetaLossReplayQueue::Create(1, 0.9);
+  q.Push(5.0);
+  EXPECT_DOUBLE_EQ(q.ReplayedLoss(), 5.0);
+  q.Push(7.0);
+  EXPECT_DOUBLE_EQ(q.ReplayedLoss(), 7.0);
+}
+
+TEST(MrqTest, GammaOneWeighsAllSlotsEqually) {
+  MetaLossReplayQueue q = *MetaLossReplayQueue::Create(3, 1.0);
+  q.Push(1.0);
+  q.Push(2.0);
+  q.Push(3.0);
+  EXPECT_DOUBLE_EQ(q.ReplayedLoss(), 6.0);
+}
+
+TEST(MrqTest, PartialFillTreatsMissingAsZero) {
+  MetaLossReplayQueue q = *MetaLossReplayQueue::Create(4, 0.5);
+  q.Push(8.0);
+  // values = {0,0,0,8}; only newest contributes.
+  EXPECT_DOUBLE_EQ(q.ReplayedLoss(), 8.0);
+}
+
+// Property: replayed loss is monotone in each pushed value.
+class MrqMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MrqMonotoneTest, IncreasingAnyLossRaisesReplay) {
+  const double gamma = GetParam();
+  for (size_t bump_at = 0; bump_at < 4; ++bump_at) {
+    MetaLossReplayQueue base = *MetaLossReplayQueue::Create(4, gamma);
+    MetaLossReplayQueue bumped = *MetaLossReplayQueue::Create(4, gamma);
+    for (size_t i = 0; i < 4; ++i) {
+      base.Push(1.0);
+      bumped.Push(i == bump_at ? 2.0 : 1.0);
+    }
+    EXPECT_GT(bumped.ReplayedLoss(), base.ReplayedLoss());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, MrqMonotoneTest,
+                         ::testing::Values(0.1, 0.5, 0.9, 1.0));
+
+}  // namespace
+}  // namespace lightmirm::train

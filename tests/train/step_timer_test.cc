@@ -1,0 +1,70 @@
+#include "train/step_timer.h"
+
+#include <gtest/gtest.h>
+
+#include "train/trainer.h"
+
+namespace lightmirm::train {
+namespace {
+
+StepTimer MakeTimer() {
+  StepTimer timer;
+  timer.Add("loading data", 0.001);
+  timer.Add("transforming the format", 0.01);
+  timer.Add(kStepInnerOptimization, 0.1);
+  timer.Add(kStepInnerOptimization, 0.3);
+  timer.Add(kStepMetaLosses, 1.0);
+  timer.Add(kStepBackward, 0.2);
+  timer.Add(kStepEpoch, 2.0);
+  return timer;
+}
+
+TEST(SummarizeStepTimesTest, ReportsMeansTotalsAndFractions) {
+  const auto rows = SummarizeStepTimes(MakeTimer());
+  ASSERT_EQ(rows.size(), 6u);  // five steps + whole epoch
+  // Inner optimization: two calls of 0.1 and 0.3.
+  const auto& inner = rows[2];
+  EXPECT_EQ(inner.step, kStepInnerOptimization);
+  EXPECT_DOUBLE_EQ(inner.mean_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(inner.total_seconds, 0.4);
+  EXPECT_DOUBLE_EQ(inner.fraction_of_total, 0.2);
+  // Epoch row.
+  const auto& epoch = rows.back();
+  EXPECT_EQ(epoch.step, kStepEpoch);
+  EXPECT_DOUBLE_EQ(epoch.total_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(epoch.fraction_of_total, 1.0);
+}
+
+TEST(SummarizeStepTimesTest, MissingStepsAreZero) {
+  StepTimer timer;
+  timer.Add(kStepEpoch, 1.0);
+  const auto rows = SummarizeStepTimes(timer);
+  EXPECT_DOUBLE_EQ(rows[0].total_seconds, 0.0);   // loading data
+  EXPECT_DOUBLE_EQ(rows[0].fraction_of_total, 0.0);
+}
+
+TEST(SummarizeStepTimesTest, NoEpochMeansZeroFractions) {
+  StepTimer timer;
+  timer.Add(kStepMetaLosses, 1.0);
+  const auto rows = SummarizeStepTimes(timer);
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(row.fraction_of_total, 0.0);
+  }
+}
+
+TEST(FormatStepTimeTableTest, SideBySideColumns) {
+  const StepTimer a = MakeTimer();
+  StepTimer b = MakeTimer();
+  b.Add(kStepMetaLosses, 9.0);
+  const std::string table =
+      FormatStepTimeTable({"meta-IRM", "LightMIRM"}, {&a, &b});
+  EXPECT_NE(table.find("meta-IRM"), std::string::npos);
+  EXPECT_NE(table.find("LightMIRM"), std::string::npos);
+  EXPECT_NE(table.find(kStepMetaLosses), std::string::npos);
+  EXPECT_NE(table.find(kStepEpoch), std::string::npos);
+  // Six data rows + header.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 7);
+}
+
+}  // namespace
+}  // namespace lightmirm::train
