@@ -5,10 +5,12 @@
 
 #include "autodiff/nn.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/loan_generator.h"
 #include "gbdt/booster.h"
 #include "gbdt/leaf_encoder.h"
 #include "linear/loss.h"
+#include "metrics/bootstrap.h"
 #include "metrics/ks.h"
 #include "metrics/roc.h"
 
@@ -62,7 +64,12 @@ void BM_BceHvpSparse(benchmark::State& state) {
                           static_cast<int64_t>(rows));
 }
 
+// The parallelized kernels take a thread count as their last benchmark
+// argument (0 = hardware concurrency); outputs are identical at every
+// value, only the wall clock changes.
+
 void BM_LoanGeneration(benchmark::State& state) {
+  ScopedDefaultThreads threads_guard(static_cast<int>(state.range(1)));
   data::LoanGeneratorOptions options;
   options.rows_per_year = static_cast<int>(state.range(0));
   const data::LoanGenerator gen(options);
@@ -74,6 +81,7 @@ void BM_LoanGeneration(benchmark::State& state) {
 }
 
 void BM_BoosterTrain(benchmark::State& state) {
+  ScopedDefaultThreads threads_guard(static_cast<int>(state.range(1)));
   data::LoanGeneratorOptions gen_options;
   gen_options.rows_per_year = 2000;
   const data::LoanGenerator gen(gen_options);
@@ -87,6 +95,7 @@ void BM_BoosterTrain(benchmark::State& state) {
 }
 
 void BM_LeafEncode(benchmark::State& state) {
+  ScopedDefaultThreads threads_guard(static_cast<int>(state.range(0)));
   data::LoanGeneratorOptions gen_options;
   gen_options.rows_per_year = 2000;
   const data::LoanGenerator gen(gen_options);
@@ -102,6 +111,25 @@ void BM_LeafEncode(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(ds.NumRows()));
+}
+
+void BM_BootstrapKs(benchmark::State& state) {
+  ScopedDefaultThreads threads_guard(static_cast<int>(state.range(1)));
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<int> labels(n);
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = rng.Bernoulli(0.1) ? 1 : 0;
+    scores[i] = rng.Uniform() + 0.3 * labels[i];
+  }
+  metrics::BootstrapOptions options;
+  options.num_resamples = 200;
+  for (auto _ : state) {
+    auto ci = metrics::BootstrapKs(labels, scores, options);
+    benchmark::DoNotOptimize(ci->point);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 
 void BM_AucKs(benchmark::State& state) {
@@ -142,9 +170,16 @@ void BM_AutodiffMlpGrad(benchmark::State& state) {
 
 BENCHMARK(BM_BceLossGradSparse)->Arg(1000)->Arg(10000)->Arg(50000);
 BENCHMARK(BM_BceHvpSparse)->Arg(1000)->Arg(10000)->Arg(50000);
-BENCHMARK(BM_LoanGeneration)->Arg(1000)->Arg(4000)
+// {workload size, threads}: threads=1 is the serial baseline, threads=0
+// uses all hardware threads.
+BENCHMARK(BM_LoanGeneration)
+    ->ArgsProduct({{1000, 4000}, {1, 2, 0}})
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_BoosterTrain)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_LeafEncode);
+BENCHMARK(BM_BoosterTrain)
+    ->ArgsProduct({{10, 30}, {1, 2, 0}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LeafEncode)->Arg(1)->Arg(2)->Arg(0);
+BENCHMARK(BM_BootstrapKs)->ArgsProduct({{20000}, {1, 2, 0}})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AucKs)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_AutodiffMlpGrad)->Arg(64)->Arg(512);

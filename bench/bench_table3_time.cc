@@ -6,6 +6,8 @@
 // meta-IRM; the ratios follow from the O(2M^2)-vs-O(4M) operation counts
 // reproduced here (absolute seconds depend on the machine).
 #include "bench_util.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "train/step_timer.h"
 
 using namespace lightmirm;
@@ -88,5 +90,79 @@ int main(int argc, char** argv) {
   std::printf("LightMIRM meta-loss step speedup vs complete    : %.1fx "
               "(paper: ~30x)\n",
               full_meta / light_meta);
+
+  // Threads sweep: re-train LightMIRM at each thread count and record the
+  // whole-epoch wall clock. Results are deterministic across thread counts;
+  // only the wall clock changes. Disable with sweep= (empty).
+  const std::vector<int> sweep =
+      ParseThreadList(cfg.GetString("sweep", "1,2,4"));
+  struct SweepPoint {
+    int threads;
+    double epoch_seconds;
+  };
+  std::vector<SweepPoint> sweep_points;
+  if (!sweep.empty()) {
+    std::printf("\nLightMIRM threads sweep (whole-epoch seconds, "
+                "hardware threads available: %d):\n\n", HardwareThreads());
+    for (int t : sweep) {
+      core::ExperimentConfig sweep_config = config;
+      sweep_config.threads = t;
+      sweep_config.model.trainer.threads = t;
+      ScopedDefaultThreads guard(t);
+      core::MethodResult r = Unwrap(
+          runner->RunMethodWithOptions(core::Method::kLightMirm,
+                                       sweep_config.model, false),
+          "training LightMIRM (threads sweep)");
+      const double secs = r.step_times.TotalSeconds(train::kStepEpoch);
+      sweep_points.push_back({t, secs});
+      const double speedup = sweep_points.front().epoch_seconds / secs;
+      std::printf("  threads=%-3d %8.3fs  (%.2fx vs threads=%d)\n", t, secs,
+                  speedup, sweep_points.front().threads);
+    }
+  }
+
+  // Machine-readable artifact with the per-method step breakdown and the
+  // threads sweep.
+  std::string json = "{\n";
+  json += StrFormat("  \"epochs\": %d,\n", config.model.trainer.epochs);
+  json += StrFormat("  \"rows_per_year\": %d,\n",
+                    config.generator.rows_per_year);
+  json += StrFormat("  \"hardware_threads\": %d,\n", HardwareThreads());
+  json += "  \"methods\": [\n";
+  for (size_t i = 0; i < names.size(); ++i) {
+    json += StrFormat("    {\"name\": \"%s\", \"train_seconds\": %.6f, "
+                      "\"steps\": [\n",
+                      JsonEscape(names[i]).c_str(), results[i].train_seconds);
+    const std::vector<train::StepTimeRow>& rows = summaries[i];
+    for (size_t r = 0; r < rows.size(); ++r) {
+      json += StrFormat(
+          "      {\"step\": \"%s\", \"mean_seconds\": %.6f, "
+          "\"total_seconds\": %.6f, \"fraction_of_total\": %.6f}%s\n",
+          JsonEscape(rows[r].step).c_str(), rows[r].mean_seconds,
+          rows[r].total_seconds, rows[r].fraction_of_total,
+          r + 1 < rows.size() ? "," : "");
+    }
+    json += StrFormat("    ]}%s\n", i + 1 < names.size() ? "," : "");
+  }
+  json += "  ],\n";
+  json += StrFormat("  \"lightmirm_epoch_speedup_vs_meta_irm\": %.4f,\n",
+                    full_epoch / light_epoch);
+  json += StrFormat("  \"lightmirm_meta_loss_speedup_vs_meta_irm\": %.4f,\n",
+                    full_meta / light_meta);
+  json += "  \"threads_sweep\": [\n";
+  for (size_t i = 0; i < sweep_points.size(); ++i) {
+    json += StrFormat(
+        "    {\"threads\": %d, \"epoch_seconds\": %.6f, "
+        "\"speedup_vs_first\": %.4f}%s\n",
+        sweep_points[i].threads, sweep_points[i].epoch_seconds,
+        sweep_points.front().epoch_seconds / sweep_points[i].epoch_seconds,
+        i + 1 < sweep_points.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  const std::string json_path =
+      cfg.GetString("json_out", "BENCH_table3.json");
+  if (WriteTextFile(json_path, json)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

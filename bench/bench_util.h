@@ -5,10 +5,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/thread_pool.h"
 #include "core/experiment.h"
 #include "core/report.h"
 
@@ -26,7 +28,7 @@ inline ConfigMap ParseArgs(int argc, char** argv) {
 
 /// Builds the default experiment configuration used by the paper-shaped
 /// benches, honoring the common overrides (rows_per_year, seed, epochs,
-/// trees, lr).
+/// trees, lr, threads).
 inline core::ExperimentConfig MakeConfig(const ConfigMap& cfg) {
   core::ExperimentConfig config;
   config.generator.rows_per_year =
@@ -37,7 +39,59 @@ inline core::ExperimentConfig MakeConfig(const ConfigMap& cfg) {
   config.model.trainer.epochs = static_cast<int>(cfg.GetInt("epochs", 300));
   config.model.trainer.optimizer.learning_rate = cfg.GetDouble(
       "lr", config.model.trainer.optimizer.learning_rate);
+  config.threads = static_cast<int>(cfg.GetInt("threads", 0));
+  config.model.trainer.threads = config.threads;
   return config;
+}
+
+/// Parses a "1,2,4"-style comma-separated thread-count list.
+inline std::vector<int> ParseThreadList(const std::string& spec) {
+  std::vector<int> out;
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const int v = std::atoi(token.c_str());
+    if (v > 0) out.push_back(v);
+  }
+  return out;
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes `text` to `path`; prints a warning (and returns false) on failure
+/// so a read-only working directory never sinks a bench run.
+inline bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 /// Exits with a message when a Result/Status is not OK.

@@ -96,7 +96,7 @@ void Rng::Shuffle(std::vector<size_t>* indices) {
   }
 }
 
-Rng Rng::Fork(uint64_t stream) {
+Rng Rng::Fork(uint64_t stream) const {
   // Mix the parent state with the stream id through splitmix64.
   uint64_t mix = s_[0] ^ (stream * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL);
   return Rng(SplitMix64(&mix));

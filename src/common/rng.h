@@ -51,9 +51,11 @@ class Rng {
   /// Fisher-Yates shuffles `indices` in place.
   void Shuffle(std::vector<size_t>* indices);
 
-  /// Derives an independent child generator; stream `i` is stable across
-  /// runs for a fixed parent seed.
-  Rng Fork(uint64_t stream);
+  /// Derives an independent child generator without advancing this one;
+  /// stream `i` is stable across runs for a fixed parent seed. Safe to call
+  /// concurrently from parallel shards (read-only on the parent), which is
+  /// how the parallel bootstrap/generator obtain per-shard streams.
+  Rng Fork(uint64_t stream) const;
 
  private:
   uint64_t s_[4];

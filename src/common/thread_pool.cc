@@ -1,0 +1,200 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lightmirm {
+namespace {
+
+// Set while a thread is executing a pool task; nested parallel calls run
+// inline instead of re-entering the pool.
+thread_local bool tls_in_pool_task = false;
+
+std::atomic<int> g_default_threads{0};  // 0 = not yet initialized
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int DefaultThreads() {
+  int n = g_default_threads.load(std::memory_order_relaxed);
+  return n > 0 ? n : HardwareThreads();
+}
+
+void SetDefaultThreads(int n) {
+  g_default_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+size_t NumShards(size_t count, size_t grain) {
+  if (count == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (count + grain - 1) / grain;
+}
+
+struct ThreadPool::Impl {
+  // One batch runs at a time; Apply holds apply_mu for its whole duration.
+  std::mutex apply_mu;
+
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+
+  // Batch descriptor. `fn` and `limit` are published by the release store
+  // of `next = 0`; a claim (acquire RMW on `next`) that yields t < limit
+  // therefore sees them. Claims at t >= limit never touch `fn`, and every
+  // claim below the limit bumps `completed` exactly once, so when
+  // `completed == limit` no thread can still be inside `fn`.
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> limit{0};
+  std::atomic<size_t> next{std::numeric_limits<size_t>::max()};
+  size_t completed = 0;  // guarded by mu
+  uint64_t generation = 0;
+  bool stop = false;
+  std::exception_ptr error;
+  size_t error_task = std::numeric_limits<size_t>::max();
+
+  std::vector<std::thread> workers;
+
+  // Claims and runs tasks of the current batch until the counter runs dry.
+  void RunTasks() {
+    for (;;) {
+      const size_t t = next.fetch_add(1, std::memory_order_acquire);
+      if (t >= limit.load(std::memory_order_acquire)) return;
+      std::exception_ptr err;
+      tls_in_pool_task = true;
+      try {
+        (*fn)(t);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      tls_in_pool_task = false;
+      std::lock_guard<std::mutex> lock(mu);
+      if (err && t < error_task) {
+        error_task = t;
+        error = err;
+      }
+      if (++completed == limit.load(std::memory_order_relaxed)) {
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock,
+                     [&] { return stop || generation != seen_generation; });
+        if (stop) return;
+        seen_generation = generation;
+      }
+      RunTasks();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : impl_(new Impl), num_threads_(num_threads < 1 ? 1 : num_threads) {
+  impl_->workers.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::Apply(size_t num_tasks,
+                       const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_threads_ <= 1 || num_tasks == 1 || tls_in_pool_task) {
+    // Inline serial execution in task order (also the nested-call path).
+    for (size_t t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  std::lock_guard<std::mutex> apply_lock(impl_->apply_mu);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->fn = &fn;
+    impl_->limit.store(num_tasks, std::memory_order_relaxed);
+    impl_->completed = 0;
+    impl_->error = nullptr;
+    impl_->error_task = std::numeric_limits<size_t>::max();
+    ++impl_->generation;
+    impl_->next.store(0, std::memory_order_release);
+  }
+  impl_->work_cv.notify_all();
+  impl_->RunTasks();  // the caller participates
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] { return impl_->completed == num_tasks; });
+    error = impl_->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+namespace {
+
+// The shared pool behind ParallelFor/ParallelForShards. Rebuilt when the
+// default thread count changes; intentionally leaked at exit so late
+// worker teardown can never race static destruction. Resizing while
+// another thread is inside a parallel loop is not supported (the CLI knob
+// is set once at startup or between phases).
+std::mutex g_pool_mu;
+ThreadPool* g_pool = nullptr;
+
+ThreadPool* GlobalPool(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr || g_pool->num_threads() != threads) {
+    delete g_pool;
+    g_pool = nullptr;  // stay null while the new pool constructs
+    g_pool = new ThreadPool(threads);
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+void ParallelForShards(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t shards = NumShards(end - begin, grain);
+  auto run_shard = [&](size_t s) {
+    const size_t b = begin + s * grain;
+    const size_t e = b + grain < end ? b + grain : end;
+    fn(s, b, e);
+  };
+  const int threads = DefaultThreads();
+  if (shards == 1 || threads <= 1 || tls_in_pool_task) {
+    for (size_t s = 0; s < shards; ++s) run_shard(s);
+    return;
+  }
+  GlobalPool(threads)->Apply(shards, run_shard);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForShards(begin, end, grain, [&fn](size_t, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) fn(i);
+  });
+}
+
+}  // namespace lightmirm

@@ -1,11 +1,13 @@
 #include "core/experiment.h"
 
+#include "common/thread_pool.h"
 #include "metrics/ks.h"
 
 namespace lightmirm::core {
 
 Result<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
     ExperimentConfig config) {
+  ScopedDefaultThreads threads_guard(config.threads);
   data::LoanGenerator generator(config.generator);
   LIGHTMIRM_ASSIGN_OR_RETURN(data::Dataset dataset, generator.Generate());
   return CreateWithDataset(std::move(config), std::move(dataset));
@@ -21,6 +23,7 @@ Result<std::unique_ptr<ExperimentRunner>> ExperimentRunner::CreateWithDataset(
 }
 
 Status ExperimentRunner::Init() {
+  ScopedDefaultThreads threads_guard(config_.threads);
   if (config_.iid_split) {
     Rng rng(config_.split_seed);
     LIGHTMIRM_ASSIGN_OR_RETURN(
@@ -48,6 +51,7 @@ Status ExperimentRunner::Init() {
 
 Result<MethodResult> ExperimentRunner::RunMethodWithOptions(
     Method method, const GbdtLrOptions& options, bool trace_epochs) {
+  ScopedDefaultThreads threads_guard(config_.threads);
   MethodResult result;
   result.method = method;
   result.method_name = MethodName(method);

@@ -30,6 +30,10 @@ struct ExperimentConfig {
   uint64_t split_seed = 99;
   /// Environments need this many test rows to be scored.
   size_t eval_min_rows = 80;
+  /// Worker threads for generation, booster training, scoring and the LR
+  /// head (0 = hardware concurrency, 1 = serial). Deterministic: every
+  /// thread count produces the same bits.
+  int threads = 0;
 };
 
 /// One method's evaluation outcome.

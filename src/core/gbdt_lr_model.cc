@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "metrics/ks.h"
 #include "train/erm.h"
 
@@ -97,6 +98,7 @@ Result<std::unique_ptr<train::Trainer>> MakeTrainer(
 Result<GbdtLrModel> GbdtLrModel::Train(const data::Dataset& train,
                                        Method method,
                                        const GbdtLrOptions& options) {
+  ScopedDefaultThreads threads_guard(options.trainer.threads);
   LIGHTMIRM_ASSIGN_OR_RETURN(
       gbdt::Booster booster,
       gbdt::Booster::Train(train.features(), train.labels(),
@@ -112,6 +114,7 @@ Result<GbdtLrModel> GbdtLrModel::TrainWithBooster(
   if (booster == nullptr) {
     return Status::InvalidArgument("booster must be non-null");
   }
+  ScopedDefaultThreads threads_guard(options.trainer.threads);
   GbdtLrModel model;
   model.method_ = method;
   model.booster_ = std::move(booster);

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace lightmirm::data {
 namespace {
@@ -227,15 +228,32 @@ Result<Dataset> LoanGenerator::Generate(
     }
   }
 
-  Rng rng(opt.seed);
+  // Row-sharded generation: shard s covers the fixed row range
+  // [s*grain, (s+1)*grain) and draws from its own stream Fork(s), so the
+  // dataset is a pure function of the options at any thread count. Shards
+  // never depend on each other; a row's year is derived from its index.
+  const std::vector<std::vector<double>> year_shares = [&] {
+    std::vector<std::vector<double>> shares;
+    for (int year = opt.first_year; year <= opt.last_year; ++year) {
+      shares.push_back(YearShares(year));
+    }
+    return shares;
+  }();
+  const Rng base(opt.seed);
   const int hubei = 6;  // index in kProvinceNames
-  std::vector<double> z(opt.latent_dim);
-  std::vector<double> xnum(opt.num_numeric);
-
-  size_t row = 0;
-  for (int year = opt.first_year; year <= opt.last_year; ++year) {
-    const std::vector<double> shares = YearShares(year);
-    for (int i = 0; i < opt.rows_per_year; ++i, ++row) {
+  constexpr size_t kGeneratorRowGrain = 2048;
+  ParallelForShards(0, total_rows, kGeneratorRowGrain, [&](size_t shard,
+                                                           size_t begin,
+                                                           size_t end) {
+    Rng rng = base.Fork(shard);
+    std::vector<double> z(opt.latent_dim);
+    std::vector<double> xnum(opt.num_numeric);
+    for (size_t row = begin; row < end; ++row) {
+      const int year_index =
+          static_cast<int>(row / static_cast<size_t>(opt.rows_per_year));
+      const int year = opt.first_year + year_index;
+      const std::vector<double>& shares =
+          year_shares[static_cast<size_t>(year_index)];
       const int m = static_cast<int>(rng.Categorical(shares));
       const ProvinceProfile& prof = profiles_[m];
       const int half = rng.Bernoulli(0.5) ? 2 : 1;
@@ -318,7 +336,7 @@ Result<Dataset> LoanGenerator::Generate(
       years[row] = year;
       halves[row] = half;
     }
-  }
+  });
 
   Dataset dataset(Schema(std::move(fields)), std::move(feats),
                   std::move(labels), std::move(envs), std::move(years),

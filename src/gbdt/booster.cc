@@ -4,9 +4,18 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "linear/logistic.h"
 
 namespace lightmirm::gbdt {
+namespace {
+
+// Rows per shard of the row-parallel loops (gradient refresh, score
+// update, batch prediction). Fixed grain + ordered merge of shard partials
+// keeps every result bit-identical at any thread count.
+constexpr size_t kRowGrain = 4096;
+
+}  // namespace
 
 Booster::Booster(double base_score, std::vector<Tree> trees)
     : base_score_(base_score), trees_(std::move(trees)) {}
@@ -50,16 +59,24 @@ Result<Booster> Booster::Train(const Matrix& features,
   std::vector<size_t> all_rows(n);
   for (size_t i = 0; i < n; ++i) all_rows[i] = i;
 
+  std::vector<double> shard_loss(NumShards(n, kRowGrain));
   for (int t = 0; t < options.num_trees; ++t) {
+    ParallelForShards(0, n, kRowGrain,
+                      [&](size_t shard, size_t begin, size_t end) {
+                        double loss = 0.0;
+                        for (size_t i = begin; i < end; ++i) {
+                          const double p = linear::Sigmoid(scores[i]);
+                          const double y = static_cast<double>(labels[i]);
+                          grads[i] = p - y;
+                          hessians[i] = std::max(p * (1.0 - p), 1e-12);
+                          loss -= y * std::log(std::max(p, 1e-12)) +
+                                  (1.0 - y) *
+                                      std::log(std::max(1.0 - p, 1e-12));
+                        }
+                        shard_loss[shard] = loss;
+                      });
     double loss = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double p = linear::Sigmoid(scores[i]);
-      const double y = static_cast<double>(labels[i]);
-      grads[i] = p - y;
-      hessians[i] = std::max(p * (1.0 - p), 1e-12);
-      loss -= y * std::log(std::max(p, 1e-12)) +
-              (1.0 - y) * std::log(std::max(1.0 - p, 1e-12));
-    }
+    for (double part : shard_loss) loss += part;  // fixed shard order
     booster.train_loss_history_.push_back(loss / static_cast<double>(n));
 
     std::vector<size_t>* rows = &all_rows;
@@ -78,9 +95,9 @@ Result<Booster> Booster::Train(const Matrix& features,
     LIGHTMIRM_ASSIGN_OR_RETURN(
         Tree tree,
         GrowTree(binned, *rows, grads, hessians, options.tree, &rng));
-    for (size_t i = 0; i < n; ++i) {
+    ParallelFor(0, n, kRowGrain, [&](size_t i) {
       scores[i] += tree.Predict(features.Row(i));
-    }
+    });
     booster.trees_.push_back(std::move(tree));
   }
   return booster;
@@ -98,9 +115,10 @@ double Booster::PredictProb(const double* row) const {
 
 std::vector<double> Booster::PredictProbs(const Matrix& features) const {
   std::vector<double> out(features.rows());
-  for (size_t r = 0; r < features.rows(); ++r) {
-    out[r] = PredictProb(features.Row(r));
-  }
+  // Row-parallel batch scoring: rows are independent and written to
+  // disjoint slots, so the output is identical at any thread count.
+  ParallelFor(0, features.rows(), kRowGrain,
+              [&](size_t r) { out[r] = PredictProb(features.Row(r)); });
   return out;
 }
 

@@ -2,7 +2,37 @@
 
 #include <cassert>
 
+#include "common/thread_pool.h"
+
 namespace lightmirm::gbdt {
+namespace {
+
+// Rows per histogram shard. The shard structure depends only on the row
+// count (never the thread count), and shard partials are merged in shard
+// order, so the histogram is bit-identical at any thread count. Node row
+// sets below the grain take the single-shard path with zero overhead.
+constexpr size_t kHistogramRowGrain = 2048;
+
+// Accumulates rows [begin, end) of `rows` into `stats` (feature-major,
+// `max_bins` bins per feature).
+void AccumulateRows(const BinnedMatrix& binned, const std::vector<size_t>& rows,
+                    size_t begin, size_t end, size_t num_features,
+                    int max_bins, const std::vector<double>& grads,
+                    const std::vector<double>& hessians, BinStats* stats) {
+  for (size_t f = 0; f < num_features; ++f) {
+    const std::vector<uint16_t>& bins = binned.FeatureBins(f);
+    BinStats* feature_stats = stats + f * static_cast<size_t>(max_bins);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t r = rows[i];
+      BinStats& s = feature_stats[bins[r]];
+      s.grad += grads[r];
+      s.hess += hessians[r];
+      s.count += 1.0;
+    }
+  }
+}
+
+}  // namespace
 
 NodeHistogram::NodeHistogram(size_t num_features, int max_bins)
     : num_features_(num_features),
@@ -14,14 +44,27 @@ void NodeHistogram::Build(const BinnedMatrix& binned,
                           const std::vector<double>& grads,
                           const std::vector<double>& hessians) {
   std::fill(stats_.begin(), stats_.end(), BinStats{});
-  for (size_t f = 0; f < num_features_; ++f) {
-    const std::vector<uint16_t>& bins = binned.FeatureBins(f);
-    BinStats* feature_stats = &stats_[f * static_cast<size_t>(max_bins_)];
-    for (size_t r : rows) {
-      BinStats& s = feature_stats[bins[r]];
-      s.grad += grads[r];
-      s.hess += hessians[r];
-      s.count += 1.0;
+  const size_t num_shards = NumShards(rows.size(), kHistogramRowGrain);
+  if (num_shards <= 1) {
+    AccumulateRows(binned, rows, 0, rows.size(), num_features_, max_bins_,
+                   grads, hessians, stats_.data());
+    return;
+  }
+  // Row-block sharding: per-shard local histograms, merged in fixed shard
+  // order below so the float accumulation order is thread-count-invariant.
+  std::vector<std::vector<BinStats>> partials(num_shards);
+  ParallelForShards(0, rows.size(), kHistogramRowGrain,
+                    [&](size_t shard, size_t begin, size_t end) {
+                      partials[shard].assign(stats_.size(), BinStats{});
+                      AccumulateRows(binned, rows, begin, end, num_features_,
+                                     max_bins_, grads, hessians,
+                                     partials[shard].data());
+                    });
+  for (const std::vector<BinStats>& partial : partials) {
+    for (size_t i = 0; i < stats_.size(); ++i) {
+      stats_[i].grad += partial[i].grad;
+      stats_[i].hess += partial[i].hess;
+      stats_[i].count += partial[i].count;
     }
   }
 }
@@ -45,54 +88,80 @@ double NodeScore(double grad_sum, double hess_sum, double lambda_l2) {
   return grad_sum * grad_sum / (hess_sum + lambda_l2);
 }
 
+namespace {
+
+// Best split of one feature: the scan the serial implementation ran inside
+// its feature loop, with an empty running best.
+SplitInfo FindBestSplitForFeature(const NodeHistogram& hist, size_t f,
+                                  int nbins, double node_grad,
+                                  double node_hess, double node_count,
+                                  const SplitOptions& options,
+                                  double parent_score) {
+  SplitInfo best;
+  double left_grad = 0.0, left_hess = 0.0, left_count = 0.0;
+  // Cut after bin b: left = bins [0..b], right = rest.
+  for (int b = 0; b + 1 < nbins; ++b) {
+    const BinStats& s = hist.At(f, b);
+    left_grad += s.grad;
+    left_hess += s.hess;
+    left_count += s.count;
+    const double right_grad = node_grad - left_grad;
+    const double right_hess = node_hess - left_hess;
+    const double right_count = node_count - left_count;
+    if (left_count < options.min_data_in_leaf ||
+        right_count < options.min_data_in_leaf) {
+      continue;
+    }
+    if (left_hess < options.min_child_weight ||
+        right_hess < options.min_child_weight) {
+      continue;
+    }
+    const double gain = NodeScore(left_grad, left_hess, options.lambda_l2) +
+                        NodeScore(right_grad, right_hess, options.lambda_l2) -
+                        parent_score;
+    if (gain > options.min_gain && gain > best.gain) {
+      best.valid = true;
+      best.feature = static_cast<int>(f);
+      best.bin_threshold = b;
+      best.gain = gain;
+      best.left_grad = left_grad;
+      best.left_hess = left_hess;
+      best.left_count = left_count;
+      best.right_grad = right_grad;
+      best.right_hess = right_hess;
+      best.right_count = right_count;
+    }
+  }
+  return best;
+}
+
+constexpr size_t kSplitFeatureGrain = 16;
+
+}  // namespace
+
 SplitInfo FindBestSplit(const NodeHistogram& hist,
                         const std::vector<int>& feature_num_bins,
                         double node_grad, double node_hess,
                         double node_count, const SplitOptions& options) {
-  SplitInfo best;
   const double parent_score =
       NodeScore(node_grad, node_hess, options.lambda_l2);
-  for (size_t f = 0; f < hist.num_features(); ++f) {
+  // Feature-parallel scan; the strictly-greater reduction in feature order
+  // below reproduces the serial "first feature with the maximal gain wins"
+  // tie-breaking exactly.
+  std::vector<SplitInfo> per_feature(hist.num_features());
+  ParallelFor(0, hist.num_features(), kSplitFeatureGrain, [&](size_t f) {
     if (!options.feature_mask.empty() && options.feature_mask[f] == 0) {
-      continue;
+      return;
     }
     const int nbins = feature_num_bins[f];
-    if (nbins < 2) continue;
-    double left_grad = 0.0, left_hess = 0.0, left_count = 0.0;
-    // Cut after bin b: left = bins [0..b], right = rest.
-    for (int b = 0; b + 1 < nbins; ++b) {
-      const BinStats& s = hist.At(f, b);
-      left_grad += s.grad;
-      left_hess += s.hess;
-      left_count += s.count;
-      const double right_grad = node_grad - left_grad;
-      const double right_hess = node_hess - left_hess;
-      const double right_count = node_count - left_count;
-      if (left_count < options.min_data_in_leaf ||
-          right_count < options.min_data_in_leaf) {
-        continue;
-      }
-      if (left_hess < options.min_child_weight ||
-          right_hess < options.min_child_weight) {
-        continue;
-      }
-      const double gain =
-          NodeScore(left_grad, left_hess, options.lambda_l2) +
-          NodeScore(right_grad, right_hess, options.lambda_l2) -
-          parent_score;
-      if (gain > options.min_gain && gain > best.gain) {
-        best.valid = true;
-        best.feature = static_cast<int>(f);
-        best.bin_threshold = b;
-        best.gain = gain;
-        best.left_grad = left_grad;
-        best.left_hess = left_hess;
-        best.left_count = left_count;
-        best.right_grad = right_grad;
-        best.right_hess = right_hess;
-        best.right_count = right_count;
-      }
-    }
+    if (nbins < 2) return;
+    per_feature[f] =
+        FindBestSplitForFeature(hist, f, nbins, node_grad, node_hess,
+                                node_count, options, parent_score);
+  });
+  SplitInfo best;
+  for (const SplitInfo& candidate : per_feature) {
+    if (candidate.valid && candidate.gain > best.gain) best = candidate;
   }
   return best;
 }

@@ -1,5 +1,7 @@
 #include "gbdt/leaf_encoder.h"
 
+#include "common/thread_pool.h"
+
 namespace lightmirm::gbdt {
 
 LeafEncoder::LeafEncoder(const Booster* booster) : booster_(booster) {
@@ -15,14 +17,15 @@ LeafEncoder::LeafEncoder(const Booster* booster) : booster_(booster) {
 Result<linear::FeatureMatrix> LeafEncoder::Encode(const Matrix& raw) const {
   std::vector<std::vector<uint32_t>> rows(raw.rows());
   const auto& trees = booster_->trees();
-  for (size_t r = 0; r < raw.rows(); ++r) {
+  // Row-parallel leaf encoding: each row writes only its own slot.
+  ParallelFor(0, raw.rows(), 1024, [&](size_t r) {
     rows[r].reserve(trees.size());
     const double* raw_row = raw.Row(r);
     for (size_t t = 0; t < trees.size(); ++t) {
       const int leaf = trees[t].PredictLeaf(raw_row);
       rows[r].push_back(static_cast<uint32_t>(ColumnOf(t, leaf)));
     }
-  }
+  });
   return linear::FeatureMatrix::FromSparseBinary(num_columns_,
                                                  std::move(rows));
 }

@@ -4,11 +4,17 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "metrics/ks.h"
 #include "metrics/roc.h"
 
 namespace lightmirm::metrics {
 namespace {
+
+// Resamples per parallel shard. Each resample gets its own RNG stream
+// forked deterministically from the seed, so the CI is a pure function of
+// (data, options) regardless of thread count.
+constexpr size_t kResampleGrain = 8;
 
 Status CheckOptions(const BootstrapOptions& options) {
   if (options.num_resamples < 10) {
@@ -56,15 +62,27 @@ Result<ConfidenceInterval> BootstrapMetric(const std::vector<int>& labels,
                                            MetricFn metric) {
   LIGHTMIRM_RETURN_NOT_OK(CheckOptions(options));
   LIGHTMIRM_ASSIGN_OR_RETURN(const double point, metric(labels, scores));
-  Rng rng(options.seed);
-  std::vector<double> samples;
-  samples.reserve(static_cast<size_t>(options.num_resamples));
-  std::vector<int> rl;
-  std::vector<double> rs;
-  for (int b = 0; b < options.num_resamples; ++b) {
+  // Resample-parallel: resample b draws from its own stream Fork(b), so
+  // any thread count yields the serial result bit for bit.
+  Rng root(options.seed);
+  const size_t num_resamples = static_cast<size_t>(options.num_resamples);
+  std::vector<double> values(num_resamples, 0.0);
+  std::vector<uint8_t> valid(num_resamples, 0);
+  ParallelFor(0, num_resamples, kResampleGrain, [&](size_t b) {
+    Rng rng = root.Fork(b);
+    std::vector<int> rl;
+    std::vector<double> rs;
     Resample(labels, scores, &rng, &rl, &rs);
     auto value = metric(rl, rs);
-    if (value.ok()) samples.push_back(*value);
+    if (value.ok()) {
+      values[b] = *value;
+      valid[b] = 1;
+    }
+  });
+  std::vector<double> samples;
+  samples.reserve(num_resamples);
+  for (size_t b = 0; b < num_resamples; ++b) {
+    if (valid[b]) samples.push_back(values[b]);
   }
   if (samples.size() < 10) {
     return Status::FailedPrecondition("too few valid bootstrap resamples");
@@ -95,12 +113,14 @@ Result<double> PairedKsWinRate(const std::vector<int>& labels,
       labels.size() != scores_b.size()) {
     return Status::InvalidArgument("paired inputs must align");
   }
-  Rng rng(options.seed);
+  Rng root(options.seed);
   const size_t n = labels.size();
-  int wins = 0, valid = 0;
-  std::vector<int> rl(n);
-  std::vector<double> ra(n), rb(n);
-  for (int b = 0; b < options.num_resamples; ++b) {
+  const size_t num_resamples = static_cast<size_t>(options.num_resamples);
+  std::vector<uint8_t> won(num_resamples, 0), ok(num_resamples, 0);
+  ParallelFor(0, num_resamples, kResampleGrain, [&](size_t b) {
+    Rng rng = root.Fork(b);
+    std::vector<int> rl(n);
+    std::vector<double> ra(n), rb(n);
     bool pos = false, neg = false;
     for (size_t i = 0; i < n; ++i) {
       const size_t pick = rng.UniformInt(n);
@@ -109,12 +129,17 @@ Result<double> PairedKsWinRate(const std::vector<int>& labels,
       rb[i] = scores_b[pick];
       (rl[i] == 1 ? pos : neg) = true;
     }
-    if (!pos || !neg) continue;
+    if (!pos || !neg) return;
     const auto ks_a = KsStatistic(rl, ra);
     const auto ks_b = KsStatistic(rl, rb);
-    if (!ks_a.ok() || !ks_b.ok()) continue;
-    ++valid;
-    if (*ks_a > *ks_b) ++wins;
+    if (!ks_a.ok() || !ks_b.ok()) return;
+    ok[b] = 1;
+    if (*ks_a > *ks_b) won[b] = 1;
+  });
+  int wins = 0, valid = 0;
+  for (size_t b = 0; b < num_resamples; ++b) {
+    valid += ok[b];
+    wins += won[b];
   }
   if (valid < 10) {
     return Status::FailedPrecondition("too few valid bootstrap resamples");

@@ -1,6 +1,7 @@
 #include "train/light_mirm.h"
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "train/meta_irm.h"
 #include "train/mrq.h"
 
@@ -21,31 +22,43 @@ Status LightMirmOuterGradient(const linear::LossContext& ctx,
   std::vector<linear::ParamVec> theta_bar(num_tasks);
   std::vector<linear::ParamVec> sampled_grads(num_tasks);
   out->meta_losses.assign(num_tasks, 0.0);
-  linear::ParamVec grad_m, hv;
 
-  // Inner loop (Algorithm 2, lines 6-7).
+  // Inner loop (Algorithm 2, lines 6-7). Each task m is independent given
+  // theta, so the inner steps run environment-parallel; every task writes
+  // only its own theta_bar[m].
   {
     StepTimer::Scope scope(timer, kStepInnerOptimization);
-    for (size_t m = 0; m < num_tasks; ++m) {
+    ParallelFor(0, num_tasks, 1, [&](size_t m) {
+      linear::ParamVec grad_m;
       linear::BceLossGrad(ctx, data.env_rows[m], params, &grad_m);
       theta_bar[m] = params;
       for (size_t j = 0; j < dim; ++j) {
         theta_bar[m][j] -= options.inner_lr * grad_m[j];
       }
-    }
+    });
   }
 
   // Environment sampling + meta-loss replaying (lines 8-10): one sampled
-  // environment per task, pushed through the MRQ.
+  // environment per task, pushed through the MRQ. The draws consume the
+  // RNG serially in task order (the exact stream the serial loop used);
+  // only the loss/gradient evaluations run in parallel, and the MRQ pushes
+  // replay serially in task order afterwards.
   {
     StepTimer::Scope scope(timer, kStepMetaLosses);
+    std::vector<size_t> sampled_env(num_tasks);
     for (size_t m = 0; m < num_tasks; ++m) {
       size_t s = rng->UniformInt(num_tasks - 1);
       if (s >= m) ++s;  // s_m != m
-      const double loss = linear::BceLossGrad(ctx, data.env_rows[s],
-                                              theta_bar[m],
-                                              &sampled_grads[m]);
-      (*queues)[m].Push(loss);
+      sampled_env[m] = s;
+    }
+    std::vector<double> sampled_loss(num_tasks, 0.0);
+    ParallelFor(0, num_tasks, 1, [&](size_t m) {
+      sampled_loss[m] =
+          linear::BceLossGrad(ctx, data.env_rows[sampled_env[m]],
+                              theta_bar[m], &sampled_grads[m]);
+    });
+    for (size_t m = 0; m < num_tasks; ++m) {
+      (*queues)[m].Push(sampled_loss[m]);
       out->meta_losses[m] = (*queues)[m].ReplayedLoss();
     }
   }
@@ -53,18 +66,27 @@ Status LightMirmOuterGradient(const linear::LossContext& ctx,
   // Outer gradient (lines 12-13). Only the newest queue element depends on
   // the current theta_bar_m, and its decay weight is gamma^0 = 1, so the
   // gradient of the replayed meta-loss w.r.t. theta_bar_m is exactly the
-  // sampled environment's gradient.
+  // sampled environment's gradient. The per-task HVPs run in parallel; the
+  // accumulation happens serially in task order, so the sum matches the
+  // serial loop bit for bit.
   {
     StepTimer::Scope scope(timer, kStepBackward);
     const std::vector<double> coeffs =
         OuterCoefficients(out->meta_losses, options.lambda);
     out->outer_grad.assign(dim, 0.0);
+    std::vector<linear::ParamVec> hvs;
+    if (options.second_order) {
+      hvs.resize(num_tasks);
+      ParallelFor(0, num_tasks, 1, [&](size_t m) {
+        linear::BceHvp(ctx, data.env_rows[m], params, sampled_grads[m],
+                       &hvs[m]);
+      });
+    }
     for (size_t m = 0; m < num_tasks; ++m) {
       if (options.second_order) {
-        linear::BceHvp(ctx, data.env_rows[m], params, sampled_grads[m], &hv);
         for (size_t j = 0; j < dim; ++j) {
           out->outer_grad[j] +=
-              coeffs[m] * (sampled_grads[m][j] - options.inner_lr * hv[j]);
+              coeffs[m] * (sampled_grads[m][j] - options.inner_lr * hvs[m][j]);
         }
       } else {
         for (size_t j = 0; j < dim; ++j) {

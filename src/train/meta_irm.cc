@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace lightmirm::train {
 
@@ -42,32 +43,34 @@ Status MetaIrmOuterGradient(const linear::LossContext& ctx,
   std::vector<linear::ParamVec> theta_bar(num_tasks);
   std::vector<linear::ParamVec> meta_grads(num_tasks);
   out->meta_losses.assign(num_tasks, 0.0);
-  linear::ParamVec grad_m, env_grad, hv;
 
-  // Inner loop (Algorithm 1, lines 6-7): one gradient step per environment.
+  // Inner loop (Algorithm 1, lines 6-7): one gradient step per environment,
+  // environment-parallel (tasks are independent given theta).
   {
     StepTimer::Scope scope(timer, kStepInnerOptimization);
-    for (size_t m = 0; m < num_tasks; ++m) {
+    ParallelFor(0, num_tasks, 1, [&](size_t m) {
+      linear::ParamVec grad_m;
       linear::BceLossGrad(ctx, data.env_rows[m], params, &grad_m);
       theta_bar[m] = params;
       for (size_t j = 0; j < dim; ++j) {
         theta_bar[m][j] -= options.inner_lr * grad_m[j];
       }
-    }
+    });
   }
 
   // Meta-losses (line 8): R_meta(theta_bar_m) over the other environments
-  // (all of them, or a random subset of size S).
+  // (all of them, or a random subset of size S). Sampling draws consume
+  // the RNG serially in task order — the same stream as the serial loop —
+  // then the per-task loss sums run environment-parallel, each in the same
+  // within-task evaluation order as the serial code.
   {
     StepTimer::Scope scope(timer, kStepMetaLosses);
+    std::vector<std::vector<size_t>> eval_envs(num_tasks);
     for (size_t m = 0; m < num_tasks; ++m) {
-      meta_grads[m].assign(dim, 0.0);
       if (options.sample_size == 0) {
+        eval_envs[m].reserve(num_tasks - 1);
         for (size_t other = 0; other < num_tasks; ++other) {
-          if (other == m) continue;
-          out->meta_losses[m] += linear::BceLossGrad(
-              ctx, data.env_rows[other], theta_bar[m], &env_grad);
-          for (size_t j = 0; j < dim; ++j) meta_grads[m][j] += env_grad[j];
+          if (other != m) eval_envs[m].push_back(other);
         }
       } else {
         // Sample S distinct environments != m (partial Fisher-Yates).
@@ -81,29 +84,42 @@ Status MetaIrmOuterGradient(const linear::LossContext& ctx,
               static_cast<size_t>(s) +
               rng->UniformInt(pool.size() - static_cast<size_t>(s));
           std::swap(pool[static_cast<size_t>(s)], pool[pick]);
-          out->meta_losses[m] += linear::BceLossGrad(
-              ctx, data.env_rows[pool[static_cast<size_t>(s)]], theta_bar[m],
-              &env_grad);
-          for (size_t j = 0; j < dim; ++j) meta_grads[m][j] += env_grad[j];
+          eval_envs[m].push_back(pool[static_cast<size_t>(s)]);
         }
       }
     }
+    ParallelFor(0, num_tasks, 1, [&](size_t m) {
+      meta_grads[m].assign(dim, 0.0);
+      linear::ParamVec env_grad;
+      for (size_t other : eval_envs[m]) {
+        out->meta_losses[m] += linear::BceLossGrad(
+            ctx, data.env_rows[other], theta_bar[m], &env_grad);
+        for (size_t j = 0; j < dim; ++j) meta_grads[m][j] += env_grad[j];
+      }
+    });
   }
 
   // Backward (lines 10-11): d/dtheta [sum_m R_meta + lambda*sigma], with
   // the inner-step Jacobian (I - alpha*H^m(theta)) applied exactly via
-  // Hessian-vector products.
+  // Hessian-vector products. HVPs run task-parallel; the reduction into
+  // outer_grad stays serial in task order for bit-stable float sums.
   {
     StepTimer::Scope scope(timer, kStepBackward);
     const std::vector<double> coeffs =
         OuterCoefficients(out->meta_losses, options.lambda);
     out->outer_grad.assign(dim, 0.0);
+    std::vector<linear::ParamVec> hvs;
+    if (options.second_order) {
+      hvs.resize(num_tasks);
+      ParallelFor(0, num_tasks, 1, [&](size_t m) {
+        linear::BceHvp(ctx, data.env_rows[m], params, meta_grads[m], &hvs[m]);
+      });
+    }
     for (size_t m = 0; m < num_tasks; ++m) {
       if (options.second_order) {
-        linear::BceHvp(ctx, data.env_rows[m], params, meta_grads[m], &hv);
         for (size_t j = 0; j < dim; ++j) {
           out->outer_grad[j] +=
-              coeffs[m] * (meta_grads[m][j] - options.inner_lr * hv[j]);
+              coeffs[m] * (meta_grads[m][j] - options.inner_lr * hvs[m][j]);
         }
       } else {
         for (size_t j = 0; j < dim; ++j) {

@@ -80,6 +80,11 @@ struct TrainerOptions {
   double l2 = 1e-4;
   uint64_t seed = 7;
   double init_scale = 0.01;
+  /// Worker threads for the parallel training loops (environment-parallel
+  /// meta-task losses, histogram builds, ...). 0 keeps the ambient default
+  /// (hardware concurrency); 1 forces serial execution. Results are
+  /// identical at any value — see DESIGN.md "Threading model".
+  int threads = 0;
   linear::OptimizerOptions optimizer = {"adam", 0.05, 0.9, 0.9, 0.999, 1e-8};
   /// Optional per-step timing sink (Table III); not owned.
   StepTimer* timer = nullptr;

@@ -1,0 +1,199 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lightmirm {
+namespace {
+
+TEST(NumShardsTest, Math) {
+  EXPECT_EQ(NumShards(0, 16), 0u);
+  EXPECT_EQ(NumShards(1, 16), 1u);
+  EXPECT_EQ(NumShards(16, 16), 1u);
+  EXPECT_EQ(NumShards(17, 16), 2u);
+  EXPECT_EQ(NumShards(32, 16), 2u);
+  EXPECT_EQ(NumShards(33, 16), 3u);
+  // Grain 0 behaves like grain 1.
+  EXPECT_EQ(NumShards(5, 0), 5u);
+}
+
+TEST(DefaultThreadsTest, ScopedOverrideRestores) {
+  const int before = DefaultThreads();
+  {
+    ScopedDefaultThreads guard(3);
+    EXPECT_EQ(DefaultThreads(), 3);
+    {
+      // n <= 0 leaves the current default untouched.
+      ScopedDefaultThreads noop(0);
+      EXPECT_EQ(DefaultThreads(), 3);
+    }
+    EXPECT_EQ(DefaultThreads(), 3);
+  }
+  EXPECT_EQ(DefaultThreads(), before);
+}
+
+TEST(DefaultThreadsTest, SetZeroRestoresHardware) {
+  SetDefaultThreads(2);
+  EXPECT_EQ(DefaultThreads(), 2);
+  SetDefaultThreads(0);
+  EXPECT_EQ(DefaultThreads(), HardwareThreads());
+}
+
+TEST(ParallelForTest, EmptyRangeNeverCallsFn) {
+  ScopedDefaultThreads guard(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 8, [&](size_t) { calls.fetch_add(1); });
+  ParallelFor(5, 5, 8, [&](size_t) { calls.fetch_add(1); });
+  ParallelForShards(3, 3, 8, [&](size_t, size_t, size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnceGrainOne) {
+  for (int threads : {1, 2, 8}) {
+    ScopedDefaultThreads guard(threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(0, hits.size(), 1, [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, NonZeroBeginAndCoarseGrain) {
+  ScopedDefaultThreads guard(4);
+  std::vector<int> hits(100, 0);
+  ParallelFor(10, 100, 7, [&](size_t i) { hits[i] += 1; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i >= 10 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ParallelForShardsTest, ShardStructureMatchesNumShards) {
+  for (int threads : {1, 4}) {
+    ScopedDefaultThreads guard(threads);
+    const size_t begin = 3, end = 103, grain = 16;
+    const size_t expect = NumShards(end - begin, grain);
+    std::vector<std::pair<size_t, size_t>> ranges(expect, {0, 0});
+    std::atomic<size_t> calls{0};
+    ParallelForShards(begin, end, grain,
+                      [&](size_t shard, size_t b, size_t e) {
+                        ASSERT_LT(shard, expect);
+                        ranges[shard] = {b, e};
+                        calls.fetch_add(1);
+                      });
+    EXPECT_EQ(calls.load(), expect);
+    // Shards tile [begin, end) contiguously in shard order.
+    size_t cursor = begin;
+    for (size_t s = 0; s < expect; ++s) {
+      EXPECT_EQ(ranges[s].first, cursor);
+      EXPECT_GT(ranges[s].second, ranges[s].first);
+      EXPECT_LE(ranges[s].second - ranges[s].first, grain);
+      cursor = ranges[s].second;
+    }
+    EXPECT_EQ(cursor, end);
+  }
+}
+
+TEST(ParallelForTest, ExceptionPropagates) {
+  for (int threads : {1, 4}) {
+    ScopedDefaultThreads guard(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 64, 1,
+                    [&](size_t i) {
+                      if (i == 13) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelForTest, LowestFailingShardWins) {
+  ScopedDefaultThreads guard(4);
+  try {
+    ParallelFor(0, 64, 1, [&](size_t i) {
+      if (i == 7) throw std::runtime_error("seven");
+      if (i == 50) throw std::runtime_error("fifty");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "seven");
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  ScopedDefaultThreads guard(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, 8, 1, [&](size_t outer) {
+    // A nested loop from inside a pool task must not deadlock; it runs
+    // serially on the worker.
+    ParallelFor(0, 8, 1, [&](size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReuseAcrossManyBatches) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> out(round + 1, 0);
+    pool.Apply(out.size(), [&](size_t t) { out[t] = static_cast<int>(t); });
+    long long sum = std::accumulate(out.begin(), out.end(), 0LL);
+    EXPECT_EQ(sum, static_cast<long long>(round) * (round + 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.Apply(5, [&](size_t t) { order.push_back(t); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotPoisonPool) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.Apply(16,
+                          [&](size_t t) {
+                            if (t % 2 == 0) throw std::runtime_error("x");
+                          }),
+               std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> calls{0};
+  pool.Apply(16, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ParallelForTest, SerialAndParallelSumsMatchBitwise) {
+  // The canonical merge pattern: disjoint per-shard partials reduced in
+  // shard order must not depend on the thread count.
+  const size_t n = 10000, grain = 64;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = std::sin(static_cast<double>(i)) * 1e-3;
+  }
+  auto run = [&](int threads) {
+    ScopedDefaultThreads guard(threads);
+    std::vector<double> partial(NumShards(n, grain), 0.0);
+    ParallelForShards(0, n, grain, [&](size_t shard, size_t b, size_t e) {
+      double acc = 0.0;
+      for (size_t i = b; i < e; ++i) acc += values[i];
+      partial[shard] = acc;
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  const double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+}  // namespace
+}  // namespace lightmirm
