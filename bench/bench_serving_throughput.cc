@@ -1,0 +1,149 @@
+// Serving throughput: legacy encode-then-dot inference (materialize the
+// §III-C multi-hot FeatureMatrix, then sparse-dot the LR weights) vs the
+// compiled zero-allocation path (serve::CompiledForest + ScoringSession).
+// Sweeps thread counts, reports rows/sec, verifies the two paths are
+// bit-identical, and writes BENCH_serving.json.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/gbdt_lr_model.h"
+#include "data/loan_generator.h"
+
+using namespace lightmirm;
+using namespace lightmirm::bench;
+
+namespace {
+
+struct PathTiming {
+  double rows_per_sec = 0.0;
+  double best_seconds = 0.0;
+};
+
+template <typename Fn>
+PathTiming Measure(size_t rows, int warmup, int iters, const Fn& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  PathTiming timing;
+  timing.best_seconds = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    WallTimer watch;
+    fn();
+    timing.best_seconds = std::min(timing.best_seconds, watch.Seconds());
+  }
+  timing.rows_per_sec = static_cast<double>(rows) / timing.best_seconds;
+  return timing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ConfigMap cfg = ParseArgs(argc, argv);
+  Banner("Serving throughput",
+         "legacy encode-then-dot vs compiled fused scorer");
+
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = static_cast<int>(cfg.GetInt("rows_per_year", 4000));
+  gen.seed = static_cast<uint64_t>(cfg.GetInt("seed", 42));
+  core::GbdtLrOptions options;
+  options.booster.num_trees = static_cast<int>(
+      cfg.GetInt("trees", options.booster.num_trees));
+  options.trainer.epochs = static_cast<int>(cfg.GetInt("epochs", 20));
+  const int warmup = static_cast<int>(cfg.GetInt("warmup", 2));
+  const int iters = static_cast<int>(cfg.GetInt("iters", 15));
+
+  const data::Dataset dataset =
+      Unwrap(data::LoanGenerator(gen).Generate(), "generating dataset");
+  std::printf("dataset: %zu rows x %zu features, %d trees\n",
+              dataset.NumRows(), dataset.NumFeatures(),
+              options.booster.num_trees);
+
+  const core::GbdtLrModel model = Unwrap(
+      core::GbdtLrModel::Train(dataset, core::Method::kErm, options),
+      "training model");
+  const auto session = model.scoring_session();
+  const auto forest = model.compiled_forest();
+  std::printf("compiled forest: %zu nodes, %zu LR columns\n\n",
+              forest->num_nodes(), forest->num_columns());
+
+  // One-time equivalence check before timing anything.
+  const std::vector<double> legacy_scores = [&] {
+    const linear::FeatureMatrix encoded =
+        Unwrap(model.EncodeFeatures(dataset), "encoding dataset");
+    return model.predictor().Predict(encoded, &dataset.envs());
+  }();
+  const std::vector<double> compiled_scores = Unwrap(
+      session->Score(dataset.features(), &dataset.envs()), "scoring");
+  if (legacy_scores != compiled_scores) {
+    std::fprintf(stderr, "FATAL: compiled scores diverge from legacy\n");
+    return 1;
+  }
+  std::printf("compiled scores bit-identical to legacy: yes\n\n");
+
+  struct SweepPoint {
+    int threads;
+    PathTiming legacy;
+    PathTiming compiled;
+  };
+  const std::vector<int> sweep =
+      ParseThreadList(cfg.GetString("sweep", "1,2,4"));
+  std::vector<SweepPoint> points;
+  std::printf("%-8s %16s %16s %10s\n", "threads", "legacy rows/s",
+              "compiled rows/s", "speedup");
+  std::vector<double> out;
+  for (int t : sweep) {
+    ScopedDefaultThreads guard(t);
+    SweepPoint point;
+    point.threads = t;
+    point.legacy = Measure(dataset.NumRows(), warmup, iters, [&] {
+      const linear::FeatureMatrix encoded = *model.EncodeFeatures(dataset);
+      out = model.predictor().Predict(encoded, &dataset.envs());
+    });
+    point.compiled = Measure(dataset.NumRows(), warmup, iters, [&] {
+      Check(session->Score(dataset.features(), &dataset.envs(), &out),
+            "compiled scoring");
+    });
+    points.push_back(point);
+    std::printf("%-8d %16.0f %16.0f %9.2fx\n", t,
+                point.legacy.rows_per_sec, point.compiled.rows_per_sec,
+                point.compiled.rows_per_sec / point.legacy.rows_per_sec);
+  }
+
+  const double single_thread_speedup =
+      points.empty() ? 0.0
+                     : points.front().compiled.rows_per_sec /
+                           points.front().legacy.rows_per_sec;
+  std::printf("\nsingle-thread compiled speedup over legacy: %.2fx "
+              "(target: >= 2x)\n",
+              single_thread_speedup);
+
+  std::string json = "{\n";
+  json += StrFormat("  \"rows\": %zu,\n", dataset.NumRows());
+  json += StrFormat("  \"features\": %zu,\n", dataset.NumFeatures());
+  json += StrFormat("  \"trees\": %d,\n", options.booster.num_trees);
+  json += StrFormat("  \"compiled_nodes\": %zu,\n", forest->num_nodes());
+  json += StrFormat("  \"lr_columns\": %zu,\n", forest->num_columns());
+  json += StrFormat("  \"hardware_threads\": %d,\n", HardwareThreads());
+  json += StrFormat("  \"iters\": %d,\n", iters);
+  json += "  \"bit_identical\": true,\n";
+  json += "  \"sweep\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    json += StrFormat(
+        "    {\"threads\": %d, \"legacy_rows_per_sec\": %.1f, "
+        "\"compiled_rows_per_sec\": %.1f, \"speedup\": %.4f}%s\n",
+        points[i].threads, points[i].legacy.rows_per_sec,
+        points[i].compiled.rows_per_sec,
+        points[i].compiled.rows_per_sec / points[i].legacy.rows_per_sec,
+        i + 1 < points.size() ? "," : "");
+  }
+  json += "  ],\n";
+  json += StrFormat("  \"single_thread_speedup\": %.4f\n",
+                    single_thread_speedup);
+  json += "}\n";
+  const std::string json_path =
+      cfg.GetString("json_out", "BENCH_serving.json");
+  if (WriteTextFile(json_path, json)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

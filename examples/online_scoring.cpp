@@ -1,10 +1,14 @@
 // Online scoring simulation (the Fig 5 scenario): the deployed model is an
 // ERM pipeline; LightMIRM is appended as a *companion runner* that can veto
 // approvals. Sweeping the veto threshold trades a small number of extra
-// refusals for a large reduction of the bad-debt rate.
+// refusals for a large reduction of the bad-debt rate. The companion is
+// served through the compiled batch scorer (serve::ScoringSession), and the
+// tail of the run reports its steady-state throughput.
+#include <algorithm>
 #include <cstdio>
 
 #include "common/config.h"
+#include "common/timer.h"
 #include "core/experiment.h"
 #include "metrics/threshold.h"
 
@@ -30,14 +34,24 @@ int main(int argc, char** argv) {
   core::ExperimentRunner& runner = **runner_or;
 
   auto erm_or = runner.RunMethod(core::Method::kErm);
-  auto lm_or = runner.RunMethod(core::Method::kLightMirm);
-  if (!erm_or.ok() || !lm_or.ok()) {
+  // Train the companion head directly so the example can hold onto the
+  // model and serve it through its compiled scoring session.
+  auto lm_model_or = core::GbdtLrModel::TrainWithBooster(
+      runner.shared_booster(), runner.train(), core::Method::kLightMirm,
+      config.model);
+  if (!erm_or.ok() || !lm_model_or.ok()) {
     std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+  auto companion_or = lm_model_or->Predict(runner.test());
+  if (!companion_or.ok()) {
+    std::fprintf(stderr, "scoring failed: %s\n",
+                 companion_or.status().ToString().c_str());
     return 1;
   }
   const std::vector<int>& labels = runner.test().labels();
   const std::vector<double>& online = erm_or->test_scores;
-  const std::vector<double>& companion = lm_or->test_scores;
+  const std::vector<double>& companion = *companion_or;
 
   // Baseline: the online (ERM) model approves score < 0.5.
   const double online_bad = metrics::BadDebtRateAt(labels, online, 0.5);
@@ -85,5 +99,26 @@ int main(int argc, char** argv) {
               online_bad > 0
                   ? 100.0 * (1.0 - combined_bad / online_bad)
                   : 0.0);
+
+  // Steady-state serving throughput of the companion on the test batch:
+  // the compiled session reuses the output buffer, so repeated batches
+  // allocate nothing.
+  const auto session = lm_model_or->scoring_session();
+  std::vector<double> scratch;
+  double best = 1e300;
+  for (int i = 0; i < 10; ++i) {
+    WallTimer watch;
+    if (!session->Score(runner.test().features(), &runner.test().envs(),
+                        &scratch)
+             .ok()) {
+      std::fprintf(stderr, "batch scoring failed\n");
+      return 1;
+    }
+    best = std::min(best, watch.Seconds());
+  }
+  std::printf("\ncompanion batch scoring: %zu rows in %.2f ms (%.0f "
+              "rows/sec, compiled path)\n",
+              runner.test().NumRows(), 1e3 * best,
+              static_cast<double>(runner.test().NumRows()) / best);
   return 0;
 }

@@ -88,12 +88,11 @@ Result<MethodResult> ExperimentRunner::RunMethodWithOptions(
                                     run_options));
   result.train_seconds = train_watch.Seconds();
 
-  if (run_options.use_raw_features) {
-    LIGHTMIRM_ASSIGN_OR_RETURN(result.test_scores, model.Predict(split_.test));
-  } else {
-    result.test_scores =
-        model.predictor().Predict(test_features_, &split_.test.envs());
-  }
+  // Both branches route through GbdtLrModel::Predict — for leaf models
+  // that is the compiled serving path (bit-identical to scoring the
+  // pre-encoded test_features_, which remains only for the per-epoch
+  // trace above).
+  LIGHTMIRM_ASSIGN_OR_RETURN(result.test_scores, model.Predict(split_.test));
 
   LIGHTMIRM_ASSIGN_OR_RETURN(
       result.report,

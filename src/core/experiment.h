@@ -79,6 +79,12 @@ class ExperimentRunner {
   const data::Dataset& test() const { return split_.test; }
   const gbdt::Booster& booster() const { return *booster_; }
 
+  /// The shared feature extractor, for callers training their own heads on
+  /// top of it (see GbdtLrModel::TrainWithBooster).
+  std::shared_ptr<const gbdt::Booster> shared_booster() const {
+    return booster_;
+  }
+
  private:
   ExperimentRunner() = default;
   Status Init();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "metrics/ks.h"
 #include "train/erm.h"
@@ -63,34 +64,27 @@ Result<std::unique_ptr<train::Trainer>> MakeTrainer(
   using std::make_unique;
   switch (method) {
     case Method::kErm:
-      return std::unique_ptr<train::Trainer>(
-          make_unique<train::ErmTrainer>(options.trainer));
+      return {make_unique<train::ErmTrainer>(options.trainer)};
     case Method::kErmFineTune:
-      return std::unique_ptr<train::Trainer>(
-          make_unique<train::FineTuneTrainer>(options.trainer,
-                                              options.fine_tune));
+      return {make_unique<train::FineTuneTrainer>(options.trainer,
+                                                  options.fine_tune)};
     case Method::kUpSampling:
-      return std::unique_ptr<train::Trainer>(
-          make_unique<train::UpSamplingTrainer>(options.trainer,
-                                                options.up_sampling));
+      return {make_unique<train::UpSamplingTrainer>(options.trainer,
+                                                    options.up_sampling)};
     case Method::kGroupDro:
-      return std::unique_ptr<train::Trainer>(
-          make_unique<train::GroupDroTrainer>(options.trainer,
-                                              options.group_dro));
+      return {make_unique<train::GroupDroTrainer>(options.trainer,
+                                                  options.group_dro)};
     case Method::kVRex:
-      return std::unique_ptr<train::Trainer>(
-          make_unique<train::VRexTrainer>(options.trainer, options.vrex));
+      return {make_unique<train::VRexTrainer>(options.trainer, options.vrex)};
     case Method::kIrmV1:
-      return std::unique_ptr<train::Trainer>(
-          make_unique<train::IrmV1Trainer>(options.trainer, options.irmv1));
+      return {make_unique<train::IrmV1Trainer>(options.trainer,
+                                               options.irmv1)};
     case Method::kMetaIrm:
-      return std::unique_ptr<train::Trainer>(
-          make_unique<train::MetaIrmTrainer>(options.trainer,
-                                             options.meta_irm));
+      return {make_unique<train::MetaIrmTrainer>(options.trainer,
+                                                 options.meta_irm)};
     case Method::kLightMirm:
-      return std::unique_ptr<train::Trainer>(
-          make_unique<train::LightMirmTrainer>(options.trainer,
-                                               options.light_mirm));
+      return {make_unique<train::LightMirmTrainer>(options.trainer,
+                                                   options.light_mirm)};
   }
   return Status::InvalidArgument("unknown method enum value");
 }
@@ -164,6 +158,7 @@ Result<GbdtLrModel> GbdtLrModel::TrainWithBooster(
   LIGHTMIRM_ASSIGN_OR_RETURN(std::unique_ptr<train::Trainer> trainer,
                              MakeTrainer(method, run_options));
   LIGHTMIRM_ASSIGN_OR_RETURN(model.predictor_, trainer->Fit(train_data));
+  LIGHTMIRM_RETURN_NOT_OK(model.CompileForServing());
   return model;
 }
 
@@ -180,7 +175,23 @@ Result<GbdtLrModel> GbdtLrModel::FromParts(
   model.encoder_ = std::make_unique<gbdt::LeafEncoder>(model.booster_.get());
   model.predictor_ = std::move(predictor);
   model.use_raw_features_ = use_raw_features;
+  LIGHTMIRM_RETURN_NOT_OK(model.CompileForServing());
   return model;
+}
+
+Status GbdtLrModel::CompileForServing() {
+  // The raw-feature ablation feeds dense rows straight into the LR head;
+  // there is no leaf encoding to compile.
+  if (use_raw_features_) return Status::OK();
+  LIGHTMIRM_ASSIGN_OR_RETURN(serve::CompiledForest forest,
+                             serve::CompiledForest::Build(*booster_));
+  forest_ = std::make_shared<const serve::CompiledForest>(std::move(forest));
+  LIGHTMIRM_ASSIGN_OR_RETURN(serve::ScoringSession session,
+                             serve::ScoringSession::Create(forest_,
+                                                           predictor_));
+  session_ =
+      std::make_shared<const serve::ScoringSession>(std::move(session));
+  return Status::OK();
 }
 
 Result<linear::FeatureMatrix> GbdtLrModel::EncodeFeatures(
@@ -193,9 +204,19 @@ Result<linear::FeatureMatrix> GbdtLrModel::EncodeFeatures(
 
 Result<std::vector<double>> GbdtLrModel::Predict(
     const data::Dataset& dataset) const {
-  LIGHTMIRM_ASSIGN_OR_RETURN(const linear::FeatureMatrix features,
-                             EncodeFeatures(dataset));
-  return predictor_.Predict(features, &dataset.envs());
+  if (use_raw_features_) {
+    if (dataset.NumFeatures() != predictor_.global.num_features()) {
+      return Status::InvalidArgument(
+          StrFormat("dataset has %zu features but the LR head was trained "
+                    "on %zu",
+                    dataset.NumFeatures(),
+                    predictor_.global.num_features()));
+    }
+    LIGHTMIRM_ASSIGN_OR_RETURN(const linear::FeatureMatrix features,
+                               EncodeFeatures(dataset));
+    return predictor_.Predict(features, &dataset.envs());
+  }
+  return session_->Score(dataset.features(), &dataset.envs());
 }
 
 }  // namespace lightmirm::core

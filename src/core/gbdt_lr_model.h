@@ -13,6 +13,8 @@
 #include "data/dataset.h"
 #include "gbdt/booster.h"
 #include "gbdt/leaf_encoder.h"
+#include "serve/compiled_forest.h"
+#include "serve/scoring_session.h"
 #include "train/fine_tune.h"
 #include "train/group_dro.h"
 #include "train/irmv1.h"
@@ -92,10 +94,15 @@ class GbdtLrModel {
       bool use_raw_features);
 
   /// Default probabilities for each row of `dataset`. Uses per-province
-  /// model overrides when the method produced them (fine-tuning).
+  /// model overrides when the method produced them (fine-tuning). Leaf
+  /// models score through the compiled serving path (bit-identical to the
+  /// legacy encode-then-dot path); the raw-feature ablation keeps the
+  /// dense legacy path.
   Result<std::vector<double>> Predict(const data::Dataset& dataset) const;
 
-  /// Encodes a dataset into the LR head's input representation.
+  /// Encodes a dataset into the LR head's input representation. Training
+  /// still needs the materialized FeatureMatrix; inference does not (see
+  /// scoring_session()).
   Result<linear::FeatureMatrix> EncodeFeatures(
       const data::Dataset& dataset) const;
 
@@ -104,10 +111,23 @@ class GbdtLrModel {
   Method method() const { return method_; }
   bool use_raw_features() const { return use_raw_features_; }
 
+  /// The flattened forest and batch scorer backing Predict; null for the
+  /// raw-feature ablation (which has no leaf encoding to compile).
+  std::shared_ptr<const serve::CompiledForest> compiled_forest() const {
+    return forest_;
+  }
+  std::shared_ptr<const serve::ScoringSession> scoring_session() const {
+    return session_;
+  }
+
  private:
+  Status CompileForServing();
+
   std::shared_ptr<const gbdt::Booster> booster_;
   std::unique_ptr<gbdt::LeafEncoder> encoder_;
   train::TrainedPredictor predictor_;
+  std::shared_ptr<const serve::CompiledForest> forest_;
+  std::shared_ptr<const serve::ScoringSession> session_;
   Method method_ = Method::kErm;
   bool use_raw_features_ = false;
 };

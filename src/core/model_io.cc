@@ -112,6 +112,27 @@ Result<GbdtLrModel> LoadModel(std::istream* in) {
     }
   }
   LIGHTMIRM_ASSIGN_OR_RETURN(gbdt::Booster booster, gbdt::LoadBooster(in));
+  // A loaded leaf model must round-trip through the compiled serving
+  // representation: reject persisted LR tables whose width disagrees with
+  // the booster's leaf-column layout before reassembly, so corruption
+  // surfaces as a load error instead of a serving error.
+  if (!use_raw) {
+    const size_t want = static_cast<size_t>(booster.TotalLeaves()) + 1;
+    if (predictor.global.params().size() != want) {
+      return Status::InvalidArgument(StrFormat(
+          "model file inconsistent: global LR table has %zu params but the "
+          "booster encodes %d leaf columns (+1 bias)",
+          predictor.global.params().size(), booster.TotalLeaves()));
+    }
+    for (const auto& [env, lr_model] : predictor.per_env) {
+      if (lr_model.params().size() != want) {
+        return Status::InvalidArgument(StrFormat(
+            "model file inconsistent: env %d LR table has %zu params but "
+            "the booster encodes %d leaf columns (+1 bias)",
+            env, lr_model.params().size(), booster.TotalLeaves()));
+      }
+    }
+  }
   return GbdtLrModel::FromParts(
       std::make_shared<const gbdt::Booster>(std::move(booster)),
       std::move(predictor), method, use_raw);

@@ -136,4 +136,12 @@ int Booster::TotalLeaves() const {
   return total;
 }
 
+size_t Booster::MinFeatureCount() const {
+  int max_f = -1;
+  for (const Tree& tree : trees_) {
+    max_f = std::max(max_f, tree.max_feature_index());
+  }
+  return static_cast<size_t>(max_f + 1);
+}
+
 }  // namespace lightmirm::gbdt

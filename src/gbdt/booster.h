@@ -50,6 +50,11 @@ class Booster {
   /// encoding.
   int TotalLeaves() const;
 
+  /// Minimum raw-row width prediction reads: max split feature id + 1.
+  /// Narrower matrices must be rejected before traversal (the trees index
+  /// rows unchecked).
+  size_t MinFeatureCount() const;
+
   /// Mean training logloss after each boosting iteration.
   const std::vector<double>& train_loss_history() const {
     return train_loss_history_;

@@ -1,5 +1,6 @@
 #include "gbdt/leaf_encoder.h"
 
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 
 namespace lightmirm::gbdt {
@@ -15,6 +16,12 @@ LeafEncoder::LeafEncoder(const Booster* booster) : booster_(booster) {
 }
 
 Result<linear::FeatureMatrix> LeafEncoder::Encode(const Matrix& raw) const {
+  const size_t need = booster_->MinFeatureCount();
+  if (raw.cols() < need) {
+    return Status::InvalidArgument(
+        StrFormat("matrix has %zu columns but the booster reads feature %zu",
+                  raw.cols(), need - 1));
+  }
   std::vector<std::vector<uint32_t>> rows(raw.rows());
   const auto& trees = booster_->trees();
   // Row-parallel leaf encoding: each row writes only its own slot.

@@ -10,7 +10,11 @@ namespace lightmirm::gbdt {
 
 Tree::Tree(std::vector<TreeNode> nodes) : nodes_(std::move(nodes)) {
   for (const TreeNode& n : nodes_) {
-    if (n.is_leaf) ++num_leaves_;
+    if (n.is_leaf) {
+      ++num_leaves_;
+    } else {
+      max_feature_index_ = std::max(max_feature_index_, n.feature);
+    }
   }
 }
 

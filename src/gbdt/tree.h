@@ -34,6 +34,9 @@ class Tree {
   size_t num_nodes() const { return nodes_.size(); }
   const std::vector<TreeNode>& nodes() const { return nodes_; }
 
+  /// Largest feature id any split reads; -1 for a leaf-only tree.
+  int max_feature_index() const { return max_feature_index_; }
+
   /// Additive output for a raw feature row (length >= max feature id + 1).
   double Predict(const double* row) const;
 
@@ -43,6 +46,7 @@ class Tree {
  private:
   std::vector<TreeNode> nodes_;
   int num_leaves_ = 0;
+  int max_feature_index_ = -1;
 };
 
 /// Leaf-wise growth parameters.

@@ -1,0 +1,111 @@
+#include "serve/compiled_forest.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace lightmirm::serve {
+
+Result<CompiledForest> CompiledForest::Build(const gbdt::Booster& booster) {
+  const std::vector<gbdt::Tree>& trees = booster.trees();
+  size_t total_nodes = 0;
+  for (const gbdt::Tree& tree : trees) total_nodes += tree.num_nodes();
+  if (total_nodes > static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    return Status::InvalidArgument("forest too large to compile");
+  }
+
+  CompiledForest forest;
+  forest.roots_.reserve(trees.size());
+  forest.depths_.reserve(trees.size());
+  forest.feature_.reserve(total_nodes);
+  forest.threshold_.reserve(total_nodes);
+  forest.left_.reserve(total_nodes);
+  forest.right_.reserve(total_nodes);
+  forest.leaf_col_.reserve(total_nodes);
+
+  int max_feature = -1;
+  size_t column_offset = 0;
+  for (size_t t = 0; t < trees.size(); ++t) {
+    const std::vector<gbdt::TreeNode>& nodes = trees[t].nodes();
+    const int num_leaves = trees[t].num_leaves();
+    if (nodes.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("tree %zu has no nodes", t));
+    }
+    const int32_t base = static_cast<int32_t>(forest.feature_.size());
+    forest.roots_.push_back(base);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const gbdt::TreeNode& n = nodes[i];
+      if (n.is_leaf) {
+        if (n.leaf_ordinal < 0 || n.leaf_ordinal >= num_leaves) {
+          return Status::InvalidArgument(
+              StrFormat("tree %zu node %zu: leaf ordinal %d out of range "
+                        "(%d leaves)",
+                        t, i, n.leaf_ordinal, num_leaves));
+        }
+        // Leaves self-loop so the depth-padded descent can keep stepping
+        // past them without a leaf test; feature 0 is a benign load (any
+        // tree with a split guarantees min_feature_count() >= 1, and a
+        // split-free tree has depth 0, so the row is never dereferenced).
+        forest.feature_.push_back(0);
+        forest.threshold_.push_back(0.0);
+        forest.left_.push_back(base + static_cast<int32_t>(i));
+        forest.right_.push_back(base + static_cast<int32_t>(i));
+        forest.leaf_col_.push_back(static_cast<uint32_t>(column_offset) +
+                                   static_cast<uint32_t>(n.leaf_ordinal));
+      } else {
+        if (n.feature < 0) {
+          return Status::InvalidArgument(
+              StrFormat("tree %zu node %zu: negative split feature", t, i));
+        }
+        if (n.left < 0 || n.right < 0 ||
+            static_cast<size_t>(n.left) >= nodes.size() ||
+            static_cast<size_t>(n.right) >= nodes.size()) {
+          return Status::InvalidArgument(
+              StrFormat("tree %zu node %zu: child out of range", t, i));
+        }
+        max_feature = std::max(max_feature, n.feature);
+        forest.feature_.push_back(n.feature);
+        forest.threshold_.push_back(n.threshold);
+        forest.left_.push_back(base + n.left);
+        forest.right_.push_back(base + n.right);
+        forest.leaf_col_.push_back(0);  // never read at a split
+      }
+    }
+    // Walk the tree once to find its depth (the padded trip count). Every
+    // node must be reachable at most once — a revisit means the node graph
+    // has a cycle or a shared subtree, which would make the padded descent
+    // (and the training-side PredictLeaf) ill-defined.
+    int32_t depth = 0;
+    {
+      std::vector<char> seen(nodes.size(), 0);
+      std::vector<std::pair<int32_t, int32_t>> stack;
+      stack.emplace_back(0, 0);
+      while (!stack.empty()) {
+        const auto [i, d] = stack.back();
+        stack.pop_back();
+        if (seen[static_cast<size_t>(i)]) {
+          return Status::InvalidArgument(
+              StrFormat("tree %zu is not a tree: node %d reachable twice",
+                        t, i));
+        }
+        seen[static_cast<size_t>(i)] = 1;
+        const gbdt::TreeNode& n = nodes[static_cast<size_t>(i)];
+        if (n.is_leaf) {
+          depth = std::max(depth, d);
+        } else {
+          stack.emplace_back(n.left, d + 1);
+          stack.emplace_back(n.right, d + 1);
+        }
+      }
+    }
+    forest.depths_.push_back(depth);
+    column_offset += static_cast<size_t>(num_leaves);
+  }
+  forest.num_columns_ = column_offset;
+  forest.min_feature_count_ = static_cast<size_t>(max_feature + 1);
+  return forest;
+}
+
+}  // namespace lightmirm::serve

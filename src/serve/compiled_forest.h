@@ -1,0 +1,121 @@
+// CompiledForest: the trained booster flattened for serving. The training
+// representation (gbdt::Tree, fat AoS TreeNode structs) is optimized for
+// growth; inference only needs the split tuple (feature, threshold, left,
+// right) and, at each leaf, the global LR column the §III-C multi-hot
+// encoding would activate. Flattening every tree into structure-of-arrays
+// node storage — contiguous feature/threshold/child arrays, leaves encoding
+// their LR column directly — turns the GBDT→leaf→LR scoring path into a
+// single pointer-chase per tree with no intermediate FeatureMatrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "gbdt/booster.h"
+
+namespace lightmirm::serve {
+
+/// Immutable SoA forest built once from a trained booster. Column layout is
+/// identical to gbdt::LeafEncoder: tree t's leaves occupy LR columns
+/// [offset[t], offset[t] + num_leaves_t), leaf `l` at offset[t] + l.
+class CompiledForest {
+ public:
+  /// Flattens `booster`. Errors (InvalidArgument) on malformed trees:
+  /// empty trees, children or leaf ordinals out of range, negative split
+  /// features, or node graphs that are not trees (cycles, shared nodes).
+  static Result<CompiledForest> Build(const gbdt::Booster& booster);
+
+  size_t num_trees() const { return roots_.size(); }
+  size_t num_nodes() const { return feature_.size(); }
+
+  /// Total LR columns (sum of leaf counts) — the multi-hot width.
+  size_t num_columns() const { return num_columns_; }
+
+  /// Minimum raw-row width any traversal reads: max split feature id + 1.
+  size_t min_feature_count() const { return min_feature_count_; }
+
+  /// Global LR column of the leaf that `row` falls into in tree t. `row`
+  /// must have at least min_feature_count() entries.
+  ///
+  /// The descent is depth-padded and branchless: leaves self-loop
+  /// (left == right == own index), so the walk always runs exactly
+  /// depths_[t] steps — a predictable trip count with a mask select per
+  /// step — instead of exiting on a data-dependent (and thus mispredicted)
+  /// leaf test. Rows that reach their leaf early just spin in place; the
+  /// final index is the same either way, and self-loops are also NaN-safe
+  /// (both branches stay put).
+  uint32_t LeafColumn(size_t t, const double* row) const {
+    int32_t idx = roots_[t];
+    for (int32_t d = depths_[t]; d > 0; --d) {
+      const size_t i = static_cast<size_t>(idx);
+      const int32_t go_left = left_[i];
+      const int32_t go_right = right_[i];
+      const int32_t take_right =
+          -static_cast<int32_t>(!(row[feature_[i]] <= threshold_[i]));
+      idx = go_left + ((go_right - go_left) & take_right);
+    }
+    return leaf_col_[static_cast<size_t>(idx)];
+  }
+
+  /// Row-block capacity of LeafColumnsBlock (and the unit of batching in
+  /// serve::ScoringSession).
+  static constexpr size_t kBlockRows = 64;
+
+  /// Batch form of LeafColumn: cols[i] = LeafColumn(t, rows[i]) for i in
+  /// [0, n), n <= kBlockRows. Tree levels are walked in lockstep across the
+  /// block — depth outer, rows inner — so every step of the inner loop is
+  /// independent of the previous one and the out-of-order core overlaps the
+  /// whole block's node loads instead of serializing one root-to-leaf
+  /// pointer chain at a time.
+  void LeafColumnsBlock(size_t t, const double* const* rows, size_t n,
+                        uint32_t* cols) const {
+    int32_t idx[kBlockRows];
+    const int32_t root = roots_[t];
+    for (size_t i = 0; i < n; ++i) idx[i] = root;
+    for (int32_t d = depths_[t]; d > 0; --d) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t node = static_cast<size_t>(idx[i]);
+        const int32_t go_left = left_[node];
+        const int32_t go_right = right_[node];
+        // Mask select instead of `?:` — compilers turn the ternary into a
+        // data-dependent branch that mispredicts ~50% of the time; setcc +
+        // mask keeps the step branch-free. `!(a <= b)` (not `a > b`) so a
+        // NaN feature goes right, exactly like the training-side
+        // Tree::PredictLeaf.
+        const int32_t take_right = -static_cast<int32_t>(
+            !(rows[i][feature_[node]] <= threshold_[node]));
+        idx[i] = go_left + ((go_right - go_left) & take_right);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      cols[i] = leaf_col_[static_cast<size_t>(idx[i])];
+    }
+  }
+
+  /// Fused multi-hot dot product: sum over trees of w[LeafColumn(t, row)],
+  /// accumulated in tree order — the exact addition sequence of
+  /// FeatureMatrix::RowDot over a LeafEncoder-encoded sparse row, so the
+  /// result is bit-identical to the legacy encode-then-dot path. `w` must
+  /// have at least num_columns() entries.
+  double FusedDot(const double* row, const double* w) const {
+    double acc = 0.0;
+    for (size_t t = 0; t < roots_.size(); ++t) {
+      acc += w[LeafColumn(t, row)];
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<int32_t> roots_;     ///< global index of each tree's root
+  std::vector<int32_t> depths_;    ///< max root-to-leaf edge count per tree
+  std::vector<int32_t> feature_;   ///< split feature; 0 (benign) at a leaf
+  std::vector<double> threshold_;  ///< go left iff row[feature] <= threshold
+  std::vector<int32_t> left_;      ///< left child; at a leaf: own index
+  std::vector<int32_t> right_;     ///< right child; at a leaf: own index
+  std::vector<uint32_t> leaf_col_;  ///< global LR column; valid at leaves
+  size_t num_columns_ = 0;
+  size_t min_feature_count_ = 0;
+};
+
+}  // namespace lightmirm::serve

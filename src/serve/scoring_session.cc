@@ -1,0 +1,154 @@
+#include "serve/scoring_session.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace lightmirm::serve {
+namespace {
+
+// Rows per shard of the batch loop; fixed so shard structure (and thus
+// scheduling) depends only on the batch size, never the thread count.
+constexpr size_t kRowGrain = 1024;
+
+// Rows walked through one tree level in lockstep before moving on (the
+// CompiledForest block capacity). Blocking keeps a tree's SoA node arrays
+// hot in L1 across the whole block and gives the out-of-order core kBlock
+// independent traversal steps per level instead of one serial chain. Each
+// row's accumulator still sums trees in increasing t order, so scores stay
+// bit-identical to the row-major legacy path.
+constexpr size_t kBlock = CompiledForest::kBlockRows;
+
+// Scores rows [begin, end) of `raw` against the single weight table `w`
+// (bias last at index `cols`).
+void ScoreBlockwiseGlobal(const CompiledForest& forest, const Matrix& raw,
+                          size_t begin, size_t end, const double* w,
+                          size_t cols, double* out) {
+  const size_t num_trees = forest.num_trees();
+  const double bias = w[cols];
+  const double* rows[kBlock];
+  uint32_t col[kBlock];
+  double acc[kBlock];
+  for (size_t r0 = begin; r0 < end; r0 += kBlock) {
+    const size_t n = std::min(kBlock, end - r0);
+    for (size_t i = 0; i < n; ++i) {
+      rows[i] = raw.Row(r0 + i);
+      acc[i] = 0.0;
+    }
+    for (size_t t = 0; t < num_trees; ++t) {
+      forest.LeafColumnsBlock(t, rows, n, col);
+      for (size_t i = 0; i < n; ++i) acc[i] += w[col[i]];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[r0 + i] = linear::Sigmoid(acc[i] + bias);
+    }
+  }
+}
+
+// Per-env form: `tables[r - begin]` is the LR weight table of row r.
+void ScoreBlockwisePerRow(const CompiledForest& forest, const Matrix& raw,
+                          size_t begin, size_t end,
+                          const double* const* tables, size_t cols,
+                          double* out) {
+  const size_t num_trees = forest.num_trees();
+  const double* rows[kBlock];
+  uint32_t col[kBlock];
+  double acc[kBlock];
+  for (size_t r0 = begin; r0 < end; r0 += kBlock) {
+    const size_t n = std::min(kBlock, end - r0);
+    const double* const* tab = tables + (r0 - begin);
+    for (size_t i = 0; i < n; ++i) {
+      rows[i] = raw.Row(r0 + i);
+      acc[i] = 0.0;
+    }
+    for (size_t t = 0; t < num_trees; ++t) {
+      forest.LeafColumnsBlock(t, rows, n, col);
+      for (size_t i = 0; i < n; ++i) acc[i] += tab[i][col[i]];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[r0 + i] = linear::Sigmoid(acc[i] + tab[i][cols]);
+    }
+  }
+}
+
+}  // namespace
+
+Result<ScoringSession> ScoringSession::Create(
+    std::shared_ptr<const CompiledForest> forest,
+    const train::TrainedPredictor& predictor) {
+  if (forest == nullptr) {
+    return Status::InvalidArgument("forest must be non-null");
+  }
+  const size_t want = forest->num_columns() + 1;
+  if (predictor.global.params().size() != want) {
+    return Status::InvalidArgument(
+        StrFormat("global LR table has %zu params but the forest encodes "
+                  "%zu columns (+1 bias)",
+                  predictor.global.params().size(), forest->num_columns()));
+  }
+  for (const auto& [env, model] : predictor.per_env) {
+    if (model.params().size() != want) {
+      return Status::InvalidArgument(
+          StrFormat("env %d LR table has %zu params but the forest encodes "
+                    "%zu columns (+1 bias)",
+                    env, model.params().size(), forest->num_columns()));
+    }
+  }
+  ScoringSession session;
+  session.forest_ = std::move(forest);
+  session.global_ = predictor.global.params();
+  for (const auto& [env, model] : predictor.per_env) {
+    session.env_tables_.emplace(env, model.params());
+  }
+  return session;
+}
+
+Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
+                             std::vector<double>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must be non-null");
+  if (raw.cols() < forest_->min_feature_count()) {
+    return Status::InvalidArgument(
+        StrFormat("matrix has %zu columns but the forest reads feature %zu",
+                  raw.cols(), forest_->min_feature_count() - 1));
+  }
+  if (envs != nullptr && envs->size() != raw.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("envs has %zu entries for %zu rows", envs->size(),
+                  raw.rows()));
+  }
+  out->resize(raw.rows());
+  const CompiledForest& forest = *forest_;
+  const size_t cols = forest.num_columns();
+  if (envs == nullptr || env_tables_.empty()) {
+    const double* w = global_.data();
+    ParallelForShards(0, raw.rows(), kRowGrain,
+                      [&](size_t, size_t begin, size_t end) {
+                        ScoreBlockwiseGlobal(forest, raw, begin, end, w, cols,
+                                             out->data());
+                      });
+  } else {
+    ParallelForShards(
+        0, raw.rows(), kRowGrain, [&](size_t, size_t begin, size_t end) {
+          // Resolve each row's weight table once up front; the hot kernel
+          // then only chases preresolved pointers. A shard is at most
+          // kRowGrain rows, so the pointer block lives on the stack.
+          const double* tab[kRowGrain];
+          for (size_t r = begin; r < end; ++r) {
+            tab[r - begin] = TableFor((*envs)[r]).data();
+          }
+          ScoreBlockwisePerRow(forest, raw, begin, end, tab, cols,
+                               out->data());
+        });
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> ScoringSession::Score(
+    const Matrix& raw, const std::vector<int>* envs) const {
+  std::vector<double> out;
+  LIGHTMIRM_RETURN_NOT_OK(Score(raw, envs, &out));
+  return out;
+}
+
+}  // namespace lightmirm::serve

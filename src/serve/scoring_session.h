@@ -1,0 +1,63 @@
+// ScoringSession: a reusable batch scorer over a CompiledForest. Fuses the
+// three passes of the legacy inference path (leaf encoding into a sparse
+// FeatureMatrix, per-row sparse dot, sigmoid) into one traversal per row —
+// sigmoid(bias + Σ_t w[leaf_col(t, row)]) — with zero heap allocations in
+// steady state: the caller owns the output buffer and per-row work needs no
+// scratch. Batches shard across the process thread pool deterministically
+// (per-row outputs are disjoint), and the fine-tune baseline's per-env
+// weight overrides are honored exactly as TrainedPredictor::Predict does.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "linear/logistic.h"
+#include "serve/compiled_forest.h"
+#include "train/trainer.h"
+
+namespace lightmirm::serve {
+
+/// Batch scorer binding a compiled forest to trained LR weights.
+class ScoringSession {
+ public:
+  /// Validates that every weight table matches the forest's column count
+  /// (params are [theta_0..theta_{cols-1}, bias]).
+  static Result<ScoringSession> Create(
+      std::shared_ptr<const CompiledForest> forest,
+      const train::TrainedPredictor& predictor);
+
+  const CompiledForest& forest() const { return *forest_; }
+  size_t num_env_overrides() const { return env_tables_.size(); }
+
+  /// Scores every row of `raw` into `out` (resized to raw.rows(); repeated
+  /// calls with a same-sized batch reuse its capacity). Row i uses the
+  /// override table for (*envs)[i] when present, the global table
+  /// otherwise; envs = nullptr forces the global table. Errors
+  /// (InvalidArgument) when `raw` is narrower than the booster's trained
+  /// feature count or `envs` is mis-sized. Scores are bit-identical to the
+  /// legacy encode-then-dot path at any thread count.
+  Status Score(const Matrix& raw, const std::vector<int>* envs,
+               std::vector<double>* out) const;
+
+  /// Convenience form allocating the output vector.
+  Result<std::vector<double>> Score(const Matrix& raw,
+                                    const std::vector<int>* envs) const;
+
+ private:
+  ScoringSession() = default;
+
+  /// Weight lookup for one row's environment (legacy override semantics).
+  const linear::ParamVec& TableFor(int env) const {
+    const auto it = env_tables_.find(env);
+    return it != env_tables_.end() ? it->second : global_;
+  }
+
+  std::shared_ptr<const CompiledForest> forest_;
+  linear::ParamVec global_;
+  std::map<int, linear::ParamVec> env_tables_;
+};
+
+}  // namespace lightmirm::serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "data/env_split.h"
 #include "data/loan_generator.h"
 #include "metrics/env_report.h"
@@ -30,9 +32,43 @@ TEST(MethodNameTest, RoundTripsAllMethods) {
   for (Method m : AllMethods()) {
     EXPECT_EQ(*MethodFromName(MethodName(m)), m);
   }
-  EXPECT_EQ(*MethodFromName("light_mirm"), Method::kLightMirm);
-  EXPECT_EQ(*MethodFromName("erm"), Method::kErm);
-  EXPECT_FALSE(MethodFromName("alchemy").ok());
+}
+
+TEST(MethodNameTest, DisplayNamesAreDistinct) {
+  std::set<std::string> names;
+  for (Method m : AllMethods()) names.insert(MethodName(m));
+  EXPECT_EQ(names.size(), AllMethods().size());
+}
+
+TEST(MethodNameTest, AcceptsEverySnakeCaseAlias) {
+  const std::vector<std::pair<std::string, Method>> aliases = {
+      {"erm", Method::kErm},
+      {"erm_fine_tune", Method::kErmFineTune},
+      {"fine_tune", Method::kErmFineTune},
+      {"up_sampling", Method::kUpSampling},
+      {"upsampling", Method::kUpSampling},
+      {"group_dro", Method::kGroupDro},
+      {"vrex", Method::kVRex},
+      {"v_rex", Method::kVRex},
+      {"irmv1", Method::kIrmV1},
+      {"irm_v1", Method::kIrmV1},
+      {"meta_irm", Method::kMetaIrm},
+      {"light_mirm", Method::kLightMirm},
+      {"lightmirm", Method::kLightMirm},
+  };
+  for (const auto& [alias, method] : aliases) {
+    const auto parsed = MethodFromName(alias);
+    ASSERT_TRUE(parsed.ok()) << alias;
+    EXPECT_EQ(*parsed, method) << alias;
+  }
+}
+
+TEST(MethodNameTest, UnknownNameIsNotFound) {
+  for (const char* name : {"alchemy", "", "ERM ", "light-mirm"}) {
+    const auto parsed = MethodFromName(name);
+    ASSERT_FALSE(parsed.ok()) << name;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound) << name;
+  }
 }
 
 TEST(MakeTrainerTest, BuildsEveryMethod) {
@@ -102,6 +138,64 @@ TEST(GbdtLrModelTest, LeafEncodingShape) {
             static_cast<size_t>(model->booster().TotalLeaves()));
   EXPECT_DOUBLE_EQ(features.MeanRowNnz(),
                    static_cast<double>(model->booster().trees().size()));
+}
+
+TEST(GbdtLrModelTest, CompilesServingSessionForLeafModels) {
+  const data::Dataset train = SmallTrainSet();
+  const auto model = GbdtLrModel::Train(train, Method::kErm, FastOptions());
+  ASSERT_TRUE(model.ok());
+  ASSERT_NE(model->compiled_forest(), nullptr);
+  ASSERT_NE(model->scoring_session(), nullptr);
+  EXPECT_EQ(model->compiled_forest()->num_columns(),
+            static_cast<size_t>(model->booster().TotalLeaves()));
+
+  GbdtLrOptions raw_options = FastOptions();
+  raw_options.use_raw_features = true;
+  const auto raw_model =
+      GbdtLrModel::Train(train, Method::kErm, raw_options);
+  ASSERT_TRUE(raw_model.ok());
+  EXPECT_EQ(raw_model->compiled_forest(), nullptr);
+  EXPECT_EQ(raw_model->scoring_session(), nullptr);
+}
+
+TEST(GbdtLrModelTest, PredictRejectsNarrowDataset) {
+  const data::Dataset train = SmallTrainSet();
+  const auto model = GbdtLrModel::Train(train, Method::kErm, FastOptions());
+  ASSERT_TRUE(model.ok());
+  const size_t need = model->booster().MinFeatureCount();
+  ASSERT_GT(need, 1u);
+  // A dataset narrower than the booster's trained feature count must be
+  // rejected, not read out of bounds (compiled and legacy encode paths).
+  const size_t n = 6;
+  const data::Dataset narrow(data::Schema{}, Matrix(n, need - 1),
+                             std::vector<int>(n, 0),
+                             std::vector<int>(n, 0),
+                             std::vector<int>(n, 2016),
+                             std::vector<int>(n, 1));
+  const auto scores = model->Predict(narrow);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kInvalidArgument);
+  const auto encoded = model->EncodeFeatures(narrow);
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GbdtLrModelTest, RawPredictRejectsWidthMismatch) {
+  const data::Dataset train = SmallTrainSet();
+  GbdtLrOptions options = FastOptions();
+  options.use_raw_features = true;
+  const auto model = GbdtLrModel::Train(train, Method::kErm, options);
+  ASSERT_TRUE(model.ok());
+  const size_t n = 6;
+  const data::Dataset narrow(data::Schema{},
+                             Matrix(n, train.NumFeatures() - 1),
+                             std::vector<int>(n, 0),
+                             std::vector<int>(n, 0),
+                             std::vector<int>(n, 2016),
+                             std::vector<int>(n, 1));
+  const auto scores = model->Predict(narrow);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(GbdtLrModelTest, FineTuneProducesPerEnvModels) {

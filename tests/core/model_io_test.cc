@@ -69,6 +69,45 @@ TEST(ModelIoTest, FileRoundTrip) {
   EXPECT_EQ(loaded->method(), Method::kErm);
 }
 
+TEST(ModelIoTest, LoadedModelScoresThroughCompiledPathBitIdentically) {
+  const GbdtLrModel original = TrainSmallModel(Method::kErmFineTune);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveModel(original, &buffer).ok());
+  const GbdtLrModel loaded = std::move(LoadModel(&buffer)).value();
+  ASSERT_NE(loaded.scoring_session(), nullptr);
+
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = 400;
+  gen.last_year = 2018;
+  gen.seed = 12;
+  const data::Dataset fresh = *data::LoanGenerator(gen).Generate();
+  // Legacy encode-then-dot on the original vs the loaded model's compiled
+  // session: the round trip must preserve every score bit.
+  const linear::FeatureMatrix encoded = *original.EncodeFeatures(fresh);
+  const std::vector<double> legacy =
+      original.predictor().Predict(encoded, &fresh.envs());
+  const auto compiled =
+      loaded.scoring_session()->Score(fresh.features(), &fresh.envs());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(legacy, *compiled);
+}
+
+TEST(ModelIoTest, RejectsLrTableNarrowerThanLeafColumns) {
+  const GbdtLrModel original = TrainSmallModel(Method::kErm);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveModel(original, &buffer).ok());
+  std::string text = buffer.str();
+  // Swap the global LR table for a well-formed but mis-sized one.
+  const size_t start = text.find("global ");
+  ASSERT_NE(start, std::string::npos);
+  const size_t end = text.find('\n', start);
+  text.replace(start, end - start, "global 3 0.1 0.2 0.3");
+  std::stringstream corrupted(text);
+  const auto loaded = LoadModel(&corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ModelIoTest, RejectsBadHeader) {
   std::stringstream buffer("garbage\n");
   EXPECT_FALSE(LoadModel(&buffer).ok());

@@ -83,6 +83,22 @@ TEST(LeafEncoderTest, EncodingMatchesPredictLeaves) {
   }
 }
 
+TEST(LeafEncoderTest, RejectsMatrixNarrowerThanTrainedFeatures) {
+  Matrix features;
+  std::vector<int> labels;
+  const Booster booster = TrainSmallBooster(&features, &labels);
+  ASSERT_GT(booster.MinFeatureCount(), 1u);
+  const LeafEncoder encoder(&booster);
+  const Matrix narrow(8, booster.MinFeatureCount() - 1);
+  const auto encoded = encoder.Encode(narrow);
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), StatusCode::kInvalidArgument);
+  // Extra columns beyond the trained ones are fine — only narrower input
+  // would read out of bounds.
+  const Matrix wide(8, booster.MinFeatureCount() + 2);
+  EXPECT_TRUE(encoder.Encode(wide).ok());
+}
+
 TEST(LeafEncoderTest, LeafFeaturesLinearlyRecoverBoosterScore) {
   // A linear model over the leaf one-hots with weights = leaf values
   // reproduces the booster's logit exactly (§III-C consistency).

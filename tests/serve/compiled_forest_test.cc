@@ -1,0 +1,124 @@
+#include "serve/compiled_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gbdt/leaf_encoder.h"
+
+namespace lightmirm::serve {
+namespace {
+
+gbdt::Booster TrainSmallBooster(Matrix* raw_out) {
+  Rng rng(33);
+  const size_t rows = 1200, cols = 5;
+  Matrix raw(rows, cols);
+  std::vector<int> labels(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) raw.At(r, c) = rng.Normal();
+    labels[r] = rng.Bernoulli(0.3 + 0.4 * (raw.At(r, 0) > 0.0)) ? 1 : 0;
+  }
+  gbdt::BoosterOptions options;
+  options.num_trees = 10;
+  options.tree.max_leaves = 6;
+  gbdt::Booster booster = *gbdt::Booster::Train(raw, labels, options);
+  if (raw_out != nullptr) *raw_out = std::move(raw);
+  return booster;
+}
+
+TEST(CompiledForestTest, MatchesBoosterShape) {
+  const gbdt::Booster booster = TrainSmallBooster(nullptr);
+  const CompiledForest forest = *CompiledForest::Build(booster);
+  EXPECT_EQ(forest.num_trees(), booster.trees().size());
+  EXPECT_EQ(forest.num_columns(),
+            static_cast<size_t>(booster.TotalLeaves()));
+  EXPECT_EQ(forest.min_feature_count(), booster.MinFeatureCount());
+  size_t total_nodes = 0;
+  for (const gbdt::Tree& t : booster.trees()) total_nodes += t.num_nodes();
+  EXPECT_EQ(forest.num_nodes(), total_nodes);
+}
+
+TEST(CompiledForestTest, LeafColumnsMatchLeafEncoderLayout) {
+  Matrix raw;
+  const gbdt::Booster booster = TrainSmallBooster(&raw);
+  const CompiledForest forest = *CompiledForest::Build(booster);
+  const gbdt::LeafEncoder encoder(&booster);
+  for (size_t r = 0; r < raw.rows(); r += 37) {
+    const double* row = raw.Row(r);
+    for (size_t t = 0; t < booster.trees().size(); ++t) {
+      const int leaf = booster.trees()[t].PredictLeaf(row);
+      EXPECT_EQ(forest.LeafColumn(t, row), encoder.ColumnOf(t, leaf))
+          << "row " << r << " tree " << t;
+    }
+  }
+}
+
+TEST(CompiledForestTest, FusedDotMatchesSparseRowDot) {
+  Matrix raw;
+  const gbdt::Booster booster = TrainSmallBooster(&raw);
+  const CompiledForest forest = *CompiledForest::Build(booster);
+  const gbdt::LeafEncoder encoder(&booster);
+  const linear::FeatureMatrix encoded = *encoder.Encode(raw);
+
+  Rng rng(7);
+  std::vector<double> w(forest.num_columns() + 1);
+  for (double& v : w) v = rng.Normal();
+  for (size_t r = 0; r < raw.rows(); r += 23) {
+    EXPECT_EQ(forest.FusedDot(raw.Row(r), w.data()), encoded.RowDot(r, w))
+        << "row " << r;
+  }
+}
+
+gbdt::Booster BoosterFromTrees(std::vector<gbdt::Tree> trees) {
+  return gbdt::Booster(0.0, std::move(trees));
+}
+
+TEST(CompiledForestTest, RejectsEmptyTree) {
+  std::vector<gbdt::Tree> trees;
+  trees.emplace_back(std::vector<gbdt::TreeNode>{});
+  EXPECT_FALSE(CompiledForest::Build(BoosterFromTrees(std::move(trees))).ok());
+}
+
+TEST(CompiledForestTest, RejectsLeafOrdinalOutOfRange) {
+  gbdt::TreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.leaf_ordinal = 3;  // only one leaf in the tree
+  std::vector<gbdt::Tree> trees;
+  trees.emplace_back(std::vector<gbdt::TreeNode>{leaf});
+  const auto forest =
+      CompiledForest::Build(BoosterFromTrees(std::move(trees)));
+  ASSERT_FALSE(forest.ok());
+  EXPECT_EQ(forest.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompiledForestTest, RejectsChildOutOfRange) {
+  gbdt::TreeNode split;
+  split.is_leaf = false;
+  split.feature = 0;
+  split.left = 1;
+  split.right = 9;  // no such node
+  gbdt::TreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.leaf_ordinal = 0;
+  std::vector<gbdt::Tree> trees;
+  trees.emplace_back(std::vector<gbdt::TreeNode>{split, leaf});
+  EXPECT_FALSE(CompiledForest::Build(BoosterFromTrees(std::move(trees))).ok());
+}
+
+TEST(CompiledForestTest, SingleLeafTreeMapsToItsColumn) {
+  gbdt::TreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.leaf_ordinal = 0;
+  std::vector<gbdt::Tree> trees;
+  trees.emplace_back(std::vector<gbdt::TreeNode>{leaf});
+  trees.emplace_back(std::vector<gbdt::TreeNode>{leaf});
+  const CompiledForest forest =
+      *CompiledForest::Build(BoosterFromTrees(std::move(trees)));
+  EXPECT_EQ(forest.num_columns(), 2u);
+  EXPECT_EQ(forest.min_feature_count(), 0u);
+  const double row[] = {0.0};
+  EXPECT_EQ(forest.LeafColumn(0, row), 0u);
+  EXPECT_EQ(forest.LeafColumn(1, row), 1u);
+}
+
+}  // namespace
+}  // namespace lightmirm::serve

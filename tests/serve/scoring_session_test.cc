@@ -1,0 +1,153 @@
+// Golden equivalence: the compiled ScoringSession must reproduce the legacy
+// encode-then-dot inference path bit for bit — every method, including the
+// fine-tune baseline's per-env overrides, at every thread count.
+#include "serve/scoring_session.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/gbdt_lr_model.h"
+#include "data/loan_generator.h"
+
+namespace lightmirm::serve {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+data::Dataset GenSet(int rows_per_year, uint64_t seed) {
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = rows_per_year;
+  gen.last_year = 2017;  // two years
+  gen.seed = seed;
+  return *data::LoanGenerator(gen).Generate();
+}
+
+core::GbdtLrOptions FastOptions() {
+  core::GbdtLrOptions options;
+  options.booster.num_trees = 12;
+  options.booster.tree.max_leaves = 6;
+  options.trainer.epochs = 10;
+  options.min_env_rows = 30;
+  return options;
+}
+
+// Legacy reference: materialize the multi-hot encoding, then dot the sparse
+// rows against the LR weights (TrainedPredictor::Predict).
+std::vector<double> LegacyScores(const core::GbdtLrModel& model,
+                                 const data::Dataset& batch) {
+  const linear::FeatureMatrix encoded = *model.EncodeFeatures(batch);
+  return model.predictor().Predict(encoded, &batch.envs());
+}
+
+TEST(ScoringSessionGoldenTest, BitIdenticalToLegacyForAllMethods) {
+  const data::Dataset train = GenSet(800, 5);
+  const data::Dataset batch = GenSet(500, 6);
+  const core::GbdtLrOptions options = FastOptions();
+  const auto booster =
+      std::make_shared<const gbdt::Booster>(*gbdt::Booster::Train(
+          train.features(), train.labels(), options.booster));
+
+  for (core::Method method : core::AllMethods()) {
+    const auto model = core::GbdtLrModel::TrainWithBooster(booster, train,
+                                                           method, options);
+    ASSERT_TRUE(model.ok()) << core::MethodName(method) << ": "
+                            << model.status().ToString();
+    ASSERT_NE(model->scoring_session(), nullptr);
+    if (method == core::Method::kErmFineTune) {
+      // The override path must actually be exercised by at least one method.
+      ASSERT_GT(model->scoring_session()->num_env_overrides(), 0u);
+    }
+    const std::vector<double> legacy = LegacyScores(*model, batch);
+    for (int threads : kThreadCounts) {
+      ScopedDefaultThreads guard(threads);
+      const auto compiled =
+          model->scoring_session()->Score(batch.features(), &batch.envs());
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      EXPECT_EQ(legacy, *compiled)
+          << core::MethodName(method) << " threads=" << threads;
+      // GbdtLrModel::Predict routes through the same session.
+      EXPECT_EQ(legacy, *model->Predict(batch))
+          << core::MethodName(method) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ScoringSessionTest, NullEnvsForcesGlobalTable) {
+  const data::Dataset train = GenSet(800, 5);
+  const data::Dataset batch = GenSet(300, 7);
+  const auto model = core::GbdtLrModel::Train(
+      train, core::Method::kErmFineTune, FastOptions());
+  ASSERT_TRUE(model.ok());
+  const linear::FeatureMatrix encoded = *model->EncodeFeatures(batch);
+  const std::vector<double> legacy =
+      model->predictor().Predict(encoded, nullptr);
+  const auto compiled =
+      model->scoring_session()->Score(batch.features(), nullptr);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(legacy, *compiled);
+}
+
+TEST(ScoringSessionTest, ReusesOutputBufferAcrossBatches) {
+  const data::Dataset train = GenSet(800, 5);
+  const data::Dataset batch = GenSet(300, 8);
+  const auto model =
+      core::GbdtLrModel::Train(train, core::Method::kErm, FastOptions());
+  ASSERT_TRUE(model.ok());
+  std::vector<double> out;
+  ASSERT_TRUE(model->scoring_session()
+                  ->Score(batch.features(), &batch.envs(), &out)
+                  .ok());
+  const std::vector<double> first = out;
+  const double* buffer = out.data();
+  ASSERT_TRUE(model->scoring_session()
+                  ->Score(batch.features(), &batch.envs(), &out)
+                  .ok());
+  EXPECT_EQ(out.data(), buffer);  // steady state: no reallocation
+  EXPECT_EQ(first, out);
+}
+
+TEST(ScoringSessionTest, RejectsNarrowMatrix) {
+  const data::Dataset train = GenSet(800, 5);
+  const auto model =
+      core::GbdtLrModel::Train(train, core::Method::kErm, FastOptions());
+  ASSERT_TRUE(model.ok());
+  ASSERT_GT(model->compiled_forest()->min_feature_count(), 1u);
+  const Matrix narrow(4, model->compiled_forest()->min_feature_count() - 1);
+  const auto scores = model->scoring_session()->Score(narrow, nullptr);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScoringSessionTest, RejectsMisSizedEnvs) {
+  const data::Dataset train = GenSet(800, 5);
+  const data::Dataset batch = GenSet(300, 9);
+  const auto model =
+      core::GbdtLrModel::Train(train, core::Method::kErm, FastOptions());
+  ASSERT_TRUE(model.ok());
+  std::vector<int> envs(batch.NumRows() + 1, 0);
+  const auto scores =
+      model->scoring_session()->Score(batch.features(), &envs);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScoringSessionTest, RejectsMismatchedWeightWidth) {
+  const data::Dataset train = GenSet(800, 5);
+  const auto model =
+      core::GbdtLrModel::Train(train, core::Method::kErm, FastOptions());
+  ASSERT_TRUE(model.ok());
+  train::TrainedPredictor narrow;
+  narrow.global = linear::LogisticModel(3);  // wrong width
+  const auto session =
+      ScoringSession::Create(model->compiled_forest(), narrow);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScoringSessionTest, RejectsNullForest) {
+  train::TrainedPredictor predictor;
+  EXPECT_FALSE(ScoringSession::Create(nullptr, predictor).ok());
+}
+
+}  // namespace
+}  // namespace lightmirm::serve
