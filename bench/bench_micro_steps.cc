@@ -54,7 +54,7 @@ void BM_MetaIrmIteration(benchmark::State& state) {
   MetaStepOutput out;
   for (auto _ : state) {
     (void)MetaIrmOuterGradient(fx.data.Context(), fx.data, fx.params,
-                               options, &rng, nullptr, &out);
+                               options, &rng, StepTelemetry{}, &out);
     benchmark::DoNotOptimize(out.outer_grad.data());
   }
   state.SetComplexityN(state.range(0));
@@ -69,7 +69,7 @@ void BM_MetaIrmSampled5Iteration(benchmark::State& state) {
   MetaStepOutput out;
   for (auto _ : state) {
     (void)MetaIrmOuterGradient(fx.data.Context(), fx.data, fx.params,
-                               options, &rng, nullptr, &out);
+                               options, &rng, StepTelemetry{}, &out);
     benchmark::DoNotOptimize(out.outer_grad.data());
   }
   state.SetComplexityN(state.range(0));
@@ -86,7 +86,8 @@ void BM_LightMirmIteration(benchmark::State& state) {
   MetaStepOutput out;
   for (auto _ : state) {
     (void)LightMirmOuterGradient(fx.data.Context(), fx.data, fx.params,
-                                 options, &rng, nullptr, &queues, &out);
+                                 options, &rng, StepTelemetry{}, &queues,
+                                 &out);
     benchmark::DoNotOptimize(out.outer_grad.data());
   }
   state.SetComplexityN(state.range(0));

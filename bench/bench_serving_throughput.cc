@@ -10,6 +10,8 @@
 #include "common/timer.h"
 #include "core/gbdt_lr_model.h"
 #include "data/loan_generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 using namespace lightmirm;
 using namespace lightmirm::bench;
@@ -144,6 +146,15 @@ int main(int argc, char** argv) {
       cfg.GetString("json_out", "BENCH_serving.json");
   if (WriteTextFile(json_path, json)) {
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  // telemetry_out=serve.json dumps the serve.* / pool.* histograms the
+  // sweep populated (batch latency quantiles, rows scored).
+  const std::string telemetry_out = cfg.GetString("telemetry_out", "");
+  if (!telemetry_out.empty()) {
+    Check(obs::WriteTelemetryFile(*obs::MetricsRegistry::Global(),
+                                  telemetry_out),
+          "writing telemetry");
+    std::printf("wrote %s\n", telemetry_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,134 @@
+// Telemetry overhead: the obs instrumentation (registry counters, trace
+// spans, pool/serving histograms) must cost < 2% wall clock on both the
+// training loop and the compiled serving path. Trains LightMIRM and scores
+// batches with SetTelemetryEnabled(true) vs false, best-of-N each, and
+// writes BENCH_telemetry_overhead.json with the measured ratios.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/gbdt_lr_model.h"
+#include "obs/metrics.h"
+#include "train/step_timer.h"
+
+using namespace lightmirm;
+using namespace lightmirm::bench;
+
+namespace {
+
+struct OverheadPoint {
+  double enabled_seconds = 1e300;
+  double disabled_seconds = 1e300;
+
+  double OverheadPercent() const {
+    return disabled_seconds > 0.0
+               ? 100.0 * (enabled_seconds / disabled_seconds - 1.0)
+               : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ConfigMap cfg = ParseArgs(argc, argv);
+  core::ExperimentConfig config = MakeConfig(cfg);
+  config.generator.rows_per_year =
+      static_cast<int>(cfg.GetInt("rows_per_year", 4000));
+  config.model.trainer.epochs = static_cast<int>(cfg.GetInt("epochs", 60));
+  const int iters = static_cast<int>(cfg.GetInt("iters", 5));
+  const int serve_iters = static_cast<int>(cfg.GetInt("serve_iters", 20));
+  Banner("Telemetry overhead",
+         "training + serving wall clock with instrumentation on vs off");
+
+  auto runner =
+      Unwrap(core::ExperimentRunner::Create(config), "setting up experiment");
+
+  // One discarded warmup run so cold caches don't land on whichever side
+  // happens to go first.
+  (void)Unwrap(runner->RunMethodWithOptions(core::Method::kLightMirm,
+                                            config.model, false),
+               "warmup");
+
+  // Training: best-of-iters whole-epoch total, alternating enabled and
+  // disabled so drift (thermal, page cache) hits both sides equally.
+  OverheadPoint training;
+  for (int i = 0; i < iters; ++i) {
+    for (const bool enabled : {true, false}) {
+      obs::SetTelemetryEnabled(enabled);
+      core::MethodResult r = Unwrap(
+          runner->RunMethodWithOptions(core::Method::kLightMirm,
+                                       config.model, false),
+          "training LightMIRM");
+      const double secs = r.step_times.TotalSeconds(train::kStepEpoch);
+      double& slot =
+          enabled ? training.enabled_seconds : training.disabled_seconds;
+      slot = std::min(slot, secs);
+    }
+  }
+
+  // Serving: the compiled batch scorer over the test rows.
+  obs::SetTelemetryEnabled(true);
+  const core::GbdtLrModel model = Unwrap(
+      core::GbdtLrModel::TrainWithBooster(runner->shared_booster(),
+                                          runner->train(),
+                                          core::Method::kErm, config.model),
+      "training serving model");
+  const auto session = model.scoring_session();
+  std::vector<double> scratch;
+  OverheadPoint serving;
+  for (int i = 0; i < serve_iters; ++i) {
+    for (const bool enabled : {true, false}) {
+      obs::SetTelemetryEnabled(enabled);
+      WallTimer watch;
+      Check(session->Score(runner->test().features(),
+                           &runner->test().envs(), &scratch),
+            "batch scoring");
+      double& slot =
+          enabled ? serving.enabled_seconds : serving.disabled_seconds;
+      slot = std::min(slot, watch.Seconds());
+    }
+  }
+  obs::SetTelemetryEnabled(true);
+
+  std::printf("%-10s %18s %18s %10s\n", "path", "enabled best(s)",
+              "disabled best(s)", "overhead");
+  std::printf("%-10s %17.6fs %17.6fs %9.2f%%\n", "training",
+              training.enabled_seconds, training.disabled_seconds,
+              training.OverheadPercent());
+  std::printf("%-10s %17.6fs %17.6fs %9.2f%%\n", "serving",
+              serving.enabled_seconds, serving.disabled_seconds,
+              serving.OverheadPercent());
+  std::printf("\ntarget: < 2%% overhead on both paths\n");
+
+  std::string json = "{\n";
+  json += StrFormat("  \"rows_per_year\": %d,\n",
+                    config.generator.rows_per_year);
+  json += StrFormat("  \"epochs\": %d,\n", config.model.trainer.epochs);
+  json += StrFormat("  \"iters\": %d,\n", iters);
+  json += StrFormat("  \"serve_iters\": %d,\n", serve_iters);
+  json += StrFormat("  \"hardware_threads\": %d,\n", HardwareThreads());
+  json += StrFormat(
+      "  \"training\": {\"enabled_seconds\": %.6f, "
+      "\"disabled_seconds\": %.6f, \"overhead_percent\": %.4f},\n",
+      training.enabled_seconds, training.disabled_seconds,
+      training.OverheadPercent());
+  json += StrFormat(
+      "  \"serving\": {\"enabled_seconds\": %.6f, "
+      "\"disabled_seconds\": %.6f, \"overhead_percent\": %.4f},\n",
+      serving.enabled_seconds, serving.disabled_seconds,
+      serving.OverheadPercent());
+  json += StrFormat("  \"target_percent\": 2.0,\n");
+  json += StrFormat(
+      "  \"within_target\": %s\n",
+      training.OverheadPercent() < 2.0 && serving.OverheadPercent() < 2.0
+          ? "true"
+          : "false");
+  json += "}\n";
+  const std::string json_path =
+      cfg.GetString("json_out", "BENCH_telemetry_overhead.json");
+  if (WriteTextFile(json_path, json)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -28,7 +28,7 @@ inline ConfigMap ParseArgs(int argc, char** argv) {
 
 /// Builds the default experiment configuration used by the paper-shaped
 /// benches, honoring the common overrides (rows_per_year, seed, epochs,
-/// trees, lr, threads).
+/// trees, lr, threads, telemetry_out).
 inline core::ExperimentConfig MakeConfig(const ConfigMap& cfg) {
   core::ExperimentConfig config;
   config.generator.rows_per_year =
@@ -41,6 +41,10 @@ inline core::ExperimentConfig MakeConfig(const ConfigMap& cfg) {
       "lr", config.model.trainer.optimizer.learning_rate);
   config.threads = static_cast<int>(cfg.GetInt("threads", 0));
   config.model.trainer.threads = config.threads;
+  // telemetry_out=run.json dumps the global metrics registry (spans,
+  // trajectories, pool/serving histograms) after every method run;
+  // a .prom suffix switches to Prometheus text format.
+  config.telemetry_out = cfg.GetString("telemetry_out", "");
   return config;
 }
 

@@ -11,6 +11,8 @@
 #include "common/timer.h"
 #include "core/experiment.h"
 #include "metrics/threshold.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 using namespace lightmirm;
 
@@ -120,5 +122,19 @@ int main(int argc, char** argv) {
               "rows/sec, compiled path)\n",
               runner.test().NumRows(), 1e3 * best,
               static_cast<double>(runner.test().NumRows()) / best);
+
+  // telemetry_out=serve.json dumps the registry after the scoring loop, so
+  // the file carries the companion's serve.batch.seconds quantiles.
+  const std::string telemetry_out =
+      cfg_or->GetString("telemetry_out", "");
+  if (!telemetry_out.empty()) {
+    const Status st = obs::WriteTelemetryFile(
+        *obs::MetricsRegistry::Global(), telemetry_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", telemetry_out.c_str());
+  }
   return 0;
 }

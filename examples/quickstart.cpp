@@ -5,6 +5,8 @@
 //
 // threads=N parallelizes generation, GBDT training, scoring and the LR
 // head (0 = all hardware threads); results are identical at every value.
+// telemetry_out=run.json dumps the telemetry registry (training spans,
+// meta-loss trajectories, serving latency quantiles) after each method.
 #include <cstdio>
 
 #include "common/config.h"
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
   config.model.trainer.epochs = static_cast<int>(cfg.GetInt("epochs", 60));
   config.threads = static_cast<int>(cfg.GetInt("threads", 0));
   config.model.trainer.threads = config.threads;
+  config.telemetry_out = cfg.GetString("telemetry_out", "");
 
   std::printf("== LightMIRM quickstart ==\n");
   std::printf("Generating %d rows/year x 5 years of synthetic loan data...\n",

@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace lightmirm {
 namespace {
 
@@ -16,6 +19,30 @@ namespace {
 thread_local bool tls_in_pool_task = false;
 
 std::atomic<int> g_default_threads{0};  // 0 = not yet initialized
+
+// Pool metrics in the global registry (resolved once; the handles stay
+// valid forever). `pool.queue_depth` gauges the size of the batch being
+// drained; the counters/histograms cover only pooled batches — the inline
+// serial path stays untouched.
+struct PoolMetrics {
+  obs::Counter* batches;
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Histogram* batch_seconds;
+  obs::Histogram* task_seconds;
+};
+
+const PoolMetrics& GetPoolMetrics() {
+  static const PoolMetrics metrics = [] {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+    return PoolMetrics{registry->GetCounter("pool.batches"),
+                       registry->GetCounter("pool.tasks"),
+                       registry->GetGauge("pool.queue_depth"),
+                       registry->GetHistogram("pool.batch.seconds"),
+                       registry->GetHistogram("pool.task.seconds")};
+  }();
+  return metrics;
+}
 
 }  // namespace
 
@@ -65,15 +92,22 @@ struct ThreadPool::Impl {
 
   // Claims and runs tasks of the current batch until the counter runs dry.
   void RunTasks() {
+    const bool telemetry = obs::TelemetryEnabled();
     for (;;) {
       const size_t t = next.fetch_add(1, std::memory_order_acquire);
       if (t >= limit.load(std::memory_order_acquire)) return;
       std::exception_ptr err;
       tls_in_pool_task = true;
+      WallTimer task_watch;
       try {
         (*fn)(t);
       } catch (...) {
         err = std::current_exception();
+      }
+      if (telemetry) {
+        const PoolMetrics& metrics = GetPoolMetrics();
+        metrics.tasks->Increment();
+        metrics.task_seconds->Record(task_watch.Seconds());
       }
       tls_in_pool_task = false;
       std::lock_guard<std::mutex> lock(mu);
@@ -129,6 +163,13 @@ void ThreadPool::Apply(size_t num_tasks,
     return;
   }
   std::lock_guard<std::mutex> apply_lock(impl_->apply_mu);
+  const bool telemetry = obs::TelemetryEnabled();
+  WallTimer batch_watch;
+  if (telemetry) {
+    const PoolMetrics& metrics = GetPoolMetrics();
+    metrics.batches->Increment();
+    metrics.queue_depth->Set(static_cast<double>(num_tasks));
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->fn = &fn;
@@ -146,6 +187,11 @@ void ThreadPool::Apply(size_t num_tasks,
     std::unique_lock<std::mutex> lock(impl_->mu);
     impl_->done_cv.wait(lock, [&] { return impl_->completed == num_tasks; });
     error = impl_->error;
+  }
+  if (telemetry) {
+    const PoolMetrics& metrics = GetPoolMetrics();
+    metrics.queue_depth->Set(0.0);
+    metrics.batch_seconds->Record(batch_watch.Seconds());
   }
   if (error) std::rethrow_exception(error);
 }

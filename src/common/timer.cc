@@ -1,35 +1,105 @@
 #include "common/timer.h"
 
+#include "obs/metrics.h"
+
 namespace lightmirm {
 
-void StepTimer::Add(const std::string& name, double seconds) {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
+StepTimer::StepTimer() : registry_(std::make_unique<obs::MetricsRegistry>()) {}
+
+StepTimer::~StepTimer() = default;
+
+StepTimer::StepTimer(const StepTimer& other) : StepTimer() {
+  CopyFrom(other);
+}
+
+StepTimer& StepTimer::operator=(const StepTimer& other) {
+  if (this == &other) return *this;
+  Reset();
+  CopyFrom(other);
+  return *this;
+}
+
+StepTimer::StepTimer(StepTimer&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  registry_ = std::move(other.registry_);
+  steps_ = std::move(other.steps_);
+  order_ = std::move(other.order_);
+  other.registry_ = std::make_unique<obs::MetricsRegistry>();
+  other.steps_.clear();
+  other.order_.clear();
+}
+
+StepTimer& StepTimer::operator=(StepTimer&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  registry_ = std::move(other.registry_);
+  steps_ = std::move(other.steps_);
+  order_ = std::move(other.order_);
+  other.registry_ = std::make_unique<obs::MetricsRegistry>();
+  other.steps_.clear();
+  other.order_.clear();
+  return *this;
+}
+
+void StepTimer::CopyFrom(const StepTimer& other) {
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const std::string& name : other.order_) {
+    const auto it = other.steps_.find(name);
+    if (it == other.steps_.end()) continue;
+    obs::Histogram* mine = registry_->GetHistogram(
+        obs::SanitizeMetricName(name), &it->second->bounds());
+    mine->MergeFrom(*it->second);
+    steps_.emplace(name, mine);
     order_.push_back(name);
-    it = entries_.emplace(name, Entry{}).first;
   }
-  it->second.total_seconds += seconds;
-  it->second.count += 1;
+}
+
+obs::Histogram* StepTimer::HistogramFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = steps_.find(name);
+  if (it != steps_.end()) return it->second;
+  obs::Histogram* hist =
+      registry_->GetHistogram(obs::SanitizeMetricName(name));
+  steps_.emplace(name, hist);
+  order_.push_back(name);
+  return hist;
+}
+
+const obs::Histogram* StepTimer::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = steps_.find(name);
+  return it == steps_.end() ? nullptr : it->second;
+}
+
+void StepTimer::Add(const std::string& name, double seconds) {
+  HistogramFor(name)->Record(seconds);
 }
 
 double StepTimer::TotalSeconds(const std::string& name) const {
-  const auto it = entries_.find(name);
-  return it == entries_.end() ? 0.0 : it->second.total_seconds;
+  const obs::Histogram* hist = FindHistogram(name);
+  return hist == nullptr ? 0.0 : hist->Sum();
 }
 
 int64_t StepTimer::Count(const std::string& name) const {
-  const auto it = entries_.find(name);
-  return it == entries_.end() ? 0 : it->second.count;
+  const obs::Histogram* hist = FindHistogram(name);
+  return hist == nullptr ? 0 : static_cast<int64_t>(hist->Count());
 }
 
 double StepTimer::MeanSeconds(const std::string& name) const {
-  const auto it = entries_.find(name);
-  if (it == entries_.end() || it->second.count == 0) return 0.0;
-  return it->second.total_seconds / static_cast<double>(it->second.count);
+  const obs::Histogram* hist = FindHistogram(name);
+  return hist == nullptr ? 0.0 : hist->Mean();
+}
+
+std::vector<std::string> StepTimer::StepNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_;
 }
 
 void StepTimer::Reset() {
-  entries_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_->Reset();
+  steps_.clear();
   order_.clear();
 }
 

@@ -4,11 +4,19 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace lightmirm {
+
+namespace obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
 
 /// Simple monotonic stopwatch.
 class WallTimer {
@@ -29,8 +37,21 @@ class WallTimer {
 };
 
 /// Accumulates total duration and call count per named step.
+///
+/// Thread-safe: a thin adapter over a private obs::MetricsRegistry — each
+/// step is a latency histogram there, so Add is an atomic record after a
+/// one-time name resolution, and concurrent Adds from pooled regions are
+/// race-free (the original std::map implementation corrupted itself the
+/// moment a scope closed on a worker thread).
 class StepTimer {
  public:
+  StepTimer();
+  ~StepTimer();
+  StepTimer(const StepTimer& other);
+  StepTimer& operator=(const StepTimer& other);
+  StepTimer(StepTimer&& other) noexcept;
+  StepTimer& operator=(StepTimer&& other) noexcept;
+
   /// RAII scope that adds its lifetime to `name`.
   class Scope {
    public:
@@ -61,17 +82,23 @@ class StepTimer {
   double MeanSeconds(const std::string& name) const;
 
   /// All recorded step names in insertion order.
-  const std::vector<std::string>& StepNames() const { return order_; }
+  std::vector<std::string> StepNames() const;
 
   /// Clears all accumulators.
   void Reset();
 
+  /// The backing registry (per-step latency histograms keyed by the
+  /// sanitized step name); exposed for telemetry export.
+  const obs::MetricsRegistry& registry() const { return *registry_; }
+
  private:
-  struct Entry {
-    double total_seconds = 0.0;
-    int64_t count = 0;
-  };
-  std::map<std::string, Entry> entries_;
+  obs::Histogram* HistogramFor(const std::string& name);
+  const obs::Histogram* FindHistogram(const std::string& name) const;
+  void CopyFrom(const StepTimer& other);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::map<std::string, obs::Histogram*> steps_;  // display name -> histogram
   std::vector<std::string> order_;
 };
 

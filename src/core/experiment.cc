@@ -2,6 +2,8 @@
 
 #include "common/thread_pool.h"
 #include "metrics/ks.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace lightmirm::core {
 
@@ -58,10 +60,15 @@ Result<MethodResult> ExperimentRunner::RunMethodWithOptions(
 
   GbdtLrOptions run_options = options;
   run_options.trainer.timer = &result.step_times;
+  if (run_options.trainer.metrics == nullptr && obs::TelemetryEnabled()) {
+    run_options.trainer.metrics = obs::MetricsRegistry::Global();
+    run_options.trainer.metrics_prefix = TrainMetricsPrefix(method);
+  }
 
   // "loading data": fetching the split rows into the training harness.
   {
-    StepTimer::Scope scope(&result.step_times, "loading data");
+    train::StepSpan scope(train::StepTelemetry::From(run_options.trainer),
+                          "loading data");
     (void)split_.train.NumRows();
   }
 
@@ -103,6 +110,11 @@ Result<MethodResult> ExperimentRunner::RunMethodWithOptions(
       metrics::EvaluatePooled(split_.test.labels(), result.test_scores));
   result.pooled_ks = pooled.ks;
   result.pooled_auc = pooled.auc;
+
+  if (!config_.telemetry_out.empty()) {
+    LIGHTMIRM_RETURN_NOT_OK(obs::WriteTelemetryFile(
+        *obs::MetricsRegistry::Global(), config_.telemetry_out));
+  }
   return result;
 }
 

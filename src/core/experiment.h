@@ -34,6 +34,11 @@ struct ExperimentConfig {
   /// head (0 = hardware concurrency, 1 = serial). Deterministic: every
   /// thread count produces the same bits.
   int threads = 0;
+  /// When non-empty, a snapshot of the global telemetry registry is
+  /// written here after every RunMethod* call (a path ending in ".prom"
+  /// selects Prometheus text format, anything else JSON — see
+  /// obs/export.h).
+  std::string telemetry_out;
 };
 
 /// One method's evaluation outcome.

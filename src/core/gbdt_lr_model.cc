@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "metrics/ks.h"
+#include "obs/metrics.h"
 #include "train/erm.h"
 
 namespace lightmirm::core {
@@ -48,6 +49,10 @@ Result<Method> MethodFromName(const std::string& name) {
   if (name == "meta_irm") return Method::kMetaIrm;
   if (name == "light_mirm" || name == "lightmirm") return Method::kLightMirm;
   return Status::NotFound("unknown method: " + name);
+}
+
+std::string TrainMetricsPrefix(Method method) {
+  return "train." + obs::SanitizeMetricName(MethodName(method)) + ".";
 }
 
 const std::vector<Method>& AllMethods() {
@@ -115,16 +120,26 @@ Result<GbdtLrModel> GbdtLrModel::TrainWithBooster(
   model.encoder_ = std::make_unique<gbdt::LeafEncoder>(model.booster_.get());
   model.use_raw_features_ = options.use_raw_features;
 
+  GbdtLrOptions run_options = options;
+  // Default telemetry sink: the global registry under the method's prefix.
+  // Callers that pass an explicit registry (or disable telemetry) win.
+  if (run_options.trainer.metrics == nullptr && obs::TelemetryEnabled()) {
+    run_options.trainer.metrics = obs::MetricsRegistry::Global();
+  }
+  if (run_options.trainer.metrics != nullptr &&
+      run_options.trainer.metrics_prefix.empty()) {
+    run_options.trainer.metrics_prefix = TrainMetricsPrefix(method);
+  }
+
   // "transforming the format": raw features -> multi-hot leaf encoding.
   linear::FeatureMatrix features;
   {
-    StepTimer::Scope scope(options.trainer.timer,
-                           "transforming the format");
+    train::StepSpan scope(train::StepTelemetry::From(run_options.trainer),
+                          "transforming the format");
     LIGHTMIRM_ASSIGN_OR_RETURN(features, model.EncodeFeatures(train));
   }
 
   // Optional held-out validation split for best-epoch selection.
-  GbdtLrOptions run_options = options;
   std::vector<size_t> train_rows, val_rows;
   std::vector<int> val_labels;
   if (options.validation_fraction > 0.0 &&

@@ -48,6 +48,10 @@ Result<Method> MethodFromName(const std::string& name);
 /// All methods in Table I order.
 const std::vector<Method>& AllMethods();
 
+/// Canonical telemetry prefix for a method's training-run metrics, e.g.
+/// "train.LightMIRM." or "train.meta_IRM." (see DESIGN.md "Observability").
+std::string TrainMetricsPrefix(Method method);
+
 /// Configuration for the full pipeline.
 struct GbdtLrOptions {
   gbdt::BoosterOptions booster;

@@ -6,6 +6,8 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace lightmirm::data {
 namespace {
@@ -242,9 +244,17 @@ Result<Dataset> LoanGenerator::Generate(
   const Rng base(opt.seed);
   const int hubei = 6;  // index in kProvinceNames
   constexpr size_t kGeneratorRowGrain = 2048;
+  obs::Histogram* shard_seconds = nullptr;
+  obs::Counter* rows_generated = nullptr;
+  if (obs::TelemetryEnabled()) {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+    shard_seconds = registry->GetHistogram("datagen.shard.seconds");
+    rows_generated = registry->GetCounter("datagen.rows");
+  }
   ParallelForShards(0, total_rows, kGeneratorRowGrain, [&](size_t shard,
                                                            size_t begin,
                                                            size_t end) {
+    WallTimer shard_watch;
     Rng rng = base.Fork(shard);
     std::vector<double> z(opt.latent_dim);
     std::vector<double> xnum(opt.num_numeric);
@@ -335,6 +345,10 @@ Result<Dataset> LoanGenerator::Generate(
       envs[row] = m;
       years[row] = year;
       halves[row] = half;
+    }
+    if (shard_seconds != nullptr) {
+      shard_seconds->Record(shard_watch.Seconds());
+      rows_generated->Increment(end - begin);
     }
   });
 

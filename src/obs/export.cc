@@ -1,0 +1,163 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace lightmirm::obs {
+namespace {
+
+// Shortest-ish round-trip double for JSON values and Prometheus samples.
+std::string Num(double v) { return StrFormat("%.12g", v); }
+
+std::string JsonKey(const std::string& name) { return "\"" + name + "\""; }
+
+void AppendHistogramJson(const std::string& name, const Histogram& h,
+                         std::string* out) {
+  *out += "    " + JsonKey(name) + ": {";
+  *out += "\"count\": " + StrFormat("%llu",
+                                    static_cast<unsigned long long>(h.Count()));
+  *out += ", \"sum\": " + Num(h.Sum());
+  *out += ", \"mean\": " + Num(h.Mean());
+  *out += ", \"p50\": " + Num(h.Quantile(0.50));
+  *out += ", \"p95\": " + Num(h.Quantile(0.95));
+  *out += ", \"p99\": " + Num(h.Quantile(0.99));
+  *out += ", \"buckets\": [";
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  const std::vector<double>& bounds = h.bounds();
+  bool first = true;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (!first) *out += ", ";
+    first = false;
+    const std::string le =
+        i < bounds.size() ? Num(bounds[i]) : "\"+Inf\"";
+    *out += "{\"le\": " + le + ", \"count\": " +
+            StrFormat("%llu", static_cast<unsigned long long>(counts[i])) +
+            "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  std::string out = "{\n";
+
+  out += "  \"counters\": {\n";
+  const auto counters = registry.Counters();
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += "    " + JsonKey(counters[i].first) + ": " +
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 counters[i].second->Value()));
+    out += i + 1 < counters.size() ? ",\n" : "\n";
+  }
+  out += "  },\n";
+
+  out += "  \"gauges\": {\n";
+  const auto gauges = registry.Gauges();
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += "    " + JsonKey(gauges[i].first) + ": " +
+           Num(gauges[i].second->Value());
+    out += i + 1 < gauges.size() ? ",\n" : "\n";
+  }
+  out += "  },\n";
+
+  out += "  \"histograms\": {\n";
+  const auto histograms = registry.Histograms();
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    AppendHistogramJson(histograms[i].first, *histograms[i].second, &out);
+    out += i + 1 < histograms.size() ? ",\n" : "\n";
+  }
+  out += "  },\n";
+
+  out += "  \"series\": {\n";
+  const auto series = registry.AllSeries();
+  for (size_t i = 0; i < series.size(); ++i) {
+    out += "    " + JsonKey(series[i].first) + ": [";
+    const std::vector<double> values = series[i].second->Values();
+    for (size_t j = 0; j < values.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += Num(values[j]);
+    }
+    out += "]";
+    out += i + 1 < series.size() ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+namespace {
+
+// Prometheus alphabet: [a-zA-Z0-9_:]; '.' and everything else become '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "lightmirm_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, counter] : registry.Counters()) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " +
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(counter->Value())) +
+           "\n";
+  }
+  for (const auto& [name, gauge] : registry.Gauges()) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + Num(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, hist] : registry.Histograms()) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    const std::vector<uint64_t> counts = hist->BucketCounts();
+    const std::vector<double>& bounds = hist->bounds();
+    unsigned long long cum = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cum += counts[i];
+      const std::string le =
+          i < bounds.size() ? Num(bounds[i]) : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             StrFormat("%llu", cum) + "\n";
+    }
+    out += prom + "_sum " + Num(hist->Sum()) + "\n";
+    out += prom + "_count " +
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(hist->Count())) +
+           "\n";
+  }
+  for (const auto& [name, series] : registry.AllSeries()) {
+    const std::vector<double> values = series->Values();
+    const std::string prom = PromName(name) + "_last";
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + (values.empty() ? "0" : Num(values.back())) + "\n";
+  }
+  return out;
+}
+
+Status WriteTelemetryFile(const MetricsRegistry& registry,
+                          const std::string& path) {
+  const bool prom =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  const std::string text =
+      prom ? ExportPrometheus(registry) : ExportJson(registry);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot write telemetry file: " + path);
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace lightmirm::obs

@@ -1,0 +1,30 @@
+// Registry exporters: a JSON document (machine-readable telemetry
+// artifact, the `telemetry_out=` knob) and Prometheus text exposition
+// format (scrape-compatible). Both snapshot the registry name-sorted, so
+// output for the same recorded values is deterministic.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace lightmirm::obs {
+
+/// Full registry as a JSON object {counters, gauges, histograms, series}.
+/// Histograms export count/sum/mean/p50/p95/p99 plus their non-empty
+/// buckets (overflow bucket as "le": "+Inf").
+std::string ExportJson(const MetricsRegistry& registry);
+
+/// Prometheus text format. Metric names are prefixed "lightmirm_" and
+/// mapped to the Prometheus alphabet; histograms use cumulative
+/// `_bucket{le=...}` / `_sum` / `_count` lines. Series have no Prometheus
+/// equivalent and export their last value as a gauge.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// Writes the registry to `path`: Prometheus text when the path ends in
+/// ".prom", JSON otherwise.
+Status WriteTelemetryFile(const MetricsRegistry& registry,
+                          const std::string& path);
+
+}  // namespace lightmirm::obs

@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lightmirm::obs {
+namespace {
+
+std::atomic<bool> g_telemetry_enabled{true};
+
+// Relaxed atomic add for pre-C++20-hardware-support double accumulation.
+void AtomicAdd(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow: clamp
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double frac =
+          (target - cum) / static_cast<double>(counts[i]);
+      return lower + frac * (bounds_[i] - lower);
+    }
+    cum = next;
+  }
+  return bounds_.back();
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  assert(bounds_ == other.bounds_);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  AtomicAdd(&sum_, other.Sum());
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 20.0; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(2.5 * decade);
+      b.push_back(5.0 * decade);
+    }
+    return b;  // 1µs .. 50s, {1, 2.5, 5} per decade
+  }();
+  return bounds;
+}
+
+void Series::Append(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.push_back(v);
+}
+
+std::vector<double> Series::Values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+size_t Series::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_.size();
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool pending_sep = false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.';
+    if (ok) {
+      if (pending_sep && !out.empty()) out += '_';
+      pending_sep = false;
+      out += c;
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out.empty() ? "_" : out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(
+        bounds != nullptr ? *bounds : Histogram::DefaultLatencyBounds());
+  }
+  return slot.get();
+}
+
+Series* MetricsRegistry::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (slot == nullptr) slot = std::make_unique<Series>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, const Counter*>>
+MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::Gauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Series*>>
+MetricsRegistry::AllSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Series*>> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.emplace_back(name, s.get());
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, s] : series_) s->Reset();
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  // Intentionally leaked: worker threads and cached handles may outlive
+  // static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+bool TelemetryEnabled() {
+  return g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTelemetryEnabled(bool enabled) {
+  g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace lightmirm::obs

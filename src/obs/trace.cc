@@ -1,0 +1,64 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <vector>
+
+namespace lightmirm::obs {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread span state. Samples buffer until the root span closes, then
+// merge into each sample's registry in one pass.
+struct SpanBuffer {
+  std::string path;  // dot-joined names of the open spans
+  int depth = 0;
+  struct Sample {
+    std::string metric;  // "span.<path>.seconds"
+    double seconds;
+    MetricsRegistry* registry;
+  };
+  std::vector<Sample> samples;
+};
+
+thread_local SpanBuffer tls_spans;
+
+}  // namespace
+
+TraceSpan::TraceSpan(MetricsRegistry* registry, std::string_view name)
+    : registry_(registry) {
+  if (registry_ == nullptr) return;
+  SpanBuffer& buf = tls_spans;
+  path_restore_ = buf.path.size();
+  if (!buf.path.empty()) buf.path += '.';
+  buf.path += SanitizeMetricName(name);
+  ++buf.depth;
+  start_ns_ = NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (registry_ == nullptr) return;
+  SpanBuffer& buf = tls_spans;
+  buf.samples.push_back(
+      {"span." + buf.path + ".seconds", Seconds(), registry_});
+  buf.path.resize(path_restore_);
+  if (--buf.depth == 0) {
+    for (const SpanBuffer::Sample& s : buf.samples) {
+      s.registry->GetHistogram(s.metric)->Record(s.seconds);
+    }
+    buf.samples.clear();
+  }
+}
+
+double TraceSpan::Seconds() const {
+  if (registry_ == nullptr) return 0.0;
+  return static_cast<double>(NowNanos() - start_ns_) * 1e-9;
+}
+
+int TraceSpan::CurrentDepth() { return tls_spans.depth; }
+
+}  // namespace lightmirm::obs

@@ -1,0 +1,42 @@
+// RAII trace spans. A span measures the wall-clock of a scope and records
+// it as histogram `span.<path>.seconds` in a MetricsRegistry, where <path>
+// is the dot-joined chain of the spans active on the current thread
+// ("train.LightMIRM.epoch.inner_optimization"). Closing spans accumulate
+// in a thread-local buffer; when the outermost span on the thread closes,
+// the buffer merges into the registry under one name-resolution pass — so
+// nested scopes on a hot path never touch the registry mutex, and span
+// counts are identical at any thread count (each pooled task roots its own
+// chain on its worker thread).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace lightmirm::obs {
+
+class TraceSpan {
+ public:
+  /// Opens a span named `name` (sanitized) nested under the thread's
+  /// current span, if any. A null registry makes the span inert.
+  TraceSpan(MetricsRegistry* registry, std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Seconds elapsed since construction (0 for an inert span).
+  double Seconds() const;
+
+  /// Nesting depth of the calling thread's active span chain (0 = no span
+  /// open). Lets callers prefix only root spans.
+  static int CurrentDepth();
+
+ private:
+  MetricsRegistry* registry_;
+  size_t path_restore_ = 0;  // length of the thread path before this span
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace lightmirm::obs

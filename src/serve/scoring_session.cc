@@ -101,6 +101,18 @@ Result<ScoringSession> ScoringSession::Create(
   for (const auto& [env, model] : predictor.per_env) {
     session.env_tables_.emplace(env, model.params());
   }
+  if (obs::TelemetryEnabled()) {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+    session.telemetry_.batch_seconds =
+        registry->GetHistogram("serve.batch.seconds");
+    session.telemetry_.batches = registry->GetCounter("serve.batches");
+    session.telemetry_.rows_scored =
+        registry->GetCounter("serve.rows_scored");
+    session.telemetry_.override_hits =
+        registry->GetCounter("serve.env_override.hits");
+    session.telemetry_.override_misses =
+        registry->GetCounter("serve.env_override.misses");
+  }
   return session;
 }
 
@@ -117,6 +129,7 @@ Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
         StrFormat("envs has %zu entries for %zu rows", envs->size(),
                   raw.rows()));
   }
+  WallTimer batch_watch;
   out->resize(raw.rows());
   const CompiledForest& forest = *forest_;
   const size_t cols = forest.num_columns();
@@ -127,19 +140,34 @@ Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
                         ScoreBlockwiseGlobal(forest, raw, begin, end, w, cols,
                                              out->data());
                       });
+    if (telemetry_.override_misses != nullptr && !env_tables_.empty()) {
+      telemetry_.override_misses->Increment(raw.rows());
+    }
   } else {
+    const double* global_table = global_.data();
     ParallelForShards(
         0, raw.rows(), kRowGrain, [&](size_t, size_t begin, size_t end) {
           // Resolve each row's weight table once up front; the hot kernel
           // then only chases preresolved pointers. A shard is at most
           // kRowGrain rows, so the pointer block lives on the stack.
           const double* tab[kRowGrain];
+          size_t hits = 0;
           for (size_t r = begin; r < end; ++r) {
             tab[r - begin] = TableFor((*envs)[r]).data();
+            hits += tab[r - begin] != global_table ? 1 : 0;
+          }
+          if (telemetry_.override_hits != nullptr) {
+            telemetry_.override_hits->Increment(hits);
+            telemetry_.override_misses->Increment(end - begin - hits);
           }
           ScoreBlockwisePerRow(forest, raw, begin, end, tab, cols,
                                out->data());
         });
+  }
+  if (telemetry_.batches != nullptr) {
+    telemetry_.batches->Increment();
+    telemetry_.rows_scored->Increment(raw.rows());
+    telemetry_.batch_seconds->Record(batch_watch.Seconds());
   }
   return Status::OK();
 }

@@ -15,6 +15,7 @@
 #include "common/matrix.h"
 #include "common/result.h"
 #include "linear/logistic.h"
+#include "obs/metrics.h"
 #include "serve/compiled_forest.h"
 #include "train/trainer.h"
 
@@ -55,9 +56,22 @@ class ScoringSession {
     return it != env_tables_.end() ? it->second : global_;
   }
 
+  /// Serving metrics (global registry handles, resolved once at Create
+  /// when telemetry is enabled; all null otherwise): batch latency
+  /// histogram `serve.batch.seconds`, counters `serve.batches`,
+  /// `serve.rows_scored` and `serve.env_override.{hits,misses}`.
+  struct Telemetry {
+    obs::Histogram* batch_seconds = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* rows_scored = nullptr;
+    obs::Counter* override_hits = nullptr;
+    obs::Counter* override_misses = nullptr;
+  };
+
   std::shared_ptr<const CompiledForest> forest_;
   linear::ParamVec global_;
   std::map<int, linear::ParamVec> env_tables_;
+  Telemetry telemetry_;
 };
 
 }  // namespace lightmirm::serve

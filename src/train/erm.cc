@@ -9,18 +9,16 @@ Result<TrainedPredictor> ErmTrainer::Fit(const TrainData& data) {
   LIGHTMIRM_ASSIGN_OR_RETURN(std::unique_ptr<linear::Optimizer> opt,
                              linear::Optimizer::Create(options_.optimizer));
   const linear::LossContext ctx = data.Context();
+  const StepTelemetry telemetry = StepTelemetry::From(options_);
   linear::ParamVec grad;
   BestModelTracker tracker(&options_);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    WallTimer epoch_watch;
     {
-      StepTimer::Scope scope(options_.timer, kStepBackward);
+      StepSpan epoch_span(telemetry, kStepEpoch, "epoch");
+      StepSpan scope(telemetry, kStepBackward);
       linear::BceLossGrad(ctx, data.all_rows, model.params(), &grad);
       linear::AddL2(model.params(), options_.l2, &grad);
       opt->Step(grad, &model.mutable_params());
-    }
-    if (options_.timer != nullptr) {
-      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
     }
     if (options_.epoch_callback) options_.epoch_callback(epoch, model);
     if (!tracker.Observe(model)) break;

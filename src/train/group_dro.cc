@@ -14,17 +14,21 @@ Result<TrainedPredictor> GroupDroTrainer::Fit(const TrainData& data) {
   const size_t num_tasks = data.NumTasks();
   std::vector<double> q(num_tasks, 1.0 / static_cast<double>(num_tasks));
   const double l2 = options_.l2 * dro_.l2_multiplier;
+  const StepTelemetry telemetry = StepTelemetry::From(options_);
+  const MetaTrajectoryRecorder trajectories(telemetry, data.env_ids, "risk",
+                                            "weighted_risk");
 
   linear::ParamVec grad, env_grad;
+  std::vector<double> risks(num_tasks);
   BestModelTracker tracker(&options_);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    WallTimer epoch_watch;
+    double weighted_risk = 0.0;
     grad.assign(model.params().size(), 0.0);
     {
-      StepTimer::Scope scope(options_.timer, kStepBackward);
+      StepSpan epoch_span(telemetry, kStepEpoch, "epoch");
+      StepSpan scope(telemetry, kStepBackward);
       // Per-group risks and gradients.
       double q_total = 0.0;
-      std::vector<double> risks(num_tasks);
       std::vector<linear::ParamVec> grads(num_tasks);
       for (size_t t = 0; t < num_tasks; ++t) {
         risks[t] =
@@ -39,6 +43,7 @@ Result<TrainedPredictor> GroupDroTrainer::Fit(const TrainData& data) {
       for (double& v : q) v /= q_total;
       // Descend on the q-weighted risk.
       for (size_t t = 0; t < num_tasks; ++t) {
+        weighted_risk += q[t] * risks[t];
         for (size_t j = 0; j < grad.size(); ++j) {
           grad[j] += q[t] * grads[t][j];
         }
@@ -46,9 +51,7 @@ Result<TrainedPredictor> GroupDroTrainer::Fit(const TrainData& data) {
       linear::AddL2(model.params(), l2, &grad);
       opt->Step(grad, &model.mutable_params());
     }
-    if (options_.timer != nullptr) {
-      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
-    }
+    trajectories.Record(risks, weighted_risk);
     if (options_.epoch_callback) options_.epoch_callback(epoch, model);
     if (!tracker.Observe(model)) break;
   }

@@ -60,21 +60,26 @@ Result<TrainedPredictor> IrmV1Trainer::Fit(const TrainData& data) {
   const linear::LossContext ctx = data.Context();
   const size_t num_tasks = data.NumTasks();
   const double inv_m = 1.0 / static_cast<double>(num_tasks);
+  const StepTelemetry telemetry = StepTelemetry::From(options_);
+  const MetaTrajectoryRecorder trajectories(telemetry, data.env_ids, "risk",
+                                            "grad_penalty");
 
   linear::ParamVec grad, d_grad;
+  std::vector<double> risks(num_tasks);
   BestModelTracker tracker(&options_);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    WallTimer epoch_watch;
+    double penalty = 0.0;
     {
-      StepTimer::Scope scope(options_.timer, kStepBackward);
+      StepSpan epoch_span(telemetry, kStepEpoch, "epoch");
+      StepSpan scope(telemetry, kStepBackward);
       grad.assign(model.params().size(), 0.0);
       const double lambda =
           epoch >= irm_.penalty_anneal_epochs ? irm_.penalty_weight : 0.0;
       for (size_t t = 0; t < num_tasks; ++t) {
-        double risk;
         const double d_val =
             EnvPenaltyTerms(ctx, data.env_rows[t], model.params(), inv_m,
-                            &grad, &d_grad, &risk);
+                            &grad, &d_grad, &risks[t]);
+        penalty += lambda * inv_m * d_val * d_val;
         if (lambda > 0.0) {
           const double coeff = inv_m * 2.0 * lambda * d_val;
           for (size_t j = 0; j < grad.size(); ++j) {
@@ -85,9 +90,7 @@ Result<TrainedPredictor> IrmV1Trainer::Fit(const TrainData& data) {
       linear::AddL2(model.params(), options_.l2, &grad);
       opt->Step(grad, &model.mutable_params());
     }
-    if (options_.timer != nullptr) {
-      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
-    }
+    trajectories.Record(risks, penalty);
     if (options_.epoch_callback) options_.epoch_callback(epoch, model);
     if (!tracker.Observe(model)) break;
   }

@@ -11,7 +11,7 @@ Status LightMirmOuterGradient(const linear::LossContext& ctx,
                               const TrainData& data,
                               const linear::ParamVec& params,
                               const LightMirmOptions& options, Rng* rng,
-                              StepTimer* timer,
+                              const StepTelemetry& telemetry,
                               std::vector<MetaLossReplayQueue>* queues,
                               MetaStepOutput* out) {
   const size_t num_tasks = data.NumTasks();
@@ -22,18 +22,27 @@ Status LightMirmOuterGradient(const linear::LossContext& ctx,
   std::vector<linear::ParamVec> theta_bar(num_tasks);
   std::vector<linear::ParamVec> sampled_grads(num_tasks);
   out->meta_losses.assign(num_tasks, 0.0);
+  obs::Histogram* env_task_seconds =
+      telemetry.metrics != nullptr
+          ? telemetry.metrics->GetHistogram(telemetry.prefix +
+                                            "inner.env_task.seconds")
+          : nullptr;
 
   // Inner loop (Algorithm 2, lines 6-7). Each task m is independent given
   // theta, so the inner steps run environment-parallel; every task writes
   // only its own theta_bar[m].
   {
-    StepTimer::Scope scope(timer, kStepInnerOptimization);
+    StepSpan scope(telemetry, kStepInnerOptimization);
     ParallelFor(0, num_tasks, 1, [&](size_t m) {
+      WallTimer task_watch;
       linear::ParamVec grad_m;
       linear::BceLossGrad(ctx, data.env_rows[m], params, &grad_m);
       theta_bar[m] = params;
       for (size_t j = 0; j < dim; ++j) {
         theta_bar[m][j] -= options.inner_lr * grad_m[j];
+      }
+      if (env_task_seconds != nullptr) {
+        env_task_seconds->Record(task_watch.Seconds());
       }
     });
   }
@@ -44,7 +53,7 @@ Status LightMirmOuterGradient(const linear::LossContext& ctx,
   // only the loss/gradient evaluations run in parallel, and the MRQ pushes
   // replay serially in task order afterwards.
   {
-    StepTimer::Scope scope(timer, kStepMetaLosses);
+    StepSpan scope(telemetry, kStepMetaLosses);
     std::vector<size_t> sampled_env(num_tasks);
     for (size_t m = 0; m < num_tasks; ++m) {
       size_t s = rng->UniformInt(num_tasks - 1);
@@ -70,7 +79,7 @@ Status LightMirmOuterGradient(const linear::LossContext& ctx,
   // accumulation happens serially in task order, so the sum matches the
   // serial loop bit for bit.
   {
-    StepTimer::Scope scope(timer, kStepBackward);
+    StepSpan scope(telemetry, kStepBackward);
     const std::vector<double> coeffs =
         OuterCoefficients(out->meta_losses, options.lambda);
     out->outer_grad.assign(dim, 0.0);
@@ -118,23 +127,23 @@ Result<TrainedPredictor> LightMirmTrainer::Fit(const TrainData& data) {
   LIGHTMIRM_ASSIGN_OR_RETURN(std::unique_ptr<linear::Optimizer> opt,
                              linear::Optimizer::Create(options_.optimizer));
   const linear::LossContext ctx = data.Context();
+  const StepTelemetry telemetry = StepTelemetry::From(options_);
+  const MetaTrajectoryRecorder trajectories(telemetry, data.env_ids);
 
   MetaStepOutput step;
   BestModelTracker tracker(&options_);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    WallTimer epoch_watch;
-    LIGHTMIRM_RETURN_NOT_OK(LightMirmOuterGradient(ctx, data, model.params(),
-                                                   light_, &rng,
-                                                   options_.timer, &queues,
-                                                   &step));
     {
-      StepTimer::Scope scope(options_.timer, kStepBackward);
+      StepSpan epoch_span(telemetry, kStepEpoch, "epoch");
+      LIGHTMIRM_RETURN_NOT_OK(LightMirmOuterGradient(ctx, data,
+                                                     model.params(), light_,
+                                                     &rng, telemetry, &queues,
+                                                     &step));
+      StepSpan scope(telemetry, kStepBackward);
       linear::AddL2(model.params(), options_.l2, &step.outer_grad);
       opt->Step(step.outer_grad, &model.mutable_params());
     }
-    if (options_.timer != nullptr) {
-      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
-    }
+    trajectories.Record(step.meta_losses);
     if (options_.epoch_callback) options_.epoch_callback(epoch, model);
     if (!tracker.Observe(model)) break;
   }

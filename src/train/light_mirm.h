@@ -37,7 +37,7 @@ Status LightMirmOuterGradient(const linear::LossContext& ctx,
                               const TrainData& data,
                               const linear::ParamVec& params,
                               const LightMirmOptions& options, Rng* rng,
-                              StepTimer* timer,
+                              const StepTelemetry& telemetry,
                               std::vector<class MetaLossReplayQueue>* queues,
                               struct MetaStepOutput* out);
 

@@ -37,7 +37,8 @@ Status MetaIrmOuterGradient(const linear::LossContext& ctx,
                             const TrainData& data,
                             const linear::ParamVec& params,
                             const MetaIrmOptions& options, Rng* rng,
-                            StepTimer* timer, MetaStepOutput* out) {
+                            const StepTelemetry& telemetry,
+                            MetaStepOutput* out) {
   const size_t num_tasks = data.NumTasks();
   const size_t dim = params.size();
   std::vector<linear::ParamVec> theta_bar(num_tasks);
@@ -47,7 +48,7 @@ Status MetaIrmOuterGradient(const linear::LossContext& ctx,
   // Inner loop (Algorithm 1, lines 6-7): one gradient step per environment,
   // environment-parallel (tasks are independent given theta).
   {
-    StepTimer::Scope scope(timer, kStepInnerOptimization);
+    StepSpan scope(telemetry, kStepInnerOptimization);
     ParallelFor(0, num_tasks, 1, [&](size_t m) {
       linear::ParamVec grad_m;
       linear::BceLossGrad(ctx, data.env_rows[m], params, &grad_m);
@@ -64,7 +65,7 @@ Status MetaIrmOuterGradient(const linear::LossContext& ctx,
   // then the per-task loss sums run environment-parallel, each in the same
   // within-task evaluation order as the serial code.
   {
-    StepTimer::Scope scope(timer, kStepMetaLosses);
+    StepSpan scope(telemetry, kStepMetaLosses);
     std::vector<std::vector<size_t>> eval_envs(num_tasks);
     for (size_t m = 0; m < num_tasks; ++m) {
       if (options.sample_size == 0) {
@@ -104,7 +105,7 @@ Status MetaIrmOuterGradient(const linear::LossContext& ctx,
   // Hessian-vector products. HVPs run task-parallel; the reduction into
   // outer_grad stays serial in task order for bit-stable float sums.
   {
-    StepTimer::Scope scope(timer, kStepBackward);
+    StepSpan scope(telemetry, kStepBackward);
     const std::vector<double> coeffs =
         OuterCoefficients(out->meta_losses, options.lambda);
     out->outer_grad.assign(dim, 0.0);
@@ -183,21 +184,21 @@ Result<TrainedPredictor> MetaIrmTrainer::Fit(const TrainData& data) {
   LIGHTMIRM_ASSIGN_OR_RETURN(std::unique_ptr<linear::Optimizer> opt,
                              linear::Optimizer::Create(options_.optimizer));
   const linear::LossContext ctx = data.Context();
+  const StepTelemetry telemetry = StepTelemetry::From(options_);
+  const MetaTrajectoryRecorder trajectories(telemetry, data.env_ids);
 
   MetaStepOutput step;
   BestModelTracker tracker(&options_);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    WallTimer epoch_watch;
-    LIGHTMIRM_RETURN_NOT_OK(MetaIrmOuterGradient(
-        ctx, data, model.params(), meta_, &rng, options_.timer, &step));
     {
-      StepTimer::Scope scope(options_.timer, kStepBackward);
+      StepSpan epoch_span(telemetry, kStepEpoch, "epoch");
+      LIGHTMIRM_RETURN_NOT_OK(MetaIrmOuterGradient(
+          ctx, data, model.params(), meta_, &rng, telemetry, &step));
+      StepSpan scope(telemetry, kStepBackward);
       linear::AddL2(model.params(), options_.l2, &step.outer_grad);
       opt->Step(step.outer_grad, &model.mutable_params());
     }
-    if (options_.timer != nullptr) {
-      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
-    }
+    trajectories.Record(step.meta_losses);
     if (options_.epoch_callback) options_.epoch_callback(epoch, model);
     if (!tracker.Observe(model)) break;
   }

@@ -60,7 +60,8 @@ Status MetaIrmOuterGradient(const linear::LossContext& ctx,
                             const TrainData& data,
                             const linear::ParamVec& params,
                             const MetaIrmOptions& options, Rng* rng,
-                            StepTimer* timer, MetaStepOutput* out);
+                            const StepTelemetry& telemetry,
+                            MetaStepOutput* out);
 
 /// Evaluates the meta-IRM outer objective sum_m R_meta(theta_bar_m) +
 /// lambda*sigma at `params` (complete variant only — sample_size is

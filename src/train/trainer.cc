@@ -3,8 +3,36 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "train/meta_irm.h"
 
 namespace lightmirm::train {
+
+MetaTrajectoryRecorder::MetaTrajectoryRecorder(const StepTelemetry& telemetry,
+                                               const std::vector<int>& env_ids,
+                                               const char* loss_name,
+                                               const char* penalty_name) {
+  if (telemetry.metrics == nullptr) return;
+  env_series_.reserve(env_ids.size());
+  for (int id : env_ids) {
+    env_series_.push_back(telemetry.metrics->GetSeries(
+        telemetry.prefix + loss_name + ".env_" + std::to_string(id)));
+  }
+  penalty_series_ =
+      telemetry.metrics->GetSeries(telemetry.prefix + penalty_name);
+}
+
+void MetaTrajectoryRecorder::Record(
+    const std::vector<double>& env_losses) const {
+  Record(env_losses, PopulationStdDev(env_losses));
+}
+
+void MetaTrajectoryRecorder::Record(const std::vector<double>& env_losses,
+                                    double penalty) const {
+  if (penalty_series_ == nullptr) return;
+  const size_t n = std::min(env_series_.size(), env_losses.size());
+  for (size_t t = 0; t < n; ++t) env_series_[t]->Append(env_losses[t]);
+  penalty_series_->Append(penalty);
+}
 
 Result<TrainData> TrainData::Create(const linear::FeatureMatrix* x,
                                     const std::vector<int>* labels,

@@ -14,6 +14,7 @@
 #include "common/timer.h"
 #include "linear/loss.h"
 #include "linear/optimizer.h"
+#include "obs/trace.h"
 
 namespace lightmirm::train {
 
@@ -88,6 +89,13 @@ struct TrainerOptions {
   linear::OptimizerOptions optimizer = {"adam", 0.05, 0.9, 0.9, 0.999, 1e-8};
   /// Optional per-step timing sink (Table III); not owned.
   StepTimer* timer = nullptr;
+  /// Optional telemetry sink: per-step trace spans and per-environment
+  /// meta-loss / penalty trajectories record here (see DESIGN.md
+  /// "Observability"). Not owned; nullptr disables telemetry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Metric-name prefix for this training run's telemetry, e.g.
+  /// "train.LightMIRM.".
+  std::string metrics_prefix;
   /// Optional per-epoch hook.
   EpochCallback epoch_callback;
   /// Optional validation scorer. When set, training returns the parameters
@@ -127,6 +135,73 @@ inline constexpr const char* kStepInnerOptimization = "inner optimization";
 inline constexpr const char* kStepMetaLosses = "calculating the meta-losses";
 inline constexpr const char* kStepBackward = "backward propagation";
 inline constexpr const char* kStepEpoch = "the whole epoch";
+
+/// Telemetry wiring shared by the per-step scopes: the legacy Table III
+/// StepTimer plus the optional registry that trace spans and trajectory
+/// series record into. Copies of TrainerOptions' sinks, cheap to pass
+/// around; all pointers optional and unowned.
+struct StepTelemetry {
+  StepTimer* timer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string prefix;
+
+  static StepTelemetry From(const TrainerOptions& options) {
+    return {options.timer, options.metrics, options.metrics_prefix};
+  }
+};
+
+/// RAII scope recording one training step into both sinks: the StepTimer
+/// keeps feeding the Table III formatter exactly as before, and the trace
+/// span nests under the thread's active span chain in the registry
+/// (root spans get the run's metric prefix). Either sink may be null.
+class StepSpan {
+ public:
+  /// `span_name` overrides the span segment (e.g. "epoch" instead of
+  /// "the whole epoch"); the StepTimer always records under `step_name`.
+  StepSpan(const StepTelemetry& telemetry, const char* step_name,
+           const char* span_name = nullptr)
+      : timer_(telemetry.timer),
+        step_name_(step_name),
+        span_(telemetry.metrics,
+              obs::TraceSpan::CurrentDepth() == 0
+                  ? telemetry.prefix + (span_name ? span_name : step_name)
+                  : std::string(span_name ? span_name : step_name)) {}
+  ~StepSpan() {
+    if (timer_ != nullptr) timer_->Add(step_name_, watch_.Seconds());
+  }
+  StepSpan(const StepSpan&) = delete;
+  StepSpan& operator=(const StepSpan&) = delete;
+
+ private:
+  StepTimer* timer_;
+  const char* step_name_;
+  WallTimer watch_;
+  obs::TraceSpan span_;
+};
+
+/// Records per-epoch training trajectories into the telemetry registry:
+/// one series per environment (`<prefix><loss_name>.env_<id>`) plus a
+/// penalty series (`<prefix><penalty_name>`). Inert when the telemetry has
+/// no registry. Series handles resolve once at construction, so Record is
+/// cheap enough to call every epoch.
+class MetaTrajectoryRecorder {
+ public:
+  MetaTrajectoryRecorder(const StepTelemetry& telemetry,
+                         const std::vector<int>& env_ids,
+                         const char* loss_name = "meta_loss",
+                         const char* penalty_name = "sigma_penalty");
+
+  /// Appends one point per environment plus the population standard
+  /// deviation of `env_losses` (the sigma term of Eq. 6/7).
+  void Record(const std::vector<double>& env_losses) const;
+  /// Same, with an explicit penalty value (V-REx variance, IRMv1 gradient
+  /// penalty, Group DRO worst-group risk, ...).
+  void Record(const std::vector<double>& env_losses, double penalty) const;
+
+ private:
+  std::vector<obs::Series*> env_series_;
+  obs::Series* penalty_series_ = nullptr;
+};
 
 /// Abstract learning algorithm.
 class Trainer {

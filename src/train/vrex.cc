@@ -11,15 +11,19 @@ Result<TrainedPredictor> VRexTrainer::Fit(const TrainData& data) {
   const linear::LossContext ctx = data.Context();
   const size_t num_tasks = data.NumTasks();
   const double inv_m = 1.0 / static_cast<double>(num_tasks);
+  const StepTelemetry telemetry = StepTelemetry::From(options_);
+  const MetaTrajectoryRecorder trajectories(telemetry, data.env_ids, "risk",
+                                            "variance_penalty");
 
   linear::ParamVec grad;
   std::vector<double> risks(num_tasks);
   std::vector<linear::ParamVec> grads(num_tasks);
   BestModelTracker tracker(&options_);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    WallTimer epoch_watch;
+    double penalty = 0.0;
     {
-      StepTimer::Scope scope(options_.timer, kStepBackward);
+      StepSpan epoch_span(telemetry, kStepEpoch, "epoch");
+      StepSpan scope(telemetry, kStepBackward);
       double mean_risk = 0.0;
       for (size_t t = 0; t < num_tasks; ++t) {
         risks[t] = linear::BceLossGrad(ctx, data.env_rows[t],
@@ -30,8 +34,9 @@ Result<TrainedPredictor> VRexTrainer::Fit(const TrainData& data) {
       //   sum_t [1/M + 2*beta*(R_t - mean)/M] * grad_t.
       grad.assign(model.params().size(), 0.0);
       for (size_t t = 0; t < num_tasks; ++t) {
-        const double coeff =
-            inv_m * (1.0 + 2.0 * vrex_.beta * (risks[t] - mean_risk));
+        const double dev = risks[t] - mean_risk;
+        penalty += vrex_.beta * inv_m * dev * dev;
+        const double coeff = inv_m * (1.0 + 2.0 * vrex_.beta * dev);
         for (size_t j = 0; j < grad.size(); ++j) {
           grad[j] += coeff * grads[t][j];
         }
@@ -39,9 +44,7 @@ Result<TrainedPredictor> VRexTrainer::Fit(const TrainData& data) {
       linear::AddL2(model.params(), options_.l2, &grad);
       opt->Step(grad, &model.mutable_params());
     }
-    if (options_.timer != nullptr) {
-      options_.timer->Add(kStepEpoch, epoch_watch.Seconds());
-    }
+    trajectories.Record(risks, penalty);
     if (options_.epoch_callback) options_.epoch_callback(epoch, model);
     if (!tracker.Observe(model)) break;
   }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace lightmirm {
 namespace {
 
@@ -49,6 +52,53 @@ TEST(StepTimerTest, ScopeRecordsElapsedTime) {
 
 TEST(StepTimerTest, ScopeWithNullTimerIsSafe) {
   StepTimer::Scope scope(nullptr, "ignored");
+}
+
+TEST(StepTimerTest, CopyAndAssignPreserveAccumulators) {
+  StepTimer timer;
+  timer.Add("step", 1.0);
+  timer.Add("step", 2.0);
+  StepTimer copy(timer);
+  EXPECT_DOUBLE_EQ(copy.TotalSeconds("step"), 3.0);
+  EXPECT_EQ(copy.Count("step"), 2);
+  copy.Add("step", 1.0);
+  // The copy has independent state.
+  EXPECT_DOUBLE_EQ(copy.TotalSeconds("step"), 4.0);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds("step"), 3.0);
+  StepTimer assigned;
+  assigned = timer;
+  EXPECT_DOUBLE_EQ(assigned.TotalSeconds("step"), 3.0);
+  EXPECT_EQ(assigned.StepNames(), timer.StepNames());
+}
+
+// The pre-registry StepTimer corrupted its std::map when trainer scopes
+// closed on pooled worker threads; this pins the fix (run under TSan in
+// CI's thread-sanitizer job).
+TEST(StepTimerTest, ConcurrentAddsAreRaceFree) {
+  StepTimer timer;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&timer, t] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        timer.Add("shared", 0.001);
+        timer.Add("thread_" + std::to_string(t), 0.002);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(timer.Count("shared"),
+            static_cast<int64_t>(kThreads) * kAddsPerThread);
+  EXPECT_NEAR(timer.TotalSeconds("shared"), kThreads * kAddsPerThread * 0.001,
+              1e-6);
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string name = "thread_" + std::to_string(t);
+    EXPECT_EQ(timer.Count(name), kAddsPerThread);
+    EXPECT_NEAR(timer.TotalSeconds(name), kAddsPerThread * 0.002, 1e-6);
+  }
+  EXPECT_EQ(timer.StepNames().size(), 1u + kThreads);
 }
 
 TEST(StepTimerTest, ResetClearsEverything) {

@@ -208,7 +208,8 @@ TEST(ParallelEquivalenceTest, LightMirmStepAndFit) {
     Rng rng(7);
     for (int it = 0; it < 4; ++it) {
       ASSERT_TRUE(train::LightMirmOuterGradient(ctx, data, params, light,
-                                                &rng, nullptr, &queues, &out)
+                                                &rng, train::StepTelemetry{},
+                                                &queues, &out)
                       .ok());
     }
     steps.push_back(out);
@@ -250,7 +251,8 @@ TEST(ParallelEquivalenceTest, MetaIrmStepCompleteAndSampled) {
       Rng rng(11);
       for (int it = 0; it < 3; ++it) {
         ASSERT_TRUE(train::MetaIrmOuterGradient(ctx, data, params, meta,
-                                                &rng, nullptr, &out)
+                                                &rng, train::StepTelemetry{},
+                                                &out)
                         .ok());
       }
       steps.push_back(out);

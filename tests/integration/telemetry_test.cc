@@ -1,0 +1,133 @@
+// End-to-end telemetry: run a full experiment with `telemetry_out` set and
+// assert the exported JSON carries the training spans, the per-env
+// meta-loss trajectories, the serving latency histograms and the
+// infrastructure counters — and that the Table III formatter is
+// byte-stable for fixed timings.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.h"
+#include "obs/metrics.h"
+#include "train/step_timer.h"
+
+namespace lightmirm {
+namespace {
+
+core::ExperimentConfig FastConfig() {
+  core::ExperimentConfig config;
+  config.generator.rows_per_year = 2000;
+  config.generator.seed = 3;
+  config.model.booster.num_trees = 15;
+  config.model.booster.tree.max_leaves = 8;
+  config.model.trainer.epochs = 40;
+  config.model.min_env_rows = 60;
+  config.eval_min_rows = 40;
+  return config;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TelemetryIntegrationTest, FullRunExportsAllLayers) {
+  obs::SetTelemetryEnabled(true);
+  obs::MetricsRegistry::Global()->Reset();
+
+  core::ExperimentConfig config = FastConfig();
+  config.threads = 2;  // force the pooled path even on single-core hosts
+  config.telemetry_out =
+      ::testing::TempDir() + "telemetry_integration.json";
+  const auto runner =
+      std::move(core::ExperimentRunner::Create(config)).value();
+  const core::MethodResult result =
+      *runner->RunMethod(core::Method::kLightMirm);
+  EXPECT_GT(result.pooled_auc, 0.5);
+
+  const std::string json = ReadFile(config.telemetry_out);
+  ASSERT_FALSE(json.empty());
+
+  // Training spans: the prefixed epoch chain plus the Table III steps
+  // nested inside it.
+  EXPECT_NE(json.find("span.train.LightMIRM.epoch.seconds"),
+            std::string::npos);
+  EXPECT_NE(json.find("span.train.LightMIRM.epoch.inner_optimization"),
+            std::string::npos);
+  EXPECT_NE(
+      json.find("span.train.LightMIRM.epoch.calculating_the_meta_losses"),
+      std::string::npos);
+  EXPECT_NE(json.find("span.train.LightMIRM.epoch.backward_propagation"),
+            std::string::npos);
+  EXPECT_NE(json.find("span.train.LightMIRM.loading_data"),
+            std::string::npos);
+  EXPECT_NE(json.find("span.train.LightMIRM.transforming_the_format"),
+            std::string::npos);
+
+  // Per-env meta-loss trajectories and the sigma penalty series.
+  EXPECT_NE(json.find("train.LightMIRM.meta_loss.env_"), std::string::npos);
+  EXPECT_NE(json.find("train.LightMIRM.sigma_penalty"), std::string::npos);
+
+  // Serving layer (Predict routes through the compiled scoring session).
+  EXPECT_NE(json.find("serve.batch.seconds"), std::string::npos);
+  EXPECT_NE(json.find("serve.rows_scored"), std::string::npos);
+
+  // Infrastructure: data generation shards and the shared thread pool.
+  EXPECT_NE(json.find("datagen.shard.seconds"), std::string::npos);
+  EXPECT_NE(json.find("datagen.rows"), std::string::npos);
+  EXPECT_NE(json.find("pool.tasks"), std::string::npos);
+}
+
+TEST(TelemetryIntegrationTest, DisabledTelemetryKeepsGlobalRegistryQuiet) {
+  obs::MetricsRegistry::Global()->Reset();
+  obs::SetTelemetryEnabled(false);
+  core::ExperimentConfig config = FastConfig();
+  const auto runner =
+      std::move(core::ExperimentRunner::Create(config)).value();
+  const core::MethodResult result =
+      *runner->RunMethod(core::Method::kErm);
+  obs::SetTelemetryEnabled(true);
+  EXPECT_GT(result.pooled_auc, 0.5);
+  // No instrumentation site should have recorded while disabled.
+  for (const auto& [name, counter] : obs::MetricsRegistry::Global()->Counters()) {
+    EXPECT_EQ(counter->Value(), 0u) << name;
+  }
+  for (const auto& [name, hist] :
+       obs::MetricsRegistry::Global()->Histograms()) {
+    EXPECT_EQ(hist->Count(), 0u) << name;
+  }
+  // Table III timings still work without the registry.
+  EXPECT_GT(result.step_times.TotalSeconds(train::kStepEpoch), 0.0);
+}
+
+// Byte-stable Table III rendering for fixed Add values — pins the exact
+// layout the paper-comparison tools parse.
+TEST(TelemetryIntegrationTest, StepTimeTableGolden) {
+  StepTimer timer;
+  timer.Add("loading data", 0.5);
+  timer.Add("transforming the format", 0.25);
+  timer.Add(train::kStepInnerOptimization, 0.1);
+  timer.Add(train::kStepInnerOptimization, 0.3);
+  timer.Add(train::kStepMetaLosses, 0.001);
+  timer.Add(train::kStepBackward, 0.0005);
+  timer.Add(train::kStepEpoch, 1.0);
+  timer.Add(train::kStepEpoch, 2.0);
+  const std::string table =
+      train::FormatStepTimeTable({"LightMIRM"}, {&timer});
+  const std::string expected =
+      "Step                                  LightMIRM\n"
+      "loading data                          0.500000s\n"
+      "transforming the format               0.250000s\n"
+      "inner optimization                    0.200000s\n"
+      "calculating the meta-losses           0.001000s\n"
+      "backward propagation                  0.000500s\n"
+      "the whole epoch                          3.000s\n";
+  EXPECT_EQ(table, expected);
+}
+
+}  // namespace
+}  // namespace lightmirm

@@ -1,0 +1,116 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lightmirm::obs {
+namespace {
+
+// A small registry with one metric of every kind and hand-computable
+// values: histogram over bounds {1, 2} with samples 0.5 / 1.5 / 5.0 (one
+// per bucket including overflow), so sum = 7, mean = 7/3, p50 = 1.5 and
+// p95/p99 clamp to the last bound.
+void FillRegistry(MetricsRegistry* registry) {
+  registry->GetCounter("requests")->Increment(3);
+  registry->GetGauge("queue.depth")->Set(2.5);
+  const std::vector<double> bounds = {1.0, 2.0};
+  Histogram* h = registry->GetHistogram("lat", &bounds);
+  h->Record(0.5);
+  h->Record(1.5);
+  h->Record(5.0);
+  Series* s = registry->GetSeries("loss");
+  s->Append(1.0);
+  s->Append(2.5);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ExportJsonTest, MatchesGolden) {
+  MetricsRegistry registry;
+  FillRegistry(&registry);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"requests\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"queue.depth\": 2.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"lat\": {\"count\": 3, \"sum\": 7, \"mean\": 2.33333333333, "
+      "\"p50\": 1.5, \"p95\": 2, \"p99\": 2, \"buckets\": "
+      "[{\"le\": 1, \"count\": 1}, {\"le\": 2, \"count\": 1}, "
+      "{\"le\": \"+Inf\", \"count\": 1}]}\n"
+      "  },\n"
+      "  \"series\": {\n"
+      "    \"loss\": [1, 2.5]\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(ExportJson(registry), expected);
+}
+
+TEST(ExportJsonTest, EmptyRegistryIsStillValidDocument) {
+  MetricsRegistry registry;
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "  },\n"
+      "  \"series\": {\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(ExportJson(registry), expected);
+}
+
+TEST(ExportPrometheusTest, MatchesGolden) {
+  MetricsRegistry registry;
+  FillRegistry(&registry);
+  const std::string expected =
+      "# TYPE lightmirm_requests counter\n"
+      "lightmirm_requests 3\n"
+      "# TYPE lightmirm_queue_depth gauge\n"
+      "lightmirm_queue_depth 2.5\n"
+      "# TYPE lightmirm_lat histogram\n"
+      "lightmirm_lat_bucket{le=\"1\"} 1\n"
+      "lightmirm_lat_bucket{le=\"2\"} 2\n"
+      "lightmirm_lat_bucket{le=\"+Inf\"} 3\n"
+      "lightmirm_lat_sum 7\n"
+      "lightmirm_lat_count 3\n"
+      "# TYPE lightmirm_loss_last gauge\n"
+      "lightmirm_loss_last 2.5\n";
+  EXPECT_EQ(ExportPrometheus(registry), expected);
+}
+
+TEST(WriteTelemetryFileTest, PicksFormatFromExtension) {
+  MetricsRegistry registry;
+  FillRegistry(&registry);
+  const std::string json_path = ::testing::TempDir() + "telemetry_test.json";
+  const std::string prom_path = ::testing::TempDir() + "telemetry_test.prom";
+  ASSERT_TRUE(WriteTelemetryFile(registry, json_path).ok());
+  ASSERT_TRUE(WriteTelemetryFile(registry, prom_path).ok());
+  EXPECT_EQ(ReadFile(json_path), ExportJson(registry));
+  EXPECT_EQ(ReadFile(prom_path), ExportPrometheus(registry));
+}
+
+TEST(WriteTelemetryFileTest, UnwritablePathFails) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(
+      WriteTelemetryFile(registry, "/nonexistent-dir/telemetry.json").ok());
+}
+
+}  // namespace
+}  // namespace lightmirm::obs

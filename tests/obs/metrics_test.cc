@@ -1,0 +1,203 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace lightmirm::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, LastValueWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.25);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusive) {
+  // le semantics: a sample exactly on a bound lands in that bound's bucket.
+  Histogram h({1.0, 2.0, 5.0});
+  h.Record(0.5);   // bucket 0 (le 1)
+  h.Record(1.0);   // bucket 0 (le 1, inclusive)
+  h.Record(1.5);   // bucket 1 (le 2)
+  h.Record(5.0);   // bucket 2 (le 5, inclusive)
+  h.Record(5.01);  // overflow
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 5.0 + 5.01);
+  EXPECT_DOUBLE_EQ(h.Mean(), h.Sum() / 5.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0, 3.0, 4.0});
+  h.Record(0.5);
+  h.Record(1.5);
+  h.Record(2.5);
+  h.Record(3.5);
+  // target = 0.5 * 4 = 2 samples: exactly exhausts bucket 1, whose upper
+  // bound is 2.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  // target = 1: exhausts bucket 0 -> its bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 1.0);
+  // Halfway into bucket 0: lower 0, upper 1.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.125), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+}
+
+TEST(HistogramTest, OverflowClampsToLastBound) {
+  Histogram h({1.0, 2.0});
+  h.Record(100.0);
+  h.Record(200.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReadsZero) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MergeFromAddsSamples) {
+  Histogram a({1.0, 2.0}), b({1.0, 2.0});
+  a.Record(0.5);
+  b.Record(1.5);
+  b.Record(10.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 12.0);
+  const std::vector<uint64_t> counts = a.BucketCounts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsStrictlyIncreasing) {
+  const std::vector<double>& bounds = Histogram::DefaultLatencyBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 50.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(SeriesTest, AppendsInOrder) {
+  Series s;
+  s.Append(1.0);
+  s.Append(-2.5);
+  EXPECT_EQ(s.Size(), 2u);
+  EXPECT_EQ(s.Values(), (std::vector<double>{1.0, -2.5}));
+  s.Reset();
+  EXPECT_EQ(s.Size(), 0u);
+}
+
+TEST(SanitizeMetricNameTest, MapsIntoMetricAlphabet) {
+  EXPECT_EQ(SanitizeMetricName("meta-IRM(5)"), "meta_IRM_5");
+  EXPECT_EQ(SanitizeMetricName("inner optimization"), "inner_optimization");
+  EXPECT_EQ(SanitizeMetricName("serve.batch.seconds"),
+            "serve.batch.seconds");
+  EXPECT_EQ(SanitizeMetricName("--a   b--"), "a_b");
+  EXPECT_EQ(SanitizeMetricName("   "), "_");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndSurviveReset) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Histogram* h = registry.GetHistogram("h");
+  Series* s = registry.GetSeries("s");
+  Gauge* g = registry.GetGauge("g");
+  EXPECT_EQ(registry.GetCounter("c"), c);
+  EXPECT_EQ(registry.GetHistogram("h"), h);
+  c->Increment(7);
+  g->Set(1.0);
+  h->Record(0.5);
+  s->Append(3.0);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c"), c);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(s->Size(), 0u);
+}
+
+TEST(MetricsRegistryTest, CustomBoundsApplyOnFirstRegistrationOnly) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0, 10.0};
+  Histogram* h = registry.GetHistogram("h", &bounds);
+  EXPECT_EQ(h->bounds(), bounds);
+  // Later bounds are ignored; the handle stays the same.
+  const std::vector<double> other = {5.0};
+  EXPECT_EQ(registry.GetHistogram("h", &other), h);
+  EXPECT_EQ(h->bounds(), bounds);
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("b");
+  registry.GetCounter("a");
+  registry.GetCounter("c");
+  const auto counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[1].first, "b");
+  EXPECT_EQ(counters[2].first, "c");
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingIsRaceFree) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      // Every thread resolves the same names (exercising registration
+      // races) and hammers the returned handles.
+      Counter* c = registry.GetCounter("ops");
+      Histogram* h = registry.GetHistogram("lat");
+      for (int i = 0; i < kOps; ++i) {
+        c->Increment();
+        h->Record(1e-5 * (1 + i % 7));
+        registry.GetGauge("depth")->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(registry.GetCounter("ops")->Value(),
+            static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(registry.GetHistogram("lat")->Count(),
+            static_cast<uint64_t>(kThreads) * kOps);
+}
+
+TEST(TelemetryEnabledTest, TogglesProcessWide) {
+  EXPECT_TRUE(TelemetryEnabled());  // default on
+  SetTelemetryEnabled(false);
+  EXPECT_FALSE(TelemetryEnabled());
+  SetTelemetryEnabled(true);
+  EXPECT_TRUE(TelemetryEnabled());
+}
+
+}  // namespace
+}  // namespace lightmirm::obs

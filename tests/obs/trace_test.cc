@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace lightmirm::obs {
+namespace {
+
+TEST(TraceSpanTest, NestedSpansRecordDottedPaths) {
+  MetricsRegistry registry;
+  {
+    TraceSpan outer(&registry, "outer");
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1);
+    {
+      TraceSpan inner(&registry, "inner step");
+      EXPECT_EQ(TraceSpan::CurrentDepth(), 2);
+      EXPECT_GE(inner.Seconds(), 0.0);
+    }
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1);
+  }
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  EXPECT_EQ(registry.GetHistogram("span.outer.seconds")->Count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("span.outer.inner_step.seconds")->Count(),
+            1u);
+}
+
+TEST(TraceSpanTest, SamplesBufferUntilRootCloses) {
+  MetricsRegistry registry;
+  {
+    TraceSpan outer(&registry, "outer");
+    { TraceSpan inner(&registry, "inner"); }
+    // The inner span has closed but the root is still open: nothing has
+    // been flushed to the registry yet.
+    EXPECT_TRUE(registry.Histograms().empty());
+  }
+  EXPECT_EQ(registry.Histograms().size(), 2u);
+}
+
+TEST(TraceSpanTest, NullRegistryIsInert) {
+  TraceSpan span(nullptr, "ghost");
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  EXPECT_DOUBLE_EQ(span.Seconds(), 0.0);
+}
+
+TEST(TraceSpanTest, RepeatedScopesAccumulateIntoOneHistogram) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan epoch(&registry, "epoch");
+    TraceSpan step(&registry, "step");
+  }
+  EXPECT_EQ(registry.GetHistogram("span.epoch.seconds")->Count(), 5u);
+  EXPECT_EQ(registry.GetHistogram("span.epoch.step.seconds")->Count(), 5u);
+}
+
+// Each pooled task roots its own span chain on its worker thread, so the
+// flushed sample counts depend only on the iteration count — not on how
+// many threads the pool uses.
+TEST(TraceSpanTest, SpanCountsDeterministicAcrossThreadCounts) {
+  constexpr size_t kTasks = 64;
+  for (int threads : {1, 2, 8}) {
+    MetricsRegistry registry;
+    ScopedDefaultThreads guard(threads);
+    ParallelFor(0, kTasks, 1, [&registry](size_t) {
+      TraceSpan task(&registry, "task");
+      TraceSpan work(&registry, "work");
+    });
+    EXPECT_EQ(registry.GetHistogram("span.task.seconds")->Count(), kTasks)
+        << "threads=" << threads;
+    EXPECT_EQ(registry.GetHistogram("span.task.work.seconds")->Count(),
+              kTasks)
+        << "threads=" << threads;
+    EXPECT_EQ(registry.Histograms().size(), 2u) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace lightmirm::obs

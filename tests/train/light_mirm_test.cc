@@ -41,7 +41,7 @@ TEST(LightMirmGradientTest, SampledGradientIsUnbiasedStructure) {
   MetaStepOutput out;
   Rng rng(7);
   ASSERT_TRUE(LightMirmOuterGradient(ctx, data, params, options, &rng,
-                                     nullptr, &queues, &out)
+                                     StepTelemetry{}, &queues, &out)
                   .ok());
   // Each queue now holds exactly the sampled loss.
   for (size_t m = 0; m < data.NumTasks(); ++m) {
@@ -72,7 +72,7 @@ TEST(LightMirmGradientTest, ReplayedLossUsesHistory) {
   std::vector<std::vector<double>> pushed(data.NumTasks());
   for (int it = 0; it < 3; ++it) {
     ASSERT_TRUE(LightMirmOuterGradient(ctx, data, params, options, &rng,
-                                       nullptr, &queues, &out)
+                                       StepTelemetry{}, &queues, &out)
                     .ok());
     for (size_t m = 0; m < data.NumTasks(); ++m) {
       pushed[m].push_back(queues[m].values().back());

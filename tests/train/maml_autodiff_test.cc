@@ -93,7 +93,7 @@ TEST(MamlAutodiffTest, AnalyticMetaGradientMatchesTape) {
   MetaStepOutput analytic;
   Rng rng(13);
   ASSERT_TRUE(MetaIrmOuterGradient(data->Context(), *data, params, options,
-                                   &rng, nullptr, &analytic)
+                                   &rng, StepTelemetry{}, &analytic)
                   .ok());
 
   // Same objective via the autodiff tape: theta column vector (d+1) x 1.
@@ -146,12 +146,12 @@ TEST(MamlAutodiffTest, FirstOrderApproximationDiffersFromTape) {
   MetaStepOutput first_order;
   Rng rng(15);
   ASSERT_TRUE(MetaIrmOuterGradient(data->Context(), *data, params, options,
-                                   &rng, nullptr, &first_order)
+                                   &rng, StepTelemetry{}, &first_order)
                   .ok());
   options.second_order = true;
   MetaStepOutput second_order;
   ASSERT_TRUE(MetaIrmOuterGradient(data->Context(), *data, params, options,
-                                   &rng, nullptr, &second_order)
+                                   &rng, StepTelemetry{}, &second_order)
                   .ok());
   double gap = 0.0;
   for (size_t j = 0; j < params.size(); ++j) {

@@ -57,8 +57,8 @@ TEST(MetaIrmGradientTest, MatchesFiniteDifferences) {
   options.second_order = true;
   MetaStepOutput step;
   Rng rng(3);
-  ASSERT_TRUE(MetaIrmOuterGradient(ctx, data, params, options, &rng, nullptr,
-                                   &step)
+  ASSERT_TRUE(MetaIrmOuterGradient(ctx, data, params, options, &rng,
+                                   StepTelemetry{}, &step)
                   .ok());
   const double h = 1e-6;
   for (size_t j = 0; j < params.size(); ++j) {
@@ -84,10 +84,13 @@ TEST(MetaIrmGradientTest, FirstOrderDropsHessianTerm) {
   MetaStepOutput s2, s1;
   Rng r1(5), r2(5);
   ASSERT_TRUE(
-      MetaIrmOuterGradient(ctx, data, params, second, &r1, nullptr, &s2)
+      MetaIrmOuterGradient(ctx, data, params, second, &r1, StepTelemetry{},
+                           &s2)
           .ok());
   ASSERT_TRUE(
-      MetaIrmOuterGradient(ctx, data, params, first, &r2, nullptr, &s1).ok());
+      MetaIrmOuterGradient(ctx, data, params, first, &r2, StepTelemetry{},
+                           &s1)
+          .ok());
   // Same meta-losses, different gradients (Hessian correction).
   for (size_t t = 0; t < s1.meta_losses.size(); ++t) {
     EXPECT_DOUBLE_EQ(s1.meta_losses[t], s2.meta_losses[t]);
