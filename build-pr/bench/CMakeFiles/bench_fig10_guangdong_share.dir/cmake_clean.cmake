@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_guangdong_share.dir/bench_fig10_guangdong_share.cc.o"
+  "CMakeFiles/bench_fig10_guangdong_share.dir/bench_fig10_guangdong_share.cc.o.d"
+  "bench_fig10_guangdong_share"
+  "bench_fig10_guangdong_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_guangdong_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

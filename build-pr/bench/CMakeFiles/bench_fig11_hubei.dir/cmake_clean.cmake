@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hubei.dir/bench_fig11_hubei.cc.o"
+  "CMakeFiles/bench_fig11_hubei.dir/bench_fig11_hubei.cc.o.d"
+  "bench_fig11_hubei"
+  "bench_fig11_hubei.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hubei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_vehicle_mix.dir/bench_fig4_vehicle_mix.cc.o"
+  "CMakeFiles/bench_fig4_vehicle_mix.dir/bench_fig4_vehicle_mix.cc.o.d"
+  "bench_fig4_vehicle_mix"
+  "bench_fig4_vehicle_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_vehicle_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_online_tradeoff.dir/bench_fig5_online_tradeoff.cc.o"
+  "CMakeFiles/bench_fig5_online_tradeoff.dir/bench_fig5_online_tradeoff.cc.o.d"
+  "bench_fig5_online_tradeoff"
+  "bench_fig5_online_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_online_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

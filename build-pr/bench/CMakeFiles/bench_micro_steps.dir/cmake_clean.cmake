@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_steps.dir/bench_micro_steps.cc.o"
+  "CMakeFiles/bench_micro_steps.dir/bench_micro_steps.cc.o.d"
+  "bench_micro_steps"
+  "bench_micro_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

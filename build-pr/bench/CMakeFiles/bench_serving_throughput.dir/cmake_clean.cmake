@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serving_throughput.dir/bench_serving_throughput.cc.o"
+  "CMakeFiles/bench_serving_throughput.dir/bench_serving_throughput.cc.o.d"
+  "bench_serving_throughput"
+  "bench_serving_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serving_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sampling.dir/bench_table2_sampling.cc.o"
+  "CMakeFiles/bench_table2_sampling.dir/bench_table2_sampling.cc.o.d"
+  "bench_table2_sampling"
+  "bench_table2_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_gamma.dir/bench_table4_gamma.cc.o"
+  "CMakeFiles/bench_table4_gamma.dir/bench_table4_gamma.cc.o.d"
+  "bench_table4_gamma"
+  "bench_table4_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_guangdong.dir/bench_table5_guangdong.cc.o"
+  "CMakeFiles/bench_table5_guangdong.dir/bench_table5_guangdong.cc.o.d"
+  "bench_table5_guangdong"
+  "bench_table5_guangdong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_guangdong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

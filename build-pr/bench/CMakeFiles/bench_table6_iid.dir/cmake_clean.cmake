@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_iid.dir/bench_table6_iid.cc.o"
+  "CMakeFiles/bench_table6_iid.dir/bench_table6_iid.cc.o.d"
+  "bench_table6_iid"
+  "bench_table6_iid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_iid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

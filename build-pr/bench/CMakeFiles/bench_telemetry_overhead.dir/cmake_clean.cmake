@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_telemetry_overhead.dir/bench_telemetry_overhead.cc.o"
+  "CMakeFiles/bench_telemetry_overhead.dir/bench_telemetry_overhead.cc.o.d"
+  "bench_telemetry_overhead"
+  "bench_telemetry_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_telemetry_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fairness_audit.dir/fairness_audit.cpp.o"
+  "CMakeFiles/example_fairness_audit.dir/fairness_audit.cpp.o.d"
+  "example_fairness_audit"
+  "example_fairness_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fairness_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

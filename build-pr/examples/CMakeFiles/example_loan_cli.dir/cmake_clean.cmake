@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_loan_cli.dir/loan_cli.cpp.o"
+  "CMakeFiles/example_loan_cli.dir/loan_cli.cpp.o.d"
+  "example_loan_cli"
+  "example_loan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_loan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

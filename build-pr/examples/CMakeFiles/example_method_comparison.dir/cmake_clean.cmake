@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_method_comparison.dir/method_comparison.cpp.o"
+  "CMakeFiles/example_method_comparison.dir/method_comparison.cpp.o.d"
+  "example_method_comparison"
+  "example_method_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_method_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_scoring.dir/online_scoring.cpp.o"
+  "CMakeFiles/example_online_scoring.dir/online_scoring.cpp.o.d"
+  "example_online_scoring"
+  "example_online_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/nn.cc" "src/CMakeFiles/lightmirm.dir/autodiff/nn.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/autodiff/nn.cc.o.d"
+  "/root/repo/src/autodiff/ops.cc" "src/CMakeFiles/lightmirm.dir/autodiff/ops.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/autodiff/ops.cc.o.d"
+  "/root/repo/src/autodiff/tensor.cc" "src/CMakeFiles/lightmirm.dir/autodiff/tensor.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/autodiff/tensor.cc.o.d"
+  "/root/repo/src/autodiff/variable.cc" "src/CMakeFiles/lightmirm.dir/autodiff/variable.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/autodiff/variable.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/lightmirm.dir/common/config.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/common/config.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/lightmirm.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/matrix.cc" "src/CMakeFiles/lightmirm.dir/common/matrix.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/common/matrix.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/lightmirm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/lightmirm.dir/common/status.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/lightmirm.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/lightmirm.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/CMakeFiles/lightmirm.dir/common/timer.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/common/timer.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/lightmirm.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/gbdt_lr_model.cc" "src/CMakeFiles/lightmirm.dir/core/gbdt_lr_model.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/core/gbdt_lr_model.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/CMakeFiles/lightmirm.dir/core/model_io.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/core/model_io.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/lightmirm.dir/core/report.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/core/report.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/lightmirm.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/lightmirm.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/env_split.cc" "src/CMakeFiles/lightmirm.dir/data/env_split.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/data/env_split.cc.o.d"
+  "/root/repo/src/data/loan_generator.cc" "src/CMakeFiles/lightmirm.dir/data/loan_generator.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/data/loan_generator.cc.o.d"
+  "/root/repo/src/data/sampling.cc" "src/CMakeFiles/lightmirm.dir/data/sampling.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/data/sampling.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/lightmirm.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/data/schema.cc.o.d"
+  "/root/repo/src/gbdt/bin_mapper.cc" "src/CMakeFiles/lightmirm.dir/gbdt/bin_mapper.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/gbdt/bin_mapper.cc.o.d"
+  "/root/repo/src/gbdt/booster.cc" "src/CMakeFiles/lightmirm.dir/gbdt/booster.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/gbdt/booster.cc.o.d"
+  "/root/repo/src/gbdt/histogram.cc" "src/CMakeFiles/lightmirm.dir/gbdt/histogram.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/gbdt/histogram.cc.o.d"
+  "/root/repo/src/gbdt/importance.cc" "src/CMakeFiles/lightmirm.dir/gbdt/importance.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/gbdt/importance.cc.o.d"
+  "/root/repo/src/gbdt/leaf_encoder.cc" "src/CMakeFiles/lightmirm.dir/gbdt/leaf_encoder.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/gbdt/leaf_encoder.cc.o.d"
+  "/root/repo/src/gbdt/serialize.cc" "src/CMakeFiles/lightmirm.dir/gbdt/serialize.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/gbdt/serialize.cc.o.d"
+  "/root/repo/src/gbdt/tree.cc" "src/CMakeFiles/lightmirm.dir/gbdt/tree.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/gbdt/tree.cc.o.d"
+  "/root/repo/src/linear/feature_matrix.cc" "src/CMakeFiles/lightmirm.dir/linear/feature_matrix.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/linear/feature_matrix.cc.o.d"
+  "/root/repo/src/linear/logistic.cc" "src/CMakeFiles/lightmirm.dir/linear/logistic.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/linear/logistic.cc.o.d"
+  "/root/repo/src/linear/loss.cc" "src/CMakeFiles/lightmirm.dir/linear/loss.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/linear/loss.cc.o.d"
+  "/root/repo/src/linear/optimizer.cc" "src/CMakeFiles/lightmirm.dir/linear/optimizer.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/linear/optimizer.cc.o.d"
+  "/root/repo/src/metrics/bootstrap.cc" "src/CMakeFiles/lightmirm.dir/metrics/bootstrap.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/metrics/bootstrap.cc.o.d"
+  "/root/repo/src/metrics/calibration.cc" "src/CMakeFiles/lightmirm.dir/metrics/calibration.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/metrics/calibration.cc.o.d"
+  "/root/repo/src/metrics/env_report.cc" "src/CMakeFiles/lightmirm.dir/metrics/env_report.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/metrics/env_report.cc.o.d"
+  "/root/repo/src/metrics/isotonic.cc" "src/CMakeFiles/lightmirm.dir/metrics/isotonic.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/metrics/isotonic.cc.o.d"
+  "/root/repo/src/metrics/ks.cc" "src/CMakeFiles/lightmirm.dir/metrics/ks.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/metrics/ks.cc.o.d"
+  "/root/repo/src/metrics/roc.cc" "src/CMakeFiles/lightmirm.dir/metrics/roc.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/metrics/roc.cc.o.d"
+  "/root/repo/src/metrics/threshold.cc" "src/CMakeFiles/lightmirm.dir/metrics/threshold.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/metrics/threshold.cc.o.d"
+  "/root/repo/src/obs/export.cc" "src/CMakeFiles/lightmirm.dir/obs/export.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/obs/export.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/lightmirm.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/lightmirm.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/obs/trace.cc.o.d"
+  "/root/repo/src/serve/compiled_forest.cc" "src/CMakeFiles/lightmirm.dir/serve/compiled_forest.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/serve/compiled_forest.cc.o.d"
+  "/root/repo/src/serve/scoring_session.cc" "src/CMakeFiles/lightmirm.dir/serve/scoring_session.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/serve/scoring_session.cc.o.d"
+  "/root/repo/src/train/env_inference.cc" "src/CMakeFiles/lightmirm.dir/train/env_inference.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/env_inference.cc.o.d"
+  "/root/repo/src/train/erm.cc" "src/CMakeFiles/lightmirm.dir/train/erm.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/erm.cc.o.d"
+  "/root/repo/src/train/fine_tune.cc" "src/CMakeFiles/lightmirm.dir/train/fine_tune.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/fine_tune.cc.o.d"
+  "/root/repo/src/train/group_dro.cc" "src/CMakeFiles/lightmirm.dir/train/group_dro.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/group_dro.cc.o.d"
+  "/root/repo/src/train/irmv1.cc" "src/CMakeFiles/lightmirm.dir/train/irmv1.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/irmv1.cc.o.d"
+  "/root/repo/src/train/light_mirm.cc" "src/CMakeFiles/lightmirm.dir/train/light_mirm.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/light_mirm.cc.o.d"
+  "/root/repo/src/train/meta_irm.cc" "src/CMakeFiles/lightmirm.dir/train/meta_irm.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/meta_irm.cc.o.d"
+  "/root/repo/src/train/meta_irm_nn.cc" "src/CMakeFiles/lightmirm.dir/train/meta_irm_nn.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/meta_irm_nn.cc.o.d"
+  "/root/repo/src/train/mrq.cc" "src/CMakeFiles/lightmirm.dir/train/mrq.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/mrq.cc.o.d"
+  "/root/repo/src/train/step_timer.cc" "src/CMakeFiles/lightmirm.dir/train/step_timer.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/step_timer.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/lightmirm.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/trainer.cc.o.d"
+  "/root/repo/src/train/up_sampling.cc" "src/CMakeFiles/lightmirm.dir/train/up_sampling.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/up_sampling.cc.o.d"
+  "/root/repo/src/train/vrex.cc" "src/CMakeFiles/lightmirm.dir/train/vrex.cc.o" "gcc" "src/CMakeFiles/lightmirm.dir/train/vrex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lightmirm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for lightmirm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autodiff/higher_order_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/higher_order_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/higher_order_test.cc.o.d"
+  "/root/repo/tests/autodiff/nn_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/nn_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/nn_test.cc.o.d"
+  "/root/repo/tests/autodiff/ops_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/ops_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/ops_test.cc.o.d"
+  "/root/repo/tests/autodiff/tensor_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/tensor_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/tensor_test.cc.o.d"
+  "/root/repo/tests/autodiff/variable_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/variable_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/autodiff/variable_test.cc.o.d"
+  "/root/repo/tests/common/config_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/common/config_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/common/config_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/matrix_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/common/matrix_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/common/matrix_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/common/thread_pool_test.cc.o.d"
+  "/root/repo/tests/common/timer_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/common/timer_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/common/timer_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/core/experiment_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/core/experiment_test.cc.o.d"
+  "/root/repo/tests/core/gbdt_lr_model_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/core/gbdt_lr_model_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/core/gbdt_lr_model_test.cc.o.d"
+  "/root/repo/tests/core/model_io_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/core/model_io_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/core/model_io_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/data/csv_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/data/csv_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/data/csv_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/env_split_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/data/env_split_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/data/env_split_test.cc.o.d"
+  "/root/repo/tests/data/loan_generator_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/data/loan_generator_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/data/loan_generator_test.cc.o.d"
+  "/root/repo/tests/data/sampling_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/data/sampling_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/data/sampling_test.cc.o.d"
+  "/root/repo/tests/data/schema_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/data/schema_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/data/schema_test.cc.o.d"
+  "/root/repo/tests/gbdt/bin_mapper_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/bin_mapper_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/bin_mapper_test.cc.o.d"
+  "/root/repo/tests/gbdt/booster_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/booster_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/booster_test.cc.o.d"
+  "/root/repo/tests/gbdt/histogram_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/histogram_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/histogram_test.cc.o.d"
+  "/root/repo/tests/gbdt/importance_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/importance_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/importance_test.cc.o.d"
+  "/root/repo/tests/gbdt/leaf_encoder_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/leaf_encoder_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/leaf_encoder_test.cc.o.d"
+  "/root/repo/tests/gbdt/serialize_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/serialize_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/serialize_test.cc.o.d"
+  "/root/repo/tests/gbdt/tree_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/tree_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/gbdt/tree_test.cc.o.d"
+  "/root/repo/tests/integration/determinism_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/integration/determinism_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/integration/determinism_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/fairness_property_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/integration/fairness_property_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/integration/fairness_property_test.cc.o.d"
+  "/root/repo/tests/integration/parallel_equivalence_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/integration/parallel_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/integration/parallel_equivalence_test.cc.o.d"
+  "/root/repo/tests/integration/telemetry_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/integration/telemetry_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/integration/telemetry_test.cc.o.d"
+  "/root/repo/tests/linear/feature_matrix_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/linear/feature_matrix_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/linear/feature_matrix_test.cc.o.d"
+  "/root/repo/tests/linear/logistic_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/linear/logistic_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/linear/logistic_test.cc.o.d"
+  "/root/repo/tests/linear/loss_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/linear/loss_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/linear/loss_test.cc.o.d"
+  "/root/repo/tests/linear/optimizer_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/linear/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/linear/optimizer_test.cc.o.d"
+  "/root/repo/tests/metrics/bootstrap_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/bootstrap_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/bootstrap_test.cc.o.d"
+  "/root/repo/tests/metrics/calibration_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/calibration_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/calibration_test.cc.o.d"
+  "/root/repo/tests/metrics/env_report_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/env_report_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/env_report_test.cc.o.d"
+  "/root/repo/tests/metrics/isotonic_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/isotonic_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/isotonic_test.cc.o.d"
+  "/root/repo/tests/metrics/ks_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/ks_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/ks_test.cc.o.d"
+  "/root/repo/tests/metrics/roc_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/roc_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/roc_test.cc.o.d"
+  "/root/repo/tests/metrics/threshold_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/threshold_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/metrics/threshold_test.cc.o.d"
+  "/root/repo/tests/obs/export_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/obs/export_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/obs/export_test.cc.o.d"
+  "/root/repo/tests/obs/metrics_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/obs/metrics_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/obs/metrics_test.cc.o.d"
+  "/root/repo/tests/obs/trace_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/obs/trace_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/obs/trace_test.cc.o.d"
+  "/root/repo/tests/serve/compiled_forest_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/serve/compiled_forest_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/serve/compiled_forest_test.cc.o.d"
+  "/root/repo/tests/serve/scoring_session_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/serve/scoring_session_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/serve/scoring_session_test.cc.o.d"
+  "/root/repo/tests/train/baselines_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/baselines_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/baselines_test.cc.o.d"
+  "/root/repo/tests/train/env_inference_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/env_inference_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/env_inference_test.cc.o.d"
+  "/root/repo/tests/train/erm_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/erm_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/erm_test.cc.o.d"
+  "/root/repo/tests/train/light_mirm_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/light_mirm_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/light_mirm_test.cc.o.d"
+  "/root/repo/tests/train/maml_autodiff_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/maml_autodiff_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/maml_autodiff_test.cc.o.d"
+  "/root/repo/tests/train/meta_irm_nn_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/meta_irm_nn_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/meta_irm_nn_test.cc.o.d"
+  "/root/repo/tests/train/meta_irm_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/meta_irm_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/meta_irm_test.cc.o.d"
+  "/root/repo/tests/train/mrq_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/mrq_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/mrq_test.cc.o.d"
+  "/root/repo/tests/train/step_timer_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/step_timer_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/step_timer_test.cc.o.d"
+  "/root/repo/tests/train/trainer_test.cc" "tests/CMakeFiles/lightmirm_tests.dir/train/trainer_test.cc.o" "gcc" "tests/CMakeFiles/lightmirm_tests.dir/train/trainer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-pr/src/CMakeFiles/lightmirm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
