@@ -1,0 +1,150 @@
+// Monitoring overhead: an attached ModelHealthMonitor must cost < 2% wall
+// clock on the compiled serving path (one mutex take per batch plus two
+// ring-buffer updates per row). Scores the test year with the monitor
+// attached vs detached in back-to-back pairs and estimates the overhead
+// as the median of the pairwise deltas — adjacent samples share machine
+// state (thermal, scheduler), so pairing cancels drift that best-of-N on
+// each side separately cannot. Verifies the scores are bit-identical
+// either way and writes BENCH_monitor_overhead.json with the ratio.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/gbdt_lr_model.h"
+#include "data/env_split.h"
+#include "data/loan_generator.h"
+#include "obs/monitor.h"
+
+using namespace lightmirm;
+using namespace lightmirm::bench;
+
+namespace {
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values.empty() ? 0.0 : values[values.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ConfigMap cfg = ParseArgs(argc, argv);
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = static_cast<int>(cfg.GetInt("rows_per_year", 8000));
+  gen.seed = static_cast<uint64_t>(cfg.GetInt("seed", 42));
+  core::GbdtLrOptions options;
+  options.booster.num_trees = static_cast<int>(
+      cfg.GetInt("trees", options.booster.num_trees));
+  options.trainer.epochs = static_cast<int>(cfg.GetInt("epochs", 60));
+  const int serve_iters = static_cast<int>(cfg.GetInt("serve_iters", 60));
+  // Scores per timed sample: one 8k-row batch takes only a few ms, too
+  // short to resolve a 2% delta on a busy machine.
+  const int reps = static_cast<int>(cfg.GetInt("reps", 8));
+  Banner("Monitor overhead",
+         "compiled serving wall clock with health monitor attached vs off");
+
+  const data::Dataset full =
+      Unwrap(data::LoanGenerator(gen).Generate(), "generating data");
+  const auto split =
+      Unwrap(data::TemporalSplit(full, 2020), "temporal split at 2020");
+  const core::GbdtLrModel model =
+      Unwrap(core::GbdtLrModel::Train(split.train, core::Method::kErm, options),
+             "training the serving model");
+  const auto session = model.scoring_session();
+  const auto monitor =
+      Unwrap(model.StartMonitoring(), "attaching the health monitor");
+
+  // Predictions must not depend on the monitor: score once per side and
+  // compare every bit before timing anything.
+  std::vector<double> attached_scores, detached_scores;
+  Check(session->Score(split.test.features(), &split.test.envs(),
+                       &attached_scores),
+        "scoring with monitor attached");
+  session->AttachMonitor(nullptr);
+  Check(session->Score(split.test.features(), &split.test.envs(),
+                       &detached_scores),
+        "scoring with monitor detached");
+  const bool bit_identical = attached_scores == detached_scores;
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: monitoring changed the scores; refusing to time\n");
+    return 1;
+  }
+
+  // Paired samples: each iteration times attached then detached back to
+  // back; the pairwise delta is what the monitor costs under whatever the
+  // machine was doing at that moment.
+  std::vector<double> attached_samples, detached_samples, deltas;
+  std::vector<double> scratch;
+  const auto time_side = [&](bool attached) {
+    session->AttachMonitor(attached ? monitor : nullptr);
+    WallTimer watch;
+    for (int r = 0; r < reps; ++r) {
+      Check(session->Score(split.test.features(), &split.test.envs(),
+                           &scratch),
+            "batch scoring");
+    }
+    return watch.Seconds() / static_cast<double>(reps);
+  };
+  for (int w = 0; w < 3; ++w) {  // warmup pairs
+    (void)time_side(true);
+    (void)time_side(false);
+  }
+  for (int i = 0; i < serve_iters; ++i) {
+    // Alternate which side goes first so per-pair transients (frequency
+    // steps, timer ticks) don't always land on the same side.
+    const bool attached_first = (i % 2) == 0;
+    const double first = time_side(attached_first);
+    const double second = time_side(!attached_first);
+    const double a = attached_first ? first : second;
+    const double d = attached_first ? second : first;
+    attached_samples.push_back(a);
+    detached_samples.push_back(d);
+    deltas.push_back(a - d);
+  }
+  session->AttachMonitor(nullptr);
+
+  const double attached_median = Median(attached_samples);
+  const double detached_median = Median(detached_samples);
+  const double delta_median = Median(deltas);
+  const double overhead_percent =
+      detached_median > 0.0 ? 100.0 * delta_median / detached_median : 0.0;
+  const size_t rows = split.test.NumRows();
+  const double overhead_ns =
+      rows > 0 ? 1e9 * delta_median / static_cast<double>(rows) : 0.0;
+  std::printf("%-10s %18s %18s %10s %12s\n", "path", "attached med(s)",
+              "detached med(s)", "overhead", "per-row");
+  std::printf("%-10s %17.6fs %17.6fs %9.2f%% %10.1fns\n", "serving",
+              attached_median, detached_median, overhead_percent, overhead_ns);
+  std::printf("\ntarget: < 2%% serving overhead; scores bit-identical\n");
+
+  const bool within_target = overhead_percent < 2.0;
+  std::string json = "{\n";
+  json += StrFormat("  \"rows_per_year\": %d,\n", gen.rows_per_year);
+  json += StrFormat("  \"trees\": %d,\n", options.booster.num_trees);
+  json += StrFormat("  \"serve_iters\": %d,\n", serve_iters);
+  json += StrFormat("  \"reps\": %d,\n", reps);
+  json += StrFormat("  \"test_rows\": %zu,\n", rows);
+  json += StrFormat("  \"hardware_threads\": %d,\n", HardwareThreads());
+  json += StrFormat(
+      "  \"serving\": {\"attached_seconds\": %.6f, "
+      "\"detached_seconds\": %.6f, \"overhead_percent\": %.4f, "
+      "\"overhead_ns_per_row\": %.2f},\n",
+      attached_median, detached_median, overhead_percent, overhead_ns);
+  json += StrFormat("  \"scores_bit_identical\": %s,\n",
+                    bit_identical ? "true" : "false");
+  json += StrFormat("  \"target_percent\": 2.0,\n");
+  json += StrFormat("  \"within_target\": %s\n",
+                    within_target ? "true" : "false");
+  json += "}\n";
+  const std::string json_path =
+      cfg.GetString("json_out", "BENCH_monitor_overhead.json");
+  if (WriteTextFile(json_path, json)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return within_target ? 0 : 1;
+}

@@ -45,6 +45,9 @@ inline core::ExperimentConfig MakeConfig(const ConfigMap& cfg) {
   // trajectories, pool/serving histograms) after every method run;
   // a .prom suffix switches to Prometheus text format.
   config.telemetry_out = cfg.GetString("telemetry_out", "");
+  // trace_out=run.trace.json records every span as a Chrome trace-event
+  // file (chrome://tracing / Perfetto).
+  config.trace_out = cfg.GetString("trace_out", "");
   return config;
 }
 

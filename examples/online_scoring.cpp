@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       static_cast<int>(cfg_or->GetInt("rows_per_year", 6000));
   config.model.trainer.epochs =
       static_cast<int>(cfg_or->GetInt("epochs", 60));
+  config.trace_out = cfg_or->GetString("trace_out", "");
 
   auto runner_or = core::ExperimentRunner::Create(config);
   if (!runner_or.ok()) {

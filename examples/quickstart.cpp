@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   config.threads = static_cast<int>(cfg.GetInt("threads", 0));
   config.model.trainer.threads = config.threads;
   config.telemetry_out = cfg.GetString("telemetry_out", "");
+  config.trace_out = cfg.GetString("trace_out", "");
 
   std::printf("== LightMIRM quickstart ==\n");
   std::printf("Generating %d rows/year x 5 years of synthetic loan data...\n",

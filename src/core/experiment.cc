@@ -20,6 +20,9 @@ Result<std::unique_ptr<ExperimentRunner>> ExperimentRunner::CreateWithDataset(
   std::unique_ptr<ExperimentRunner> runner(new ExperimentRunner());
   runner->config_ = std::move(config);
   runner->dataset_ = std::move(dataset);
+  if (!runner->config_.trace_out.empty()) {
+    obs::SetTraceRecordingEnabled(true);
+  }
   LIGHTMIRM_RETURN_NOT_OK(runner->Init());
   return runner;
 }
@@ -114,6 +117,10 @@ Result<MethodResult> ExperimentRunner::RunMethodWithOptions(
   if (!config_.telemetry_out.empty()) {
     LIGHTMIRM_RETURN_NOT_OK(obs::WriteTelemetryFile(
         *obs::MetricsRegistry::Global(), config_.telemetry_out));
+  }
+  if (!config_.trace_out.empty()) {
+    LIGHTMIRM_RETURN_NOT_OK(obs::WriteChromeTraceFile(
+        obs::RecordedTraceEvents(), config_.trace_out));
   }
   return result;
 }

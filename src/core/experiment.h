@@ -39,6 +39,11 @@ struct ExperimentConfig {
   /// selects Prometheus text format, anything else JSON — see
   /// obs/export.h).
   std::string telemetry_out;
+  /// When non-empty, span-occurrence recording is switched on at runner
+  /// creation and a Chrome trace-event file (chrome://tracing / Perfetto)
+  /// of every span recorded so far is written here after every RunMethod*
+  /// call.
+  std::string trace_out;
 };
 
 /// One method's evaluation outcome.

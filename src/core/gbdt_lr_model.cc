@@ -174,6 +174,10 @@ Result<GbdtLrModel> GbdtLrModel::TrainWithBooster(
                              MakeTrainer(method, run_options));
   LIGHTMIRM_ASSIGN_OR_RETURN(model.predictor_, trainer->Fit(train_data));
   LIGHTMIRM_RETURN_NOT_OK(model.CompileForServing());
+  if (options.capture_score_reference) {
+    LIGHTMIRM_RETURN_NOT_OK(model.CaptureScoreReference(
+        train, options.score_reference_bins));
+  }
   return model;
 }
 
@@ -207,6 +211,30 @@ Status GbdtLrModel::CompileForServing() {
   session_ =
       std::make_shared<const serve::ScoringSession>(std::move(session));
   return Status::OK();
+}
+
+Status GbdtLrModel::CaptureScoreReference(const data::Dataset& train,
+                                          int num_bins) {
+  // One extra scoring pass over the training data through the serving
+  // path; the reference must describe the scores deployment will see.
+  LIGHTMIRM_ASSIGN_OR_RETURN(const std::vector<double> scores,
+                             Predict(train));
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      score_reference_,
+      obs::BuildScoreReference(scores, train.labels(), train.envs(),
+                               num_bins, /*min_env_rows=*/100,
+                               train.env_names()));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<obs::ModelHealthMonitor>> GbdtLrModel::StartMonitoring(
+    const obs::MonitorOptions& options) const {
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      std::unique_ptr<obs::ModelHealthMonitor> monitor,
+      obs::ModelHealthMonitor::Create(score_reference_, options));
+  std::shared_ptr<obs::ModelHealthMonitor> shared = std::move(monitor);
+  if (session_ != nullptr) session_->AttachMonitor(shared);
+  return shared;
 }
 
 Result<linear::FeatureMatrix> GbdtLrModel::EncodeFeatures(

@@ -13,6 +13,8 @@
 #include "data/dataset.h"
 #include "gbdt/booster.h"
 #include "gbdt/leaf_encoder.h"
+#include "obs/drift.h"
+#include "obs/monitor.h"
 #include "serve/compiled_forest.h"
 #include "serve/scoring_session.h"
 #include "train/fine_tune.h"
@@ -71,6 +73,11 @@ struct GbdtLrOptions {
   uint64_t validation_seed = 1234;
   /// Ablation: feed raw features to the LR head instead of leaf features.
   bool use_raw_features = false;
+  /// Capture a training-time score reference (per-province binned score
+  /// histograms, obs/drift.h) after training, the baseline the online
+  /// drift monitors compare against. Persisted by core/model_io.
+  bool capture_score_reference = true;
+  int score_reference_bins = 10;
 };
 
 /// Builds the trainer implementing `method` under `options`.
@@ -124,14 +131,32 @@ class GbdtLrModel {
     return session_;
   }
 
+  /// Training-time score reference captured at model build (empty when
+  /// capture was disabled or the model predates references).
+  const obs::ScoreReference& score_reference() const {
+    return score_reference_;
+  }
+  void set_score_reference(obs::ScoreReference reference) {
+    score_reference_ = std::move(reference);
+  }
+
+  /// Builds a ModelHealthMonitor from the captured reference and attaches
+  /// it to the scoring session (when the model serves through one), so
+  /// every subsequent Predict/Score feeds the drift monitors. Errors when
+  /// no reference was captured.
+  Result<std::shared_ptr<obs::ModelHealthMonitor>> StartMonitoring(
+      const obs::MonitorOptions& options = {}) const;
+
  private:
   Status CompileForServing();
+  Status CaptureScoreReference(const data::Dataset& train, int num_bins);
 
   std::shared_ptr<const gbdt::Booster> booster_;
   std::unique_ptr<gbdt::LeafEncoder> encoder_;
   train::TrainedPredictor predictor_;
   std::shared_ptr<const serve::CompiledForest> forest_;
   std::shared_ptr<const serve::ScoringSession> session_;
+  obs::ScoreReference score_reference_;
   Method method_ = Method::kErm;
   bool use_raw_features_ = false;
 };

@@ -49,7 +49,12 @@ Status SaveModel(const GbdtLrModel& model, std::ostream* out) {
     (*out) << env << " ";
     LIGHTMIRM_RETURN_NOT_OK(WriteParams(lr_model.params(), out));
   }
-  return gbdt::SaveBooster(model.booster(), out);
+  LIGHTMIRM_RETURN_NOT_OK(gbdt::SaveBooster(model.booster(), out));
+  // The score reference trails the booster so files written before
+  // references existed (and readers that predate them) stay compatible:
+  // old readers stop after the booster, and Parse treats end-of-stream as
+  // "no reference".
+  return model.score_reference().WriteTo(out);
 }
 
 Status SaveModelToFile(const GbdtLrModel& model, const std::string& path) {
@@ -133,9 +138,15 @@ Result<GbdtLrModel> LoadModel(std::istream* in) {
       }
     }
   }
-  return GbdtLrModel::FromParts(
-      std::make_shared<const gbdt::Booster>(std::move(booster)),
-      std::move(predictor), method, use_raw);
+  LIGHTMIRM_ASSIGN_OR_RETURN(obs::ScoreReference reference,
+                             obs::ScoreReference::Parse(in));
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      GbdtLrModel model,
+      GbdtLrModel::FromParts(
+          std::make_shared<const gbdt::Booster>(std::move(booster)),
+          std::move(predictor), method, use_raw));
+  model.set_score_reference(std::move(reference));
+  return model;
 }
 
 Result<GbdtLrModel> LoadModelFromFile(const std::string& path) {

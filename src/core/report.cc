@@ -97,4 +97,46 @@ std::string FormatTrainingCurves(const std::vector<MethodResult>& results) {
   return FormatTable(header, rows);
 }
 
+std::string FormatHealthTrajectory(const obs::ReplayResult& result,
+                                   const obs::ScoreReference& reference,
+                                   const std::vector<int>& envs) {
+  const auto window_row = [](int year, int half, const std::string& name,
+                             const obs::WindowHealth& h) {
+    return std::vector<std::string>{
+        StrFormat("%d-H%d", year, half),
+        name,
+        StrFormat("%llu", static_cast<unsigned long long>(h.window_rows)),
+        h.psi.evaluated ? StrFormat("%.3f", h.psi.value) : "-",
+        h.default_rate_rise.evaluated ? StrFormat("%.3f", h.default_rate)
+                                      : "-",
+        h.auc_drop.evaluated ? StrFormat("%.3f", h.auc) : "-",
+        h.calibration.evaluated ? StrFormat("%.3f", h.calibration.value)
+                                : "-",
+        obs::AlertStateName(h.overall)};
+  };
+  std::vector<std::vector<std::string>> rows;
+  for (const obs::ReplayPeriod& period : result.periods) {
+    rows.push_back(window_row(period.year, period.half, "(global)",
+                              period.health.global));
+    for (const auto& [env, health] : period.health.per_env) {
+      if (!envs.empty() &&
+          std::find(envs.begin(), envs.end(), env) == envs.end()) {
+        continue;
+      }
+      rows.push_back(window_row(period.year, period.half,
+                                reference.EnvName(env), health));
+    }
+    rows.push_back({StrFormat("%d-H%d", period.year, period.half),
+                    "(fairness gap)", "",
+                    period.health.fairness_gap.evaluated
+                        ? StrFormat("%.3f", period.health.fairness_gap.value)
+                        : "-",
+                    "", "", "",
+                    obs::AlertStateName(period.health.fairness_gap.state)});
+  }
+  return FormatTable(
+      {"period", "window", "rows", "PSI", "rate", "AUC", "ECE", "state"},
+      rows);
+}
+
 }  // namespace lightmirm::core

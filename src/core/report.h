@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/replay.h"
 
 namespace lightmirm::core {
 
@@ -25,5 +26,13 @@ std::string FormatTrainingCurves(const std::vector<MethodResult>& results);
 /// header.size() cells.
 std::string FormatTable(const std::vector<std::string>& header,
                         const std::vector<std::vector<std::string>>& rows);
+
+/// Health trajectory of a streaming replay (obs/replay.h): one row per
+/// (period, window) with the rolling statistics and the OK/WARN/ALERT
+/// state — the global window first, then the monitored provinces. `envs`
+/// restricts the province rows (empty = all monitored provinces).
+std::string FormatHealthTrajectory(const obs::ReplayResult& result,
+                                   const obs::ScoreReference& reference,
+                                   const std::vector<int>& envs = {});
 
 }  // namespace lightmirm::core

@@ -1,0 +1,106 @@
+#include "metrics/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightmirm::metrics {
+namespace {
+
+Status CheckShapes(const std::vector<uint64_t>& a,
+                   const std::vector<uint64_t>& b) {
+  if (a.empty()) return Status::InvalidArgument("empty bin array");
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("bin arrays differ in size");
+  }
+  return Status::OK();
+}
+
+double Total(const std::vector<uint64_t>& counts) {
+  double total = 0.0;
+  for (uint64_t c : counts) total += static_cast<double>(c);
+  return total;
+}
+
+}  // namespace
+
+Result<double> PsiFromCounts(const std::vector<uint64_t>& reference,
+                             const std::vector<uint64_t>& observed,
+                             double epsilon) {
+  LIGHTMIRM_RETURN_NOT_OK(CheckShapes(reference, observed));
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be > 0");
+  const double ref_total = Total(reference);
+  const double obs_total = Total(observed);
+  if (ref_total == 0.0 || obs_total == 0.0) {
+    return Status::InvalidArgument("zero total count");
+  }
+  double psi = 0.0;
+  for (size_t b = 0; b < reference.size(); ++b) {
+    const double q =
+        std::max(static_cast<double>(reference[b]) / ref_total, epsilon);
+    const double p =
+        std::max(static_cast<double>(observed[b]) / obs_total, epsilon);
+    psi += (p - q) * std::log(p / q);
+  }
+  return psi;
+}
+
+Result<double> KsFromCounts(const std::vector<uint64_t>& a,
+                            const std::vector<uint64_t>& b) {
+  LIGHTMIRM_RETURN_NOT_OK(CheckShapes(a, b));
+  const double a_total = Total(a);
+  const double b_total = Total(b);
+  if (a_total == 0.0 || b_total == 0.0) {
+    return Status::InvalidArgument("zero total count");
+  }
+  double a_cum = 0.0, b_cum = 0.0, ks = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    a_cum += static_cast<double>(a[i]);
+    b_cum += static_cast<double>(b[i]);
+    ks = std::max(ks, std::fabs(a_cum / a_total - b_cum / b_total));
+  }
+  return ks;
+}
+
+Result<double> AucFromBinnedCounts(const std::vector<uint64_t>& positives,
+                                   const std::vector<uint64_t>& negatives) {
+  LIGHTMIRM_RETURN_NOT_OK(CheckShapes(positives, negatives));
+  const double pos_total = Total(positives);
+  const double neg_total = Total(negatives);
+  if (pos_total == 0.0 || neg_total == 0.0) {
+    return Status::InvalidArgument("one class is absent");
+  }
+  double neg_below = 0.0, mw = 0.0;
+  for (size_t b = 0; b < positives.size(); ++b) {
+    const double p = static_cast<double>(positives[b]);
+    const double n = static_cast<double>(negatives[b]);
+    mw += p * (neg_below + 0.5 * n);
+    neg_below += n;
+  }
+  return mw / (pos_total * neg_total);
+}
+
+Result<double> EceFromBinnedSums(const std::vector<uint64_t>& counts,
+                                 const std::vector<double>& score_sums,
+                                 const std::vector<uint64_t>& positives) {
+  if (counts.empty()) return Status::InvalidArgument("empty bin array");
+  if (counts.size() != score_sums.size() ||
+      counts.size() != positives.size()) {
+    return Status::InvalidArgument("bin arrays differ in size");
+  }
+  const double total = Total(counts);
+  if (total == 0.0) return Status::InvalidArgument("zero total count");
+  double ece = 0.0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (positives[b] > counts[b]) {
+      return Status::InvalidArgument("positives exceed bin count");
+    }
+    const double count = static_cast<double>(counts[b]);
+    const double mean_score = score_sums[b] / count;
+    const double observed = static_cast<double>(positives[b]) / count;
+    ece += (count / total) * std::fabs(mean_score - observed);
+  }
+  return ece;
+}
+
+}  // namespace lightmirm::metrics

@@ -1,0 +1,54 @@
+// Binned streaming statistics for online monitoring. Every function here
+// is pure math over parallel per-bin count arrays (fixed equal-width score
+// bins), so a sliding-window monitor can maintain O(bins) aggregates
+// incrementally and evaluate PSI / KS / AUC / calibration in O(bins) per
+// snapshot instead of re-sorting raw scores. Binning trades exactness for
+// streaming cost: AUC and KS treat all scores inside one bin as tied
+// (ties contribute 1/2, exactly like metrics::Auc), which converges to the
+// exact statistic as bins shrink.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightmirm::metrics {
+
+/// Population stability index between a reference and an observed binned
+/// score distribution: sum_b (p_b - q_b) * ln(p_b / q_b), where p/q are
+/// the observed/reference bin fractions. Both fractions are floored at
+/// `epsilon` before the log, the standard smoothing that keeps empty bins
+/// finite. Errors when the arrays are empty, differently sized, or either
+/// total count is zero. Conventional credit-risk bands: < 0.1 stable,
+/// 0.1-0.25 moderate shift, > 0.25 major shift.
+Result<double> PsiFromCounts(const std::vector<uint64_t>& reference,
+                             const std::vector<uint64_t>& observed,
+                             double epsilon = 1e-4);
+
+/// Two-sample Kolmogorov-Smirnov statistic from binned counts: the maximum
+/// gap between the two empirical CDFs evaluated at bin edges. Serves both
+/// monitoring uses — drift KS (window vs reference distribution) and
+/// discrimination KS (positive vs negative class CDFs, the credit-scoring
+/// KS). Errors on empty/mismatched arrays or a zero total on either side.
+Result<double> KsFromCounts(const std::vector<uint64_t>& a,
+                            const std::vector<uint64_t>& b);
+
+/// AUC from binned class counts via the Mann-Whitney statistic, bins
+/// ascending in score. Pairs split across bins are ordered by bin; pairs
+/// inside one bin count 1/2 (ties). Errors on empty/mismatched arrays or
+/// when either class is absent.
+Result<double> AucFromBinnedCounts(const std::vector<uint64_t>& positives,
+                                   const std::vector<uint64_t>& negatives);
+
+/// Expected calibration error from binned labeled aggregates:
+/// count-weighted mean of |mean_score_b - observed_rate_b| over non-empty
+/// bins, where mean_score_b = score_sums[b] / counts[b] and
+/// observed_rate_b = positives[b] / counts[b] (the binned form of
+/// metrics::ExpectedCalibrationError). Errors on mismatched sizes, a zero
+/// total, or positives[b] > counts[b].
+Result<double> EceFromBinnedSums(const std::vector<uint64_t>& counts,
+                                 const std::vector<double>& score_sums,
+                                 const std::vector<uint64_t>& positives);
+
+}  // namespace lightmirm::metrics

@@ -1,0 +1,206 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lightmirm::obs {
+
+uint64_t BinnedScores::Total() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+uint64_t BinnedScores::TotalPositives() const {
+  uint64_t total = 0;
+  for (uint64_t p : positives) total += p;
+  return total;
+}
+
+double BinnedScores::DefaultRate() const {
+  const uint64_t total = Total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(TotalPositives()) / static_cast<double>(total);
+}
+
+std::vector<uint64_t> BinnedScores::Negatives() const {
+  std::vector<uint64_t> neg(counts.size(), 0);
+  for (size_t b = 0; b < counts.size(); ++b) neg[b] = counts[b] - positives[b];
+  return neg;
+}
+
+std::string ScoreReference::EnvName(int env) const {
+  if (env >= 0 && static_cast<size_t>(env) < env_names.size() &&
+      !env_names[static_cast<size_t>(env)].empty()) {
+    return env_names[static_cast<size_t>(env)];
+  }
+  return StrFormat("env%d", env);
+}
+
+namespace {
+
+void WriteBins(const BinnedScores& bins, std::ostream* out) {
+  for (uint64_t c : bins.counts) {
+    (*out) << " " << static_cast<unsigned long long>(c);
+  }
+  for (uint64_t p : bins.positives) {
+    (*out) << " " << static_cast<unsigned long long>(p);
+  }
+  (*out) << "\n";
+}
+
+Result<BinnedScores> ReadBins(std::istringstream* ss, int num_bins) {
+  BinnedScores bins;
+  bins.counts.resize(static_cast<size_t>(num_bins));
+  bins.positives.resize(static_cast<size_t>(num_bins));
+  for (auto* vec : {&bins.counts, &bins.positives}) {
+    for (uint64_t& v : *vec) {
+      unsigned long long parsed = 0;
+      if (!((*ss) >> parsed)) {
+        return Status::InvalidArgument("truncated score-reference bins");
+      }
+      v = parsed;
+    }
+  }
+  for (size_t b = 0; b < bins.counts.size(); ++b) {
+    if (bins.positives[b] > bins.counts[b]) {
+      return Status::InvalidArgument(
+          "score-reference positives exceed bin count");
+    }
+  }
+  return bins;
+}
+
+}  // namespace
+
+Status ScoreReference::WriteTo(std::ostream* out) const {
+  (*out) << "score_reference " << num_bins << " " << per_env.size() << " "
+         << env_names.size() << "\n";
+  if (empty()) {
+    return out->good() ? Status::OK() : Status::IoError("write failed");
+  }
+  (*out) << "global";
+  WriteBins(global, out);
+  for (const auto& [env, bins] : per_env) {
+    (*out) << "env " << env;
+    WriteBins(bins, out);
+  }
+  // One name per line (province names may contain spaces).
+  for (const std::string& name : env_names) (*out) << "name " << name << "\n";
+  return out->good() ? Status::OK() : Status::IoError("write failed");
+}
+
+Result<ScoreReference> ScoreReference::Parse(std::istream* in) {
+  ScoreReference ref;
+  std::string line;
+  // Skip blank lines; a clean end-of-stream means "no reference persisted"
+  // (model files written before references existed).
+  do {
+    if (!std::getline(*in, line)) return ref;
+  } while (Trim(line).empty());
+
+  std::istringstream header(line);
+  std::string tag;
+  size_t num_envs = 0, num_names = 0;
+  if (!(header >> tag >> ref.num_bins >> num_envs >> num_names) ||
+      tag != "score_reference") {
+    return Status::InvalidArgument("expected score_reference header");
+  }
+  if (ref.num_bins == 0) return ref;
+  if (ref.num_bins < 2 || ref.num_bins > 10000) {
+    return Status::InvalidArgument("bad score_reference bin count");
+  }
+  {
+    if (!std::getline(*in, line)) {
+      return Status::IoError("truncated score_reference");
+    }
+    std::istringstream ss(line);
+    if (!(ss >> tag) || tag != "global") {
+      return Status::InvalidArgument("expected global score histogram");
+    }
+    LIGHTMIRM_ASSIGN_OR_RETURN(ref.global, ReadBins(&ss, ref.num_bins));
+  }
+  for (size_t i = 0; i < num_envs; ++i) {
+    if (!std::getline(*in, line)) {
+      return Status::IoError("truncated score_reference");
+    }
+    std::istringstream ss(line);
+    int env = 0;
+    if (!(ss >> tag >> env) || tag != "env") {
+      return Status::InvalidArgument("expected env score histogram");
+    }
+    LIGHTMIRM_ASSIGN_OR_RETURN(BinnedScores bins, ReadBins(&ss, ref.num_bins));
+    ref.per_env.emplace(env, std::move(bins));
+  }
+  ref.env_names.reserve(num_names);
+  for (size_t i = 0; i < num_names; ++i) {
+    if (!std::getline(*in, line)) {
+      return Status::IoError("truncated score_reference names");
+    }
+    if (line.rfind("name ", 0) != 0) {
+      return Status::InvalidArgument("expected score_reference name line");
+    }
+    ref.env_names.push_back(line.substr(5));
+  }
+  return ref;
+}
+
+Result<ScoreReference> BuildScoreReference(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<int>& envs, int num_bins, size_t min_env_rows,
+    std::vector<std::string> env_names) {
+  if (num_bins < 2) return Status::InvalidArgument("num_bins must be >= 2");
+  if (scores.empty()) return Status::InvalidArgument("no scores");
+  if (labels.size() != scores.size()) {
+    return Status::InvalidArgument("labels misaligned with scores");
+  }
+  if (!envs.empty() && envs.size() != scores.size()) {
+    return Status::InvalidArgument("envs misaligned with scores");
+  }
+  ScoreReference ref;
+  ref.num_bins = num_bins;
+  ref.env_names = std::move(env_names);
+  const size_t bins = static_cast<size_t>(num_bins);
+  ref.global.counts.assign(bins, 0);
+  ref.global.positives.assign(bins, 0);
+  std::map<int, BinnedScores> per_env;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] != 0 && labels[i] != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    const size_t b = static_cast<size_t>(ScoreBin(scores[i], num_bins));
+    ref.global.counts[b] += 1;
+    ref.global.positives[b] += static_cast<uint64_t>(labels[i]);
+    if (!envs.empty()) {
+      BinnedScores& env_bins = per_env[envs[i]];
+      if (env_bins.counts.empty()) {
+        env_bins.counts.assign(bins, 0);
+        env_bins.positives.assign(bins, 0);
+      }
+      env_bins.counts[b] += 1;
+      env_bins.positives[b] += static_cast<uint64_t>(labels[i]);
+    }
+  }
+  for (auto& [env, env_bins] : per_env) {
+    if (env_bins.Total() >= min_env_rows) {
+      ref.per_env.emplace(env, std::move(env_bins));
+    }
+  }
+  return ref;
+}
+
+SlidingWindow::SlidingWindow(int num_bins, size_t capacity)
+    : num_bins_(std::clamp(num_bins, 2, kMaxBins)),
+      capacity_(std::max<size_t>(1, capacity)),
+      counts_(static_cast<size_t>(num_bins_), 0),
+      labeled_(static_cast<size_t>(num_bins_), 0),
+      positives_(static_cast<size_t>(num_bins_), 0),
+      score_sums_(static_cast<size_t>(num_bins_), 0.0) {
+  ring_.reserve(capacity_);
+}
+
+}  // namespace lightmirm::obs

@@ -100,12 +100,85 @@ std::string PromName(const std::string& name) {
   return out;
 }
 
+bool IsValidPromLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+bool IsValidPromMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+std::string PromEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> PromSampleLine(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    double value) {
+  const std::string prom = PromName(name);
+  if (!IsValidPromMetricName(prom)) {
+    return Status::InvalidArgument("invalid Prometheus metric name: " + name);
+  }
+  std::string out = prom;
+  if (!labels.empty()) {
+    out += "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (!IsValidPromLabelName(labels[i].first)) {
+        return Status::InvalidArgument("invalid Prometheus label name: " +
+                                       labels[i].first);
+      }
+      if (i > 0) out += ",";
+      out += labels[i].first + "=\"" +
+             PromEscapeLabelValue(labels[i].second) + "\"";
+    }
+    out += "}";
+  }
+  out += " " + Num(value) + "\n";
+  return out;
+}
 
 std::string ExportPrometheus(const MetricsRegistry& registry) {
   std::string out;
+  // PromName output always matches the metric-name grammar (the prefix
+  // supplies a valid first character); the validation is defense in depth
+  // against future prefix/mapping changes.
   for (const auto& [name, counter] : registry.Counters()) {
     const std::string prom = PromName(name);
+    if (!IsValidPromMetricName(prom)) continue;
     out += "# TYPE " + prom + " counter\n";
     out += prom + " " +
            StrFormat("%llu",
@@ -114,11 +187,13 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
   }
   for (const auto& [name, gauge] : registry.Gauges()) {
     const std::string prom = PromName(name);
+    if (!IsValidPromMetricName(prom)) continue;
     out += "# TYPE " + prom + " gauge\n";
     out += prom + " " + Num(gauge->Value()) + "\n";
   }
   for (const auto& [name, hist] : registry.Histograms()) {
     const std::string prom = PromName(name);
+    if (!IsValidPromMetricName(prom)) continue;
     out += "# TYPE " + prom + " histogram\n";
     const std::vector<uint64_t> counts = hist->BucketCounts();
     const std::vector<double>& bounds = hist->bounds();
@@ -126,7 +201,7 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
     for (size_t i = 0; i < counts.size(); ++i) {
       cum += counts[i];
       const std::string le =
-          i < bounds.size() ? Num(bounds[i]) : "+Inf";
+          i < bounds.size() ? PromEscapeLabelValue(Num(bounds[i])) : "+Inf";
       out += prom + "_bucket{le=\"" + le + "\"} " +
              StrFormat("%llu", cum) + "\n";
     }
@@ -139,10 +214,69 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
   for (const auto& [name, series] : registry.AllSeries()) {
     const std::vector<double> values = series->Values();
     const std::string prom = PromName(name) + "_last";
+    if (!IsValidPromMetricName(prom)) continue;
     out += "# TYPE " + prom + " gauge\n";
     out += prom + " " + (values.empty() ? "0" : Num(values.back())) + "\n";
   }
   return out;
+}
+
+namespace {
+
+// JSON string-literal escaping for span names in the Chrome trace export.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += "  {\"ph\": \"X\", \"name\": \"" + JsonEscape(e.name) +
+           "\", \"pid\": 1, \"tid\": " + StrFormat("%d", e.tid) +
+           ", \"ts\": " + Num(e.ts_us) + ", \"dur\": " + Num(e.dur_us) + "}";
+    out += i + 1 < events.size() ? ",\n" : "\n";
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+Status WriteChromeTraceFile(const std::vector<TraceEvent>& events,
+                            const std::string& path) {
+  const std::string text = ExportChromeTrace(events);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot write trace file: " + path);
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return Status::OK();
 }
 
 Status WriteTelemetryFile(const MetricsRegistry& registry,

@@ -5,9 +5,14 @@
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lightmirm::obs {
 
@@ -26,5 +31,35 @@ std::string ExportPrometheus(const MetricsRegistry& registry);
 /// ".prom", JSON otherwise.
 Status WriteTelemetryFile(const MetricsRegistry& registry,
                           const std::string& path);
+
+/// True when `name` is a valid Prometheus metric name:
+/// [a-zA-Z_:][a-zA-Z0-9_:]*.
+bool IsValidPromMetricName(std::string_view name);
+
+/// Escapes a label value per the Prometheus exposition format: backslash,
+/// double quote and newline become \\, \" and \n.
+std::string PromEscapeLabelValue(std::string_view value);
+
+/// Renders one exposition sample line, `name{key="value",...} value`. The
+/// metric name is mapped into the Prometheus alphabet with the exporter's
+/// "lightmirm_" prefix and then validated (rejects names that still don't
+/// match the metric-name grammar); label names must match
+/// [a-zA-Z_][a-zA-Z0-9_]*, and label values are escaped. The building
+/// block for every labeled line the exporter emits, exposed so external
+/// exporters can't inject malformed exposition text.
+Result<std::string> PromSampleLine(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    double value);
+
+/// Chrome trace-event JSON (the `chrome://tracing` / Perfetto "trace
+/// event" format): one complete ("ph":"X") event per recorded span, under
+/// a single process. Load via chrome://tracing or ui.perfetto.dev.
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
+
+/// Writes the currently recorded span events (obs/trace.h recording mode)
+/// as a Chrome trace file.
+Status WriteChromeTraceFile(const std::vector<TraceEvent>& events,
+                            const std::string& path);
 
 }  // namespace lightmirm::obs

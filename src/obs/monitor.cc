@@ -1,0 +1,386 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "metrics/streaming.h"
+
+namespace lightmirm::obs {
+namespace {
+
+constexpr double kMinReferenceRate = 1e-6;
+
+AlertState MaxState(AlertState a, AlertState b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+}  // namespace
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kOk:
+      return "OK";
+    case AlertState::kWarn:
+      return "WARN";
+    case AlertState::kAlert:
+      return "ALERT";
+  }
+  return "?";
+}
+
+AlertState AlertStateMachine::Update(double value) {
+  // Escalation is immediate; de-escalation requires clearing the lower
+  // threshold by the hysteresis margin, so a value sitting exactly at a
+  // threshold keeps the elevated state instead of flapping.
+  const double clear_warn = thresholds_.warn * (1.0 - thresholds_.hysteresis);
+  const double clear_alert =
+      thresholds_.alert * (1.0 - thresholds_.hysteresis);
+  switch (state_) {
+    case AlertState::kOk:
+      if (value >= thresholds_.alert) {
+        state_ = AlertState::kAlert;
+      } else if (value >= thresholds_.warn) {
+        state_ = AlertState::kWarn;
+      }
+      break;
+    case AlertState::kWarn:
+      if (value >= thresholds_.alert) {
+        state_ = AlertState::kAlert;
+      } else if (value < clear_warn) {
+        state_ = AlertState::kOk;
+      }
+      break;
+    case AlertState::kAlert:
+      if (value < clear_warn) {
+        state_ = AlertState::kOk;
+      } else if (value < clear_alert) {
+        state_ = AlertState::kWarn;
+      }
+      break;
+  }
+  return state_;
+}
+
+ModelHealthMonitor::ModelHealthMonitor(ScoreReference reference,
+                                       MonitorOptions options)
+    : reference_(std::move(reference)),
+      options_(options),
+      global_(options_, reference_.num_bins),
+      fairness_(options_.fairness_gap) {
+  int max_env = -1;
+  for (const auto& [env, bins] : reference_.per_env) {
+    (void)bins;
+    per_env_.emplace(env, EnvMonitor(options_, reference_.num_bins));
+    max_env = std::max(max_env, env);
+  }
+  if (max_env >= 0) {
+    env_index_.assign(static_cast<size_t>(max_env) + 1, nullptr);
+    for (auto& [env, mon] : per_env_) {
+      if (env >= 0) env_index_[static_cast<size_t>(env)] = &mon;
+    }
+  }
+}
+
+Result<std::unique_ptr<ModelHealthMonitor>> ModelHealthMonitor::Create(
+    ScoreReference reference, MonitorOptions options) {
+  if (reference.empty()) {
+    return Status::InvalidArgument(
+        "monitor needs a non-empty score reference (train the model with "
+        "score-reference capture, or build one with BuildScoreReference)");
+  }
+  if (options.window == 0) {
+    return Status::InvalidArgument("window capacity must be positive");
+  }
+  if (reference.num_bins > SlidingWindow::kMaxBins) {
+    return Status::InvalidArgument(StrFormat(
+        "score reference has %d bins; monitored windows support at most %d",
+        reference.num_bins, SlidingWindow::kMaxBins));
+  }
+  return std::unique_ptr<ModelHealthMonitor>(
+      new ModelHealthMonitor(std::move(reference), options));
+}
+
+Status ModelHealthMonitor::ObserveBatch(const std::vector<double>& scores,
+                                        const std::vector<int>* envs,
+                                        const std::vector<int>* labels) {
+  if (envs != nullptr && envs->size() != scores.size()) {
+    return Status::InvalidArgument(
+        StrFormat("envs has %zu entries for %zu scores", envs->size(),
+                  scores.size()));
+  }
+  if (labels != nullptr && labels->size() != scores.size()) {
+    return Status::InvalidArgument(
+        StrFormat("labels has %zu entries for %zu scores", labels->size(),
+                  scores.size()));
+  }
+  if (labels != nullptr) {
+    // Validate before feeding anything so a bad batch is all-or-nothing
+    // (and the serving-path loop below stays branch-light).
+    for (const int label : *labels) {
+      if (label < -1 || label > 1) {
+        return Status::InvalidArgument("labels must be -1, 0 or 1");
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Per-row cost of the monitored serving path. Chunked passes: bin each
+  // observation once, walk the global ring in a tight loop, then bucket the
+  // chunk's rows by environment (stable counting sort — each window still
+  // sees its rows in arrival order) so every province's ring and aggregate
+  // lines are pulled in once per chunk instead of once per row. Those lines
+  // are cold right after a scoring pass and their miss latency would
+  // otherwise dominate the feed.
+  constexpr size_t kChunk = 512;
+  const int num_bins = reference_.num_bins;
+  const size_t num_envs = env_index_.size();
+  SlidingWindow::Entry entries[kChunk];
+  uint32_t slot[kChunk];  // row -> env bucket; num_envs = unmonitored
+  SlidingWindow::Entry reordered[kChunk];  // entries regrouped by bucket
+  std::vector<uint32_t> bucket_ends(num_envs + 2, 0);
+  for (size_t base = 0; base < scores.size(); base += kChunk) {
+    const size_t n = std::min(kChunk, scores.size() - base);
+    std::fill(bucket_ends.begin(), bucket_ends.end(), 0);
+    for (size_t j = 0; j < n; ++j) {
+      entries[j] = SlidingWindow::MakeEntry(
+          scores[base + j],
+          labels != nullptr ? (*labels)[base + j] : -1, num_bins);
+      uint32_t s = static_cast<uint32_t>(num_envs);
+      if (envs != nullptr) {
+        const int env = (*envs)[base + j];
+        if (env >= 0 && static_cast<size_t>(env) < num_envs &&
+            env_index_[static_cast<size_t>(env)] != nullptr) {
+          s = static_cast<uint32_t>(env);
+        }
+      }
+      slot[j] = s;
+      ++bucket_ends[s + 1];
+    }
+    // Prefetch every active env window before the global feed: the global
+    // pass is long enough to hide the env windows' cold-miss latency.
+    for (size_t e = 0; e < num_envs; ++e) {
+      if (bucket_ends[e + 1] != 0) env_index_[e]->window.PrefetchNextSlot();
+    }
+    global_.window.AddBatch(entries, n);
+    if (envs == nullptr || num_envs == 0) continue;
+    for (size_t e = 1; e < bucket_ends.size(); ++e) {
+      bucket_ends[e] += bucket_ends[e - 1];
+    }
+    // Scatter advances each bucket's cursor to its end; bucket e then
+    // occupies [end of e-1, bucket_ends[e]).
+    for (size_t j = 0; j < n; ++j) reordered[bucket_ends[slot[j]]++] = entries[j];
+    for (size_t e = 0, pos = 0; e < num_envs; ++e) {
+      const size_t end = bucket_ends[e];
+      if (pos == end) continue;
+      env_index_[e]->window.AddBatch(reordered + pos, end - pos);
+      pos = end;
+    }
+  }
+  return Status::OK();
+}
+
+WindowHealth ModelHealthMonitor::EvaluateWindow(
+    EnvMonitor* mon, const BinnedScores& reference) {
+  const SlidingWindow& win = mon->window;
+  WindowHealth health;
+  health.seen = win.total_seen();
+  health.window_rows = win.size();
+  health.labeled_rows = win.labeled_total();
+
+  const auto advance = [this](AlertStateMachine* sm, double value,
+                              bool evaluable) {
+    SignalHealth signal;
+    signal.evaluated = evaluable;
+    if (evaluable) {
+      const AlertState before = sm->state();
+      signal.value = value;
+      signal.state = sm->Update(value);
+      if (static_cast<int>(signal.state) > static_cast<int>(before)) {
+        ++escalations_;
+      }
+    } else {
+      signal.state = sm->state();  // hold
+    }
+    return signal;
+  };
+
+  // Distribution signals: window score histogram vs the reference.
+  const bool dist_ready = health.window_rows >= options_.min_rows &&
+                          reference.Total() > 0;
+  double psi = 0.0, drift = 0.0;
+  if (dist_ready) {
+    auto psi_result =
+        metrics::PsiFromCounts(reference.counts, win.bin_counts());
+    auto ks_result = metrics::KsFromCounts(win.bin_counts(), reference.counts);
+    psi = psi_result.ok() ? *psi_result : 0.0;
+    drift = ks_result.ok() ? *ks_result : 0.0;
+  }
+  health.psi = advance(&mon->psi, psi, dist_ready);
+  health.drift_ks = advance(&mon->drift_ks, drift, dist_ready);
+
+  // Label signals over the window's labeled subset.
+  const uint64_t labeled = win.labeled_total();
+  const uint64_t positives = win.positive_total();
+  const uint64_t negatives = labeled - positives;
+  const bool rate_ready = labeled >= options_.min_labeled;
+  double rate_rise = 0.0;
+  if (rate_ready) {
+    health.default_rate =
+        static_cast<double>(positives) / static_cast<double>(labeled);
+    const double ref_rate =
+        std::max(reference.DefaultRate(), kMinReferenceRate);
+    rate_rise = std::max(0.0, health.default_rate - ref_rate) / ref_rate;
+  }
+  health.default_rate_rise =
+      advance(&mon->default_rate_rise, rate_rise, rate_ready);
+
+  const uint64_t ref_pos = reference.TotalPositives();
+  const bool auc_ready = rate_ready && positives > 0 && negatives > 0 &&
+                         ref_pos > 0 && ref_pos < reference.Total();
+  double auc_drop = 0.0, ks_drop = 0.0;
+  if (auc_ready) {
+    std::vector<uint64_t> window_neg(win.labeled_counts().size(), 0);
+    for (size_t b = 0; b < window_neg.size(); ++b) {
+      window_neg[b] = win.labeled_counts()[b] - win.labeled_positives()[b];
+    }
+    const std::vector<uint64_t> ref_neg = reference.Negatives();
+    auto auc = metrics::AucFromBinnedCounts(win.labeled_positives(),
+                                            window_neg);
+    auto ks = metrics::KsFromCounts(win.labeled_positives(), window_neg);
+    auto ref_auc = metrics::AucFromBinnedCounts(reference.positives, ref_neg);
+    auto ref_ks = metrics::KsFromCounts(reference.positives, ref_neg);
+    if (auc.ok() && ref_auc.ok()) {
+      health.auc = *auc;
+      auc_drop = std::max(0.0, *ref_auc - *auc);
+    }
+    if (ks.ok() && ref_ks.ok()) {
+      health.ks = *ks;
+      ks_drop = std::max(0.0, *ref_ks - *ks);
+    }
+  }
+  health.auc_drop = advance(&mon->auc_drop, auc_drop, auc_ready);
+  health.ks_drop = advance(&mon->ks_drop, ks_drop, auc_ready);
+
+  double ece = 0.0;
+  if (rate_ready) {
+    auto result = metrics::EceFromBinnedSums(win.labeled_counts(),
+                                             win.labeled_score_sums(),
+                                             win.labeled_positives());
+    ece = result.ok() ? *result : 0.0;
+  }
+  health.calibration = advance(&mon->calibration, ece, rate_ready);
+
+  health.overall = health.psi.state;
+  health.overall = MaxState(health.overall, health.drift_ks.state);
+  health.overall = MaxState(health.overall, health.default_rate_rise.state);
+  health.overall = MaxState(health.overall, health.auc_drop.state);
+  health.overall = MaxState(health.overall, health.ks_drop.state);
+  health.overall = MaxState(health.overall, health.calibration.state);
+  return health;
+}
+
+HealthSnapshot ModelHealthMonitor::Evaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthSnapshot snapshot;
+  snapshot.evaluation = ++evaluations_;
+  snapshot.global = EvaluateWindow(&global_, reference_.global);
+  snapshot.overall = snapshot.global.overall;
+
+  // Per-province windows, then the paper's minimax-fairness signal: the
+  // worst-vs-best streaming AUC gap across provinces with enough labels.
+  double best_auc = 0.0, worst_auc = 0.0;
+  for (auto& [env, mon] : per_env_) {
+    WindowHealth health =
+        EvaluateWindow(&mon, reference_.per_env.at(env));
+    const bool in_gap =
+        health.labeled_rows >= options_.fairness_min_labeled &&
+        health.auc_drop.evaluated;
+    if (in_gap) {
+      if (snapshot.fairness_envs.empty()) {
+        best_auc = worst_auc = health.auc;
+      } else {
+        best_auc = std::max(best_auc, health.auc);
+        worst_auc = std::min(worst_auc, health.auc);
+      }
+      snapshot.fairness_envs.push_back(env);
+    }
+    snapshot.overall = MaxState(snapshot.overall, health.overall);
+    snapshot.per_env.emplace(env, std::move(health));
+  }
+  const bool gap_ready = snapshot.fairness_envs.size() >= 2;
+  const double gap = gap_ready ? best_auc - worst_auc : 0.0;
+  snapshot.fairness_gap.evaluated = gap_ready;
+  if (gap_ready) {
+    const AlertState before = fairness_.state();
+    snapshot.fairness_gap.value = gap;
+    snapshot.fairness_gap.state = fairness_.Update(gap);
+    if (static_cast<int>(snapshot.fairness_gap.state) >
+        static_cast<int>(before)) {
+      ++escalations_;
+    }
+  } else {
+    snapshot.fairness_gap.state = fairness_.state();
+  }
+  snapshot.overall = MaxState(snapshot.overall, snapshot.fairness_gap.state);
+  return snapshot;
+}
+
+HealthSnapshot ModelHealthMonitor::Evaluate(MetricsRegistry* registry) {
+  HealthSnapshot snapshot = Evaluate();
+  if (registry != nullptr) PublishTo(registry, snapshot);
+  return snapshot;
+}
+
+namespace {
+
+void PublishWindow(MetricsRegistry* registry, const std::string& prefix,
+                   const WindowHealth& health) {
+  const auto signal = [&](const char* name, const SignalHealth& s) {
+    registry->GetGauge(prefix + name)->Set(s.value);
+    registry->GetGauge(prefix + name + "_state")
+        ->Set(static_cast<double>(s.state));
+  };
+  registry->GetGauge(prefix + "window_rows")
+      ->Set(static_cast<double>(health.window_rows));
+  registry->GetGauge(prefix + "labeled_rows")
+      ->Set(static_cast<double>(health.labeled_rows));
+  registry->GetGauge(prefix + "default_rate")->Set(health.default_rate);
+  registry->GetGauge(prefix + "auc")->Set(health.auc);
+  registry->GetGauge(prefix + "ks")->Set(health.ks);
+  signal("psi", health.psi);
+  signal("drift_ks", health.drift_ks);
+  signal("default_rate_rise", health.default_rate_rise);
+  signal("auc_drop", health.auc_drop);
+  signal("ks_drop", health.ks_drop);
+  signal("calibration", health.calibration);
+  registry->GetGauge(prefix + "state")
+      ->Set(static_cast<double>(health.overall));
+}
+
+}  // namespace
+
+void ModelHealthMonitor::PublishTo(MetricsRegistry* registry,
+                                   const HealthSnapshot& snapshot) const {
+  if (registry == nullptr) return;
+  PublishWindow(registry, "monitor.global.", snapshot.global);
+  for (const auto& [env, health] : snapshot.per_env) {
+    PublishWindow(registry,
+                  "monitor.env." +
+                      SanitizeMetricName(reference_.EnvName(env)) + ".",
+                  health);
+  }
+  registry->GetGauge("monitor.fairness_gap")
+      ->Set(snapshot.fairness_gap.value);
+  registry->GetGauge("monitor.fairness_gap_state")
+      ->Set(static_cast<double>(snapshot.fairness_gap.state));
+  registry->GetGauge("monitor.state")
+      ->Set(static_cast<double>(snapshot.overall));
+  registry->GetGauge("monitor.evaluations")
+      ->Set(static_cast<double>(snapshot.evaluation));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry->GetGauge("monitor.escalations")
+        ->Set(static_cast<double>(escalations_));
+  }
+}
+
+}  // namespace lightmirm::obs

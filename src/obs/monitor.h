@@ -1,0 +1,205 @@
+// ModelHealthMonitor: online drift and model-health monitoring over the
+// serving path. A ScoringSession (or the replay harness) feeds it one call
+// per scored batch — (score, province, optional delayed label) per row —
+// and it maintains per-environment and global sliding windows whose binned
+// aggregates (obs/drift.h) evaluate against the training-time
+// ScoreReference: score PSI, drift KS, rolling default rate, streaming
+// AUC/KS, calibration error, and the worst-vs-best province AUC gap (the
+// paper's minimax-fairness metric). Each signal drives an OK→WARN→ALERT
+// state machine with hysteresis; Evaluate() snapshots everything and can
+// publish gauges/counters into a MetricsRegistry so the existing JSON /
+// Prometheus exporters pick the health state up for free.
+//
+// Observing is thread-safe (one mutex per monitor, taken per batch, not
+// per row) and never touches the scores themselves — predictions are
+// bit-identical with monitoring on or off. Evaluation ticks are explicit
+// (one per Evaluate call), so snapshots depend only on the observation
+// sequence, never on thread count or wall clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/drift.h"
+#include "obs/metrics.h"
+
+namespace lightmirm::obs {
+
+enum class AlertState { kOk = 0, kWarn = 1, kAlert = 2 };
+
+/// "OK" / "WARN" / "ALERT".
+const char* AlertStateName(AlertState state);
+
+/// Thresholds of one monitored signal. Signals are normalized so that
+/// bigger is worse ("badness"); a signal escalates when its value reaches
+/// warn/alert and de-escalates only after dropping below the threshold by
+/// the hysteresis margin — value must fall under threshold * (1 -
+/// hysteresis) — so a value oscillating exactly at a threshold never
+/// flaps.
+struct AlertThresholds {
+  double warn = 0.1;
+  double alert = 0.25;
+  double hysteresis = 0.2;  ///< fraction of the threshold, in [0, 1)
+};
+
+/// Per-signal state machine with the hysteresis semantics above.
+class AlertStateMachine {
+ public:
+  explicit AlertStateMachine(AlertThresholds thresholds = {})
+      : thresholds_(thresholds) {}
+
+  /// Advances on one evaluated value and returns the new state.
+  AlertState Update(double value);
+  AlertState state() const { return state_; }
+
+ private:
+  AlertThresholds thresholds_;
+  AlertState state_ = AlertState::kOk;
+};
+
+/// Monitor configuration. Defaults follow credit-risk conventions (PSI
+/// 0.1 / 0.25 bands) and are deliberately conservative for the label-based
+/// signals, whose small-window estimates are noisy.
+struct MonitorOptions {
+  /// Sliding-window capacity per environment (and for the global window).
+  size_t window = 4096;
+  /// Distribution signals (PSI, drift KS) evaluate only when the window
+  /// holds at least this many rows; below it the signal holds its state.
+  size_t min_rows = 200;
+  /// Label signals (default rate, AUC/KS, calibration) need this many
+  /// labeled rows — with both classes present for AUC/KS.
+  size_t min_labeled = 150;
+  /// Environments participate in the fairness gap only above this labeled
+  /// count (per-env AUC noise would otherwise drive the gap).
+  size_t fairness_min_labeled = 300;
+
+  AlertThresholds psi{0.1, 0.25, 0.2};
+  AlertThresholds drift_ks{0.1, 0.2, 0.2};
+  /// Relative rise of the rolling default rate over the reference rate:
+  /// max(0, rate - ref) / ref.
+  AlertThresholds default_rate_rise{0.5, 1.0, 0.2};
+  /// Absolute AUC drop under the reference AUC.
+  AlertThresholds auc_drop{0.05, 0.1, 0.2};
+  /// Absolute discrimination-KS drop under the reference KS.
+  AlertThresholds ks_drop{0.08, 0.16, 0.2};
+  /// Expected calibration error of the window.
+  AlertThresholds calibration{0.1, 0.2, 0.2};
+  /// Worst-vs-best province streaming-AUC gap.
+  AlertThresholds fairness_gap{0.15, 0.25, 0.2};
+};
+
+/// One signal's evaluation: value, state, and whether this tick had
+/// enough data to evaluate (when false the state was held, not updated).
+struct SignalHealth {
+  double value = 0.0;
+  AlertState state = AlertState::kOk;
+  bool evaluated = false;
+};
+
+/// Health of one window (an environment or the global pool).
+struct WindowHealth {
+  uint64_t seen = 0;          ///< observations ever fed
+  uint64_t window_rows = 0;   ///< rows currently in the window
+  uint64_t labeled_rows = 0;  ///< labeled rows currently in the window
+  double default_rate = 0.0;  ///< rolling, over labeled rows
+  double auc = 0.0;           ///< streaming AUC (0 when unevaluable)
+  double ks = 0.0;            ///< streaming discrimination KS
+  SignalHealth psi;
+  SignalHealth drift_ks;
+  SignalHealth default_rate_rise;
+  SignalHealth auc_drop;
+  SignalHealth ks_drop;
+  SignalHealth calibration;
+  /// Worst signal state of this window.
+  AlertState overall = AlertState::kOk;
+};
+
+/// One Evaluate() tick over every window.
+struct HealthSnapshot {
+  uint64_t evaluation = 0;  ///< 1-based tick index
+  WindowHealth global;
+  std::map<int, WindowHealth> per_env;  ///< envs the reference knows
+  SignalHealth fairness_gap;
+  /// Environments spanned by the fairness gap this tick (ids, ascending).
+  std::vector<int> fairness_envs;
+  AlertState overall = AlertState::kOk;
+};
+
+/// Thread-safe online monitor; see file comment.
+class ModelHealthMonitor {
+ public:
+  /// Errors when the reference is empty. Per-env windows are created for
+  /// exactly the environments the reference holds histograms for; other
+  /// environments only feed the global window.
+  static Result<std::unique_ptr<ModelHealthMonitor>> Create(
+      ScoreReference reference, MonitorOptions options = {});
+
+  /// Observes one scored batch. `envs` may be null (rows feed the global
+  /// window only); `labels` may be null (scores observed unlabeled — the
+  /// delayed-label case) or score-aligned with entries in {-1, 0, 1},
+  /// where -1 means "label not known yet".
+  Status ObserveBatch(const std::vector<double>& scores,
+                      const std::vector<int>* envs,
+                      const std::vector<int>* labels);
+
+  /// One evaluation tick: computes every window's signals, advances the
+  /// alert state machines, and returns the snapshot.
+  HealthSnapshot Evaluate();
+
+  /// Evaluate() + PublishTo(registry, snapshot).
+  HealthSnapshot Evaluate(MetricsRegistry* registry);
+
+  /// Publishes a snapshot as registry gauges under `monitor.` — value and
+  /// numeric state (0 OK / 1 WARN / 2 ALERT) per signal per window
+  /// (`monitor.env.<province>.psi`, `monitor.global.auc`, ...), plus
+  /// counters `monitor.evaluations` and `monitor.escalations`.
+  void PublishTo(MetricsRegistry* registry,
+                 const HealthSnapshot& snapshot) const;
+
+  const ScoreReference& reference() const { return reference_; }
+  const MonitorOptions& options() const { return options_; }
+
+ private:
+  struct EnvMonitor {
+    explicit EnvMonitor(const MonitorOptions& options, int num_bins)
+        : window(num_bins, options.window),
+          psi(options.psi),
+          drift_ks(options.drift_ks),
+          default_rate_rise(options.default_rate_rise),
+          auc_drop(options.auc_drop),
+          ks_drop(options.ks_drop),
+          calibration(options.calibration) {}
+
+    SlidingWindow window;
+    AlertStateMachine psi;
+    AlertStateMachine drift_ks;
+    AlertStateMachine default_rate_rise;
+    AlertStateMachine auc_drop;
+    AlertStateMachine ks_drop;
+    AlertStateMachine calibration;
+  };
+
+  ModelHealthMonitor(ScoreReference reference, MonitorOptions options);
+
+  WindowHealth EvaluateWindow(EnvMonitor* mon, const BinnedScores& reference);
+
+  mutable std::mutex mu_;
+  ScoreReference reference_;
+  MonitorOptions options_;
+  EnvMonitor global_;
+  std::map<int, EnvMonitor> per_env_;
+  /// Dense env-id -> monitor index (nullptr = not monitored), so the
+  /// per-row lookup on the serving path is one bounds check + load instead
+  /// of a map walk.
+  std::vector<EnvMonitor*> env_index_;
+  AlertStateMachine fairness_;
+  uint64_t evaluations_ = 0;
+  uint64_t escalations_ = 0;
+};
+
+}  // namespace lightmirm::obs

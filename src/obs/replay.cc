@@ -1,0 +1,86 @@
+#include "obs/replay.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace lightmirm::obs {
+
+AlertState ReplayResult::WorstState(int env) const {
+  AlertState worst = AlertState::kOk;
+  for (const ReplayPeriod& period : periods) {
+    const auto it = period.health.per_env.find(env);
+    if (it == period.health.per_env.end()) continue;
+    if (static_cast<int>(it->second.overall) > static_cast<int>(worst)) {
+      worst = it->second.overall;
+    }
+  }
+  return worst;
+}
+
+AlertState ReplayResult::WorstOverall() const {
+  AlertState worst = AlertState::kOk;
+  for (const ReplayPeriod& period : periods) {
+    if (static_cast<int>(period.health.overall) > static_cast<int>(worst)) {
+      worst = period.health.overall;
+    }
+  }
+  return worst;
+}
+
+bool ReplayResult::ReachedAlert(int env) const {
+  return WorstState(env) == AlertState::kAlert;
+}
+
+Result<ReplayResult> ReplayStream(const serve::ScoringSession& session,
+                                  ModelHealthMonitor* monitor,
+                                  const data::Dataset& stream,
+                                  const ReplayOptions& options) {
+  if (monitor == nullptr) {
+    return Status::InvalidArgument("monitor must be non-null");
+  }
+  if (stream.NumRows() == 0) {
+    return Status::InvalidArgument("empty replay stream");
+  }
+  if (options.batch_rows == 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+
+  // Rows of each (year, half) period in dataset order; the map iterates
+  // periods chronologically.
+  std::map<std::pair<int, int>, std::vector<size_t>> periods;
+  for (size_t i = 0; i < stream.NumRows(); ++i) {
+    periods[{stream.years()[i], stream.halves()[i]}].push_back(i);
+  }
+
+  ReplayResult result;
+  result.periods.reserve(periods.size());
+  std::vector<double> scores;
+  for (const auto& [when, rows] : periods) {
+    LIGHTMIRM_ASSIGN_OR_RETURN(const data::Dataset period,
+                               stream.Select(rows));
+    for (size_t begin = 0; begin < period.NumRows();
+         begin += options.batch_rows) {
+      const size_t end =
+          std::min(period.NumRows(), begin + options.batch_rows);
+      std::vector<size_t> batch_rows(end - begin);
+      for (size_t i = begin; i < end; ++i) batch_rows[i - begin] = i;
+      LIGHTMIRM_ASSIGN_OR_RETURN(const data::Dataset batch,
+                                 period.Select(batch_rows));
+      LIGHTMIRM_RETURN_NOT_OK(
+          session.Score(batch.features(), &batch.envs(), &scores));
+      LIGHTMIRM_RETURN_NOT_OK(monitor->ObserveBatch(
+          scores, &batch.envs(),
+          options.feed_labels ? &batch.labels() : nullptr));
+    }
+    ReplayPeriod replayed;
+    replayed.year = when.first;
+    replayed.half = when.second;
+    replayed.rows = rows.size();
+    replayed.health = monitor->Evaluate(options.registry);
+    result.periods.push_back(std::move(replayed));
+  }
+  return result;
+}
+
+}  // namespace lightmirm::obs

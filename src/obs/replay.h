@@ -1,0 +1,65 @@
+// Streaming replay harness: drives a time-ordered dataset through a
+// ScoringSession period-by-period — the deployment setting of the paper's
+// online evaluation (and of Continual IRM: environments arriving as a
+// stream). Each (year, half) period is scored in fixed-size batches, every
+// batch is fed to a ModelHealthMonitor (scores, provinces, and the
+// dataset's outcome labels standing in for delayed labels), and the
+// monitor is evaluated once per period, so the result is a health
+// trajectory: which provinces went WARN/ALERT in which window. The
+// generator's finest time resolution is the half-year, so periods are
+// halves; Fig 11's Hubei COVID shock lands exactly in the H1-2020 period.
+//
+// Replay feeds the monitor directly (it knows the outcomes); live serving
+// attaches the monitor to the session instead and feeds scores unlabeled.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "obs/monitor.h"
+#include "serve/scoring_session.h"
+
+namespace lightmirm::obs {
+
+struct ReplayOptions {
+  /// Rows per scored batch inside a period.
+  size_t batch_rows = 512;
+  /// Feed the dataset's labels to the monitor (delayed ground truth). When
+  /// false, rows are observed unlabeled and only the distribution signals
+  /// (PSI, drift KS) evaluate.
+  bool feed_labels = true;
+  /// When non-null, every period snapshot is published here.
+  MetricsRegistry* registry = nullptr;
+};
+
+/// One replayed (year, half) period and the monitor state after it.
+struct ReplayPeriod {
+  int year = 0;
+  int half = 0;
+  size_t rows = 0;
+  HealthSnapshot health;
+};
+
+struct ReplayResult {
+  std::vector<ReplayPeriod> periods;
+
+  /// Worst overall state environment `env` reached across all periods
+  /// (kOk when the monitor never tracked it).
+  AlertState WorstState(int env) const;
+  /// Worst snapshot-wide state across all periods.
+  AlertState WorstOverall() const;
+  /// True when `env` reached ALERT in at least one period.
+  bool ReachedAlert(int env) const;
+};
+
+/// Replays `stream` (any mix of years; periods are processed in ascending
+/// (year, half) order, rows within a period in dataset order) through
+/// `session` and `monitor`. Errors when the dataset is empty or scoring
+/// fails. The session's own attached monitor, if any, is not involved.
+Result<ReplayResult> ReplayStream(const serve::ScoringSession& session,
+                                  ModelHealthMonitor* monitor,
+                                  const data::Dataset& stream,
+                                  const ReplayOptions& options = {});
+
+}  // namespace lightmirm::obs

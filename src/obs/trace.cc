@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
 #include <vector>
 
 namespace lightmirm::obs {
@@ -10,6 +12,25 @@ int64_t NowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Chrome trace recorder: a mutex-protected event buffer behind one relaxed
+// atomic flag, so the span hot path pays a single load when recording is
+// off. Spans push on close (scope exit), never inside the measured region.
+std::atomic<bool> g_trace_recording{false};
+std::mutex g_trace_mu;
+std::vector<TraceEvent>& TraceBuffer() {
+  static std::vector<TraceEvent>* buffer = new std::vector<TraceEvent>();
+  return *buffer;
+}
+int64_t g_trace_epoch_ns = 0;
+
+// Small stable per-thread ids: nicer lanes in the trace viewer than
+// std::thread::id hashes, and deterministic within a run.
+int ThreadTraceId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 // Per-thread span state. Samples buffer until the root span closes, then
@@ -40,11 +61,38 @@ TraceSpan::TraceSpan(MetricsRegistry* registry, std::string_view name)
   start_ns_ = NowNanos();
 }
 
+void SetTraceRecordingEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (enabled) {
+    TraceBuffer().clear();
+    g_trace_epoch_ns = NowNanos();
+  }
+  g_trace_recording.store(enabled, std::memory_order_release);
+}
+
+bool TraceRecordingEnabled() {
+  return g_trace_recording.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> RecordedTraceEvents() {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  return TraceBuffer();
+}
+
 TraceSpan::~TraceSpan() {
   if (registry_ == nullptr) return;
   SpanBuffer& buf = tls_spans;
   buf.samples.push_back(
       {"span." + buf.path + ".seconds", Seconds(), registry_});
+  if (g_trace_recording.load(std::memory_order_relaxed)) {
+    const int64_t end_ns = NowNanos();
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    if (g_trace_recording.load(std::memory_order_relaxed)) {
+      TraceBuffer().push_back(
+          {buf.path, static_cast<double>(start_ns_ - g_trace_epoch_ns) * 1e-3,
+           static_cast<double>(end_ns - start_ns_) * 1e-3, ThreadTraceId()});
+    }
+  }
   buf.path.resize(path_restore_);
   if (--buf.depth == 0) {
     for (const SpanBuffer::Sample& s : buf.samples) {

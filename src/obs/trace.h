@@ -7,14 +7,38 @@
 // nested scopes on a hot path never touch the registry mutex, and span
 // counts are identical at any thread count (each pooled task roots its own
 // chain on its worker thread).
+// When trace recording is enabled (SetTraceRecordingEnabled), every closing
+// span additionally appends a TraceEvent — name, relative start, duration,
+// stable thread id — to a process-wide buffer that obs/export.h renders as
+// Chrome trace-event JSON for chrome://tracing / Perfetto. Recording is off
+// by default and costs one relaxed atomic load per span close when off.
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
 
 namespace lightmirm::obs {
+
+/// One completed span occurrence for the Chrome trace export. Timestamps
+/// are microseconds relative to the moment recording was (re-)enabled.
+struct TraceEvent {
+  std::string name;   ///< dot-joined span path
+  double ts_us = 0;   ///< start time
+  double dur_us = 0;  ///< duration
+  int tid = 0;        ///< stable small id of the recording thread
+};
+
+/// Enables/disables span-occurrence recording. Enabling clears the buffer
+/// and restarts the relative clock. Disabled by default.
+void SetTraceRecordingEnabled(bool enabled);
+bool TraceRecordingEnabled();
+
+/// Snapshot of the recorded events (chronological per thread; threads
+/// interleave in close order).
+std::vector<TraceEvent> RecordedTraceEvents();
 
 class TraceSpan {
  public:

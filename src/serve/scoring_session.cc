@@ -97,6 +97,7 @@ Result<ScoringSession> ScoringSession::Create(
   }
   ScoringSession session;
   session.forest_ = std::move(forest);
+  session.monitor_slot_ = std::make_shared<MonitorSlot>();
   session.global_ = predictor.global.params();
   for (const auto& [env, model] : predictor.per_env) {
     session.env_tables_.emplace(env, model.params());
@@ -169,7 +170,23 @@ Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
     telemetry_.rows_scored->Increment(raw.rows());
     telemetry_.batch_seconds->Record(batch_watch.Seconds());
   }
+  if (const std::shared_ptr<obs::ModelHealthMonitor> monitor =
+          this->monitor();
+      monitor != nullptr) {
+    LIGHTMIRM_RETURN_NOT_OK(monitor->ObserveBatch(*out, envs, nullptr));
+  }
   return Status::OK();
+}
+
+void ScoringSession::AttachMonitor(
+    std::shared_ptr<obs::ModelHealthMonitor> monitor) const {
+  std::lock_guard<std::mutex> lock(monitor_slot_->mu);
+  monitor_slot_->monitor = std::move(monitor);
+}
+
+std::shared_ptr<obs::ModelHealthMonitor> ScoringSession::monitor() const {
+  std::lock_guard<std::mutex> lock(monitor_slot_->mu);
+  return monitor_slot_->monitor;
 }
 
 Result<std::vector<double>> ScoringSession::Score(

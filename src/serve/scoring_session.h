@@ -10,12 +10,14 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/result.h"
 #include "linear/logistic.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "serve/compiled_forest.h"
 #include "train/trainer.h"
 
@@ -47,6 +49,15 @@ class ScoringSession {
   Result<std::vector<double>> Score(const Matrix& raw,
                                     const std::vector<int>* envs) const;
 
+  /// Attaches a model-health monitor (nullptr detaches). Every Score call
+  /// then feeds the monitor one ObserveBatch of (score, env) pairs —
+  /// unlabeled; delayed labels reach the monitor out of band. Observing
+  /// never touches the computed scores (predictions are bit-identical with
+  /// monitoring on or off), which is why attachment is const; the holder
+  /// is internally synchronized.
+  void AttachMonitor(std::shared_ptr<obs::ModelHealthMonitor> monitor) const;
+  std::shared_ptr<obs::ModelHealthMonitor> monitor() const;
+
  private:
   ScoringSession() = default;
 
@@ -68,10 +79,18 @@ class ScoringSession {
     obs::Counter* override_misses = nullptr;
   };
 
+  /// Synchronized monitor holder, heap-allocated so the session stays
+  /// movable (Create returns by value).
+  struct MonitorSlot {
+    std::mutex mu;
+    std::shared_ptr<obs::ModelHealthMonitor> monitor;
+  };
+
   std::shared_ptr<const CompiledForest> forest_;
   linear::ParamVec global_;
   std::map<int, linear::ParamVec> env_tables_;
   Telemetry telemetry_;
+  std::shared_ptr<MonitorSlot> monitor_slot_;
 };
 
 }  // namespace lightmirm::serve

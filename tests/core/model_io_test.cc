@@ -92,6 +92,44 @@ TEST(ModelIoTest, LoadedModelScoresThroughCompiledPathBitIdentically) {
   EXPECT_EQ(legacy, *compiled);
 }
 
+TEST(ModelIoTest, RoundTripPreservesScoreReference) {
+  const GbdtLrModel original = TrainSmallModel(Method::kErm);
+  ASSERT_FALSE(original.score_reference().empty());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveModel(original, &buffer).ok());
+  const GbdtLrModel loaded = std::move(LoadModel(&buffer)).value();
+  const obs::ScoreReference& a = original.score_reference();
+  const obs::ScoreReference& b = loaded.score_reference();
+  EXPECT_EQ(b.num_bins, a.num_bins);
+  EXPECT_EQ(b.global.counts, a.global.counts);
+  EXPECT_EQ(b.global.positives, a.global.positives);
+  ASSERT_EQ(b.per_env.size(), a.per_env.size());
+  for (const auto& [env, bins] : a.per_env) {
+    ASSERT_EQ(b.per_env.count(env), 1u);
+    EXPECT_EQ(b.per_env.at(env).counts, bins.counts);
+  }
+  EXPECT_EQ(b.env_names, a.env_names);
+  // The loaded model can start monitoring directly.
+  EXPECT_TRUE(loaded.StartMonitoring().ok());
+}
+
+// Model files persisted before score references existed end right after
+// the booster; loading them must succeed with an empty reference.
+TEST(ModelIoTest, LoadsPreReferenceModelFiles) {
+  const GbdtLrModel original = TrainSmallModel(Method::kErm);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveModel(original, &buffer).ok());
+  std::string text = buffer.str();
+  const size_t start = text.find("score_reference ");
+  ASSERT_NE(start, std::string::npos);
+  text.resize(start);  // strip the trailing reference section
+  std::stringstream legacy(text);
+  const auto loaded = LoadModel(&legacy);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->score_reference().empty());
+  EXPECT_FALSE(loaded->StartMonitoring().ok());  // nothing to monitor against
+}
+
 TEST(ModelIoTest, RejectsLrTableNarrowerThanLeafColumns) {
   const GbdtLrModel original = TrainSmallModel(Method::kErm);
   std::stringstream buffer;

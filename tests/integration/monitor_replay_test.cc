@@ -1,0 +1,221 @@
+// End-to-end online monitoring: train a model on 2016-2019, then stream
+// data through the serving path with a ModelHealthMonitor attached.
+//   * replaying held-in 2019 data keeps every monitor OK (no false alarms);
+//   * replaying 2020 fires ALERTs for Hubei (Fig 11 COVID shock) and
+//     Guangdong (Fig 10 share shift + the 2020 spurious-pattern flip);
+//   * snapshots are identical at any thread count;
+//   * predictions are bit-identical with monitoring attached or detached.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/gbdt_lr_model.h"
+#include "data/env_split.h"
+#include "data/loan_generator.h"
+#include "obs/monitor.h"
+#include "obs/replay.h"
+
+namespace lightmirm {
+namespace {
+
+data::LoanGeneratorOptions GeneratorOptions(int rows_per_year) {
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = rows_per_year;
+  gen.seed = 7;
+  return gen;
+}
+
+core::GbdtLrOptions FastModelOptions() {
+  core::GbdtLrOptions options;
+  options.booster.num_trees = 15;
+  options.booster.tree.max_leaves = 8;
+  options.trainer.epochs = 40;
+  options.min_env_rows = 60;
+  return options;
+}
+
+// Monitor tuning for this replay's scale: one half-year gives a mid-sized
+// province only a few hundred rows, so the evaluation gates admit windows
+// from ~150 rows and the thresholds leave room for the sampling noise of
+// estimates that small (the defaults assume production windows of
+// thousands of rows).
+obs::MonitorOptions ReplayMonitorOptions() {
+  obs::MonitorOptions options;
+  options.window = 2048;
+  options.min_rows = 150;
+  options.min_labeled = 150;
+  options.fairness_min_labeled = 300;
+  options.psi = {0.15, 0.3, 0.2};
+  options.drift_ks = {0.15, 0.25, 0.2};
+  options.default_rate_rise = {0.6, 1.2, 0.2};
+  options.auc_drop = {0.1, 0.18, 0.2};
+  options.ks_drop = {0.25, 0.4, 0.2};
+  return options;
+}
+
+// Rows of `full` with the given year.
+data::Dataset YearSlice(const data::Dataset& full, int year) {
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < full.NumRows(); ++i) {
+    if (full.years()[i] == year) rows.push_back(i);
+  }
+  auto slice = full.Select(rows);
+  EXPECT_TRUE(slice.ok());
+  return std::move(*slice);
+}
+
+TEST(MonitorReplayTest, QuietOn2019AlertingOn2020Shifts) {
+  data::LoanGenerator generator(GeneratorOptions(6000));
+  auto full = generator.Generate();
+  ASSERT_TRUE(full.ok());
+  auto split = data::TemporalSplit(*full, 2020);
+  ASSERT_TRUE(split.ok());
+  auto model = core::GbdtLrModel::Train(split->train, core::Method::kErm,
+                                        FastModelOptions());
+  ASSERT_TRUE(model.ok());
+  ASSERT_FALSE(model->score_reference().empty());
+  const auto session = model->scoring_session();
+  ASSERT_NE(session, nullptr);
+
+  const int guangdong = *data::LoanGenerator::ProvinceIndex("Guangdong");
+  const int hubei = *data::LoanGenerator::ProvinceIndex("Hubei");
+
+  // Stationary stream: the last training year. Nothing may leave OK.
+  {
+    auto monitor = obs::ModelHealthMonitor::Create(model->score_reference(),
+                                                   ReplayMonitorOptions());
+    ASSERT_TRUE(monitor.ok());
+    auto replay = obs::ReplayStream(*session, monitor->get(),
+                                    YearSlice(*full, 2019));
+    ASSERT_TRUE(replay.ok());
+    ASSERT_EQ(replay->periods.size(), 2u);  // H1 + H2
+    EXPECT_EQ(replay->WorstOverall(), obs::AlertState::kOk);
+  }
+
+  // Shifted stream: the 2020 test year.
+  {
+    auto monitor = obs::ModelHealthMonitor::Create(model->score_reference(),
+                                                   ReplayMonitorOptions());
+    ASSERT_TRUE(monitor.ok());
+    auto replay = obs::ReplayStream(*session, monitor->get(),
+                                    YearSlice(*full, 2020));
+    ASSERT_TRUE(replay.ok());
+    ASSERT_EQ(replay->periods.size(), 2u);
+    EXPECT_TRUE(replay->ReachedAlert(hubei));      // Fig 11 COVID shock
+    EXPECT_TRUE(replay->ReachedAlert(guangdong));  // Fig 10 + spurious flip
+    EXPECT_EQ(replay->WorstOverall(), obs::AlertState::kAlert);
+    // The COVID shock lands in H1-2020 specifically.
+    const auto& h1 = replay->periods.front();
+    ASSERT_EQ(h1.year, 2020);
+    ASSERT_EQ(h1.half, 1);
+    ASSERT_EQ(h1.health.per_env.count(hubei), 1u);
+    EXPECT_EQ(h1.health.per_env.at(hubei).overall, obs::AlertState::kAlert);
+  }
+}
+
+void ExpectSameSignal(const obs::SignalHealth& a, const obs::SignalHealth& b) {
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.value, b.value);  // bit-identical, not approximately equal
+}
+
+void ExpectSameWindow(const obs::WindowHealth& a, const obs::WindowHealth& b) {
+  EXPECT_EQ(a.seen, b.seen);
+  EXPECT_EQ(a.window_rows, b.window_rows);
+  EXPECT_EQ(a.labeled_rows, b.labeled_rows);
+  EXPECT_EQ(a.default_rate, b.default_rate);
+  EXPECT_EQ(a.auc, b.auc);
+  EXPECT_EQ(a.ks, b.ks);
+  ExpectSameSignal(a.psi, b.psi);
+  ExpectSameSignal(a.drift_ks, b.drift_ks);
+  ExpectSameSignal(a.default_rate_rise, b.default_rate_rise);
+  ExpectSameSignal(a.auc_drop, b.auc_drop);
+  ExpectSameSignal(a.ks_drop, b.ks_drop);
+  ExpectSameSignal(a.calibration, b.calibration);
+  EXPECT_EQ(a.overall, b.overall);
+}
+
+TEST(MonitorReplayTest, SnapshotsAreThreadCountInvariant) {
+  data::LoanGenerator generator(GeneratorOptions(2000));
+  auto full = generator.Generate();
+  ASSERT_TRUE(full.ok());
+  auto split = data::TemporalSplit(*full, 2020);
+  ASSERT_TRUE(split.ok());
+  auto model = core::GbdtLrModel::Train(split->train, core::Method::kErm,
+                                        FastModelOptions());
+  ASSERT_TRUE(model.ok());
+  const auto session = model->scoring_session();
+  ASSERT_NE(session, nullptr);
+
+  std::vector<obs::ReplayResult> runs;
+  for (const int threads : {1, 2, 8}) {
+    ScopedDefaultThreads guard(threads);
+    auto monitor = obs::ModelHealthMonitor::Create(model->score_reference(),
+                                                   ReplayMonitorOptions());
+    ASSERT_TRUE(monitor.ok());
+    auto replay =
+        obs::ReplayStream(*session, monitor->get(), YearSlice(*full, 2020));
+    ASSERT_TRUE(replay.ok());
+    runs.push_back(std::move(*replay));
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].periods.size(), runs[0].periods.size());
+    for (size_t p = 0; p < runs[0].periods.size(); ++p) {
+      const obs::ReplayPeriod& a = runs[0].periods[p];
+      const obs::ReplayPeriod& b = runs[r].periods[p];
+      EXPECT_EQ(a.year, b.year);
+      EXPECT_EQ(a.half, b.half);
+      EXPECT_EQ(a.rows, b.rows);
+      ExpectSameWindow(a.health.global, b.health.global);
+      ASSERT_EQ(a.health.per_env.size(), b.health.per_env.size());
+      for (const auto& [env, health] : a.health.per_env) {
+        ASSERT_EQ(b.health.per_env.count(env), 1u);
+        ExpectSameWindow(health, b.health.per_env.at(env));
+      }
+      ExpectSameSignal(a.health.fairness_gap, b.health.fairness_gap);
+      EXPECT_EQ(a.health.fairness_envs, b.health.fairness_envs);
+      EXPECT_EQ(a.health.overall, b.health.overall);
+    }
+  }
+}
+
+TEST(MonitorReplayTest, MonitoringNeverChangesPredictions) {
+  data::LoanGenerator generator(GeneratorOptions(2000));
+  auto full = generator.Generate();
+  ASSERT_TRUE(full.ok());
+  auto split = data::TemporalSplit(*full, 2020);
+  ASSERT_TRUE(split.ok());
+  auto model = core::GbdtLrModel::Train(split->train, core::Method::kErm,
+                                        FastModelOptions());
+  ASSERT_TRUE(model.ok());
+  const auto session = model->scoring_session();
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(session->monitor(), nullptr);
+
+  auto detached = model->Predict(split->test);
+  ASSERT_TRUE(detached.ok());
+
+  // StartMonitoring attaches the monitor to the live serving path: every
+  // Predict now also feeds the drift windows (unlabeled).
+  auto monitor = model->StartMonitoring(ReplayMonitorOptions());
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_EQ(session->monitor(), *monitor);
+  auto attached = model->Predict(split->test);
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ(*detached, *attached);  // bit-identical scores
+
+  // The monitor really saw the scored rows.
+  const obs::HealthSnapshot snapshot = (*monitor)->Evaluate();
+  EXPECT_EQ(snapshot.global.seen, split->test.NumRows());
+  EXPECT_TRUE(snapshot.global.psi.evaluated);
+  EXPECT_FALSE(snapshot.global.auc_drop.evaluated);  // no labels fed
+
+  session->AttachMonitor(nullptr);
+  EXPECT_EQ(session->monitor(), nullptr);
+}
+
+}  // namespace
+}  // namespace lightmirm

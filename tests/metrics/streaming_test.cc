@@ -1,0 +1,135 @@
+#include "metrics/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lightmirm::metrics {
+namespace {
+
+// PSI of {0.5, 0.5} -> {0.8, 0.2}:
+//   (0.8 - 0.5) ln(0.8/0.5) + (0.2 - 0.5) ln(0.2/0.5)
+//   = 0.3 ln 1.6 + 0.3 ln 2.5 = 0.4158883083.
+TEST(PsiFromCountsTest, MatchesHandComputedValue) {
+  const std::vector<uint64_t> reference = {50, 50};
+  const std::vector<uint64_t> observed = {80, 20};
+  auto psi = PsiFromCounts(reference, observed);
+  ASSERT_TRUE(psi.ok());
+  EXPECT_NEAR(*psi, 0.3 * std::log(1.6) + 0.3 * std::log(2.5), 1e-12);
+  EXPECT_NEAR(*psi, 0.4158883083, 1e-9);
+}
+
+TEST(PsiFromCountsTest, IdenticalDistributionsGiveZero) {
+  const std::vector<uint64_t> counts = {10, 20, 30, 40};
+  auto psi = PsiFromCounts(counts, counts);
+  ASSERT_TRUE(psi.ok());
+  EXPECT_DOUBLE_EQ(*psi, 0.0);
+  // Scale invariance: fractions, not counts.
+  auto scaled = PsiFromCounts(counts, {20, 40, 60, 80});
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_NEAR(*scaled, 0.0, 1e-12);
+}
+
+// Fully disjoint distributions stay finite thanks to the epsilon floor:
+// with eps = 1e-4 both terms become (1 - 1e-4) ln(1/1e-4).
+TEST(PsiFromCountsTest, EmptyBinsAreSmoothedFinite) {
+  auto psi = PsiFromCounts({100, 0}, {0, 100});
+  ASSERT_TRUE(psi.ok());
+  EXPECT_NEAR(*psi, 2.0 * (1.0 - 1e-4) * std::log(1e4), 1e-9);
+}
+
+TEST(PsiFromCountsTest, RejectsBadInputs) {
+  EXPECT_FALSE(PsiFromCounts({}, {}).ok());
+  EXPECT_FALSE(PsiFromCounts({1, 2}, {1}).ok());
+  EXPECT_FALSE(PsiFromCounts({0, 0}, {1, 1}).ok());
+  EXPECT_FALSE(PsiFromCounts({1, 1}, {0, 0}).ok());
+  EXPECT_FALSE(PsiFromCounts({1, 1}, {1, 1}, 0.0).ok());
+}
+
+// CDFs after the first bin: 0.3 vs 0.7 -> KS = 0.4.
+TEST(KsFromCountsTest, MatchesHandComputedValue) {
+  auto ks = KsFromCounts({30, 70}, {70, 30});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_NEAR(*ks, 0.4, 1e-12);
+}
+
+TEST(KsFromCountsTest, IdenticalDistributionsGiveZero) {
+  auto ks = KsFromCounts({5, 5, 5}, {50, 50, 50});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_NEAR(*ks, 0.0, 1e-12);
+}
+
+TEST(KsFromCountsTest, DisjointDistributionsGiveOne) {
+  auto ks = KsFromCounts({10, 0}, {0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_DOUBLE_EQ(*ks, 1.0);
+}
+
+TEST(KsFromCountsTest, RejectsBadInputs) {
+  EXPECT_FALSE(KsFromCounts({}, {}).ok());
+  EXPECT_FALSE(KsFromCounts({1}, {1, 2}).ok());
+  EXPECT_FALSE(KsFromCounts({0}, {3}).ok());
+}
+
+TEST(AucFromBinnedCountsTest, PerfectSeparationGivesOne) {
+  auto auc = AucFromBinnedCounts({0, 10}, {10, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+  auto inverted = AucFromBinnedCounts({10, 0}, {0, 10});
+  ASSERT_TRUE(inverted.ok());
+  EXPECT_DOUBLE_EQ(*inverted, 0.0);
+}
+
+TEST(AucFromBinnedCountsTest, InBinPairsCountHalf) {
+  // Both classes distributed identically: every pair either ties (1/2) or
+  // is balanced by its mirror -> AUC = 1/2 exactly.
+  auto auc = AucFromBinnedCounts({5, 5}, {5, 5});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+// pos = {1, 3}, neg = {3, 1}:
+//   bin0: 1 * (0 + 0.5*3) = 1.5; bin1: 3 * (3 + 0.5*1) = 10.5
+//   AUC = 12 / (4 * 4) = 0.75.
+TEST(AucFromBinnedCountsTest, MatchesHandComputedValue) {
+  auto auc = AucFromBinnedCounts({1, 3}, {3, 1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.75);
+}
+
+TEST(AucFromBinnedCountsTest, RejectsAbsentClass) {
+  EXPECT_FALSE(AucFromBinnedCounts({0, 0}, {1, 1}).ok());
+  EXPECT_FALSE(AucFromBinnedCounts({1, 1}, {0, 0}).ok());
+  EXPECT_FALSE(AucFromBinnedCounts({1}, {1, 2}).ok());
+}
+
+// Two bins of 10 rows: mean scores 0.2 / 0.8, observed rates 0.1 / 0.9
+// -> ECE = 0.5*0.1 + 0.5*0.1 = 0.1.
+TEST(EceFromBinnedSumsTest, MatchesHandComputedValue) {
+  auto ece = EceFromBinnedSums({10, 10}, {2.0, 8.0}, {1, 9});
+  ASSERT_TRUE(ece.ok());
+  EXPECT_NEAR(*ece, 0.1, 1e-12);
+}
+
+TEST(EceFromBinnedSumsTest, PerfectCalibrationGivesZero) {
+  auto ece = EceFromBinnedSums({10, 20}, {1.0, 10.0}, {1, 10});
+  ASSERT_TRUE(ece.ok());
+  EXPECT_NEAR(*ece, 0.0, 1e-12);
+}
+
+TEST(EceFromBinnedSumsTest, EmptyBinsAreSkipped) {
+  auto ece = EceFromBinnedSums({0, 10}, {123.0, 5.0}, {0, 5});
+  ASSERT_TRUE(ece.ok());
+  EXPECT_NEAR(*ece, 0.0, 1e-12);  // non-empty bin is perfectly calibrated
+}
+
+TEST(EceFromBinnedSumsTest, RejectsBadInputs) {
+  EXPECT_FALSE(EceFromBinnedSums({}, {}, {}).ok());
+  EXPECT_FALSE(EceFromBinnedSums({1, 1}, {0.5}, {0, 0}).ok());
+  EXPECT_FALSE(EceFromBinnedSums({0, 0}, {0.0, 0.0}, {0, 0}).ok());
+  EXPECT_FALSE(EceFromBinnedSums({1}, {0.5}, {2}).ok());  // pos > count
+}
+
+}  // namespace
+}  // namespace lightmirm::metrics

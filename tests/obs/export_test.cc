@@ -112,5 +112,103 @@ TEST(WriteTelemetryFileTest, UnwritablePathFails) {
       WriteTelemetryFile(registry, "/nonexistent-dir/telemetry.json").ok());
 }
 
+TEST(PromFormatTest, MetricNameGrammar) {
+  EXPECT_TRUE(IsValidPromMetricName("lightmirm_requests"));
+  EXPECT_TRUE(IsValidPromMetricName("a_b:c9"));
+  EXPECT_TRUE(IsValidPromMetricName("_leading_underscore"));
+  EXPECT_FALSE(IsValidPromMetricName(""));
+  EXPECT_FALSE(IsValidPromMetricName("9starts_with_digit"));
+  EXPECT_FALSE(IsValidPromMetricName("has space"));
+  EXPECT_FALSE(IsValidPromMetricName("has.dot"));
+  EXPECT_FALSE(IsValidPromMetricName("newline\ninjection 1"));
+}
+
+TEST(PromFormatTest, EscapesHostileLabelValues) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PromEscapeLabelValue("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(PromEscapeLabelValue("new\nline"), "new\\nline");
+}
+
+// A label value carrying every hostile character renders as one valid
+// exposition line: the quote, backslash and newline cannot break out of
+// the quoted label value.
+TEST(PromSampleLineTest, GoldenWithHostileLabel) {
+  auto line = PromSampleLine("monitor.env.psi",
+                             {{"province", "He\"nan\\\n"}}, 0.25);
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(*line,
+            "lightmirm_monitor_env_psi{province=\"He\\\"nan\\\\\\n\"} "
+            "0.25\n");
+}
+
+TEST(PromSampleLineTest, NoLabelsAndNameMapping) {
+  auto line = PromSampleLine("serve.batch.seconds", {}, 2.0);
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(*line, "lightmirm_serve_batch_seconds 2\n");
+}
+
+TEST(PromSampleLineTest, RejectsInvalidLabelNames) {
+  EXPECT_FALSE(PromSampleLine("m", {{"bad name", "v"}}, 1.0).ok());
+  EXPECT_FALSE(PromSampleLine("m", {{"9lead", "v"}}, 1.0).ok());
+  EXPECT_FALSE(PromSampleLine("m", {{"", "v"}}, 1.0).ok());
+  EXPECT_FALSE(PromSampleLine("m", {{"inj\"ect", "v"}}, 1.0).ok());
+}
+
+TEST(ChromeTraceTest, ExportGolden) {
+  const std::vector<TraceEvent> events = {
+      {"train.epoch", 1.5, 200.25, 0},
+      {"serve\"batch", 3.0, 10.0, 1},  // hostile span name gets escaped
+  };
+  EXPECT_EQ(ExportChromeTrace(events),
+            "{\"traceEvents\": [\n"
+            "  {\"ph\": \"X\", \"name\": \"train.epoch\", \"pid\": 1, "
+            "\"tid\": 0, \"ts\": 1.5, \"dur\": 200.25},\n"
+            "  {\"ph\": \"X\", \"name\": \"serve\\\"batch\", \"pid\": 1, "
+            "\"tid\": 1, \"ts\": 3, \"dur\": 10}\n"
+            "], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST(ChromeTraceTest, EmptyEventListIsValidDocument) {
+  EXPECT_EQ(ExportChromeTrace({}),
+            "{\"traceEvents\": [\n], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST(ChromeTraceTest, RecordingCapturesNestedSpans) {
+  MetricsRegistry registry;
+  SetTraceRecordingEnabled(true);
+  {
+    TraceSpan outer(&registry, "outer");
+    { TraceSpan inner(&registry, "inner"); }
+  }
+  const std::vector<TraceEvent> events = RecordedTraceEvents();
+  SetTraceRecordingEnabled(false);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "outer.inner");  // inner closes first
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);  // inner starts after outer
+  EXPECT_GE(events[1].dur_us, events[0].dur_us);
+  // Re-enabling restarts the buffer and the relative clock.
+  SetTraceRecordingEnabled(true);
+  EXPECT_TRUE(RecordedTraceEvents().empty());
+  SetTraceRecordingEnabled(false);
+}
+
+TEST(ChromeTraceTest, DisabledRecordingCapturesNothing) {
+  MetricsRegistry registry;
+  SetTraceRecordingEnabled(true);
+  SetTraceRecordingEnabled(false);
+  { TraceSpan span(&registry, "quiet"); }
+  EXPECT_TRUE(RecordedTraceEvents().empty());
+}
+
+TEST(ChromeTraceTest, WritesTraceFile) {
+  const std::string path = ::testing::TempDir() + "trace_test.json";
+  const std::vector<TraceEvent> events = {{"span", 0.0, 1.0, 0}};
+  ASSERT_TRUE(WriteChromeTraceFile(events, path).ok());
+  EXPECT_EQ(ReadFile(path), ExportChromeTrace(events));
+  EXPECT_FALSE(WriteChromeTraceFile(events, "/nonexistent-dir/t.json").ok());
+}
+
 }  // namespace
 }  // namespace lightmirm::obs
