@@ -130,6 +130,7 @@ int main(int argc, char** argv) {
   json += StrFormat("  \"seed\": %llu,\n",
                     static_cast<unsigned long long>(gen.seed));
   json += StrFormat("  \"trees\": %d,\n", options.booster.num_trees);
+  json += HardwareJsonFields();
   json += "  \"periods\": [\n" + period_json + "\n  ],\n";
   json += StrFormat("  \"stationary_worst\": \"%s\",\n",
                     obs::AlertStateName(stationary_worst));

@@ -1,9 +1,22 @@
-// Serving throughput: legacy encode-then-dot inference (materialize the
-// §III-C multi-hot FeatureMatrix, then sparse-dot the LR weights) vs the
-// compiled zero-allocation path (serve::CompiledForest + ScoringSession).
-// Sweeps thread counts, reports rows/sec, verifies the two paths are
-// bit-identical, and writes BENCH_serving.json.
+// Serving throughput, v2: three scoring kernels head-to-head.
+//
+//   legacy  — encode-then-dot inference (materialize the §III-C multi-hot
+//             FeatureMatrix, then sparse-dot the LR weights)
+//   scalar  — compiled zero-allocation path (serve::CompiledForest +
+//             ScoringSession) with the SIMD dispatcher pinned to scalar
+//   simd    — the AVX2 quantized-forest kernel (serve::QuantizedForest +
+//             8-lane gather descent), when the CPU supports it
+//
+// Sweeps thread counts, reports rows/sec per kernel, measures p50/p95
+// per-batch latency, verifies all kernels are bit-identical, and writes
+// BENCH_serving.json (bench_version 2, with hardware metadata).
+//
+// Regression gate (CI): pass baseline=BENCH_serving.json to compare the
+// single-thread SIMD rows/sec against the committed artifact; the bench
+// exits 2 when it regresses more than max_regress_pct (default 10).
 #include <algorithm>
+#include <cmath>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/string_util.h"
@@ -12,6 +25,7 @@
 #include "data/loan_generator.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "serve/simd_dispatch.h"
 
 using namespace lightmirm;
 using namespace lightmirm::bench;
@@ -37,12 +51,49 @@ PathTiming Measure(size_t rows, int warmup, int iters, const Fn& fn) {
   return timing;
 }
 
+struct LatencyStats {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+double PercentileMs(std::vector<double>* seconds, double q) {
+  std::sort(seconds->begin(), seconds->end());
+  const size_t n = seconds->size();
+  if (n == 0) return 0.0;
+  const size_t idx = std::min(
+      n - 1, static_cast<size_t>(q * static_cast<double>(n - 1) + 0.5));
+  return (*seconds)[idx] * 1e3;
+}
+
+/// Times `score(batch)` for every batch, `iters` passes over all batches,
+/// and reports the p50/p95 of the pooled per-batch wall times.
+template <typename Fn>
+LatencyStats MeasureLatency(size_t num_batches, int warmup, int iters,
+                            const Fn& score) {
+  for (int i = 0; i < warmup; ++i) {
+    for (size_t b = 0; b < num_batches; ++b) score(b);
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(iters) * num_batches);
+  for (int i = 0; i < iters; ++i) {
+    for (size_t b = 0; b < num_batches; ++b) {
+      WallTimer watch;
+      score(b);
+      samples.push_back(watch.Seconds());
+    }
+  }
+  LatencyStats stats;
+  stats.p50_ms = PercentileMs(&samples, 0.50);
+  stats.p95_ms = PercentileMs(&samples, 0.95);
+  return stats;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const ConfigMap cfg = ParseArgs(argc, argv);
-  Banner("Serving throughput",
-         "legacy encode-then-dot vs compiled fused scorer");
+  Banner("Serving throughput v2",
+         "legacy encode-then-dot vs compiled scalar vs AVX2 quantized");
 
   data::LoanGeneratorOptions gen;
   gen.rows_per_year = static_cast<int>(cfg.GetInt("rows_per_year", 4000));
@@ -53,6 +104,15 @@ int main(int argc, char** argv) {
   options.trainer.epochs = static_cast<int>(cfg.GetInt("epochs", 20));
   const int warmup = static_cast<int>(cfg.GetInt("warmup", 2));
   const int iters = static_cast<int>(cfg.GetInt("iters", 15));
+  const size_t batch_rows =
+      static_cast<size_t>(cfg.GetInt("batch_rows", 4096));
+
+  const bool have_simd =
+      serve::DetectedSimdLevel() == serve::SimdLevel::kAvx2;
+  std::printf("cpu: %s\n", serve::CpuModelName().c_str());
+  std::printf("simd: %s (detected), hardware threads: %d\n\n",
+              serve::SimdLevelName(serve::DetectedSimdLevel()),
+              HardwareThreads());
 
   const data::Dataset dataset =
       Unwrap(data::LoanGenerator(gen).Generate(), "generating dataset");
@@ -65,33 +125,49 @@ int main(int argc, char** argv) {
       "training model");
   const auto session = model.scoring_session();
   const auto forest = model.compiled_forest();
-  std::printf("compiled forest: %zu nodes, %zu LR columns\n\n",
-              forest->num_nodes(), forest->num_columns());
+  const auto& quantized = session->quantized_forest();
+  std::printf("compiled forest: %zu nodes, %zu LR columns, %zu tiles\n\n",
+              forest->num_nodes(), forest->num_columns(),
+              quantized.num_tiles());
 
-  // One-time equivalence check before timing anything.
+  // One-time equivalence check across every kernel before timing anything.
   const std::vector<double> legacy_scores = [&] {
     const linear::FeatureMatrix encoded =
         Unwrap(model.EncodeFeatures(dataset), "encoding dataset");
     return model.predictor().Predict(encoded, &dataset.envs());
   }();
-  const std::vector<double> compiled_scores = Unwrap(
-      session->Score(dataset.features(), &dataset.envs()), "scoring");
-  if (legacy_scores != compiled_scores) {
-    std::fprintf(stderr, "FATAL: compiled scores diverge from legacy\n");
+  const std::vector<double> scalar_scores = [&] {
+    serve::ScopedSimdLevel pin(serve::SimdLevel::kScalar);
+    return Unwrap(session->Score(dataset.features(), &dataset.envs()),
+                  "scalar scoring");
+  }();
+  if (legacy_scores != scalar_scores) {
+    std::fprintf(stderr, "FATAL: scalar compiled scores diverge\n");
     return 1;
   }
-  std::printf("compiled scores bit-identical to legacy: yes\n\n");
+  if (have_simd) {
+    serve::ScopedSimdLevel pin(serve::SimdLevel::kAvx2);
+    const std::vector<double> simd_scores = Unwrap(
+        session->Score(dataset.features(), &dataset.envs()),
+        "simd scoring");
+    if (simd_scores != legacy_scores) {
+      std::fprintf(stderr, "FATAL: SIMD scores diverge from legacy\n");
+      return 1;
+    }
+  }
+  std::printf("all kernels bit-identical to legacy: yes\n\n");
 
   struct SweepPoint {
     int threads;
     PathTiming legacy;
-    PathTiming compiled;
+    PathTiming scalar;
+    PathTiming simd;
   };
   const std::vector<int> sweep =
-      ParseThreadList(cfg.GetString("sweep", "1,2,4"));
+      ParseThreadList(cfg.GetString("sweep", "1,2,4,8"));
   std::vector<SweepPoint> points;
-  std::printf("%-8s %16s %16s %10s\n", "threads", "legacy rows/s",
-              "compiled rows/s", "speedup");
+  std::printf("%-8s %14s %14s %14s %12s\n", "threads", "legacy r/s",
+              "scalar r/s", "simd r/s", "simd/scalar");
   std::vector<double> out;
   for (int t : sweep) {
     ScopedDefaultThreads guard(t);
@@ -101,46 +177,125 @@ int main(int argc, char** argv) {
       const linear::FeatureMatrix encoded = *model.EncodeFeatures(dataset);
       out = model.predictor().Predict(encoded, &dataset.envs());
     });
-    point.compiled = Measure(dataset.NumRows(), warmup, iters, [&] {
-      Check(session->Score(dataset.features(), &dataset.envs(), &out),
-            "compiled scoring");
-    });
+    {
+      serve::ScopedSimdLevel pin(serve::SimdLevel::kScalar);
+      point.scalar = Measure(dataset.NumRows(), warmup, iters, [&] {
+        Check(session->Score(dataset.features(), &dataset.envs(), &out),
+              "scalar scoring");
+      });
+    }
+    if (have_simd) {
+      serve::ScopedSimdLevel pin(serve::SimdLevel::kAvx2);
+      point.simd = Measure(dataset.NumRows(), warmup, iters, [&] {
+        Check(session->Score(dataset.features(), &dataset.envs(), &out),
+              "simd scoring");
+      });
+    }
     points.push_back(point);
-    std::printf("%-8d %16.0f %16.0f %9.2fx\n", t,
-                point.legacy.rows_per_sec, point.compiled.rows_per_sec,
-                point.compiled.rows_per_sec / point.legacy.rows_per_sec);
+    std::printf("%-8d %14.0f %14.0f %14.0f %11.2fx\n", t,
+                point.legacy.rows_per_sec, point.scalar.rows_per_sec,
+                point.simd.rows_per_sec,
+                have_simd ? point.simd.rows_per_sec /
+                                point.scalar.rows_per_sec
+                          : 0.0);
   }
 
-  const double single_thread_speedup =
+  // Per-batch latency at production batch size, single-threaded: the tail
+  // a serving replica actually exposes.
+  std::vector<Matrix> batches;
+  std::vector<std::vector<int>> batch_envs;
+  for (size_t begin = 0; begin < dataset.NumRows(); begin += batch_rows) {
+    const size_t n = std::min(batch_rows, dataset.NumRows() - begin);
+    Matrix slice(n, dataset.NumFeatures());
+    std::vector<int> envs(n);
+    for (size_t r = 0; r < n; ++r) {
+      const double* src = dataset.features().Row(begin + r);
+      std::copy(src, src + dataset.NumFeatures(), slice.Row(r));
+      envs[r] = dataset.envs()[begin + r];
+    }
+    batches.push_back(std::move(slice));
+    batch_envs.push_back(std::move(envs));
+  }
+  LatencyStats scalar_latency;
+  LatencyStats simd_latency;
+  {
+    ScopedDefaultThreads guard(1);
+    const auto score_batch = [&](size_t b) {
+      Check(session->Score(batches[b], &batch_envs[b], &out),
+            "latency scoring");
+    };
+    {
+      serve::ScopedSimdLevel pin(serve::SimdLevel::kScalar);
+      scalar_latency =
+          MeasureLatency(batches.size(), warmup, iters, score_batch);
+    }
+    if (have_simd) {
+      serve::ScopedSimdLevel pin(serve::SimdLevel::kAvx2);
+      simd_latency =
+          MeasureLatency(batches.size(), warmup, iters, score_batch);
+    }
+  }
+  std::printf("\nper-batch latency (%zu rows, 1 thread): "
+              "scalar p50 %.3f ms p95 %.3f ms | simd p50 %.3f ms "
+              "p95 %.3f ms\n",
+              batch_rows, scalar_latency.p50_ms, scalar_latency.p95_ms,
+              simd_latency.p50_ms, simd_latency.p95_ms);
+
+  const double scalar_vs_legacy =
       points.empty() ? 0.0
-                     : points.front().compiled.rows_per_sec /
+                     : points.front().scalar.rows_per_sec /
                            points.front().legacy.rows_per_sec;
-  std::printf("\nsingle-thread compiled speedup over legacy: %.2fx "
-              "(target: >= 2x)\n",
-              single_thread_speedup);
+  const double simd_vs_scalar =
+      (points.empty() || !have_simd)
+          ? 0.0
+          : points.front().simd.rows_per_sec /
+                points.front().scalar.rows_per_sec;
+  const double simd_single_thread =
+      points.empty() ? 0.0 : points.front().simd.rows_per_sec;
+  std::printf("\nsingle-thread: scalar %.2fx over legacy, simd %.2fx over "
+              "scalar (target: >= 1.5x)\n",
+              scalar_vs_legacy, simd_vs_scalar);
 
   std::string json = "{\n";
+  json += "  \"bench_version\": 2,\n";
   json += StrFormat("  \"rows\": %zu,\n", dataset.NumRows());
   json += StrFormat("  \"features\": %zu,\n", dataset.NumFeatures());
   json += StrFormat("  \"trees\": %d,\n", options.booster.num_trees);
   json += StrFormat("  \"compiled_nodes\": %zu,\n", forest->num_nodes());
   json += StrFormat("  \"lr_columns\": %zu,\n", forest->num_columns());
-  json += StrFormat("  \"hardware_threads\": %d,\n", HardwareThreads());
+  json += StrFormat("  \"quantized_tiles\": %zu,\n",
+                    quantized.num_tiles());
+  json += HardwareJsonFields();
+  json += StrFormat("  \"simd_available\": %s,\n",
+                    have_simd ? "true" : "false");
   json += StrFormat("  \"iters\": %d,\n", iters);
   json += "  \"bit_identical\": true,\n";
   json += "  \"sweep\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     json += StrFormat(
         "    {\"threads\": %d, \"legacy_rows_per_sec\": %.1f, "
-        "\"compiled_rows_per_sec\": %.1f, \"speedup\": %.4f}%s\n",
+        "\"scalar_rows_per_sec\": %.1f, \"simd_rows_per_sec\": %.1f, "
+        "\"simd_vs_scalar\": %.4f}%s\n",
         points[i].threads, points[i].legacy.rows_per_sec,
-        points[i].compiled.rows_per_sec,
-        points[i].compiled.rows_per_sec / points[i].legacy.rows_per_sec,
+        points[i].scalar.rows_per_sec, points[i].simd.rows_per_sec,
+        have_simd
+            ? points[i].simd.rows_per_sec / points[i].scalar.rows_per_sec
+            : 0.0,
         i + 1 < points.size() ? "," : "");
   }
   json += "  ],\n";
-  json += StrFormat("  \"single_thread_speedup\": %.4f\n",
-                    single_thread_speedup);
+  json += StrFormat("  \"latency_batch_rows\": %zu,\n", batch_rows);
+  json += StrFormat(
+      "  \"latency_ms\": {\"scalar_p50\": %.4f, \"scalar_p95\": %.4f, "
+      "\"simd_p50\": %.4f, \"simd_p95\": %.4f},\n",
+      scalar_latency.p50_ms, scalar_latency.p95_ms, simd_latency.p50_ms,
+      simd_latency.p95_ms);
+  json += StrFormat("  \"single_thread_scalar_vs_legacy\": %.4f,\n",
+                    scalar_vs_legacy);
+  json += StrFormat("  \"single_thread_simd_vs_scalar\": %.4f,\n",
+                    simd_vs_scalar);
+  json += StrFormat("  \"simd_single_thread_rows_per_sec\": %.1f\n",
+                    simd_single_thread);
   json += "}\n";
   const std::string json_path =
       cfg.GetString("json_out", "BENCH_serving.json");
@@ -155,6 +310,44 @@ int main(int argc, char** argv) {
                                   telemetry_out),
           "writing telemetry");
     std::printf("wrote %s\n", telemetry_out.c_str());
+  }
+
+  // CI regression gate: compare against a committed baseline artifact.
+  const std::string baseline_path = cfg.GetString("baseline", "");
+  if (!baseline_path.empty()) {
+    const double max_regress_pct = cfg.GetDouble("max_regress_pct", 10.0);
+    const std::string baseline = ReadTextFileOrEmpty(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "FATAL: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    double base = ExtractJsonNumber(baseline,
+                                    "simd_single_thread_rows_per_sec");
+    if (std::isnan(base)) {
+      // v1 artifacts only carried the compiled scalar number.
+      base = ExtractJsonNumber(baseline, "compiled_rows_per_sec");
+    }
+    const double current = have_simd
+                               ? simd_single_thread
+                               : (points.empty()
+                                      ? 0.0
+                                      : points.front().scalar.rows_per_sec);
+    if (std::isnan(base) || base <= 0.0) {
+      std::printf("baseline %s has no throughput key; gate skipped\n",
+                  baseline_path.c_str());
+    } else if (current < base * (1.0 - max_regress_pct / 100.0)) {
+      std::fprintf(stderr,
+                   "FATAL: serving throughput regressed: %.0f rows/s vs "
+                   "baseline %.0f (-%.1f%% > %.1f%% allowed)\n",
+                   current, base, (1.0 - current / base) * 100.0,
+                   max_regress_pct);
+      return 2;
+    } else {
+      std::printf("regression gate: %.0f rows/s vs baseline %.0f "
+                  "(%+.1f%%) — OK\n",
+                  current, base, (current / base - 1.0) * 100.0);
+    }
   }
   return 0;
 }

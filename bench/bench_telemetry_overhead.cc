@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
   json += StrFormat("  \"epochs\": %d,\n", config.model.trainer.epochs);
   json += StrFormat("  \"iters\": %d,\n", iters);
   json += StrFormat("  \"serve_iters\": %d,\n", serve_iters);
-  json += StrFormat("  \"hardware_threads\": %d,\n", HardwareThreads());
+  json += HardwareJsonFields();
   json += StrFormat(
       "  \"training\": {\"enabled_seconds\": %.6f, "
       "\"disabled_seconds\": %.6f, \"overhead_percent\": %.4f},\n",

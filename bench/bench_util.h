@@ -5,14 +5,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "serve/simd_dispatch.h"
 
 namespace lightmirm::bench {
 
@@ -86,6 +89,46 @@ inline std::string JsonEscape(const std::string& s) {
     }
   }
   return out;
+}
+
+/// JSON fields (indented two spaces, trailing comma) recording the machine
+/// a serving/monitor bench artifact was measured on: the real hardware
+/// concurrency, the CPU model string, and the SIMD level the serving
+/// dispatcher selected. Every serving/monitor artifact embeds these so a
+/// number can always be traced back to its hardware.
+inline std::string HardwareJsonFields() {
+  return StrFormat(
+      "  \"hardware_threads\": %d,\n"
+      "  \"cpu_model\": \"%s\",\n"
+      "  \"simd_level\": \"%s\",\n",
+      HardwareThreads(), JsonEscape(serve::CpuModelName()).c_str(),
+      serve::SimdLevelName(serve::ActiveSimdLevel()));
+}
+
+/// Reads a whole text file; empty string when missing/unreadable.
+inline std::string ReadTextFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "";
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+/// Extracts the first number following `"key":` in a JSON text; NaN when
+/// the key is absent. Enough JSON for the flat bench artifacts.
+inline double ExtractJsonNumber(const std::string& text,
+                                const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
 }
 
 /// Writes `text` to `path`; prints a warning (and returns false) on failure

@@ -2,11 +2,27 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <memory>
 
 #include "common/string_util.h"
 
 namespace lightmirm::gbdt {
+
+float QuantizeThreshold(double threshold) {
+  if (std::isnan(threshold)) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  // Round to nearest, then step down while the float image still sits
+  // strictly above the double threshold (one step suffices: nearest is at
+  // most half a float ULP away).
+  float f = static_cast<float>(threshold);
+  if (static_cast<double>(f) > threshold) {
+    f = std::nextafterf(f, -std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
 
 Tree::Tree(std::vector<TreeNode> nodes) : nodes_(std::move(nodes)) {
   for (const TreeNode& n : nodes_) {

@@ -49,6 +49,19 @@ class Tree {
   int max_feature_index_ = -1;
 };
 
+/// Largest float f with (double)f <= value: the tie-preserving float image
+/// of a double. This is the export hook the quantized serving engine
+/// (serve::QuantizedForest) builds on, applied to BOTH sides of every
+/// split: for any float x, `x <= QuantizeThreshold(t)` equals
+/// `(double)x <= t`, so when the feature plane is rounded with the same
+/// function, a feature that exactly equals a training split (bin bounds
+/// are observed feature values, so serving ties are common) lands on the
+/// quantized threshold and still goes left, and every float-representable
+/// feature decides exactly as the double descent would. NaN maps to NaN
+/// (goes right on both sides); values beyond float range clamp to
+/// ±FLT_MAX / ±inf without changing any preserved comparison.
+float QuantizeThreshold(double value);
+
 /// Leaf-wise growth parameters.
 struct TreeLearnerOptions {
   int max_leaves = 31;

@@ -106,6 +106,17 @@ class CompiledForest {
     return acc;
   }
 
+  /// Raw SoA views for downstream compilers (serve::QuantizedForest
+  /// re-packs these into a float, cache-blocked layout). Children of node i
+  /// are left()[i]/right()[i]; leaves self-loop (left == right == i).
+  const std::vector<int32_t>& roots() const { return roots_; }
+  const std::vector<int32_t>& depths() const { return depths_; }
+  const std::vector<int32_t>& feature() const { return feature_; }
+  const std::vector<double>& threshold() const { return threshold_; }
+  const std::vector<int32_t>& left() const { return left_; }
+  const std::vector<int32_t>& right() const { return right_; }
+  const std::vector<uint32_t>& leaf_col() const { return leaf_col_; }
+
  private:
   std::vector<int32_t> roots_;     ///< global index of each tree's root
   std::vector<int32_t> depths_;    ///< max root-to-leaf edge count per tree

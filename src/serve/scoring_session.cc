@@ -4,6 +4,8 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "gbdt/tree.h"
+#include "serve/simd_kernel.h"
 
 namespace lightmirm::serve {
 namespace {
@@ -72,6 +74,89 @@ void ScoreBlockwisePerRow(const CompiledForest& forest, const Matrix& raw,
   }
 }
 
+// SIMD form of ScoreBlockwiseGlobal: rows come from the float feature
+// plane (stride floats per row). Forests whose trees all fit the 32-bit
+// leaf masks take the bitvector evaluation (no per-level gather chains);
+// wider trees fall back to the lane-group gather descent, where each
+// 64-row block runs through the quantized forest tile by tile so one
+// tile's nodes stay L1-hot across the whole block. Either way the
+// accumulation visits trees in increasing order, so scores match the
+// scalar paths bit for bit.
+void ScoreBlockwiseSimdGlobal(const QuantizedForest& forest,
+                              const float* plane, size_t stride,
+                              size_t begin, size_t end, const double* w,
+                              size_t cols, double* out) {
+  const double bias = w[cols];
+  double acc[kBlock];
+  for (size_t r0 = begin; r0 < end; r0 += kBlock) {
+    const size_t n = std::min(kBlock, end - r0);
+    std::fill(acc, acc + n, 0.0);
+    if (forest.bitvector_ready()) {
+      Avx2BitvectorAccumulateBlock(forest, plane + r0 * stride, stride, n,
+                                   w, acc);
+    } else {
+      for (size_t k = 0; k < forest.num_tiles(); ++k) {
+        Avx2AccumulateBlock(forest, forest.tile_tree_begin(k),
+                            forest.tile_tree_end(k), plane + r0 * stride,
+                            stride, n, w, acc);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[r0 + i] = linear::Sigmoid(acc[i] + bias);
+    }
+  }
+}
+
+void ScoreBlockwiseSimdPerRow(const QuantizedForest& forest,
+                              const float* plane, size_t stride,
+                              size_t begin, size_t end,
+                              const double* const* tables, size_t cols,
+                              double* out) {
+  double acc[kBlock];
+  for (size_t r0 = begin; r0 < end; r0 += kBlock) {
+    const size_t n = std::min(kBlock, end - r0);
+    const double* const* tab = tables + (r0 - begin);
+    std::fill(acc, acc + n, 0.0);
+    if (forest.bitvector_ready()) {
+      Avx2BitvectorAccumulateBlockPerRow(forest, plane + r0 * stride,
+                                         stride, n, tab, acc);
+    } else {
+      for (size_t k = 0; k < forest.num_tiles(); ++k) {
+        Avx2AccumulateBlockPerRow(forest, forest.tile_tree_begin(k),
+                                  forest.tile_tree_end(k),
+                                  plane + r0 * stride, stride, n, tab, acc);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[r0 + i] = linear::Sigmoid(acc[i] + tab[i][cols]);
+    }
+  }
+}
+
+// Float image of the batch, restricted to the columns the forest actually
+// reads. Cells are rounded with gbdt::QuantizeThreshold — the same
+// largest-float-below rounding the node thresholds get — so a feature that
+// exactly equals a split threshold (the common case here: bin bounds are
+// observed training values) lands on the quantized threshold and still
+// goes left, and every float-representable value decides exactly as the
+// double descent would (DESIGN.md §11). The buffer is thread-local so
+// steady-state scoring stays allocation-free: repeated batches on one
+// caller thread reuse its capacity, concurrent callers each get their own
+// plane, and the pool workers only ever read it.
+const float* ConvertPlane(const Matrix& raw, size_t stride) {
+  static thread_local std::vector<float> plane;
+  plane.resize(raw.rows() * stride);
+  float* data = plane.data();
+  ParallelForShards(0, raw.rows(), kRowGrain,
+                    [&](size_t, size_t begin, size_t end) {
+                      for (size_t r = begin; r < end; ++r) {
+                        Avx2QuantizeCells(raw.Row(r), data + r * stride,
+                                          stride);
+                      }
+                    });
+  return data;
+}
+
 }  // namespace
 
 Result<ScoringSession> ScoringSession::Create(
@@ -97,6 +182,10 @@ Result<ScoringSession> ScoringSession::Create(
   }
   ScoringSession session;
   session.forest_ = std::move(forest);
+  LIGHTMIRM_ASSIGN_OR_RETURN(QuantizedForest quantized,
+                             QuantizedForest::Build(*session.forest_));
+  session.quantized_ =
+      std::make_shared<const QuantizedForest>(std::move(quantized));
   session.monitor_slot_ = std::make_shared<MonitorSlot>();
   session.global_ = predictor.global.params();
   for (const auto& [env, model] : predictor.per_env) {
@@ -117,13 +206,26 @@ Result<ScoringSession> ScoringSession::Create(
   return session;
 }
 
+std::optional<BatchWidthError> ScoringSession::CheckBatchWidth(
+    const Matrix& raw) const {
+  if (raw.cols() >= forest_->min_feature_count()) return std::nullopt;
+  BatchWidthError error;
+  error.row = 0;  // row-major batches are uniform: every row is too narrow
+  error.actual_width = raw.cols();
+  error.expected_width = forest_->min_feature_count();
+  return error;
+}
+
 Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
                              std::vector<double>* out) const {
   if (out == nullptr) return Status::InvalidArgument("out must be non-null");
-  if (raw.cols() < forest_->min_feature_count()) {
+  // One width check per batch — every per-block kernel below relies on it.
+  if (const std::optional<BatchWidthError> width = CheckBatchWidth(raw)) {
     return Status::InvalidArgument(
-        StrFormat("matrix has %zu columns but the forest reads feature %zu",
-                  raw.cols(), forest_->min_feature_count() - 1));
+        StrFormat("batch row %zu has %zu features but the forest needs %zu "
+                  "(reads feature %zu)",
+                  width->row, width->actual_width, width->expected_width,
+                  width->expected_width - 1));
   }
   if (envs != nullptr && envs->size() != raw.rows()) {
     return Status::InvalidArgument(
@@ -133,13 +235,26 @@ Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
   WallTimer batch_watch;
   out->resize(raw.rows());
   const CompiledForest& forest = *forest_;
+  const QuantizedForest& quantized = *quantized_;
   const size_t cols = forest.num_columns();
+  const bool use_simd = ActiveSimdLevel() != SimdLevel::kScalar;
+  // The float plane is converted once per batch and shared by every shard
+  // and every tree — the scalar path instead re-reads the double rows tree
+  // by tree.
+  const size_t stride = quantized.min_feature_count();
+  const float* plane = use_simd ? ConvertPlane(raw, stride) : nullptr;
   if (envs == nullptr || env_tables_.empty()) {
     const double* w = global_.data();
     ParallelForShards(0, raw.rows(), kRowGrain,
                       [&](size_t, size_t begin, size_t end) {
-                        ScoreBlockwiseGlobal(forest, raw, begin, end, w, cols,
-                                             out->data());
+                        if (use_simd) {
+                          ScoreBlockwiseSimdGlobal(quantized, plane, stride,
+                                                   begin, end, w, cols,
+                                                   out->data());
+                        } else {
+                          ScoreBlockwiseGlobal(forest, raw, begin, end, w,
+                                               cols, out->data());
+                        }
                       });
     if (telemetry_.override_misses != nullptr && !env_tables_.empty()) {
       telemetry_.override_misses->Increment(raw.rows());
@@ -161,8 +276,13 @@ Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
             telemetry_.override_hits->Increment(hits);
             telemetry_.override_misses->Increment(end - begin - hits);
           }
-          ScoreBlockwisePerRow(forest, raw, begin, end, tab, cols,
-                               out->data());
+          if (use_simd) {
+            ScoreBlockwiseSimdPerRow(quantized, plane, stride, begin, end,
+                                     tab, cols, out->data());
+          } else {
+            ScoreBlockwisePerRow(forest, raw, begin, end, tab, cols,
+                                 out->data());
+          }
         });
   }
   if (telemetry_.batches != nullptr) {

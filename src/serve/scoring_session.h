@@ -2,15 +2,24 @@
 // three passes of the legacy inference path (leaf encoding into a sparse
 // FeatureMatrix, per-row sparse dot, sigmoid) into one traversal per row —
 // sigmoid(bias + Σ_t w[leaf_col(t, row)]) — with zero heap allocations in
-// steady state: the caller owns the output buffer and per-row work needs no
-// scratch. Batches shard across the process thread pool deterministically
-// (per-row outputs are disjoint), and the fine-tune baseline's per-env
-// weight overrides are honored exactly as TrainedPredictor::Predict does.
+// steady state: the caller owns the output buffer, per-row work needs no
+// scratch, and the SIMD path's float feature plane lives in a thread-local
+// buffer that is reused across batches. Batches shard across the process
+// thread pool deterministically (per-row outputs are disjoint), and the
+// fine-tune baseline's per-env weight overrides are honored exactly as
+// TrainedPredictor::Predict does.
+//
+// Kernel selection is per batch through serve/simd_dispatch.h: when the
+// active level is kAvx2 the batch is converted once into a row-major float
+// plane and walked by the quantized AVX2 kernel (simd_kernel.h); otherwise
+// the portable double-precision lockstep path runs. Both produce
+// bit-identical scores (the LR accumulation stays in double either way).
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/matrix.h"
@@ -19,9 +28,22 @@
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "serve/compiled_forest.h"
+#include "serve/quantized_forest.h"
+#include "serve/simd_dispatch.h"
 #include "train/trainer.h"
 
 namespace lightmirm::serve {
+
+/// Structured description of a batch/forest width mismatch: the first row
+/// whose width cannot satisfy the forest's feature reads, plus the widths
+/// involved. Row-major Matrix batches are uniform, so `row` is the first
+/// row of the batch; the struct keeps the contract explicit for future
+/// ragged batch sources.
+struct BatchWidthError {
+  size_t row = 0;
+  size_t actual_width = 0;
+  size_t expected_width = 0;
+};
 
 /// Batch scorer binding a compiled forest to trained LR weights.
 class ScoringSession {
@@ -33,7 +55,14 @@ class ScoringSession {
       const train::TrainedPredictor& predictor);
 
   const CompiledForest& forest() const { return *forest_; }
+  const QuantizedForest& quantized_forest() const { return *quantized_; }
   size_t num_env_overrides() const { return env_tables_.size(); }
+
+  /// Validates the batch width against the forest once per batch (hoisted
+  /// out of every per-block scoring loop). Returns the offending shape on
+  /// failure, std::nullopt when the batch is wide enough. Score() turns a
+  /// failure into the InvalidArgument its callers see.
+  std::optional<BatchWidthError> CheckBatchWidth(const Matrix& raw) const;
 
   /// Scores every row of `raw` into `out` (resized to raw.rows(); repeated
   /// calls with a same-sized batch reuse its capacity). Row i uses the
@@ -87,6 +116,7 @@ class ScoringSession {
   };
 
   std::shared_ptr<const CompiledForest> forest_;
+  std::shared_ptr<const QuantizedForest> quantized_;
   linear::ParamVec global_;
   std::map<int, linear::ParamVec> env_tables_;
   Telemetry telemetry_;

@@ -1,0 +1,95 @@
+#include "serve/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/simd_kernel.h"
+
+namespace lightmirm::serve {
+namespace {
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool ForceScalarFromEnv() {
+  const char* value = std::getenv("LIGHTMIRM_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+std::atomic<int>& ActiveLevelSlot() {
+  static std::atomic<int> level{static_cast<int>(
+      ForceScalarFromEnv() ? SimdLevel::kScalar : DetectedSimdLevel())};
+  return level;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel detected =
+      Avx2KernelAvailable() && CpuSupportsAvx2() ? SimdLevel::kAvx2
+                                                 : SimdLevel::kScalar;
+  return detected;
+}
+
+SimdLevel ActiveSimdLevel() {
+  return static_cast<SimdLevel>(
+      ActiveLevelSlot().load(std::memory_order_relaxed));
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  if (static_cast<int>(level) > static_cast<int>(DetectedSimdLevel())) {
+    level = DetectedSimdLevel();
+  }
+  ActiveLevelSlot().store(static_cast<int>(level),
+                          std::memory_order_relaxed);
+  return level;
+}
+
+std::string CpuModelName() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f != nullptr) {
+    char line[512];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "model name", 10) == 0) {
+        const char* colon = std::strchr(line, ':');
+        if (colon != nullptr) {
+          std::string name(colon + 1);
+          while (!name.empty() && (name.front() == ' ' || name.front() == '\t')) {
+            name.erase(name.begin());
+          }
+          while (!name.empty() &&
+                 (name.back() == '\n' || name.back() == ' ')) {
+            name.pop_back();
+          }
+          std::fclose(f);
+          if (!name.empty()) return name;
+          break;
+        }
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace lightmirm::serve

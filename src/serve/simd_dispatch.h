@@ -1,0 +1,59 @@
+// Runtime CPU dispatch for the serving kernels. The AVX2 scoring kernel
+// lives in its own translation unit (simd_kernel.cc, compiled with -mavx2);
+// everything else in the binary is built for the baseline ISA, so whether
+// the vector kernel may run is a runtime question: the build must contain
+// it, the CPU must report AVX2, and the operator must not have forced the
+// portable path (LIGHTMIRM_FORCE_SCALAR=1). ScoringSession consults
+// ActiveSimdLevel() per batch; benches and tests pin levels explicitly to
+// compare kernels on the same machine.
+#pragma once
+
+#include <string>
+
+namespace lightmirm::serve {
+
+/// Kernel tiers, ordered by preference. kScalar is the portable lockstep
+/// double-precision descent (CompiledForest::LeafColumnsBlock); kAvx2 is
+/// the quantized 8-lane gather kernel (simd_kernel.h).
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Display name: "scalar" / "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// Best level this build + this CPU can run (ignores the environment
+/// override and any SetSimdLevel call). Computed once.
+SimdLevel DetectedSimdLevel();
+
+/// Level the scoring path currently selects. Starts at DetectedSimdLevel(),
+/// demoted to kScalar when LIGHTMIRM_FORCE_SCALAR is set to anything but
+/// "0" or empty in the environment at first use.
+SimdLevel ActiveSimdLevel();
+
+/// Overrides the active level, clamped to DetectedSimdLevel() (requesting
+/// kAvx2 on a scalar-only machine stays scalar). Returns the level actually
+/// now active. Thread-safe; intended for benches and tests.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+/// RAII level pin for bench sweeps and tests.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : prev_(ActiveSimdLevel()) {
+    SetSimdLevel(level);
+  }
+  ~ScopedSimdLevel() { SetSimdLevel(prev_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel prev_;
+};
+
+/// Human-readable CPU model ("model name" from /proc/cpuinfo on Linux;
+/// "unknown" elsewhere). Recorded in bench artifacts so throughput numbers
+/// carry the hardware they were measured on.
+std::string CpuModelName();
+
+}  // namespace lightmirm::serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/rng.h"
@@ -155,6 +157,28 @@ TEST(GrowTreeTest, FeatureFractionLimitsFeatures) {
     if (!node.is_leaf) used.insert(node.feature);
   }
   EXPECT_LE(used.size(), 1u);
+}
+
+TEST(QuantizeThresholdTest, FloatCompareMatchesDoubleCompareForFloats) {
+  // The serving contract: for every float x and double threshold t,
+  // x <= QuantizeThreshold(t) in float must equal (double)x <= t.
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const double t = rng.Normal() * std::pow(10.0, rng.Uniform(-4, 4));
+    const float qt = QuantizeThreshold(t);
+    // Probe floats bracketing the threshold, including the quantized value
+    // itself and its neighbors.
+    const float probes[] = {
+        qt,
+        std::nextafterf(qt, std::numeric_limits<float>::infinity()),
+        std::nextafterf(qt, -std::numeric_limits<float>::infinity()),
+        static_cast<float>(t),
+        static_cast<float>(rng.Normal())};
+    for (const float x : probes) {
+      EXPECT_EQ(x <= qt, static_cast<double>(x) <= t)
+          << "x=" << x << " t=" << t;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,456 @@
+// QuantizedForest + AVX2 kernel coverage: layout invariants (BFS level
+// grouping, tree tiling, interleaved kids), the tie-preserving float
+// threshold rounding, quantized-vs-double leaf agreement on trained
+// boosters, and the randomized SIMD-vs-scalar bit-identity property test
+// over adversarial inputs (NaN / ±inf features, thresholds parked exactly
+// on float rounding boundaries).
+#include "serve/quantized_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/rng.h"
+#include "gbdt/tree.h"
+#include "serve/simd_dispatch.h"
+#include "serve/simd_kernel.h"
+
+namespace lightmirm::serve {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+gbdt::Booster TrainSmallBooster(Matrix* raw_out) {
+  Rng rng(77);
+  const size_t rows = 1500, cols = 6;
+  Matrix raw(rows, cols);
+  std::vector<int> labels(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) raw.At(r, c) = rng.Normal();
+    labels[r] = rng.Bernoulli(0.3 + 0.4 * (raw.At(r, 1) > 0.0)) ? 1 : 0;
+  }
+  gbdt::BoosterOptions options;
+  options.num_trees = 24;
+  options.tree.max_leaves = 8;
+  gbdt::Booster booster = *gbdt::Booster::Train(raw, labels, options);
+  if (raw_out != nullptr) *raw_out = std::move(raw);
+  return booster;
+}
+
+// Depth of every node measured down from its tree root via the kids array.
+std::vector<int32_t> NodeDepths(const QuantizedForest& q) {
+  std::vector<int32_t> depth(q.num_nodes(), -1);
+  for (size_t t = 0; t < q.num_trees(); ++t) {
+    const int32_t root = q.roots()[t];
+    depth[static_cast<size_t>(root)] = 0;
+    // Node ids are BFS order, so one forward sweep settles children after
+    // parents.
+    const size_t end = t + 1 < q.num_trees()
+                           ? static_cast<size_t>(q.roots()[t + 1])
+                           : q.num_nodes();
+    for (size_t i = static_cast<size_t>(root); i < end; ++i) {
+      const int32_t l = q.kids()[2 * i];
+      const int32_t r = q.kids()[2 * i + 1];
+      if (static_cast<size_t>(l) == i) continue;  // leaf
+      depth[static_cast<size_t>(l)] = depth[i] + 1;
+      depth[static_cast<size_t>(r)] = depth[i] + 1;
+    }
+  }
+  return depth;
+}
+
+TEST(QuantizedForestTest, MatchesCompiledShapeAndColumns) {
+  const gbdt::Booster booster = TrainSmallBooster(nullptr);
+  const CompiledForest forest = *CompiledForest::Build(booster);
+  const QuantizedForest q = *QuantizedForest::Build(forest);
+  EXPECT_EQ(q.num_trees(), forest.num_trees());
+  EXPECT_EQ(q.num_nodes(), forest.num_nodes());
+  EXPECT_EQ(q.num_columns(), forest.num_columns());
+  EXPECT_EQ(q.min_feature_count(), forest.min_feature_count());
+}
+
+TEST(QuantizedForestTest, NodesAreLevelGroupedPerTree) {
+  const gbdt::Booster booster = TrainSmallBooster(nullptr);
+  const CompiledForest forest = *CompiledForest::Build(booster);
+  const QuantizedForest q = *QuantizedForest::Build(forest);
+  const std::vector<int32_t> depth = NodeDepths(q);
+  for (size_t t = 0; t < q.num_trees(); ++t) {
+    const size_t begin = static_cast<size_t>(q.roots()[t]);
+    const size_t end = t + 1 < q.num_trees()
+                           ? static_cast<size_t>(q.roots()[t + 1])
+                           : q.num_nodes();
+    for (size_t i = begin + 1; i < end; ++i) {
+      // Monotone depth along the id order == same-depth nodes contiguous.
+      EXPECT_LE(depth[i - 1], depth[i]) << "tree " << t << " node " << i;
+    }
+    EXPECT_EQ(depth[begin], 0);
+  }
+}
+
+TEST(QuantizedForestTest, TilesPartitionTreesWithinBudget) {
+  const gbdt::Booster booster = TrainSmallBooster(nullptr);
+  const CompiledForest forest = *CompiledForest::Build(booster);
+  const QuantizedForest q = *QuantizedForest::Build(forest);
+  ASSERT_GE(q.num_tiles(), 1u);
+  EXPECT_EQ(q.tile_tree_begin(0), 0u);
+  EXPECT_EQ(q.tile_tree_end(q.num_tiles() - 1), q.num_trees());
+  constexpr size_t budget_nodes =
+      QuantizedForest::kTileNodeBytes / QuantizedForest::kBytesPerNode;
+  for (size_t k = 0; k < q.num_tiles(); ++k) {
+    EXPECT_LT(q.tile_tree_begin(k), q.tile_tree_end(k));
+    if (k > 0) EXPECT_EQ(q.tile_tree_begin(k), q.tile_tree_end(k - 1));
+    const size_t node_begin =
+        static_cast<size_t>(q.roots()[q.tile_tree_begin(k)]);
+    const size_t node_end =
+        q.tile_tree_end(k) < q.num_trees()
+            ? static_cast<size_t>(q.roots()[q.tile_tree_end(k)])
+            : q.num_nodes();
+    const size_t tile_nodes = node_end - node_begin;
+    const size_t tile_trees = q.tile_tree_end(k) - q.tile_tree_begin(k);
+    // A tile may exceed the budget only when it holds a single huge tree.
+    if (tile_trees > 1) EXPECT_LE(tile_nodes, budget_nodes) << "tile " << k;
+  }
+}
+
+TEST(QuantizeThresholdTest, FloatImageNeverExceedsDouble) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.Normal(0.0, 1e3) * std::pow(10.0, rng.Uniform(-6, 6));
+    const float f = gbdt::QuantizeThreshold(t);
+    EXPECT_LE(static_cast<double>(f), t) << t;
+    // Largest such float: one step up must land strictly above t.
+    EXPECT_GT(static_cast<double>(std::nextafterf(f, kInf)), t) << t;
+  }
+}
+
+TEST(QuantizeThresholdTest, ExactOnRepresentableAndBoundaryValues) {
+  EXPECT_EQ(gbdt::QuantizeThreshold(1.5), 1.5f);
+  EXPECT_EQ(gbdt::QuantizeThreshold(0.0), 0.0f);
+  EXPECT_EQ(gbdt::QuantizeThreshold(-2.25), -2.25f);
+  // Just above a representable float rounds down onto it; just below steps
+  // to the previous float.
+  const float f = 1.1f;
+  const double above = std::nextafter(static_cast<double>(f), 2.0);
+  const double below = std::nextafter(static_cast<double>(f), 0.0);
+  EXPECT_EQ(gbdt::QuantizeThreshold(above), f);
+  EXPECT_EQ(gbdt::QuantizeThreshold(below), std::nextafterf(f, 0.0f));
+  // Beyond float range clamps without inventing comparisons.
+  EXPECT_EQ(gbdt::QuantizeThreshold(1e39), std::numeric_limits<float>::max());
+  EXPECT_EQ(gbdt::QuantizeThreshold(kInf), kInf);
+  EXPECT_TRUE(std::isnan(gbdt::QuantizeThreshold(
+      std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(QuantizedForestTest, ScalarLeafColumnsMatchDoublePathOnTrainedModel) {
+  Matrix raw;
+  const gbdt::Booster booster = TrainSmallBooster(&raw);
+  const CompiledForest forest = *CompiledForest::Build(booster);
+  const QuantizedForest q = *QuantizedForest::Build(forest);
+  std::vector<float> row_f(raw.cols());
+  for (size_t r = 0; r < raw.rows(); r += 13) {
+    const double* row = raw.Row(r);
+    // Same largest-float-below rounding the serving plane uses: ties with
+    // split thresholds (bin bounds are observed values) must stay exact.
+    for (size_t c = 0; c < raw.cols(); ++c) {
+      row_f[c] = gbdt::QuantizeThreshold(row[c]);
+    }
+    for (size_t t = 0; t < q.num_trees(); ++t) {
+      EXPECT_EQ(q.LeafColumn(t, row_f.data()), forest.LeafColumn(t, row))
+          << "row " << r << " tree " << t;
+    }
+  }
+}
+
+// --- Randomized SIMD-vs-scalar property test -------------------------------
+
+// A random tree whose thresholds are deliberately adversarial: exact
+// floats, doubles a half-ULP off a float, and huge/tiny magnitudes.
+struct RandomForestSpec {
+  std::vector<gbdt::Tree> trees;
+  int num_features = 0;
+};
+
+double AdversarialThreshold(Rng* rng) {
+  const double base = rng->Normal() * std::pow(10.0, rng->Uniform(-3, 3));
+  switch (rng->UniformInt(4)) {
+    case 0:  // exactly float-representable
+      return static_cast<double>(static_cast<float>(base));
+    case 1: {  // just above a float (rounds down onto it)
+      const float f = static_cast<float>(base);
+      return std::nextafter(static_cast<double>(f), kInf);
+    }
+    case 2: {  // just below a float (steps to the previous float)
+      const float f = static_cast<float>(base);
+      return std::nextafter(static_cast<double>(f), -kInf);
+    }
+    default:
+      return base;
+  }
+}
+
+int BuildRandomSubtree(std::vector<gbdt::TreeNode>* nodes, Rng* rng,
+                       int num_features, int depth_left, int* next_ordinal) {
+  const int idx = static_cast<int>(nodes->size());
+  nodes->emplace_back();
+  if (depth_left == 0 || rng->Bernoulli(0.3)) {
+    (*nodes)[idx].is_leaf = true;
+    (*nodes)[idx].leaf_ordinal = (*next_ordinal)++;
+    return idx;
+  }
+  (*nodes)[idx].is_leaf = false;
+  (*nodes)[idx].feature =
+      static_cast<int>(rng->UniformInt(static_cast<uint64_t>(num_features)));
+  (*nodes)[idx].threshold = AdversarialThreshold(rng);
+  const int left =
+      BuildRandomSubtree(nodes, rng, num_features, depth_left - 1,
+                         next_ordinal);
+  const int right =
+      BuildRandomSubtree(nodes, rng, num_features, depth_left - 1,
+                         next_ordinal);
+  (*nodes)[idx].left = left;
+  (*nodes)[idx].right = right;
+  return idx;
+}
+
+RandomForestSpec MakeRandomForest(Rng* rng) {
+  RandomForestSpec spec;
+  spec.num_features = 3 + static_cast<int>(rng->UniformInt(8));
+  const size_t num_trees = 1 + rng->UniformInt(12);
+  for (size_t t = 0; t < num_trees; ++t) {
+    std::vector<gbdt::TreeNode> nodes;
+    int next_ordinal = 0;
+    BuildRandomSubtree(&nodes, rng, spec.num_features,
+                       3 + static_cast<int>(rng->UniformInt(4)),
+                       &next_ordinal);
+    spec.trees.emplace_back(std::move(nodes));
+  }
+  return spec;
+}
+
+float AdversarialFeature(Rng* rng) {
+  switch (rng->UniformInt(8)) {
+    case 0:
+      return kNan;
+    case 1:
+      return kInf;
+    case 2:
+      return -kInf;
+    case 3:
+      return 0.0f;
+    default:
+      return static_cast<float>(rng->Normal() *
+                                std::pow(10.0, rng->Uniform(-3, 3)));
+  }
+}
+
+TEST(SimdKernelPropertyTest, SimdMatchesScalarOnRandomForests) {
+  const bool simd = DetectedSimdLevel() == SimdLevel::kAvx2;
+  if (!simd) {
+    GTEST_LOG_(INFO) << "AVX2 unavailable; scalar self-check only";
+  }
+  Rng rng(20260808);
+  constexpr size_t kRows = 43;  // not a lane-group multiple: exercises tails
+  for (int round = 0; round < 100; ++round) {
+    const RandomForestSpec spec = MakeRandomForest(&rng);
+    const gbdt::Booster booster(0.0, spec.trees);
+    const auto compiled = CompiledForest::Build(booster);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    const auto q = QuantizedForest::Build(*compiled);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+    const size_t stride = q->min_feature_count();
+    std::vector<float> plane(kRows * std::max<size_t>(stride, 1));
+    for (float& v : plane) v = AdversarialFeature(&rng);
+
+    // Per-tree leaf columns: vector kernel vs scalar quantized descent.
+    std::vector<uint32_t> simd_cols(kRows), scalar_cols(kRows);
+    for (size_t t = 0; t < q->num_trees(); ++t) {
+      for (size_t i = 0; i < kRows; ++i) {
+        scalar_cols[i] = q->LeafColumn(t, plane.data() + i * stride);
+      }
+      if (simd) {
+        Avx2LeafColumnsBlock(*q, t, plane.data(), stride, kRows,
+                             simd_cols.data());
+        ASSERT_EQ(simd_cols, scalar_cols) << "round " << round << " tree "
+                                          << t;
+      }
+    }
+
+    // Fused accumulation: global table and per-row tables, exact double
+    // equality against the scalar tree-order sum.
+    std::vector<double> w(q->num_columns() + 1);
+    for (double& v : w) v = rng.Normal();
+    std::vector<double> alt(w);
+    for (double& v : alt) v += rng.Normal();
+    std::vector<const double*> tables(kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      tables[i] = rng.Bernoulli(0.5) ? w.data() : alt.data();
+    }
+
+    std::vector<double> want(kRows, 0.0), want_per_row(kRows, 0.0);
+    for (size_t t = 0; t < q->num_trees(); ++t) {
+      for (size_t i = 0; i < kRows; ++i) {
+        const uint32_t col = q->LeafColumn(t, plane.data() + i * stride);
+        want[i] += w[col];
+        want_per_row[i] += tables[i][col];
+      }
+    }
+    if (simd) {
+      std::vector<double> got(kRows, 0.0);
+      for (size_t k = 0; k < q->num_tiles(); ++k) {
+        Avx2AccumulateBlock(*q, q->tile_tree_begin(k), q->tile_tree_end(k),
+                            plane.data(), stride, kRows, w.data(),
+                            got.data());
+      }
+      ASSERT_EQ(got, want) << "round " << round;
+      std::vector<double> got_per_row(kRows, 0.0);
+      for (size_t k = 0; k < q->num_tiles(); ++k) {
+        Avx2AccumulateBlockPerRow(*q, q->tile_tree_begin(k),
+                                  q->tile_tree_end(k), plane.data(), stride,
+                                  kRows, tables.data(), got_per_row.data());
+      }
+      ASSERT_EQ(got_per_row, want_per_row) << "round " << round;
+    }
+  }
+}
+
+// Bitvector ("false-node") evaluation: structural invariants of the sorted
+// node tables plus exact-double-equality against the scalar descent sums,
+// over the same adversarial random forests. Trees deeper than kLeafBits
+// leaves disable the tables, so both readiness states get exercised.
+TEST(SimdKernelPropertyTest, BitvectorMatchesScalarOnRandomForests) {
+  const bool simd = DetectedSimdLevel() == SimdLevel::kAvx2;
+  Rng rng(424242);
+  // Two 32-row wide sweeps + one 8-row group + a 5-row scalar tail.
+  constexpr size_t kRows = 77;
+  int ready_rounds = 0;
+  for (int round = 0; round < 100; ++round) {
+    const RandomForestSpec spec = MakeRandomForest(&rng);
+    const gbdt::Booster booster(0.0, spec.trees);
+    const auto compiled = CompiledForest::Build(booster);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    const auto q = QuantizedForest::Build(*compiled);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    if (!q->bitvector_ready()) continue;
+    ++ready_rounds;
+
+    // The tables hold exactly the internal nodes, grouped by feature with
+    // ascending thresholds inside each group.
+    size_t internal = 0;
+    for (size_t i = 0; i < q->num_nodes(); ++i) {
+      if (q->kids()[2 * i] != static_cast<int32_t>(i)) ++internal;
+    }
+    const int32_t* begin = q->node_begin_by_feature();
+    ASSERT_EQ(static_cast<size_t>(begin[q->min_feature_count()]), internal);
+    for (size_t f = 0; f < q->min_feature_count(); ++f) {
+      ASSERT_LE(begin[f], begin[f + 1]);
+      for (int32_t j = begin[f] + 1; j < begin[f + 1]; ++j) {
+        ASSERT_LE(q->sorted_threshold()[j - 1], q->sorted_threshold()[j])
+            << "round " << round << " feature " << f;
+      }
+    }
+
+    if (!simd) continue;
+    const size_t stride = q->min_feature_count();
+    std::vector<float> plane(kRows * std::max<size_t>(stride, 1));
+    for (float& v : plane) v = AdversarialFeature(&rng);
+    std::vector<double> w(q->num_columns() + 1);
+    for (double& v : w) v = rng.Normal();
+    std::vector<double> alt(w);
+    for (double& v : alt) v += rng.Normal();
+    std::vector<const double*> tables(kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      tables[i] = rng.Bernoulli(0.5) ? w.data() : alt.data();
+    }
+
+    std::vector<double> want(kRows, 0.0), want_per_row(kRows, 0.0);
+    for (size_t t = 0; t < q->num_trees(); ++t) {
+      for (size_t i = 0; i < kRows; ++i) {
+        const uint32_t col = q->LeafColumn(t, plane.data() + i * stride);
+        want[i] += w[col];
+        want_per_row[i] += tables[i][col];
+      }
+    }
+    std::vector<double> got(kRows, 0.0);
+    Avx2BitvectorAccumulateBlock(*q, plane.data(), stride, kRows, w.data(),
+                                 got.data());
+    ASSERT_EQ(got, want) << "round " << round;
+    std::vector<double> got_per_row(kRows, 0.0);
+    Avx2BitvectorAccumulateBlockPerRow(*q, plane.data(), stride, kRows,
+                                       tables.data(), got_per_row.data());
+    ASSERT_EQ(got_per_row, want_per_row) << "round " << round;
+  }
+  EXPECT_GT(ready_rounds, 0);
+}
+
+// The vectorized plane conversion must reproduce gbdt::QuantizeThreshold
+// bit-for-bit on every input class the branch-free integer-image step has
+// to handle: NaN, ±inf, ±0, beyond-float-range, subnormal-range doubles,
+// and doubles one ULP off a float in either direction.
+TEST(QuantizeCellsTest, MatchesScalarOnAdversarialDoubles) {
+  Rng rng(9);
+  const size_t sizes[] = {0, 1, 3, 8, 13, 64, 257};
+  for (const size_t n : sizes) {
+    std::vector<double> src(n);
+    for (double& v : src) {
+      switch (rng.UniformInt(10)) {
+        case 0:
+          v = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case 1:
+          v = static_cast<double>(kInf);
+          break;
+        case 2:
+          v = static_cast<double>(-kInf);
+          break;
+        case 3:
+          v = rng.Bernoulli(0.5) ? 0.0 : -0.0;
+          break;
+        case 4:  // beyond float range, both signs
+          v = rng.Bernoulli(0.5) ? 1e39 : -1e39;
+          break;
+        case 5:  // below the float subnormal range
+          v = (rng.Bernoulli(0.5) ? 1.0 : -1.0) * 1e-310;
+          break;
+        case 6: {  // one double-ULP off an exact float
+          const float f = static_cast<float>(rng.Normal());
+          v = std::nextafter(static_cast<double>(f),
+                             rng.Bernoulli(0.5) ? kInf : -kInf);
+          break;
+        }
+        default:
+          v = rng.Normal() * std::pow(10.0, rng.Uniform(-6, 6));
+      }
+    }
+    std::vector<float> dst(n + 1, 42.0f);  // canary past the written range
+    Avx2QuantizeCells(src.data(), dst.data(), n);
+    for (size_t c = 0; c < n; ++c) {
+      const float want = gbdt::QuantizeThreshold(src[c]);
+      uint32_t want_bits = 0, got_bits = 0;
+      std::memcpy(&want_bits, &want, sizeof(want_bits));
+      std::memcpy(&got_bits, &dst[c], sizeof(got_bits));
+      EXPECT_EQ(got_bits, want_bits)
+          << "n " << n << " cell " << c << " src " << src[c];
+    }
+    EXPECT_EQ(dst[n], 42.0f) << "n " << n;
+  }
+}
+
+TEST(SimdDispatchTest, SetLevelClampsToDetected) {
+  const SimdLevel detected = DetectedSimdLevel();
+  {
+    ScopedSimdLevel scalar(SimdLevel::kScalar);
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+    EXPECT_EQ(SetSimdLevel(SimdLevel::kAvx2), detected);
+    EXPECT_EQ(ActiveSimdLevel(), detected);
+  }
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_FALSE(CpuModelName().empty());
+}
+
+}  // namespace
+}  // namespace lightmirm::serve

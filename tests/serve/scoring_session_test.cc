@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "core/gbdt_lr_model.h"
 #include "data/loan_generator.h"
+#include "serve/simd_dispatch.h"
 
 namespace lightmirm::serve {
 namespace {
@@ -58,18 +59,68 @@ TEST(ScoringSessionGoldenTest, BitIdenticalToLegacyForAllMethods) {
       ASSERT_GT(model->scoring_session()->num_env_overrides(), 0u);
     }
     const std::vector<double> legacy = LegacyScores(*model, batch);
-    for (int threads : kThreadCounts) {
-      ScopedDefaultThreads guard(threads);
-      const auto compiled =
-          model->scoring_session()->Score(batch.features(), &batch.envs());
-      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
-      EXPECT_EQ(legacy, *compiled)
-          << core::MethodName(method) << " threads=" << threads;
-      // GbdtLrModel::Predict routes through the same session.
-      EXPECT_EQ(legacy, *model->Predict(batch))
-          << core::MethodName(method) << " threads=" << threads;
+    // Both serving kernels — the portable double lockstep path and (when
+    // the machine has it) the quantized AVX2 path — must reproduce the
+    // legacy scores bit for bit at every thread count.
+    for (SimdLevel level : {SimdLevel::kScalar, DetectedSimdLevel()}) {
+      ScopedSimdLevel kernel(level);
+      for (int threads : kThreadCounts) {
+        ScopedDefaultThreads guard(threads);
+        const auto compiled =
+            model->scoring_session()->Score(batch.features(), &batch.envs());
+        ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+        EXPECT_EQ(legacy, *compiled)
+            << core::MethodName(method) << " threads=" << threads
+            << " kernel=" << SimdLevelName(level);
+        // GbdtLrModel::Predict routes through the same session.
+        EXPECT_EQ(legacy, *model->Predict(batch))
+            << core::MethodName(method) << " threads=" << threads
+            << " kernel=" << SimdLevelName(level);
+      }
     }
   }
+}
+
+TEST(ScoringSessionTest, SimdAndScalarKernelsBitIdentical) {
+  const data::Dataset train = GenSet(800, 5);
+  const data::Dataset batch = GenSet(700, 12);
+  const auto model = core::GbdtLrModel::Train(
+      train, core::Method::kErmFineTune, FastOptions());
+  ASSERT_TRUE(model.ok());
+  std::vector<double> scalar_scores, simd_scores;
+  {
+    ScopedSimdLevel scalar(SimdLevel::kScalar);
+    ASSERT_TRUE(model->scoring_session()
+                    ->Score(batch.features(), &batch.envs(), &scalar_scores)
+                    .ok());
+  }
+  {
+    ScopedSimdLevel simd(DetectedSimdLevel());
+    ASSERT_TRUE(model->scoring_session()
+                    ->Score(batch.features(), &batch.envs(), &simd_scores)
+                    .ok());
+  }
+  EXPECT_EQ(scalar_scores, simd_scores);
+}
+
+TEST(ScoringSessionTest, CheckBatchWidthReportsShape) {
+  const data::Dataset train = GenSet(800, 5);
+  const auto model =
+      core::GbdtLrModel::Train(train, core::Method::kErm, FastOptions());
+  ASSERT_TRUE(model.ok());
+  const auto& session = *model->scoring_session();
+  const size_t need = model->compiled_forest()->min_feature_count();
+  ASSERT_GT(need, 1u);
+  EXPECT_FALSE(session.CheckBatchWidth(Matrix(3, need)).has_value());
+  const auto error = session.CheckBatchWidth(Matrix(3, need - 1));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->row, 0u);
+  EXPECT_EQ(error->actual_width, need - 1);
+  EXPECT_EQ(error->expected_width, need);
+  // Score surfaces the same shape in its message.
+  const auto scores = session.Score(Matrix(3, need - 1), nullptr);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_NE(scores.status().ToString().find("features"), std::string::npos);
 }
 
 TEST(ScoringSessionTest, NullEnvsForcesGlobalTable) {
