@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   Check(session->Score(split.test.features(), &split.test.envs(),
                        &attached_scores),
         "scoring with monitor attached");
-  session->AttachMonitor(nullptr);
+  (void)session->DetachMonitor();
   Check(session->Score(split.test.features(), &split.test.envs(),
                        &detached_scores),
         "scoring with monitor detached");
@@ -87,7 +87,10 @@ int main(int argc, char** argv) {
   std::vector<double> attached_samples, detached_samples, deltas;
   std::vector<double> scratch;
   const auto time_side = [&](bool attached) {
-    session->AttachMonitor(attached ? monitor : nullptr);
+    (void)session->DetachMonitor();
+    if (attached) {
+      Check(session->AttachMonitor(monitor), "re-attaching the monitor");
+    }
     WallTimer watch;
     for (int r = 0; r < reps; ++r) {
       Check(session->Score(split.test.features(), &split.test.envs(),
@@ -112,7 +115,7 @@ int main(int argc, char** argv) {
     detached_samples.push_back(d);
     deltas.push_back(a - d);
   }
-  session->AttachMonitor(nullptr);
+  (void)session->DetachMonitor();
 
   const double attached_median = Median(attached_samples);
   const double detached_median = Median(detached_samples);

@@ -4,8 +4,15 @@
 // The stationary 2019 replay must stay OK everywhere (no false alarms);
 // the 2020 replay must ALERT for Hubei (Fig 11 COVID shock, H1-2020) and
 // Guangdong (Fig 10 share shift plus the 2020 spurious-pattern flip).
-// Writes BENCH_monitor_replay.json with the outcome.
+//
+// v2 adds a kill/restore leg: the 2020 replay runs a second time with the
+// monitor checkpointed after H1 (obs/checkpoint.h), the process "killed",
+// and a restored monitor replaying H2. Its OK->WARN->ALERT timeline —
+// down to the serialized monitor state — must match the uninterrupted run
+// bit for bit, or a real restart would silently reset alerting history.
+// Writes BENCH_monitor_replay.json (format_version 2) with both outcomes.
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +23,7 @@
 #include "core/report.h"
 #include "data/env_split.h"
 #include "data/loan_generator.h"
+#include "obs/checkpoint.h"
 #include "obs/monitor.h"
 #include "obs/replay.h"
 
@@ -48,6 +56,47 @@ data::Dataset YearSlice(const data::Dataset& full, int year) {
     if (full.years()[i] == year) rows.push_back(i);
   }
   return Unwrap(full.Select(rows), "slicing replay year");
+}
+
+data::Dataset HalfSlice(const data::Dataset& full, int year, int half) {
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < full.NumRows(); ++i) {
+    if (full.years()[i] == year && full.halves()[i] == half) rows.push_back(i);
+  }
+  return Unwrap(full.Select(rows), "slicing replay half");
+}
+
+std::string CheckpointText(const obs::ModelHealthMonitor& monitor) {
+  std::ostringstream out;
+  Check(monitor.SaveCheckpoint(&out), "checkpointing the monitor");
+  return out.str();
+}
+
+// Same (year, half) trajectory of overall / Hubei / Guangdong states?
+bool TimelinesMatch(const std::vector<obs::ReplayPeriod>& a,
+                    const std::vector<obs::ReplayPeriod>& b, int hubei,
+                    int guangdong) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].year != b[i].year || a[i].half != b[i].half ||
+        a[i].rows != b[i].rows ||
+        a[i].health.overall != b[i].health.overall) {
+      return false;
+    }
+    for (int env : {hubei, guangdong}) {
+      const auto pa = a[i].health.per_env.find(env);
+      const auto pb = b[i].health.per_env.find(env);
+      if ((pa == a[i].health.per_env.end()) !=
+          (pb == b[i].health.per_env.end())) {
+        return false;
+      }
+      if (pa != a[i].health.per_env.end() &&
+          pa->second.overall != pb->second.overall) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 const char* BoolName(bool value) { return value ? "true" : "false"; }
@@ -84,6 +133,8 @@ int main(int argc, char** argv) {
   obs::AlertState shifted_worst = obs::AlertState::kOk;
   bool hubei_alert = false, guangdong_alert = false;
   std::string period_json;
+  obs::ReplayResult shifted_replay;
+  std::string shifted_final_checkpoint;
   for (const int year : {2019, 2020}) {
     auto monitor =
         Unwrap(obs::ModelHealthMonitor::Create(model.score_reference(),
@@ -102,6 +153,8 @@ int main(int argc, char** argv) {
       shifted_worst = replay.WorstOverall();
       hubei_alert = replay.ReachedAlert(hubei);
       guangdong_alert = replay.ReachedAlert(guangdong);
+      shifted_replay = replay;
+      shifted_final_checkpoint = CheckpointText(*monitor);
     }
     for (const obs::ReplayPeriod& period : replay.periods) {
       if (!period_json.empty()) period_json += ",\n";
@@ -113,8 +166,51 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Kill/restore leg: replay H1-2020 on a fresh monitor, checkpoint it,
+  // "kill the shard", restore from the checkpoint text alone, and replay
+  // H2-2020 on the restored monitor. The stitched timeline and the final
+  // serialized monitor state must equal the uninterrupted run's exactly.
+  std::printf("==== shifted replay: 2020 with mid-stream kill/restore ====\n");
+  obs::ReplayResult stitched;
+  bool state_match = false;
+  {
+    auto first_leg =
+        Unwrap(obs::ModelHealthMonitor::Create(model.score_reference(),
+                                               ReplayMonitorOptions()),
+               "creating kill/restore monitor");
+    const obs::ReplayResult h1 = Unwrap(
+        obs::ReplayStream(*session, first_leg.get(), HalfSlice(full, 2020, 1)),
+        "replaying H1-2020");
+    const std::string checkpoint = CheckpointText(*first_leg);
+    first_leg.reset();  // the "kill": only the checkpoint text survives
+    std::istringstream in(checkpoint);
+    auto restored = Unwrap(obs::ModelHealthMonitor::LoadCheckpoint(&in),
+                           "restoring the monitor");
+    const obs::ReplayResult h2 = Unwrap(
+        obs::ReplayStream(*session, restored.get(), HalfSlice(full, 2020, 2)),
+        "replaying H2-2020 on the restored monitor");
+    stitched.periods = h1.periods;
+    stitched.periods.insert(stitched.periods.end(), h2.periods.begin(),
+                            h2.periods.end());
+    std::printf("%s\n", core::FormatHealthTrajectory(
+                            stitched, model.score_reference())
+                            .c_str());
+    // Strongest check: the restored run's end state, byte for byte.
+    state_match = CheckpointText(*restored) == shifted_final_checkpoint;
+    if (!state_match) {
+      std::fprintf(stderr,
+                   "FAIL: restored monitor's final state diverged from the "
+                   "uninterrupted run\n");
+    }
+  }
+  const bool restore_match =
+      state_match && TimelinesMatch(stitched.periods, shifted_replay.periods,
+                                    hubei, guangdong);
+  std::printf("kill/restore timeline matches uninterrupted: %s\n",
+              BoolName(restore_match));
+
   const bool pass = stationary_worst == obs::AlertState::kOk && hubei_alert &&
-                    guangdong_alert;
+                    guangdong_alert && restore_match;
   std::printf("stationary 2019 worst state: %s (want OK)\n",
               obs::AlertStateName(stationary_worst));
   std::printf("shifted 2020 worst state:    %s (want ALERT)\n",
@@ -126,6 +222,7 @@ int main(int argc, char** argv) {
   std::printf("verdict: %s\n", pass ? "PASS" : "FAIL");
 
   std::string json = "{\n";
+  json += "  \"format_version\": 2,\n";
   json += StrFormat("  \"rows_per_year\": %d,\n", gen.rows_per_year);
   json += StrFormat("  \"seed\": %llu,\n",
                     static_cast<unsigned long long>(gen.seed));
@@ -138,6 +235,8 @@ int main(int argc, char** argv) {
                     obs::AlertStateName(shifted_worst));
   json += StrFormat("  \"hubei_alert\": %s,\n", BoolName(hubei_alert));
   json += StrFormat("  \"guangdong_alert\": %s,\n", BoolName(guangdong_alert));
+  json += StrFormat("  \"checkpoint_restore_match\": %s,\n",
+                    BoolName(restore_match));
   json += StrFormat("  \"pass\": %s\n", BoolName(pass));
   json += "}\n";
   const std::string json_path =

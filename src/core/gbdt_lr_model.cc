@@ -233,7 +233,11 @@ Result<std::shared_ptr<obs::ModelHealthMonitor>> GbdtLrModel::StartMonitoring(
       std::unique_ptr<obs::ModelHealthMonitor> monitor,
       obs::ModelHealthMonitor::Create(score_reference_, options));
   std::shared_ptr<obs::ModelHealthMonitor> shared = std::move(monitor);
-  if (session_ != nullptr) session_->AttachMonitor(shared);
+  // Double-start is an error now that attachment is exclusive: the caller
+  // must DetachMonitor() the session's current monitor first.
+  if (session_ != nullptr) {
+    LIGHTMIRM_RETURN_NOT_OK(session_->AttachMonitor(shared));
+  }
   return shared;
 }
 

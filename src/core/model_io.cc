@@ -11,6 +11,53 @@ namespace {
 
 constexpr const char* kMagic = "lightmirm-model-v1";
 
+// Unbuffered pass-through streambuf that counts consumed newlines, so a
+// parse failure anywhere in the model file — including deep inside the
+// booster or the trailing score_reference section — can report the section
+// it died in and roughly where. No get area is installed, so every read
+// funnels through uflow() and the count stays exact for both getline and
+// formatted extraction.
+class LineCountingBuf : public std::streambuf {
+ public:
+  explicit LineCountingBuf(std::streambuf* source) : source_(source) {}
+
+  /// 1-based line the next read starts on.
+  size_t line() const { return lines_consumed_ + 1; }
+
+ protected:
+  int_type underflow() override { return source_->sgetc(); }
+
+  int_type uflow() override {
+    const int_type c = source_->sbumpc();
+    if (c == '\n') ++lines_consumed_;
+    return c;
+  }
+
+  int_type pbackfail(int_type c) override {
+    if (c == '\n' || (c == traits_type::eof() && source_->sgetc() == '\n')) {
+      // A putback would make the next uflow double-count the newline.
+      if (lines_consumed_ > 0) --lines_consumed_;
+    }
+    return c == traits_type::eof() ? source_->sungetc()
+                                   : source_->sputbackc(
+                                         static_cast<char>(c));
+  }
+
+ private:
+  std::streambuf* source_;
+  size_t lines_consumed_ = 0;
+};
+
+// Wraps a sub-parser failure with the section it happened in and the line
+// the reader had reached, preserving the status code.
+Status SectionError(const char* section, const LineCountingBuf& buf,
+                    const Status& status) {
+  return Status(status.code(),
+                StrFormat("model parse error in section '%s' near line "
+                          "%zu: %s",
+                          section, buf.line(), status.message().c_str()));
+}
+
 Status WriteParams(const linear::ParamVec& params, std::ostream* out) {
   (*out) << params.size();
   for (double p : params) (*out) << StrFormat(" %.17g", p);
@@ -64,59 +111,90 @@ Status SaveModelToFile(const GbdtLrModel& model, const std::string& path) {
 }
 
 Result<GbdtLrModel> LoadModel(std::istream* in) {
+  // Every section reads through a line-counting view of the stream, so a
+  // failure reports both the section it was parsing and the line reached.
+  LineCountingBuf buf(in->rdbuf());
+  std::istream counted(&buf);
   std::string line;
-  if (!std::getline(*in, line) || Trim(line) != kMagic) {
-    return Status::InvalidArgument("bad model header");
+  if (!std::getline(counted, line) || Trim(line) != kMagic) {
+    return SectionError("header", buf,
+                        Status::InvalidArgument("bad model header"));
   }
-  if (!std::getline(*in, line)) return Status::IoError("truncated model");
+  if (!std::getline(counted, line)) {
+    return SectionError("method", buf, Status::IoError("truncated model"));
+  }
   Method method = Method::kErm;
   {
     const std::string_view trimmed = Trim(line);
     if (trimmed.rfind("method ", 0) != 0) {
-      return Status::InvalidArgument("expected method line");
+      return SectionError("method", buf,
+                          Status::InvalidArgument("expected method line"));
     }
-    LIGHTMIRM_ASSIGN_OR_RETURN(
-        method, MethodFromName(std::string(trimmed.substr(7))));
+    Result<Method> parsed = MethodFromName(std::string(trimmed.substr(7)));
+    if (!parsed.ok()) return SectionError("method", buf, parsed.status());
+    method = *parsed;
   }
   bool use_raw = false;
   {
-    if (!std::getline(*in, line)) return Status::IoError("truncated model");
+    if (!std::getline(counted, line)) {
+      return SectionError("use_raw_features", buf,
+                          Status::IoError("truncated model"));
+    }
     std::istringstream ss(line);
     std::string tag;
     int value = 0;
     if (!(ss >> tag >> value) || tag != "use_raw_features") {
-      return Status::InvalidArgument("expected use_raw_features line");
+      return SectionError(
+          "use_raw_features", buf,
+          Status::InvalidArgument("expected use_raw_features line"));
     }
     use_raw = value != 0;
   }
   train::TrainedPredictor predictor;
   {
     std::string tag;
-    (*in) >> tag;
-    if (tag != "global") return Status::InvalidArgument("expected global");
-    in->get();  // consume the space
-    LIGHTMIRM_ASSIGN_OR_RETURN(linear::ParamVec params, ReadParams(in));
-    predictor.global.set_params(std::move(params));
+    counted >> tag;
+    if (tag != "global") {
+      return SectionError("global_params", buf,
+                          Status::InvalidArgument("expected global"));
+    }
+    counted.get();  // consume the space
+    Result<linear::ParamVec> params = ReadParams(&counted);
+    if (!params.ok()) {
+      return SectionError("global_params", buf, params.status());
+    }
+    predictor.global.set_params(std::move(params).value());
   }
   {
-    if (!std::getline(*in, line)) return Status::IoError("truncated model");
+    if (!std::getline(counted, line)) {
+      return SectionError("per_env_params", buf,
+                          Status::IoError("truncated model"));
+    }
     std::istringstream ss(line);
     std::string tag;
     size_t count = 0;
     if (!(ss >> tag >> count) || tag != "per_env") {
-      return Status::InvalidArgument("expected per_env line");
+      return SectionError("per_env_params", buf,
+                          Status::InvalidArgument("expected per_env line"));
     }
     for (size_t i = 0; i < count; ++i) {
       int env = 0;
-      (*in) >> env;
-      in->get();
-      LIGHTMIRM_ASSIGN_OR_RETURN(linear::ParamVec params, ReadParams(in));
+      counted >> env;
+      counted.get();
+      Result<linear::ParamVec> params = ReadParams(&counted);
+      if (!params.ok()) {
+        return SectionError("per_env_params", buf, params.status());
+      }
       linear::LogisticModel lr_model;
-      lr_model.set_params(std::move(params));
+      lr_model.set_params(std::move(params).value());
       predictor.per_env.emplace(env, std::move(lr_model));
     }
   }
-  LIGHTMIRM_ASSIGN_OR_RETURN(gbdt::Booster booster, gbdt::LoadBooster(in));
+  Result<gbdt::Booster> booster_result = gbdt::LoadBooster(&counted);
+  if (!booster_result.ok()) {
+    return SectionError("booster", buf, booster_result.status());
+  }
+  gbdt::Booster booster = std::move(booster_result).value();
   // A loaded leaf model must round-trip through the compiled serving
   // representation: reject persisted LR tables whose width disagrees with
   // the booster's leaf-column layout before reassembly, so corruption
@@ -138,8 +216,12 @@ Result<GbdtLrModel> LoadModel(std::istream* in) {
       }
     }
   }
-  LIGHTMIRM_ASSIGN_OR_RETURN(obs::ScoreReference reference,
-                             obs::ScoreReference::Parse(in));
+  Result<obs::ScoreReference> reference_result =
+      obs::ScoreReference::Parse(&counted);
+  if (!reference_result.ok()) {
+    return SectionError("score_reference", buf, reference_result.status());
+  }
+  obs::ScoreReference reference = std::move(reference_result).value();
   LIGHTMIRM_ASSIGN_OR_RETURN(
       GbdtLrModel model,
       GbdtLrModel::FromParts(

@@ -135,15 +135,21 @@ Result<Tree> GrowTree(const BinnedMatrix& binned,
     open.erase(open.begin() + best_idx);
     const SplitInfo& split = leaf.best;
 
-    // Materialize the split in the node array.
-    TreeNode& parent = nodes[static_cast<size_t>(leaf.node)];
-    parent.is_leaf = false;
-    parent.feature = split.feature;
-    parent.threshold =
-        binned.mapper(static_cast<size_t>(split.feature))
-            .UpperBound(split.bin_threshold);
-    parent.left = static_cast<int>(nodes.size());
-    parent.right = static_cast<int>(nodes.size() + 1);
+    // Materialize the split in the node array. The children are appended
+    // after the parent is written: emplace_back may reallocate `nodes`, so
+    // no reference into the vector survives past it.
+    const int left_index = static_cast<int>(nodes.size());
+    const int right_index = left_index + 1;
+    {
+      TreeNode& parent = nodes[static_cast<size_t>(leaf.node)];
+      parent.is_leaf = false;
+      parent.feature = split.feature;
+      parent.threshold =
+          binned.mapper(static_cast<size_t>(split.feature))
+              .UpperBound(split.bin_threshold);
+      parent.left = left_index;
+      parent.right = right_index;
+    }
     nodes.emplace_back();
     nodes.emplace_back();
 
@@ -151,8 +157,8 @@ Result<Tree> GrowTree(const BinnedMatrix& binned,
     const std::vector<uint16_t>& bins =
         binned.FeatureBins(static_cast<size_t>(split.feature));
     OpenLeaf left, right;
-    left.node = parent.left;
-    right.node = parent.right;
+    left.node = left_index;
+    right.node = right_index;
     for (size_t r : leaf.rows) {
       if (bins[r] <= static_cast<uint16_t>(split.bin_threshold)) {
         left.rows.push_back(r);

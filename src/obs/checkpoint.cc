@@ -1,0 +1,286 @@
+// Serialization side of the monitor state plane (see obs/checkpoint.h).
+// Everything here is line-oriented text in the ScoreReference style:
+// tagged, self-delimiting sections that parse with plain istream
+// extraction and fail loudly on any shape mismatch.
+#include "obs/checkpoint.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace lightmirm::obs {
+namespace {
+
+Status ReadLine(std::istream* in, const char* what, std::string* line) {
+  if (!std::getline(*in, *line)) {
+    return Status::IoError(StrFormat("truncated %s", what));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AlertStateMachine::SaveState(std::ostream* out) const {
+  (*out) << "alert_machine"
+         << StrFormat(" %.17g %.17g %.17g ", thresholds_.warn,
+                      thresholds_.alert, thresholds_.hysteresis)
+         << static_cast<int>(state_) << "\n";
+  return out->good() ? Status::OK() : Status::IoError("write failed");
+}
+
+Result<AlertStateMachine> AlertStateMachine::LoadState(std::istream* in) {
+  std::string line;
+  LIGHTMIRM_RETURN_NOT_OK(ReadLine(in, "alert_machine state", &line));
+  std::istringstream ss(line);
+  std::string tag;
+  AlertThresholds thresholds;
+  int state = 0;
+  if (!(ss >> tag >> thresholds.warn >> thresholds.alert >>
+        thresholds.hysteresis >> state) ||
+      tag != "alert_machine") {
+    return Status::InvalidArgument("expected alert_machine line");
+  }
+  if (state < 0 || state > 2) {
+    return Status::InvalidArgument("bad alert_machine state");
+  }
+  if (thresholds.hysteresis < 0.0 || thresholds.hysteresis >= 1.0) {
+    return Status::InvalidArgument("bad alert_machine hysteresis");
+  }
+  AlertStateMachine machine(thresholds);
+  machine.state_ = static_cast<AlertState>(state);
+  return machine;
+}
+
+Status MonitorOptions::SaveState(std::ostream* out) const {
+  (*out) << "monitor_options " << window << " " << min_rows << " "
+         << min_labeled << " " << fairness_min_labeled << "\n";
+  const auto thresholds = [out](const char* name,
+                                const AlertThresholds& t) {
+    (*out) << "thresholds " << name
+           << StrFormat(" %.17g %.17g %.17g\n", t.warn, t.alert,
+                        t.hysteresis);
+  };
+  thresholds("psi", psi);
+  thresholds("drift_ks", drift_ks);
+  thresholds("default_rate_rise", default_rate_rise);
+  thresholds("auc_drop", auc_drop);
+  thresholds("ks_drop", ks_drop);
+  thresholds("calibration", calibration);
+  thresholds("fairness_gap", fairness_gap);
+  return out->good() ? Status::OK() : Status::IoError("write failed");
+}
+
+Result<MonitorOptions> MonitorOptions::LoadState(std::istream* in) {
+  std::string line;
+  LIGHTMIRM_RETURN_NOT_OK(ReadLine(in, "monitor_options", &line));
+  MonitorOptions options;
+  {
+    std::istringstream ss(line);
+    std::string tag;
+    if (!(ss >> tag >> options.window >> options.min_rows >>
+          options.min_labeled >> options.fairness_min_labeled) ||
+        tag != "monitor_options") {
+      return Status::InvalidArgument("expected monitor_options line");
+    }
+  }
+  const auto read = [&](const char* want, AlertThresholds* t) {
+    LIGHTMIRM_RETURN_NOT_OK(
+        ReadLine(in, "monitor_options thresholds", &line));
+    std::istringstream ss(line);
+    std::string tag, name;
+    if (!(ss >> tag >> name >> t->warn >> t->alert >> t->hysteresis) ||
+        tag != "thresholds" || name != want) {
+      return Status::InvalidArgument(
+          StrFormat("expected thresholds %s line", want));
+    }
+    return Status::OK();
+  };
+  LIGHTMIRM_RETURN_NOT_OK(read("psi", &options.psi));
+  LIGHTMIRM_RETURN_NOT_OK(read("drift_ks", &options.drift_ks));
+  LIGHTMIRM_RETURN_NOT_OK(
+      read("default_rate_rise", &options.default_rate_rise));
+  LIGHTMIRM_RETURN_NOT_OK(read("auc_drop", &options.auc_drop));
+  LIGHTMIRM_RETURN_NOT_OK(read("ks_drop", &options.ks_drop));
+  LIGHTMIRM_RETURN_NOT_OK(read("calibration", &options.calibration));
+  LIGHTMIRM_RETURN_NOT_OK(read("fairness_gap", &options.fairness_gap));
+  return options;
+}
+
+namespace {
+
+// One EnvMonitor = the window plus its six signal machines, in a fixed
+// order shared by save and load.
+Status SaveEnvMonitorState(const SlidingWindow& window,
+                           const AlertStateMachine& psi,
+                           const AlertStateMachine& drift_ks,
+                           const AlertStateMachine& default_rate_rise,
+                           const AlertStateMachine& auc_drop,
+                           const AlertStateMachine& ks_drop,
+                           const AlertStateMachine& calibration,
+                           std::ostream* out) {
+  LIGHTMIRM_RETURN_NOT_OK(window.SaveState(out));
+  LIGHTMIRM_RETURN_NOT_OK(psi.SaveState(out));
+  LIGHTMIRM_RETURN_NOT_OK(drift_ks.SaveState(out));
+  LIGHTMIRM_RETURN_NOT_OK(default_rate_rise.SaveState(out));
+  LIGHTMIRM_RETURN_NOT_OK(auc_drop.SaveState(out));
+  LIGHTMIRM_RETURN_NOT_OK(ks_drop.SaveState(out));
+  return calibration.SaveState(out);
+}
+
+}  // namespace
+
+Status ModelHealthMonitor::SaveCheckpoint(std::ostream* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  (*out) << kMonitorCheckpointMagic << " v" << kMonitorCheckpointVersion
+         << "\n";
+  LIGHTMIRM_RETURN_NOT_OK(options_.SaveState(out));
+  LIGHTMIRM_RETURN_NOT_OK(reference_.WriteTo(out));
+  (*out) << "counters " << static_cast<unsigned long long>(evaluations_)
+         << " " << static_cast<unsigned long long>(escalations_) << "\n";
+  LIGHTMIRM_RETURN_NOT_OK(fairness_.SaveState(out));
+  (*out) << "window global\n";
+  LIGHTMIRM_RETURN_NOT_OK(SaveEnvMonitorState(
+      global_.window, global_.psi, global_.drift_ks,
+      global_.default_rate_rise, global_.auc_drop, global_.ks_drop,
+      global_.calibration, out));
+  (*out) << "env_windows " << per_env_.size() << "\n";
+  for (const auto& [env, mon] : per_env_) {
+    (*out) << "window env " << env << "\n";
+    LIGHTMIRM_RETURN_NOT_OK(SaveEnvMonitorState(
+        mon.window, mon.psi, mon.drift_ks, mon.default_rate_rise,
+        mon.auc_drop, mon.ks_drop, mon.calibration, out));
+  }
+  (*out) << "end_monitor_checkpoint\n";
+  return out->good() ? Status::OK() : Status::IoError("write failed");
+}
+
+Result<std::unique_ptr<ModelHealthMonitor>> ModelHealthMonitor::LoadCheckpoint(
+    std::istream* in) {
+  std::string line;
+  // Skip leading blank lines, like ScoreReference::Parse.
+  do {
+    LIGHTMIRM_RETURN_NOT_OK(ReadLine(in, "monitor checkpoint", &line));
+  } while (Trim(line).empty());
+  {
+    std::istringstream ss(line);
+    std::string tag, version;
+    if (!(ss >> tag >> version) || tag != kMonitorCheckpointMagic) {
+      return Status::InvalidArgument("expected monitor_checkpoint header");
+    }
+    if (version != StrFormat("v%d", kMonitorCheckpointVersion)) {
+      return Status::InvalidArgument(
+          StrFormat("unsupported monitor checkpoint version '%s' (this "
+                    "build reads v%d)",
+                    version.c_str(), kMonitorCheckpointVersion));
+    }
+  }
+  LIGHTMIRM_ASSIGN_OR_RETURN(MonitorOptions options,
+                             MonitorOptions::LoadState(in));
+  LIGHTMIRM_ASSIGN_OR_RETURN(ScoreReference reference,
+                             ScoreReference::Parse(in));
+  if (reference.empty()) {
+    return Status::InvalidArgument(
+        "monitor checkpoint carries an empty score reference");
+  }
+  LIGHTMIRM_ASSIGN_OR_RETURN(std::unique_ptr<ModelHealthMonitor> monitor,
+                             Create(std::move(reference), options));
+  {
+    LIGHTMIRM_RETURN_NOT_OK(ReadLine(in, "checkpoint counters", &line));
+    std::istringstream ss(line);
+    std::string tag;
+    unsigned long long evaluations = 0, escalations = 0;
+    if (!(ss >> tag >> evaluations >> escalations) || tag != "counters") {
+      return Status::InvalidArgument("expected checkpoint counters line");
+    }
+    monitor->evaluations_ = evaluations;
+    monitor->escalations_ = escalations;
+  }
+  LIGHTMIRM_ASSIGN_OR_RETURN(monitor->fairness_,
+                             AlertStateMachine::LoadState(in));
+  const int num_bins = monitor->reference_.num_bins;
+  const auto load_env_monitor = [&](EnvMonitor* mon) {
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->window, SlidingWindow::LoadState(in));
+    if (mon->window.num_bins() != num_bins) {
+      return Status::InvalidArgument(
+          "checkpoint window bin count disagrees with the reference");
+    }
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->psi, AlertStateMachine::LoadState(in));
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->drift_ks,
+                               AlertStateMachine::LoadState(in));
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->default_rate_rise,
+                               AlertStateMachine::LoadState(in));
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->auc_drop,
+                               AlertStateMachine::LoadState(in));
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->ks_drop,
+                               AlertStateMachine::LoadState(in));
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->calibration,
+                               AlertStateMachine::LoadState(in));
+    return Status::OK();
+  };
+  {
+    LIGHTMIRM_RETURN_NOT_OK(ReadLine(in, "checkpoint global window", &line));
+    if (Trim(line) != "window global") {
+      return Status::InvalidArgument("expected 'window global' line");
+    }
+    LIGHTMIRM_RETURN_NOT_OK(load_env_monitor(&monitor->global_));
+  }
+  size_t env_count = 0;
+  {
+    LIGHTMIRM_RETURN_NOT_OK(ReadLine(in, "checkpoint env windows", &line));
+    std::istringstream ss(line);
+    std::string tag;
+    if (!(ss >> tag >> env_count) || tag != "env_windows") {
+      return Status::InvalidArgument("expected env_windows line");
+    }
+    if (env_count != monitor->per_env_.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint has %zu env windows but the reference monitors %zu "
+          "environments",
+          env_count, monitor->per_env_.size()));
+    }
+  }
+  for (size_t i = 0; i < env_count; ++i) {
+    LIGHTMIRM_RETURN_NOT_OK(ReadLine(in, "checkpoint env window", &line));
+    std::istringstream ss(line);
+    std::string tag, kind;
+    int env = 0;
+    if (!(ss >> tag >> kind >> env) || tag != "window" || kind != "env") {
+      return Status::InvalidArgument("expected 'window env <id>' line");
+    }
+    const auto it = monitor->per_env_.find(env);
+    if (it == monitor->per_env_.end()) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint window for env %d, which the reference does not "
+          "monitor",
+          env));
+    }
+    LIGHTMIRM_RETURN_NOT_OK(load_env_monitor(&it->second));
+  }
+  {
+    LIGHTMIRM_RETURN_NOT_OK(ReadLine(in, "checkpoint trailer", &line));
+    if (Trim(line) != "end_monitor_checkpoint") {
+      return Status::InvalidArgument("expected end_monitor_checkpoint");
+    }
+  }
+  return monitor;
+}
+
+Status SaveMonitorCheckpointToFile(const ModelHealthMonitor& monitor,
+                                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return monitor.SaveCheckpoint(&out);
+}
+
+Result<std::unique_ptr<ModelHealthMonitor>> LoadMonitorCheckpointFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ModelHealthMonitor::LoadCheckpoint(&in);
+}
+
+}  // namespace lightmirm::obs

@@ -1,0 +1,43 @@
+// Checkpoint/restore of online serving state. A ModelHealthMonitor is the
+// serving stack's "operator state" (SeamlessDB's term): sliding-window
+// rings, binned aggregates, hysteresis state machines, and evaluation
+// counters that a process restart would otherwise wipe, leaving a
+// restarted shard blind for a full warm-up window. The monitor serializes
+// itself as one self-delimiting, line-oriented "monitor_checkpoint v1"
+// bundle (the same text style as ScoreReference in model_io): options,
+// score reference, the global window, and every per-province window with
+// its six state machines. Restoring is bit-identical — the restored
+// monitor produces exactly the snapshots the saved one would have, on any
+// further observation sequence, at any thread count.
+//
+// This header adds the file-level helpers the serving layer uses; the
+// piece-wise SaveState/LoadState APIs live on the state classes themselves
+// (SlidingWindow in obs/drift.h, AlertStateMachine / MonitorOptions /
+// ModelHealthMonitor in obs/monitor.h).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "obs/monitor.h"
+
+namespace lightmirm::obs {
+
+/// Versioned header line opening a monitor checkpoint bundle. Bump the
+/// version when the layout changes; LoadCheckpoint rejects versions it
+/// does not know instead of misparsing them.
+inline constexpr const char* kMonitorCheckpointMagic = "monitor_checkpoint";
+inline constexpr int kMonitorCheckpointVersion = 1;
+
+/// Saves `monitor`'s complete state to `path` (atomic against readers only
+/// insofar as the filesystem is; write to a temp path and rename for crash
+/// safety at the call site if needed).
+Status SaveMonitorCheckpointToFile(const ModelHealthMonitor& monitor,
+                                   const std::string& path);
+
+/// Restores a monitor saved by SaveMonitorCheckpointToFile.
+Result<std::unique_ptr<ModelHealthMonitor>> LoadMonitorCheckpointFromFile(
+    const std::string& path);
+
+}  // namespace lightmirm::obs

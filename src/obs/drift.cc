@@ -193,6 +193,146 @@ Result<ScoreReference> BuildScoreReference(
   return ref;
 }
 
+Status SlidingWindow::SaveState(std::ostream* out) const {
+  (*out) << "sliding_window " << num_bins_ << " " << capacity_ << " "
+         << next_ << " " << static_cast<unsigned long long>(total_seen_)
+         << " " << ring_.size() << "\n";
+  (*out) << "ring";
+  for (const Entry& e : ring_) {
+    (*out) << " " << static_cast<unsigned>(e.qscore) << " "
+           << static_cast<unsigned>(e.bin) << " "
+           << static_cast<int>(e.label);
+  }
+  (*out) << "\n";
+  const auto write_counts = [out](const char* tag,
+                                  const std::vector<uint64_t>& v) {
+    (*out) << tag;
+    for (uint64_t c : v) (*out) << " " << static_cast<unsigned long long>(c);
+    (*out) << "\n";
+  };
+  write_counts("counts", counts_);
+  write_counts("labeled", labeled_);
+  write_counts("positives", positives_);
+  (*out) << "score_sums";
+  for (double s : score_sums_) (*out) << StrFormat(" %.17g", s);
+  (*out) << "\n";
+  (*out) << "labeled_totals "
+         << static_cast<unsigned long long>(labeled_total_) << " "
+         << static_cast<unsigned long long>(positive_total_) << "\n";
+  return out->good() ? Status::OK() : Status::IoError("write failed");
+}
+
+Result<SlidingWindow> SlidingWindow::LoadState(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::IoError("truncated sliding_window state");
+  }
+  std::istringstream header(line);
+  std::string tag;
+  int num_bins = 0;
+  size_t capacity = 0, next = 0, ring_size = 0;
+  unsigned long long total_seen = 0;
+  if (!(header >> tag >> num_bins >> capacity >> next >> total_seen >>
+        ring_size) ||
+      tag != "sliding_window") {
+    return Status::InvalidArgument("expected sliding_window header");
+  }
+  if (num_bins < 2 || num_bins > kMaxBins) {
+    return Status::InvalidArgument("bad sliding_window bin count");
+  }
+  if (capacity == 0 || ring_size > capacity || next >= capacity ||
+      (ring_size < capacity && next != ring_size)) {
+    return Status::InvalidArgument("inconsistent sliding_window ring shape");
+  }
+  SlidingWindow window(num_bins, capacity);
+  window.next_ = next;
+  window.total_seen_ = total_seen;
+  if (!std::getline(*in, line)) {
+    return Status::IoError("truncated sliding_window ring");
+  }
+  {
+    std::istringstream ss(line);
+    if (!(ss >> tag) || tag != "ring") {
+      return Status::InvalidArgument("expected sliding_window ring line");
+    }
+    window.ring_.reserve(ring_size);
+    for (size_t i = 0; i < ring_size; ++i) {
+      unsigned qscore = 0, bin = 0;
+      int label = 0;
+      if (!(ss >> qscore >> bin >> label)) {
+        return Status::InvalidArgument("truncated sliding_window ring line");
+      }
+      if (qscore > 65535u || bin >= static_cast<unsigned>(num_bins) ||
+          label < -1 || label > 1) {
+        return Status::InvalidArgument("bad sliding_window ring entry");
+      }
+      window.ring_.push_back(Entry{static_cast<uint16_t>(qscore),
+                                   static_cast<uint8_t>(bin),
+                                   static_cast<int8_t>(label)});
+    }
+  }
+  const auto read_counts = [&](const char* want, std::vector<uint64_t>* v) {
+    if (!std::getline(*in, line)) {
+      return Status::IoError("truncated sliding_window aggregates");
+    }
+    std::istringstream ss(line);
+    if (!(ss >> tag) || tag != want) {
+      return Status::InvalidArgument(
+          StrFormat("expected sliding_window %s line", want));
+    }
+    for (uint64_t& c : *v) {
+      unsigned long long parsed = 0;
+      if (!(ss >> parsed)) {
+        return Status::InvalidArgument(
+            StrFormat("truncated sliding_window %s line", want));
+      }
+      c = parsed;
+    }
+    return Status::OK();
+  };
+  LIGHTMIRM_RETURN_NOT_OK(read_counts("counts", &window.counts_));
+  LIGHTMIRM_RETURN_NOT_OK(read_counts("labeled", &window.labeled_));
+  LIGHTMIRM_RETURN_NOT_OK(read_counts("positives", &window.positives_));
+  {
+    if (!std::getline(*in, line)) {
+      return Status::IoError("truncated sliding_window score_sums");
+    }
+    std::istringstream ss(line);
+    if (!(ss >> tag) || tag != "score_sums") {
+      return Status::InvalidArgument("expected sliding_window score_sums");
+    }
+    for (double& s : window.score_sums_) {
+      if (!(ss >> s)) {
+        return Status::InvalidArgument(
+            "truncated sliding_window score_sums line");
+      }
+    }
+  }
+  {
+    if (!std::getline(*in, line)) {
+      return Status::IoError("truncated sliding_window totals");
+    }
+    std::istringstream ss(line);
+    unsigned long long labeled_total = 0, positive_total = 0;
+    if (!(ss >> tag >> labeled_total >> positive_total) ||
+        tag != "labeled_totals") {
+      return Status::InvalidArgument("expected sliding_window totals line");
+    }
+    if (positive_total > labeled_total || labeled_total > ring_size) {
+      return Status::InvalidArgument("inconsistent sliding_window totals");
+    }
+    window.labeled_total_ = labeled_total;
+    window.positive_total_ = positive_total;
+  }
+  for (size_t b = 0; b < window.counts_.size(); ++b) {
+    if (window.positives_[b] > window.labeled_[b] ||
+        window.labeled_[b] > window.counts_[b]) {
+      return Status::InvalidArgument("inconsistent sliding_window bins");
+    }
+  }
+  return window;
+}
+
 SlidingWindow::SlidingWindow(int num_bins, size_t capacity)
     : num_bins_(std::clamp(num_bins, 2, kMaxBins)),
       capacity_(std::max<size_t>(1, capacity)),

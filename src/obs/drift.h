@@ -151,9 +151,21 @@ class SlidingWindow {
   }
 
   int num_bins() const { return num_bins_; }
+  size_t capacity() const { return capacity_; }
 
   size_t size() const { return ring_.size(); }
   uint64_t total_seen() const { return total_seen_; }
+
+  /// Line-oriented text serialization of the complete window state — ring
+  /// contents, cursor, and every aggregate — in the same self-delimiting
+  /// style as ScoreReference. Aggregates are persisted verbatim (doubles
+  /// as %.17g) rather than rebuilt from the ring: score_sums_ carries the
+  /// residue of every add/evict pair ever applied, so replaying the
+  /// surviving entries would not reproduce it bit-for-bit. A restored
+  /// window therefore continues the observation stream exactly where the
+  /// saved one stopped.
+  Status SaveState(std::ostream* out) const;
+  static Result<SlidingWindow> LoadState(std::istream* in);
 
   /// All-row score histogram (PSI / drift-KS input).
   const std::vector<uint64_t>& bin_counts() const { return counts_; }

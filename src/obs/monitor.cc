@@ -178,6 +178,49 @@ Status ModelHealthMonitor::ObserveBatch(const std::vector<double>& scores,
   return Status::OK();
 }
 
+namespace {
+
+WindowAggregates CopyAggregates(const SlidingWindow& window) {
+  WindowAggregates agg;
+  agg.rows = window.size();
+  agg.seen = window.total_seen();
+  agg.labeled = window.labeled_total();
+  agg.positives = window.positive_total();
+  agg.counts = window.bin_counts();
+  agg.labeled_counts = window.labeled_counts();
+  agg.labeled_positives = window.labeled_positives();
+  agg.score_sums = window.labeled_score_sums();
+  return agg;
+}
+
+}  // namespace
+
+WindowAggregates ModelHealthMonitor::GlobalWindow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CopyAggregates(global_.window);
+}
+
+Result<WindowAggregates> ModelHealthMonitor::EnvWindow(int env) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = per_env_.find(env);
+  if (it == per_env_.end()) {
+    return Status::NotFound(
+        StrFormat("environment %d is not monitored", env));
+  }
+  return CopyAggregates(it->second.window);
+}
+
+std::vector<int> ModelHealthMonitor::MonitoredEnvs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> envs;
+  envs.reserve(per_env_.size());
+  for (const auto& [env, mon] : per_env_) {
+    (void)mon;
+    envs.push_back(env);
+  }
+  return envs;
+}
+
 WindowHealth ModelHealthMonitor::EvaluateWindow(
     EnvMonitor* mon, const BinnedScores& reference) {
   const SlidingWindow& win = mon->window;

@@ -56,6 +56,14 @@ class AlertStateMachine {
   /// Advances on one evaluated value and returns the new state.
   AlertState Update(double value);
   AlertState state() const { return state_; }
+  const AlertThresholds& thresholds() const { return thresholds_; }
+
+  /// One-line text serialization (thresholds + current state), in the same
+  /// line-oriented style as ScoreReference, so a restored machine resumes
+  /// its hysteresis exactly (an elevated state stays elevated until the
+  /// value clears the margin, even across a process restart).
+  Status SaveState(std::ostream* out) const;
+  static Result<AlertStateMachine> LoadState(std::istream* in);
 
  private:
   AlertThresholds thresholds_;
@@ -91,6 +99,12 @@ struct MonitorOptions {
   AlertThresholds calibration{0.1, 0.2, 0.2};
   /// Worst-vs-best province streaming-AUC gap.
   AlertThresholds fairness_gap{0.15, 0.25, 0.2};
+
+  /// Self-delimiting text serialization of the whole configuration, so a
+  /// monitor checkpoint restores under exactly the thresholds it was
+  /// running with (not whatever the restarted binary's defaults are).
+  Status SaveState(std::ostream* out) const;
+  static Result<MonitorOptions> LoadState(std::istream* in);
 };
 
 /// One signal's evaluation: value, state, and whether this tick had
@@ -130,6 +144,22 @@ struct HealthSnapshot {
   AlertState overall = AlertState::kOk;
 };
 
+/// Copy of one sliding window's binned aggregates, taken under the monitor
+/// lock. This is the read surface the challenger gate compares champion and
+/// challenger monitors through (and what checkpoint tests assert on):
+/// everything needed to compute PSI / streaming AUC / calibration between
+/// two windows without touching monitor internals.
+struct WindowAggregates {
+  uint64_t rows = 0;     ///< observations currently in the window
+  uint64_t seen = 0;     ///< observations ever fed
+  uint64_t labeled = 0;  ///< labeled rows in the window
+  uint64_t positives = 0;
+  std::vector<uint64_t> counts;            ///< all-row score histogram
+  std::vector<uint64_t> labeled_counts;    ///< labeled-row histogram
+  std::vector<uint64_t> labeled_positives; ///< label==1 histogram
+  std::vector<double> score_sums;          ///< labeled score sums per bin
+};
+
 /// Thread-safe online monitor; see file comment.
 class ModelHealthMonitor {
  public:
@@ -163,6 +193,26 @@ class ModelHealthMonitor {
 
   const ScoreReference& reference() const { return reference_; }
   const MonitorOptions& options() const { return options_; }
+
+  /// Aggregates of the global window / one environment's window, copied
+  /// under the lock. EnvWindow errors (NotFound) for environments the
+  /// monitor does not track.
+  WindowAggregates GlobalWindow() const;
+  Result<WindowAggregates> EnvWindow(int env) const;
+  /// Monitored environment ids, ascending.
+  std::vector<int> MonitoredEnvs() const;
+
+  /// Writes the complete serving state — options, reference, every sliding
+  /// window (ring + aggregates), every hysteresis state machine, and the
+  /// evaluation/escalation counters — as one self-delimiting
+  /// "monitor_checkpoint v1" bundle (obs/checkpoint.h has file-level
+  /// helpers). LoadCheckpoint reconstructs a monitor that is
+  /// bit-identical: feeding the restored monitor any further observation
+  /// sequence yields exactly the snapshots the saved one would have
+  /// produced, including hysteresis states held from before the save.
+  Status SaveCheckpoint(std::ostream* out) const;
+  static Result<std::unique_ptr<ModelHealthMonitor>> LoadCheckpoint(
+      std::istream* in);
 
  private:
   struct EnvMonitor {

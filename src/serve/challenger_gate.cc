@@ -1,0 +1,169 @@
+#include "serve/challenger_gate.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "metrics/streaming.h"
+
+namespace lightmirm::serve {
+namespace {
+
+// Fills the labeled-evidence comparison of one window pair. Distribution
+// PSI is always attempted (it only needs rows); AUC/ECE need labels with
+// both classes present on both sides.
+GateDelta CompareWindows(int env, const obs::WindowAggregates& champion,
+                         const obs::WindowAggregates& challenger,
+                         uint64_t min_labeled) {
+  GateDelta delta;
+  delta.env = env;
+  delta.champion_labeled = champion.labeled;
+  delta.challenger_labeled = challenger.labeled;
+  if (champion.rows > 0 && challenger.rows > 0) {
+    auto psi = metrics::PsiFromCounts(champion.counts, challenger.counts);
+    if (psi.ok()) delta.psi = *psi;
+  }
+  const auto classes_present = [](const obs::WindowAggregates& w) {
+    return w.positives > 0 && w.positives < w.labeled;
+  };
+  delta.evaluated = champion.labeled >= min_labeled &&
+                    challenger.labeled >= min_labeled &&
+                    classes_present(champion) && classes_present(challenger);
+  if (!delta.evaluated) return delta;
+  const auto auc_of = [](const obs::WindowAggregates& w) {
+    std::vector<uint64_t> negatives(w.labeled_counts.size(), 0);
+    for (size_t b = 0; b < negatives.size(); ++b) {
+      negatives[b] = w.labeled_counts[b] - w.labeled_positives[b];
+    }
+    auto auc = metrics::AucFromBinnedCounts(w.labeled_positives, negatives);
+    return auc.ok() ? *auc : 0.0;
+  };
+  const auto ece_of = [](const obs::WindowAggregates& w) {
+    auto ece = metrics::EceFromBinnedSums(w.labeled_counts, w.score_sums,
+                                          w.labeled_positives);
+    return ece.ok() ? *ece : 0.0;
+  };
+  delta.champion_auc = auc_of(champion);
+  delta.challenger_auc = auc_of(challenger);
+  delta.auc_delta = delta.challenger_auc - delta.champion_auc;
+  delta.champion_ece = ece_of(champion);
+  delta.challenger_ece = ece_of(challenger);
+  delta.calibration_delta = delta.challenger_ece - delta.champion_ece;
+  return delta;
+}
+
+}  // namespace
+
+const char* GateVerdictName(GateVerdict verdict) {
+  switch (verdict) {
+    case GateVerdict::kHold:
+      return "HOLD";
+    case GateVerdict::kPromote:
+      return "PROMOTE";
+    case GateVerdict::kReject:
+      return "REJECT";
+  }
+  return "?";
+}
+
+GateReport ChallengerGate::Evaluate(
+    const obs::ModelHealthMonitor& champion,
+    const obs::ModelHealthMonitor& challenger) const {
+  GateReport report;
+  const obs::WindowAggregates champion_global = champion.GlobalWindow();
+  const obs::WindowAggregates challenger_global = challenger.GlobalWindow();
+  report.global = CompareWindows(-1, champion_global, challenger_global,
+                                 options_.min_labeled);
+
+  // Provinces both monitors track; deltas are comparable only there.
+  const std::vector<int> champion_envs = champion.MonitoredEnvs();
+  for (const int env : champion_envs) {
+    auto champion_window = champion.EnvWindow(env);
+    auto challenger_window = challenger.EnvWindow(env);
+    if (!champion_window.ok() || !challenger_window.ok()) continue;
+    report.per_env.push_back(CompareWindows(
+        env, *champion_window, *challenger_window, options_.min_env_labeled));
+  }
+
+  if (champion_global.rows < options_.min_rows ||
+      challenger_global.rows < options_.min_rows) {
+    report.verdict = GateVerdict::kHold;
+    report.reason = StrFormat(
+        "insufficient evidence: global windows hold %llu / %llu rows, need "
+        "%llu",
+        static_cast<unsigned long long>(champion_global.rows),
+        static_cast<unsigned long long>(challenger_global.rows),
+        static_cast<unsigned long long>(options_.min_rows));
+    return report;
+  }
+  if (!report.global.evaluated) {
+    report.verdict = GateVerdict::kHold;
+    report.reason = StrFormat(
+        "insufficient labeled evidence: global windows hold %llu / %llu "
+        "labeled rows (need %llu with both classes present)",
+        static_cast<unsigned long long>(champion_global.labeled),
+        static_cast<unsigned long long>(challenger_global.labeled),
+        static_cast<unsigned long long>(options_.min_labeled));
+    return report;
+  }
+
+  // REJECT on measured degradation, global or in any qualifying province.
+  if (report.global.auc_delta <= -options_.reject_auc_drop) {
+    report.verdict = GateVerdict::kReject;
+    report.reason = StrFormat(
+        "challenger global AUC %.4f vs champion %.4f (drop %.4f exceeds "
+        "%.4f)",
+        report.global.challenger_auc, report.global.champion_auc,
+        -report.global.auc_delta, options_.reject_auc_drop);
+    return report;
+  }
+  if (report.global.calibration_delta >= options_.reject_calibration_rise) {
+    report.verdict = GateVerdict::kReject;
+    report.reason = StrFormat(
+        "challenger global calibration error %.4f vs champion %.4f (rise "
+        "%.4f exceeds %.4f)",
+        report.global.challenger_ece, report.global.champion_ece,
+        report.global.calibration_delta, options_.reject_calibration_rise);
+    return report;
+  }
+  for (const GateDelta& delta : report.per_env) {
+    if (delta.evaluated && delta.auc_delta <= -options_.reject_auc_drop) {
+      report.verdict = GateVerdict::kReject;
+      report.reason = StrFormat(
+          "challenger AUC in env %d is %.4f vs champion %.4f (drop %.4f "
+          "exceeds %.4f)",
+          delta.env, delta.challenger_auc, delta.champion_auc,
+          -delta.auc_delta, options_.reject_auc_drop);
+      return report;
+    }
+  }
+
+  // PROMOTE only on a real global gain without behavioral divergence.
+  if (report.global.auc_delta >= options_.promote_min_auc_gain) {
+    if (report.global.psi > options_.max_promote_psi) {
+      report.verdict = GateVerdict::kHold;
+      report.reason = StrFormat(
+          "challenger gains %.4f AUC but its score distribution diverges "
+          "from the champion's (PSI %.3f > %.3f); hold for review",
+          report.global.auc_delta, report.global.psi,
+          options_.max_promote_psi);
+      return report;
+    }
+    report.verdict = GateVerdict::kPromote;
+    report.reason = StrFormat(
+        "challenger global AUC %.4f beats champion %.4f by %.4f (>= %.4f) "
+        "with no qualifying province regressing",
+        report.global.challenger_auc, report.global.champion_auc,
+        report.global.auc_delta, options_.promote_min_auc_gain);
+    return report;
+  }
+
+  report.verdict = GateVerdict::kHold;
+  report.reason = StrFormat(
+      "no material difference: global AUC delta %.4f (promote needs "
+      "+%.4f, reject needs -%.4f)",
+      report.global.auc_delta, options_.promote_min_auc_gain,
+      options_.reject_auc_drop);
+  return report;
+}
+
+}  // namespace lightmirm::serve

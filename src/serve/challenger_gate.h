@@ -1,0 +1,103 @@
+// ChallengerGate: the evidence gate between shadow scoring and promotion.
+// A challenger model runs in the champion's shadow (serve/shadow.h), each
+// feeding its own ModelHealthMonitor; the gate compares the two monitors'
+// sliding windows — global and per province — and turns the deltas into a
+// PROMOTE / HOLD / REJECT verdict that drives the registry's hot swap.
+// This is the Continual-IRM rollout discipline: a model retrained on fresh
+// environments is promoted through measured evidence, never swapped
+// blindly.
+//
+// All comparisons are O(bins) over the windows' binned aggregates
+// (metrics/streaming.h): streaming AUC deltas, expected-calibration-error
+// deltas, and the PSI between the champion's and challenger's score
+// distributions over the same traffic (a behavioral-divergence signal —
+// two models scoring identical rows very differently deserve a human look
+// even when the challenger's AUC is up).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/monitor.h"
+
+namespace lightmirm::serve {
+
+enum class GateVerdict { kHold = 0, kPromote = 1, kReject = 2 };
+
+/// "HOLD" / "PROMOTE" / "REJECT".
+const char* GateVerdictName(GateVerdict verdict);
+
+/// Gate thresholds. Defaults are deliberately conservative: a challenger
+/// must show a real AUC gain to promote, degrade measurably to reject, and
+/// anything in between — including "identical to the champion" — holds.
+struct GateOptions {
+  /// Both global windows need at least this many rows before any verdict
+  /// other than HOLD("insufficient evidence") is possible.
+  uint64_t min_rows = 500;
+  /// ... and this many labeled rows with both classes present (the AUC /
+  /// calibration deltas are meaningless below that).
+  uint64_t min_labeled = 300;
+  /// Per-province deltas participate in the verdict only at or above this
+  /// labeled count (small-province AUC noise must not gate a rollout).
+  uint64_t min_env_labeled = 300;
+  /// Challenger must beat the champion's global streaming AUC by at least
+  /// this to PROMOTE.
+  double promote_min_auc_gain = 0.005;
+  /// Challenger worse than the champion by this much AUC — globally or in
+  /// any qualifying province — is REJECTed.
+  double reject_auc_drop = 0.02;
+  /// Challenger raising expected calibration error by this much globally
+  /// is REJECTed (miscalibrated scores poison downstream cutoffs even at
+  /// equal AUC).
+  double reject_calibration_rise = 0.05;
+  /// A champion-vs-challenger score-distribution PSI above this blocks
+  /// PROMOTE (held for investigation, not rejected: the challenger may
+  /// legitimately re-rank, but not silently).
+  double max_promote_psi = 0.25;
+};
+
+/// Champion-vs-challenger comparison of one window (env == -1: global).
+struct GateDelta {
+  int env = -1;
+  uint64_t champion_labeled = 0;
+  uint64_t challenger_labeled = 0;
+  double champion_auc = 0.0;
+  double challenger_auc = 0.0;
+  double auc_delta = 0.0;  ///< challenger - champion; negative = worse
+  double champion_ece = 0.0;
+  double challenger_ece = 0.0;
+  double calibration_delta = 0.0;  ///< challenger - champion; positive = worse
+  double psi = 0.0;  ///< challenger score dist vs champion's, same traffic
+  bool evaluated = false;  ///< enough labeled evidence on both sides
+};
+
+/// One gate evaluation: the verdict, why, and every window's deltas.
+struct GateReport {
+  GateVerdict verdict = GateVerdict::kHold;
+  std::string reason;
+  GateDelta global;
+  /// Provinces monitored by both sides, ascending env id. Entries with
+  /// evaluated == false carry distribution-only data (PSI) and do not
+  /// participate in the verdict.
+  std::vector<GateDelta> per_env;
+};
+
+/// Stateless evaluator over two monitors fed the same shadow traffic.
+class ChallengerGate {
+ public:
+  explicit ChallengerGate(GateOptions options = {}) : options_(options) {}
+
+  const GateOptions& options() const { return options_; }
+
+  /// Compares the champion's and challenger's windows and renders the
+  /// verdict. Pure read — neither monitor's alert machinery is advanced.
+  GateReport Evaluate(const obs::ModelHealthMonitor& champion,
+                      const obs::ModelHealthMonitor& challenger) const;
+
+ private:
+  GateOptions options_;
+};
+
+}  // namespace lightmirm::serve

@@ -1,0 +1,212 @@
+#include "serve/model_registry.h"
+
+#include <shared_mutex>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace lightmirm::serve {
+
+Result<std::shared_ptr<const ModelVersion>> ModelVersion::Create(
+    std::string id, core::GbdtLrModel model,
+    const obs::MonitorOptions& monitor_options) {
+  if (id.empty()) {
+    return Status::InvalidArgument("model version id must be non-empty");
+  }
+  if (model.scoring_session() == nullptr) {
+    return Status::InvalidArgument(StrFormat(
+        "model version '%s' has no scoring session (raw-feature models "
+        "cannot serve through the registry)",
+        id.c_str()));
+  }
+  // shared_ptr<ModelVersion> first, const later: Create must fill the
+  // members after construction (the constructor only moves the model in).
+  std::shared_ptr<ModelVersion> version(
+      new ModelVersion(std::move(id), std::move(model)));
+  version->session_ = version->model_.scoring_session();
+  if (!version->model_.score_reference().empty()) {
+    LIGHTMIRM_ASSIGN_OR_RETURN(
+        std::unique_ptr<obs::ModelHealthMonitor> monitor,
+        obs::ModelHealthMonitor::Create(version->model_.score_reference(),
+                                        monitor_options));
+    version->monitor_ = std::move(monitor);
+  }
+  return std::shared_ptr<const ModelVersion>(std::move(version));
+}
+
+Status ModelRegistry::Add(std::shared_ptr<const ModelVersion> version) {
+  if (version == nullptr) {
+    return Status::InvalidArgument("version must be non-null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = versions_.emplace(version->id(), version);
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument(StrFormat(
+        "model version '%s' is already registered", version->id().c_str()));
+  }
+  if (active_ == nullptr) {
+    std::unique_lock<std::shared_mutex> slots(snapshot_mu_);
+    active_ = std::move(version);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const ModelVersion>> ModelRegistry::Register(
+    std::string id, core::GbdtLrModel model,
+    const obs::MonitorOptions& monitor_options) {
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ModelVersion> version,
+      ModelVersion::Create(std::move(id), std::move(model),
+                           monitor_options));
+  LIGHTMIRM_RETURN_NOT_OK(Add(version));
+  return version;
+}
+
+Result<std::shared_ptr<const ModelVersion>> ModelRegistry::Get(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    return Status::NotFound(
+        StrFormat("no model version '%s' registered", id.c_str()));
+  }
+  return it->second;
+}
+
+std::vector<std::string> ModelRegistry::VersionIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(versions_.size());
+  for (const auto& [id, version] : versions_) {
+    (void)version;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.size();
+}
+
+Status ModelRegistry::Activate(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    return Status::NotFound(
+        StrFormat("no model version '%s' registered", id.c_str()));
+  }
+  if (challenger_ != nullptr && challenger_->id() == id) {
+    return Status::FailedPrecondition(StrFormat(
+        "version '%s' is staged as challenger; promote it through the "
+        "gate (ApplyVerdict), not Activate",
+        id.c_str()));
+  }
+  std::unique_lock<std::shared_mutex> slots(snapshot_mu_);
+  active_ = it->second;
+  return Status::OK();
+}
+
+Status ModelRegistry::StageChallenger(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    return Status::NotFound(
+        StrFormat("no model version '%s' registered", id.c_str()));
+  }
+  if (active_ != nullptr && active_->id() == id) {
+    return Status::FailedPrecondition(StrFormat(
+        "version '%s' is the active champion and cannot shadow itself",
+        id.c_str()));
+  }
+  if (challenger_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a challenger is already staged; clear or resolve it first");
+  }
+  if (it->second->monitor() == nullptr) {
+    return Status::FailedPrecondition(StrFormat(
+        "version '%s' carries no score reference, so no gate could ever "
+        "evaluate it as challenger",
+        id.c_str()));
+  }
+  std::unique_lock<std::shared_mutex> slots(snapshot_mu_);
+  challenger_ = it->second;
+  return Status::OK();
+}
+
+void ModelRegistry::ClearChallenger() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> slots(snapshot_mu_);
+  challenger_ = nullptr;
+}
+
+Status ModelRegistry::ApplyVerdict(GateVerdict verdict) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_ptr<const ModelVersion> challenger = challenger_;
+  if (challenger == nullptr) {
+    return Status::FailedPrecondition("no challenger is staged");
+  }
+  switch (verdict) {
+    case GateVerdict::kHold:
+      return Status::OK();  // keep shadowing, gather more evidence
+    case GateVerdict::kPromote: {
+      // The hot swap: one slot assignment; the demoted champion stays
+      // registered for instant rollback via Activate.
+      std::unique_lock<std::shared_mutex> slots(snapshot_mu_);
+      challenger_ = nullptr;
+      active_ = challenger;
+      return Status::OK();
+    }
+    case GateVerdict::kReject: {
+      {
+        std::unique_lock<std::shared_mutex> slots(snapshot_mu_);
+        challenger_ = nullptr;
+      }
+      versions_.erase(challenger->id());
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown gate verdict");
+}
+
+Status ModelRegistry::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    return Status::NotFound(
+        StrFormat("no model version '%s' registered", id.c_str()));
+  }
+  if (active_ != nullptr && active_->id() == id) {
+    return Status::FailedPrecondition(StrFormat(
+        "version '%s' is active; activate another version first",
+        id.c_str()));
+  }
+  if (challenger_ != nullptr && challenger_->id() == id) {
+    return Status::FailedPrecondition(StrFormat(
+        "version '%s' is staged as challenger; clear or resolve it first",
+        id.c_str()));
+  }
+  versions_.erase(it);
+  return Status::OK();
+}
+
+size_t ModelRegistry::EvictUnreferenced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = versions_.begin(); it != versions_.end();) {
+    const bool pinned = it->second == active_ || it->second == challenger_;
+    // use_count == 1 under mu_: only the map itself still holds this
+    // version (the snapshot slots would add a count, but those are the
+    // pinned versions excluded above).
+    if (!pinned && it->second.use_count() == 1) {
+      it = versions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace lightmirm::serve

@@ -1,6 +1,7 @@
 #include "serve/scoring_session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -216,16 +217,66 @@ std::optional<BatchWidthError> ScoringSession::CheckBatchWidth(
   return error;
 }
 
+void ScoringSession::ScoreRange(const Matrix& raw, const float* plane,
+                                size_t stride, size_t begin, size_t end,
+                                const std::vector<int>* envs,
+                                double* out) const {
+  const CompiledForest& forest = *forest_;
+  const QuantizedForest& quantized = *quantized_;
+  const size_t cols = forest.num_columns();
+  if (envs == nullptr || env_tables_.empty()) {
+    const double* w = global_.data();
+    if (plane != nullptr) {
+      ScoreBlockwiseSimdGlobal(quantized, plane, stride, begin, end, w,
+                               cols, out);
+    } else {
+      ScoreBlockwiseGlobal(forest, raw, begin, end, w, cols, out);
+    }
+    if (telemetry_.override_misses != nullptr && !env_tables_.empty()) {
+      telemetry_.override_misses->Increment(end - begin);
+    }
+    return;
+  }
+  // Resolve each row's weight table once up front; the hot kernel then
+  // only chases preresolved pointers. A range is at most kRowGrain rows
+  // (the shard grain), so the pointer block lives on the stack.
+  const double* global_table = global_.data();
+  const double* tab[kRowGrain];
+  size_t hits = 0;
+  for (size_t r = begin; r < end; ++r) {
+    tab[r - begin] = TableFor((*envs)[r]).data();
+    hits += tab[r - begin] != global_table ? 1 : 0;
+  }
+  if (telemetry_.override_hits != nullptr) {
+    telemetry_.override_hits->Increment(hits);
+    telemetry_.override_misses->Increment(end - begin - hits);
+  }
+  if (plane != nullptr) {
+    ScoreBlockwiseSimdPerRow(quantized, plane, stride, begin, end, tab,
+                             cols, out);
+  } else {
+    ScoreBlockwisePerRow(forest, raw, begin, end, tab, cols, out);
+  }
+}
+
+namespace {
+
+Status WidthError(const BatchWidthError& width) {
+  return Status::InvalidArgument(
+      StrFormat("batch row %zu has %zu features but the forest needs %zu "
+                "(reads feature %zu)",
+                width.row, width.actual_width, width.expected_width,
+                width.expected_width - 1));
+}
+
+}  // namespace
+
 Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
                              std::vector<double>* out) const {
   if (out == nullptr) return Status::InvalidArgument("out must be non-null");
   // One width check per batch — every per-block kernel below relies on it.
   if (const std::optional<BatchWidthError> width = CheckBatchWidth(raw)) {
-    return Status::InvalidArgument(
-        StrFormat("batch row %zu has %zu features but the forest needs %zu "
-                  "(reads feature %zu)",
-                  width->row, width->actual_width, width->expected_width,
-                  width->expected_width - 1));
+    return WidthError(*width);
   }
   if (envs != nullptr && envs->size() != raw.rows()) {
     return Status::InvalidArgument(
@@ -234,57 +285,17 @@ Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
   }
   WallTimer batch_watch;
   out->resize(raw.rows());
-  const CompiledForest& forest = *forest_;
-  const QuantizedForest& quantized = *quantized_;
-  const size_t cols = forest.num_columns();
   const bool use_simd = ActiveSimdLevel() != SimdLevel::kScalar;
   // The float plane is converted once per batch and shared by every shard
   // and every tree — the scalar path instead re-reads the double rows tree
   // by tree.
-  const size_t stride = quantized.min_feature_count();
+  const size_t stride = quantized_->min_feature_count();
   const float* plane = use_simd ? ConvertPlane(raw, stride) : nullptr;
-  if (envs == nullptr || env_tables_.empty()) {
-    const double* w = global_.data();
-    ParallelForShards(0, raw.rows(), kRowGrain,
-                      [&](size_t, size_t begin, size_t end) {
-                        if (use_simd) {
-                          ScoreBlockwiseSimdGlobal(quantized, plane, stride,
-                                                   begin, end, w, cols,
-                                                   out->data());
-                        } else {
-                          ScoreBlockwiseGlobal(forest, raw, begin, end, w,
-                                               cols, out->data());
-                        }
-                      });
-    if (telemetry_.override_misses != nullptr && !env_tables_.empty()) {
-      telemetry_.override_misses->Increment(raw.rows());
-    }
-  } else {
-    const double* global_table = global_.data();
-    ParallelForShards(
-        0, raw.rows(), kRowGrain, [&](size_t, size_t begin, size_t end) {
-          // Resolve each row's weight table once up front; the hot kernel
-          // then only chases preresolved pointers. A shard is at most
-          // kRowGrain rows, so the pointer block lives on the stack.
-          const double* tab[kRowGrain];
-          size_t hits = 0;
-          for (size_t r = begin; r < end; ++r) {
-            tab[r - begin] = TableFor((*envs)[r]).data();
-            hits += tab[r - begin] != global_table ? 1 : 0;
-          }
-          if (telemetry_.override_hits != nullptr) {
-            telemetry_.override_hits->Increment(hits);
-            telemetry_.override_misses->Increment(end - begin - hits);
-          }
-          if (use_simd) {
-            ScoreBlockwiseSimdPerRow(quantized, plane, stride, begin, end,
-                                     tab, cols, out->data());
-          } else {
-            ScoreBlockwisePerRow(forest, raw, begin, end, tab, cols,
+  ParallelForShards(0, raw.rows(), kRowGrain,
+                    [&](size_t, size_t begin, size_t end) {
+                      ScoreRange(raw, plane, stride, begin, end, envs,
                                  out->data());
-          }
-        });
-  }
+                    });
   if (telemetry_.batches != nullptr) {
     telemetry_.batches->Increment();
     telemetry_.rows_scored->Increment(raw.rows());
@@ -298,10 +309,78 @@ Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
   return Status::OK();
 }
 
-void ScoringSession::AttachMonitor(
+Status ScoringSession::ScoreShadow(const ScoringSession& champion,
+                                   const ScoringSession& challenger,
+                                   const Matrix& raw,
+                                   const std::vector<int>* envs,
+                                   std::vector<double>* champion_out,
+                                   std::vector<double>* challenger_out) {
+  if (champion_out == nullptr || challenger_out == nullptr) {
+    return Status::InvalidArgument("output vectors must be non-null");
+  }
+  if (champion_out == challenger_out) {
+    return Status::InvalidArgument(
+        "champion and challenger outputs must be distinct");
+  }
+  for (const ScoringSession* session : {&champion, &challenger}) {
+    if (const std::optional<BatchWidthError> width =
+            session->CheckBatchWidth(raw)) {
+      return WidthError(*width);
+    }
+  }
+  if (envs != nullptr && envs->size() != raw.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("envs has %zu entries for %zu rows", envs->size(),
+                  raw.rows()));
+  }
+  WallTimer batch_watch;
+  champion_out->resize(raw.rows());
+  challenger_out->resize(raw.rows());
+  const bool use_simd = ActiveSimdLevel() != SimdLevel::kScalar;
+  // One conversion covers both forests: the plane is laid out at the wider
+  // stride and each kernel indexes it through that stride explicitly, so
+  // per-feature cells (and therefore scores) are bit-identical to scoring
+  // each session alone.
+  const size_t stride = std::max(champion.quantized_->min_feature_count(),
+                                 challenger.quantized_->min_feature_count());
+  const float* plane = use_simd ? ConvertPlane(raw, stride) : nullptr;
+  ParallelForShards(0, raw.rows(), kRowGrain,
+                    [&](size_t, size_t begin, size_t end) {
+                      champion.ScoreRange(raw, plane, stride, begin, end,
+                                          envs, champion_out->data());
+                      challenger.ScoreRange(raw, plane, stride, begin, end,
+                                            envs, challenger_out->data());
+                    });
+  const double seconds = batch_watch.Seconds();
+  for (const ScoringSession* session : {&champion, &challenger}) {
+    if (session->telemetry_.batches != nullptr) {
+      session->telemetry_.batches->Increment();
+      session->telemetry_.rows_scored->Increment(raw.rows());
+      session->telemetry_.batch_seconds->Record(seconds);
+    }
+  }
+  return Status::OK();
+}
+
+Status ScoringSession::AttachMonitor(
     std::shared_ptr<obs::ModelHealthMonitor> monitor) const {
+  if (monitor == nullptr) {
+    return Status::InvalidArgument(
+        "monitor must be non-null (use DetachMonitor to remove one)");
+  }
   std::lock_guard<std::mutex> lock(monitor_slot_->mu);
+  if (monitor_slot_->monitor != nullptr) {
+    return Status::FailedPrecondition(
+        "a monitor is already attached to this session; detach it first");
+  }
   monitor_slot_->monitor = std::move(monitor);
+  return Status::OK();
+}
+
+std::shared_ptr<obs::ModelHealthMonitor> ScoringSession::DetachMonitor()
+    const {
+  std::lock_guard<std::mutex> lock(monitor_slot_->mu);
+  return std::exchange(monitor_slot_->monitor, nullptr);
 }
 
 std::shared_ptr<obs::ModelHealthMonitor> ScoringSession::monitor() const {

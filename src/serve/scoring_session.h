@@ -78,17 +78,45 @@ class ScoringSession {
   Result<std::vector<double>> Score(const Matrix& raw,
                                     const std::vector<int>* envs) const;
 
-  /// Attaches a model-health monitor (nullptr detaches). Every Score call
-  /// then feeds the monitor one ObserveBatch of (score, env) pairs —
-  /// unlabeled; delayed labels reach the monitor out of band. Observing
-  /// never touches the computed scores (predictions are bit-identical with
-  /// monitoring on or off), which is why attachment is const; the holder
-  /// is internally synchronized.
-  void AttachMonitor(std::shared_ptr<obs::ModelHealthMonitor> monitor) const;
+  /// Scores one batch with two sessions — the registry's champion and a
+  /// shadow challenger — in a single pass: one batch-width check each, one
+  /// shared float-plane conversion (at the wider of the two strides; both
+  /// kernels read the plane through an explicit stride, so the challenger
+  /// reuses the champion's converted cells), and one shard dispatch that
+  /// walks both forests per shard while the rows are cache-hot. Outputs
+  /// are bit-identical to scoring each session alone. Neither session's
+  /// attached monitor is fed — shadow evaluation owns its monitors and
+  /// usually has (delayed) labels the serving path does not, so the
+  /// caller (serve/shadow.h) feeds them explicitly.
+  static Status ScoreShadow(const ScoringSession& champion,
+                            const ScoringSession& challenger,
+                            const Matrix& raw, const std::vector<int>* envs,
+                            std::vector<double>* champion_out,
+                            std::vector<double>* challenger_out);
+
+  /// Attaches a model-health monitor. Every Score call then feeds the
+  /// monitor one ObserveBatch of (score, env) pairs — unlabeled; delayed
+  /// labels reach the monitor out of band. Observing never touches the
+  /// computed scores (predictions are bit-identical with monitoring on or
+  /// off), which is why attachment is const; the holder is internally
+  /// synchronized. Errors on a null monitor, and — so a registry handing
+  /// sessions between owners can never silently drop a live monitor's
+  /// feed — on a session that already has one attached: detach first.
+  Status AttachMonitor(std::shared_ptr<obs::ModelHealthMonitor> monitor) const;
+  /// Detaches and returns the attached monitor (null when none was).
+  std::shared_ptr<obs::ModelHealthMonitor> DetachMonitor() const;
   std::shared_ptr<obs::ModelHealthMonitor> monitor() const;
 
  private:
   ScoringSession() = default;
+
+  /// Scores rows [begin, end) (one shard, <= the shard grain) against the
+  /// per-env/global tables, reading the shared float plane when non-null.
+  /// Factored out of Score so the shadow path can interleave two sessions
+  /// inside one shard dispatch.
+  void ScoreRange(const Matrix& raw, const float* plane, size_t stride,
+                  size_t begin, size_t end, const std::vector<int>* envs,
+                  double* out) const;
 
   /// Weight lookup for one row's environment (legacy override semantics).
   const linear::ParamVec& TableFor(int env) const {

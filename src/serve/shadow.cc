@@ -1,0 +1,78 @@
+#include "serve/shadow.h"
+
+#include <utility>
+
+namespace lightmirm::serve {
+
+ShadowScorer::ShadowScorer(ModelRegistry* registry, ChallengerGate gate)
+    : registry_(registry), gate_(std::move(gate)) {}
+
+Status ShadowScorer::Score(const Matrix& raw, const std::vector<int>* envs,
+                           const std::vector<int>* labels,
+                           ShadowBatchResult* out) const {
+  if (registry_ == nullptr) {
+    return Status::InvalidArgument("registry must be non-null");
+  }
+  if (out == nullptr) return Status::InvalidArgument("out must be non-null");
+  // One snapshot of each slot for the whole batch: the registry may swap
+  // versions while we score, but this batch is wholly one champion's (and
+  // one challenger's) work.
+  out->champion = registry_->active();
+  out->challenger = registry_->challenger();
+  if (out->champion == nullptr) {
+    return Status::FailedPrecondition("registry has no active version");
+  }
+  if (labels != nullptr && labels->size() != raw.rows()) {
+    return Status::InvalidArgument("labels misaligned with batch rows");
+  }
+  if (out->challenger == nullptr) {
+    out->challenger_scores.clear();
+    LIGHTMIRM_RETURN_NOT_OK(out->champion->session()->Score(
+        raw, envs, &out->champion_scores));
+    // Score() already fed the session's attached monitor, if any; the
+    // version monitor is fed here (with labels when present).
+    if (out->champion->monitor() != nullptr) {
+      LIGHTMIRM_RETURN_NOT_OK(out->champion->monitor()->ObserveBatch(
+          out->champion_scores, envs, labels));
+    }
+    return Status::OK();
+  }
+  LIGHTMIRM_RETURN_NOT_OK(ScoringSession::ScoreShadow(
+      *out->champion->session(), *out->challenger->session(), raw, envs,
+      &out->champion_scores, &out->challenger_scores));
+  if (out->champion->monitor() != nullptr) {
+    LIGHTMIRM_RETURN_NOT_OK(out->champion->monitor()->ObserveBatch(
+        out->champion_scores, envs, labels));
+  }
+  if (out->challenger->monitor() != nullptr) {
+    LIGHTMIRM_RETURN_NOT_OK(out->challenger->monitor()->ObserveBatch(
+        out->challenger_scores, envs, labels));
+  }
+  return Status::OK();
+}
+
+Result<GateReport> ShadowScorer::EvaluateGate() const {
+  if (registry_ == nullptr) {
+    return Status::InvalidArgument("registry must be non-null");
+  }
+  const std::shared_ptr<const ModelVersion> champion = registry_->active();
+  const std::shared_ptr<const ModelVersion> challenger =
+      registry_->challenger();
+  if (champion == nullptr) {
+    return Status::FailedPrecondition("registry has no active version");
+  }
+  if (challenger == nullptr) {
+    return Status::FailedPrecondition("no challenger is staged");
+  }
+  if (champion->monitor() == nullptr) {
+    return Status::FailedPrecondition(
+        "active version has no health monitor to compare against");
+  }
+  // StageChallenger guarantees the challenger has one.
+  GateReport report =
+      gate_.Evaluate(*champion->monitor(), *challenger->monitor());
+  LIGHTMIRM_RETURN_NOT_OK(registry_->ApplyVerdict(report.verdict));
+  return report;
+}
+
+}  // namespace lightmirm::serve

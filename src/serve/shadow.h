@@ -1,0 +1,67 @@
+// ShadowScorer: champion–challenger serving over a ModelRegistry. Every
+// batch is scored by the registry's active version and — when a challenger
+// is staged — by the challenger in the same pass (one shared float-plane
+// conversion, one shard dispatch; serve/scoring_session.h ScoreShadow).
+// Only the champion's scores are returned to the caller: the challenger
+// runs in the shadow, invisible to traffic, while each version's own
+// ModelHealthMonitor accumulates its view of the identical rows. When
+// enough evidence accumulates, EvaluateGate() compares the two monitors
+// through the ChallengerGate and applies the verdict to the registry —
+// PROMOTE hot-swaps the challenger in, REJECT drops it, HOLD keeps
+// shadowing.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "serve/challenger_gate.h"
+#include "serve/model_registry.h"
+
+namespace lightmirm::serve {
+
+/// Outcome of one shadow-scored batch. `champion`/`challenger` are the
+/// version snapshots the batch was scored on (the challenger fields are
+/// null/empty when none was staged) — a hot swap mid-stream can never mix
+/// versions inside one batch.
+struct ShadowBatchResult {
+  std::shared_ptr<const ModelVersion> champion;
+  std::shared_ptr<const ModelVersion> challenger;
+  std::vector<double> champion_scores;
+  std::vector<double> challenger_scores;
+};
+
+/// Scores batches through a registry with optional challenger shadowing;
+/// see file comment. Not internally synchronized beyond what the registry
+/// and monitors provide: concurrent Score calls are safe (each takes its
+/// own version snapshots and owns its result), EvaluateGate is safe to
+/// call concurrently with scoring.
+class ShadowScorer {
+ public:
+  /// The registry must outlive the scorer.
+  explicit ShadowScorer(ModelRegistry* registry, ChallengerGate gate = ChallengerGate());
+
+  /// Scores one batch on the current champion (and challenger, when
+  /// staged) and feeds every scored version's monitor — scores, envs, and
+  /// `labels` when the caller has them (replay and backfill do; live
+  /// traffic passes nullptr and labels arrive out of band). Errors when no
+  /// version is active or scoring fails.
+  Status Score(const Matrix& raw, const std::vector<int>* envs,
+               const std::vector<int>* labels, ShadowBatchResult* out) const;
+
+  /// Evaluates the challenger gate over the champion's and challenger's
+  /// monitors, applies the verdict to the registry, and returns the
+  /// report. Errors when no challenger is staged or either side lacks a
+  /// monitor.
+  Result<GateReport> EvaluateGate() const;
+
+  const ChallengerGate& gate() const { return gate_; }
+  ModelRegistry* registry() const { return registry_; }
+
+ private:
+  ModelRegistry* registry_;
+  ChallengerGate gate_;
+};
+
+}  // namespace lightmirm::serve

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
 
 #include "data/loan_generator.h"
 
@@ -159,6 +161,53 @@ TEST(ModelIoTest, RejectsTruncatedModel) {
   text.resize(text.size() / 3);
   std::stringstream truncated(text);
   EXPECT_FALSE(LoadModel(&truncated).ok());
+}
+
+// Parse failures must say which section died and where, not just "parse
+// error": a reference block cut off mid-way names `score_reference` and a
+// line at (or just past) the truncation point.
+TEST(ModelIoTest, TruncatedReferenceNamesSectionAndLine) {
+  const GbdtLrModel original = TrainSmallModel(Method::kErm);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveModel(original, &buffer).ok());
+  std::string text = buffer.str();
+  const size_t start = text.find("score_reference ");
+  ASSERT_NE(start, std::string::npos);
+  const size_t header_end = text.find('\n', start);
+  ASSERT_NE(header_end, std::string::npos);
+  // Keep the section header, drop its body.
+  text.resize(header_end + 1);
+  const size_t expect_line =
+      static_cast<size_t>(std::count(text.begin(), text.end(), '\n')) + 1;
+  std::stringstream truncated(text);
+  const auto loaded = LoadModel(&truncated);
+  ASSERT_FALSE(loaded.ok());
+  const std::string& message = loaded.status().message();
+  EXPECT_NE(message.find("section 'score_reference'"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("line " + std::to_string(expect_line)),
+            std::string::npos)
+      << message;
+}
+
+// The annotation covers every section, with the line pointing into the
+// section's own territory — a corrupt booster must not be blamed on the
+// header.
+TEST(ModelIoTest, CorruptBoosterNamesSectionAndLine) {
+  const GbdtLrModel original = TrainSmallModel(Method::kErm);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveModel(original, &buffer).ok());
+  std::string text = buffer.str();
+  const size_t booster_start = text.find("lightmirm-booster-v1");
+  ASSERT_NE(booster_start, std::string::npos);
+  text.resize(booster_start);
+  text += "not a booster\n";
+  std::stringstream corrupted(text);
+  const auto loaded = LoadModel(&corrupted);
+  ASSERT_FALSE(loaded.ok());
+  const std::string& message = loaded.status().message();
+  EXPECT_NE(message.find("section 'booster'"), std::string::npos) << message;
+  EXPECT_NE(message.find("near line"), std::string::npos) << message;
 }
 
 TEST(ModelIoTest, MissingFileIsIoError) {

@@ -213,7 +213,10 @@ TEST(MonitorReplayTest, MonitoringNeverChangesPredictions) {
   EXPECT_TRUE(snapshot.global.psi.evaluated);
   EXPECT_FALSE(snapshot.global.auc_drop.evaluated);  // no labels fed
 
-  session->AttachMonitor(nullptr);
+  // Attachment is exclusive: a second attach must fail until the first
+  // monitor is detached, and detach returns the displaced monitor.
+  EXPECT_FALSE(session->AttachMonitor(*monitor).ok());
+  EXPECT_EQ(session->DetachMonitor(), *monitor);
   EXPECT_EQ(session->monitor(), nullptr);
 }
 

@@ -1,0 +1,187 @@
+// Registry semantics plus the hot-swap race: scoring threads snapshot the
+// active version while a writer swaps it, and every batch's scores must be
+// wholly one version's output (run under TSan in CI).
+#include "serve/model_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gbdt_lr_model.h"
+#include "data/loan_generator.h"
+
+namespace lightmirm::serve {
+namespace {
+
+data::Dataset GenSet(int rows_per_year, uint64_t seed) {
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = rows_per_year;
+  gen.last_year = 2017;
+  gen.seed = seed;
+  return *data::LoanGenerator(gen).Generate();
+}
+
+core::GbdtLrOptions FastOptions() {
+  core::GbdtLrOptions options;
+  options.booster.num_trees = 12;
+  options.booster.tree.max_leaves = 6;
+  options.trainer.epochs = 10;
+  options.min_env_rows = 30;
+  return options;
+}
+
+core::GbdtLrModel TrainModel(core::Method method, uint64_t seed) {
+  auto model = core::GbdtLrModel::Train(GenSet(800, seed), method,
+                                        FastOptions());
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return std::move(model).value();
+}
+
+TEST(ModelVersionTest, CreateValidatesIdAndCarriesMonitor) {
+  EXPECT_FALSE(ModelVersion::Create("", TrainModel(core::Method::kErm, 1))
+                   .ok());
+  auto version =
+      ModelVersion::Create("erm-v1", TrainModel(core::Method::kErm, 1));
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ((*version)->id(), "erm-v1");
+  ASSERT_NE((*version)->session(), nullptr);
+  // Training captured a score reference, so the version has its own
+  // monitor, independent of any session-attached one.
+  EXPECT_NE((*version)->monitor(), nullptr);
+}
+
+TEST(ModelRegistryTest, FirstAddActivatesAndDuplicatesAreRejected) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.active(), nullptr);
+  auto v1 = registry.Register("v1", TrainModel(core::Method::kErm, 1));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(registry.active(), *v1);  // auto-activated
+  EXPECT_FALSE(registry.Register("v1", TrainModel(core::Method::kErm, 2))
+                   .ok());
+  EXPECT_EQ(registry.size(), 1u);
+  auto v2 = registry.Register("v2", TrainModel(core::Method::kLightMirm, 2));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(registry.active(), *v1);  // later adds do not steal the slot
+  EXPECT_EQ(registry.VersionIds(), (std::vector<std::string>{"v1", "v2"}));
+  ASSERT_TRUE(registry.Activate("v2").ok());
+  EXPECT_EQ(registry.active(), *v2);
+  EXPECT_FALSE(registry.Activate("missing").ok());
+}
+
+TEST(ModelRegistryTest, ChallengerLifecycleAndVerdicts) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("champ", TrainModel(core::Method::kErm, 1))
+                  .ok());
+  ASSERT_TRUE(
+      registry.Register("cand", TrainModel(core::Method::kLightMirm, 2))
+          .ok());
+  // The active version cannot shadow itself; a staged challenger cannot be
+  // activated around the gate.
+  EXPECT_FALSE(registry.StageChallenger("champ").ok());
+  ASSERT_TRUE(registry.StageChallenger("cand").ok());
+  EXPECT_FALSE(registry.StageChallenger("cand").ok());  // already staged
+  EXPECT_FALSE(registry.Activate("cand").ok());
+  EXPECT_FALSE(registry.Remove("cand").ok());
+
+  // HOLD changes nothing.
+  ASSERT_TRUE(registry.ApplyVerdict(GateVerdict::kHold).ok());
+  EXPECT_EQ(registry.challenger()->id(), "cand");
+  EXPECT_EQ(registry.active()->id(), "champ");
+
+  // PROMOTE hot-swaps; the old champion stays registered for rollback.
+  ASSERT_TRUE(registry.ApplyVerdict(GateVerdict::kPromote).ok());
+  EXPECT_EQ(registry.active()->id(), "cand");
+  EXPECT_EQ(registry.challenger(), nullptr);
+  EXPECT_TRUE(registry.Get("champ").ok());
+
+  // REJECT unstages and unregisters.
+  ASSERT_TRUE(registry.StageChallenger("champ").ok());
+  ASSERT_TRUE(registry.ApplyVerdict(GateVerdict::kReject).ok());
+  EXPECT_EQ(registry.challenger(), nullptr);
+  EXPECT_FALSE(registry.Get("champ").ok());
+  EXPECT_FALSE(registry.ApplyVerdict(GateVerdict::kHold).ok());  // none staged
+}
+
+TEST(ModelRegistryTest, EvictUnreferencedKeepsPinnedAndHeldVersions) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("v1", TrainModel(core::Method::kErm, 1))
+                  .ok());
+  ASSERT_TRUE(registry.Register("v2", TrainModel(core::Method::kErm, 2))
+                  .ok());
+  ASSERT_TRUE(registry.Register("v3", TrainModel(core::Method::kErm, 3))
+                  .ok());
+  std::shared_ptr<const ModelVersion> held = *registry.Get("v2");
+  ASSERT_TRUE(registry.Activate("v3").ok());
+  // v1 is retired and unreferenced -> evicted; v2 is retired but an
+  // in-flight reference holds it; v3 is active.
+  EXPECT_EQ(registry.EvictUnreferenced(), 1u);
+  EXPECT_FALSE(registry.Get("v1").ok());
+  EXPECT_TRUE(registry.Get("v2").ok());
+  held.reset();
+  EXPECT_EQ(registry.EvictUnreferenced(), 1u);
+  EXPECT_EQ(registry.VersionIds(), (std::vector<std::string>{"v3"}));
+}
+
+// The RCU swap contract under load: scorer threads take active() snapshots
+// and score whole batches on them while a writer hammers Activate between
+// two versions (and evicts). Every batch must bit-match the precomputed
+// scores of the exact version its snapshot names — never a mix. TSan (CI
+// job `tsan`) checks the synchronization itself.
+TEST(ModelRegistryHotSwapTest, BatchesNeverMixVersionsDuringSwaps) {
+  ModelRegistry registry;
+  auto va = registry.Register("a", TrainModel(core::Method::kErm, 1));
+  auto vb = registry.Register("b", TrainModel(core::Method::kLightMirm, 2));
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vb.ok());
+  const data::Dataset batch = GenSet(300, 9);
+  std::vector<double> scores_a, scores_b;
+  ASSERT_TRUE((*va)->session()
+                  ->Score(batch.features(), &batch.envs(), &scores_a)
+                  .ok());
+  ASSERT_TRUE((*vb)->session()
+                  ->Score(batch.features(), &batch.envs(), &scores_b)
+                  .ok());
+  ASSERT_NE(scores_a, scores_b);  // otherwise mixing would be invisible
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mixed{0};
+  std::atomic<uint64_t> batches{0};
+  std::vector<std::thread> scorers;
+  for (int t = 0; t < 4; ++t) {
+    scorers.emplace_back([&] {
+      std::vector<double> out;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::shared_ptr<const ModelVersion> snap = registry.active();
+        if (snap->session()
+                ->Score(batch.features(), &batch.envs(), &out)
+                .ok()) {
+          const std::vector<double>& want =
+              snap->id() == "a" ? scores_a : scores_b;
+          if (out != want) mixed.fetch_add(1, std::memory_order_relaxed);
+          batches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(registry.Activate(i % 2 == 0 ? "b" : "a").ok());
+      registry.EvictUnreferenced();  // must never evict a live snapshot
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  writer.join();
+  for (auto& t : scorers) t.join();
+  EXPECT_EQ(mixed.load(), 0);
+  EXPECT_GT(batches.load(), 0u);
+  // Both versions survived the swap storm (active + recently retired).
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lightmirm::serve
