@@ -10,7 +10,15 @@
 // and a restored monitor replaying H2. Its OK->WARN->ALERT timeline —
 // down to the serialized monitor state — must match the uninterrupted run
 // bit for bit, or a real restart would silently reset alerting history.
-// Writes BENCH_monitor_replay.json (format_version 2) with both outcomes.
+//
+// v3 adds an out-of-core leg: the generator streams straight into a
+// compressed column store (data/column_store.h, serving-grid feature
+// encoding derived from the trained forest), and the 2020 timeline is
+// replayed from the on-disk chunks with only_year filtering. The final
+// monitor state must again match the in-RAM run byte for byte, and the
+// bench gates the store's compression ratio (>= min_ratio, default 3)
+// and chunk-decode throughput (>= min_decode_mvps million values/sec,
+// default 20). Writes BENCH_monitor_replay.json (format_version 3).
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -19,13 +27,16 @@
 
 #include "bench_util.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/gbdt_lr_model.h"
 #include "core/report.h"
+#include "data/column_store.h"
 #include "data/env_split.h"
 #include "data/loan_generator.h"
 #include "obs/checkpoint.h"
 #include "obs/monitor.h"
 #include "obs/replay.h"
+#include "serve/quantized_forest.h"
 
 using namespace lightmirm;
 using namespace lightmirm::bench;
@@ -209,8 +220,101 @@ int main(int argc, char** argv) {
   std::printf("kill/restore timeline matches uninterrupted: %s\n",
               BoolName(restore_match));
 
+  // Out-of-core leg: generator -> compressed column store -> replay the
+  // 2020 timeline from disk. Features take the serving-grid encoding (the
+  // sorted threshold set of the trained forest), so decoded rows score
+  // bit-identically and the monitor must land in the exact same state.
+  std::printf("\n==== shifted replay: 2020 from the compressed store ====\n");
+  const std::string store_path =
+      cfg.GetString("store_path", "bench_replay_store.lmcs");
+  data::ColumnStoreOptions store_options;
+  store_options.chunk_rows =
+      static_cast<size_t>(cfg.GetInt("chunk_rows", 4096));
+  store_options.feature_encoding = data::FeatureEncoding::kServingGrid;
+  store_options.feature_grids = serve::ScoringFeatureGrid(session->forest());
+  store_options.feature_grids.resize(full.NumFeatures());
+  const uint64_t store_rows =
+      Unwrap(data::LoanGenerator(gen).GenerateToStore(store_path,
+                                                      store_options),
+             "streaming the generator into the column store");
+  auto store = Unwrap(data::ColumnStoreReader::Open(store_path),
+                      "opening the column store");
+  const double raw_bytes = static_cast<double>(store_rows) *
+                           (static_cast<double>(full.NumFeatures()) * 8.0 +
+                            16.0);
+  const double compression_ratio =
+      raw_bytes / static_cast<double>(store.file_bytes());
+
+  // Decode throughput over every chunk (features + the four int columns).
+  const int decode_iters = static_cast<int>(cfg.GetInt("decode_iters", 3));
+  double best_decode_seconds = 1e300;
+  for (int i = 0; i < decode_iters; ++i) {
+    WallTimer watch;
+    for (size_t c = 0; c < store.num_chunks(); ++c) {
+      const data::Dataset chunk =
+          Unwrap(store.ReadChunk(c), "decoding a chunk");
+      if (chunk.NumRows() == 0) std::abort();  // keep the decode live
+    }
+    best_decode_seconds = std::min(best_decode_seconds, watch.Seconds());
+  }
+  const double decode_values_per_sec =
+      static_cast<double>(store_rows) *
+      (static_cast<double>(full.NumFeatures()) + 4.0) / best_decode_seconds;
+
+  obs::ReplayResult compressed_replay;
+  bool compressed_state_match = false;
+  {
+    auto monitor =
+        Unwrap(obs::ModelHealthMonitor::Create(model.score_reference(),
+                                               ReplayMonitorOptions()),
+               "creating the out-of-core monitor");
+    obs::ReplayOptions replay_options;
+    replay_options.only_year = 2020;
+    compressed_replay = Unwrap(
+        obs::ReplayCompressedStream(*session, monitor.get(), &store,
+                                    replay_options),
+        "replaying 2020 from the compressed store");
+    std::printf("%s\n", core::FormatHealthTrajectory(
+                            compressed_replay, model.score_reference())
+                            .c_str());
+    compressed_state_match =
+        CheckpointText(*monitor) == shifted_final_checkpoint;
+    if (!compressed_state_match) {
+      std::fprintf(stderr,
+                   "FAIL: out-of-core monitor state diverged from the "
+                   "in-RAM run\n");
+    }
+  }
+  const bool compressed_match =
+      compressed_state_match &&
+      TimelinesMatch(compressed_replay.periods, shifted_replay.periods,
+                     hubei, guangdong);
+  const double min_ratio = cfg.GetDouble("min_ratio", 3.0);
+  const double min_decode_mvps = cfg.GetDouble("min_decode_mvps", 20.0);
+  const bool ratio_ok = compression_ratio >= min_ratio;
+  const bool decode_ok = decode_values_per_sec >= min_decode_mvps * 1e6;
+  std::printf("compressed store: %llu rows, %llu bytes (%.1fx over raw "
+              "%.0f MB), decode %.1f M values/s\n",
+              static_cast<unsigned long long>(store_rows),
+              static_cast<unsigned long long>(store.file_bytes()),
+              compression_ratio, raw_bytes / 1e6,
+              decode_values_per_sec / 1e6);
+  std::printf("out-of-core verdicts match in-RAM: %s\n",
+              BoolName(compressed_match));
+  if (!ratio_ok) {
+    std::fprintf(stderr, "FAIL: compression ratio %.2fx below %.1fx gate\n",
+                 compression_ratio, min_ratio);
+  }
+  if (!decode_ok) {
+    std::fprintf(stderr,
+                 "FAIL: decode throughput %.1f M values/s below %.1f gate\n",
+                 decode_values_per_sec / 1e6, min_decode_mvps);
+  }
+  std::remove(store_path.c_str());
+
   const bool pass = stationary_worst == obs::AlertState::kOk && hubei_alert &&
-                    guangdong_alert && restore_match;
+                    guangdong_alert && restore_match && compressed_match &&
+                    ratio_ok && decode_ok;
   std::printf("stationary 2019 worst state: %s (want OK)\n",
               obs::AlertStateName(stationary_worst));
   std::printf("shifted 2020 worst state:    %s (want ALERT)\n",
@@ -222,7 +326,7 @@ int main(int argc, char** argv) {
   std::printf("verdict: %s\n", pass ? "PASS" : "FAIL");
 
   std::string json = "{\n";
-  json += "  \"format_version\": 2,\n";
+  json += "  \"format_version\": 3,\n";
   json += StrFormat("  \"rows_per_year\": %d,\n", gen.rows_per_year);
   json += StrFormat("  \"seed\": %llu,\n",
                     static_cast<unsigned long long>(gen.seed));
@@ -237,6 +341,18 @@ int main(int argc, char** argv) {
   json += StrFormat("  \"guangdong_alert\": %s,\n", BoolName(guangdong_alert));
   json += StrFormat("  \"checkpoint_restore_match\": %s,\n",
                     BoolName(restore_match));
+  json += StrFormat("  \"store_feature_encoding\": \"%s\",\n",
+                    data::FeatureEncodingName(store_options.feature_encoding));
+  json += StrFormat("  \"store_chunk_rows\": %zu,\n",
+                    store_options.chunk_rows);
+  json += StrFormat("  \"store_file_bytes\": %llu,\n",
+                    static_cast<unsigned long long>(store.file_bytes()));
+  json += StrFormat("  \"raw_bytes\": %.0f,\n", raw_bytes);
+  json += StrFormat("  \"compression_ratio\": %.4f,\n", compression_ratio);
+  json += StrFormat("  \"decode_values_per_sec\": %.0f,\n",
+                    decode_values_per_sec);
+  json += StrFormat("  \"compressed_replay_match\": %s,\n",
+                    BoolName(compressed_match));
   json += StrFormat("  \"pass\": %s\n", BoolName(pass));
   json += "}\n";
   const std::string json_path =

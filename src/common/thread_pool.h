@@ -8,6 +8,11 @@
 // and is adjusted with SetDefaultThreads (the `threads=` CLI knob). With a
 // default of 1 every loop below runs inline on the calling thread, in shard
 // order, with zero synchronization.
+//
+// Idle workers spin briefly watching for the next batch before parking on
+// the condition variable (skipped when the pool is wider than the
+// hardware), so a serving loop dispatching thousands of small batches per
+// second does not pay a futex wakeup per batch.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,120 @@
+// Self-contained column codecs for the compressed chunk store
+// (data/column_store.h). No external compression library: every codec is a
+// few hundred lines of bit twiddling chosen for the shapes loan columns
+// actually take —
+//
+//   * delta + bitpack       monotone-ish integers (ids, timestamps, years)
+//   * RLE + dictionary      low-cardinality integers (province, label, half)
+//   * byte-stream-split     doubles, lossless: the s-th byte of every value
+//                           forms stream s, and each stream independently
+//                           picks raw / RLE / dictionary+bitpack — sign and
+//                           exponent bytes collapse, mantissa bytes stay raw
+//   * quantized-float       doubles through gbdt::QuantizeThreshold (the
+//                           exact float image the SIMD serving plane uses),
+//                           then 4-stream byte-split — halves the mantissa
+//                           cost while scoring stays bit-identical on the
+//                           SIMD path
+//   * double dictionary     low-cardinality doubles (one-hot columns),
+//                           matched on bit patterns so NaN payloads survive
+//   * serving grid          doubles quantized to the interval structure of a
+//                           trained forest's per-feature thresholds: the
+//                           stored index preserves every `x <= threshold`
+//                           comparison the forest can make, so *scores* are
+//                           bit-identical on both the scalar and SIMD
+//                           kernels at a few bits per value
+//
+// Every decoder takes the expected value count from the caller (the chunk
+// header owns row counts) and bounds-checks the payload, so a truncated or
+// corrupt file surfaces as a Status, never as UB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightmirm::data {
+
+/// Wire identifier of the codec a column chunk was written with.
+enum class ColumnCodec : uint8_t {
+  kDeltaBitpack = 1,
+  kRleDictionary = 2,
+  kByteStreamSplit = 3,
+  kQuantizedFloat = 4,
+  kDoubleDictionary = 5,
+  kServingGrid = 6,
+};
+
+/// Display name ("delta_bitpack", ...); "unknown" for invalid ids.
+const char* ColumnCodecName(ColumnCodec codec);
+
+/// LEB128 varint append/read (read is bounds-checked against `size`).
+void AppendVarint(uint64_t value, std::vector<uint8_t>* out);
+Status ReadVarint(const uint8_t* bytes, size_t size, size_t* pos,
+                  uint64_t* value);
+
+/// Zigzag mapping of signed to unsigned (small magnitudes stay small).
+uint64_t ZigzagEncode(int64_t value);
+int64_t ZigzagDecode(uint64_t value);
+
+/// Delta + bitpack: first value varint-zigzag, then all deltas zigzagged
+/// and packed at the chunk's max delta width. Decodes exactly `n` values.
+void EncodeDeltaBitpack(const int64_t* values, size_t n,
+                        std::vector<uint8_t>* out);
+Status DecodeDeltaBitpack(const uint8_t* bytes, size_t size, size_t n,
+                          int64_t* out);
+
+/// Dictionary (first-appearance order) + the smaller of RLE runs or
+/// bitpacked indices. The right codec for province/label/half columns.
+void EncodeRleDictionary(const int64_t* values, size_t n,
+                         std::vector<uint8_t>* out);
+Status DecodeRleDictionary(const uint8_t* bytes, size_t size, size_t n,
+                           int64_t* out);
+
+/// Lossless doubles: 8 byte streams, each independently raw / RLE /
+/// dictionary+bitpack (whichever is smallest). Bit-exact round trip,
+/// including NaN payloads, ±inf and signed zeros.
+void EncodeByteStreamSplit(const double* values, size_t n,
+                           std::vector<uint8_t>* out);
+Status DecodeByteStreamSplit(const uint8_t* bytes, size_t size, size_t n,
+                             double* out);
+
+/// Doubles through gbdt::QuantizeThreshold (largest float <= value — the
+/// serving plane's rounding), stored as 4 float byte streams. Lossy in the
+/// 53-bit space, exact in the float space the SIMD kernels compare in:
+/// re-quantizing a decoded value is the identity.
+void EncodeQuantizedFloat(const double* values, size_t n,
+                          std::vector<uint8_t>* out);
+Status DecodeQuantizedFloat(const uint8_t* bytes, size_t size, size_t n,
+                            double* out);
+
+/// Dictionary codec for low-cardinality double columns (one-hot flags,
+/// categorical codes stored as doubles). Returns false — leaving `out`
+/// untouched — when the chunk has more than `max_dict` distinct bit
+/// patterns; callers then fall back to a stream codec.
+bool TryEncodeDoubleDictionary(const double* values, size_t n,
+                               size_t max_dict, std::vector<uint8_t>* out);
+Status DecodeDoubleDictionary(const uint8_t* bytes, size_t size, size_t n,
+                              double* out);
+
+/// Serving-grid codec. `grid` is the sorted unique float threshold set a
+/// trained forest compares this feature against (serve::ScoringFeatureGrid).
+/// Each value stores the index of the first grid entry its float image is
+/// <= (grid.size() when above all of them, or NaN — both compare false
+/// against every threshold, exactly like the kernels' NaN-goes-right
+/// rule). Decoding returns the grid entry itself, or NaN for the top
+/// interval (false against every threshold, like the value it replaces):
+/// a float-valued double that decides every forest comparison exactly as
+/// the quantized descent over the original value — what the SIMD feature
+/// plane sees — and, being float-representable, decides identically under
+/// the scalar kernel's raw double compares (the gbdt::QuantizeThreshold
+/// tie invariant). The raw double comparison of the original is preserved
+/// too except when it lies in the sub-float-ULP window above a threshold,
+/// where the two kernels already disagree on uncompressed data.
+void EncodeServingGrid(const double* values, size_t n,
+                       const std::vector<float>& grid,
+                       std::vector<uint8_t>* out);
+Status DecodeServingGrid(const uint8_t* bytes, size_t size, size_t n,
+                         const std::vector<float>& grid, double* out);
+
+}  // namespace lightmirm::data

@@ -1,0 +1,178 @@
+// Compressed columnar chunk store: the out-of-core representation of a
+// loan Dataset. A store file ("LMCS") is a schema header followed by
+// fixed-size row chunks; within a chunk every column — label, env, year,
+// half, then each feature — is encoded independently with whichever codec
+// (data/codec.h) fits its shape, so a 2020-scale replay can stream from
+// disk one chunk at a time instead of holding the five-year table in RAM.
+//
+// Feature columns support three encodings, chosen at write time for the
+// whole file:
+//   * lossless   — bit-exact doubles (byte-stream-split, or a double
+//                  dictionary when a chunk has few distinct values);
+//                  the general-purpose archival mode
+//   * quantized  — doubles through gbdt::QuantizeThreshold, the exact
+//                  float image the SIMD serving plane compares in; half
+//                  the mantissa cost, SIMD scores bit-identical
+//   * grid       — values quantized to the interval structure of one
+//                  trained forest's per-feature thresholds
+//                  (serve::ScoringFeatureGrid); a few bits per value and
+//                  *scores* bit-identical on both the scalar and SIMD
+//                  kernels — the serving/replay mode
+//
+// Chunk headers carry per-column min/max stats; the reader indexes them at
+// Open, so a consumer can skip chunks wholesale (obs::ReplayCompressedStream
+// uses the year range this way) without touching feature payloads.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace lightmirm::data {
+
+/// How feature columns are encoded (file-wide, recorded in the header).
+enum class FeatureEncoding : uint8_t {
+  kLossless = 0,
+  kQuantized = 1,
+  kServingGrid = 2,
+};
+
+/// Display name ("lossless", "quantized", "serving_grid").
+const char* FeatureEncodingName(FeatureEncoding encoding);
+
+struct ColumnStoreOptions {
+  /// Rows per chunk; the unit of streaming reads and of stat-based skips.
+  size_t chunk_rows = 4096;
+  FeatureEncoding feature_encoding = FeatureEncoding::kLossless;
+  /// Required for kServingGrid: one sorted-unique float threshold grid per
+  /// feature (serve::ScoringFeatureGrid of the forest that will score the
+  /// stream). Must be empty for the other encodings.
+  std::vector<std::vector<float>> feature_grids;
+  /// A chunk whose feature column has at most this many distinct bit
+  /// patterns is stored as a dictionary (one-hot and categorical columns
+  /// collapse to a few bits per row). Lossless/quantized modes only.
+  size_t max_double_dict = 32;
+};
+
+/// Streaming writer. Append() buffers rows and flushes whole chunks of
+/// `chunk_rows`; Finish() flushes the partial tail chunk and the end
+/// marker. A store without Finish() is truncated and will not Open.
+class ColumnStoreWriter {
+ public:
+  static Result<ColumnStoreWriter> Open(const std::string& path,
+                                        const Schema& schema,
+                                        std::vector<std::string> env_names,
+                                        ColumnStoreOptions options = {});
+
+  ColumnStoreWriter(ColumnStoreWriter&&) = default;
+  ColumnStoreWriter& operator=(ColumnStoreWriter&&) = default;
+
+  /// Appends every row of `rows` (schema must match the writer's).
+  Status Append(const Dataset& rows);
+
+  /// Flushes buffered rows and writes the end-of-stream marker. Must be
+  /// called exactly once, after the last Append.
+  Status Finish();
+
+  uint64_t rows_written() const { return rows_written_; }
+  /// Total file bytes, valid after Finish().
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  ColumnStoreWriter() = default;
+
+  /// Encodes and writes one chunk of the first `rows` buffered rows.
+  Status FlushChunk(size_t rows);
+
+  Schema schema_;
+  std::vector<std::string> env_names_;
+  ColumnStoreOptions options_;
+  std::unique_ptr<std::ofstream> out_;
+  /// Row-major feature buffer plus parallel int columns.
+  std::vector<double> features_;
+  std::vector<int64_t> labels_, envs_, years_, halves_;
+  size_t buffered_rows_ = 0;
+  uint64_t rows_written_ = 0;
+  uint64_t bytes_written_ = 0;
+  bool finished_ = false;
+};
+
+/// Per-chunk index entry: position plus the int-column stats the reader
+/// scanned from the chunk header (enough to skip a chunk by year/env/label
+/// range without reading its body).
+struct ChunkInfo {
+  uint64_t rows = 0;
+  uint64_t body_offset = 0;
+  uint64_t body_bytes = 0;
+  int label_min = 0, label_max = 0;
+  int env_min = 0, env_max = 0;
+  int year_min = 0, year_max = 0;
+  int half_min = 0, half_max = 0;
+};
+
+/// The non-feature columns of one chunk, decoded without touching feature
+/// payloads.
+struct ChunkTimes {
+  std::vector<int> labels, envs, years, halves;
+};
+
+/// Per-feature min/max (NaN-skipping) of the original values of one chunk.
+struct FeatureStats {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Reader over one store file. Open scans the chunk index (headers only);
+/// ReadChunk decodes one chunk into a Dataset carrying the store's schema
+/// and env names.
+class ColumnStoreReader {
+ public:
+  static Result<ColumnStoreReader> Open(const std::string& path);
+
+  ColumnStoreReader(ColumnStoreReader&&) = default;
+  ColumnStoreReader& operator=(ColumnStoreReader&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<std::string>& env_names() const { return env_names_; }
+  FeatureEncoding feature_encoding() const { return feature_encoding_; }
+  /// Per-feature grids (non-empty only for kServingGrid files).
+  const std::vector<std::vector<float>>& feature_grids() const {
+    return feature_grids_;
+  }
+
+  size_t num_chunks() const { return chunks_.size(); }
+  const ChunkInfo& chunk(size_t i) const { return chunks_[i]; }
+  uint64_t total_rows() const { return total_rows_; }
+  /// Size of the store file in bytes (the compressed footprint).
+  uint64_t file_bytes() const { return file_bytes_; }
+
+  /// Decodes chunk `i` (all columns) into a Dataset.
+  Result<Dataset> ReadChunk(size_t i);
+
+  /// Decodes only the label/env/year/half columns of chunk `i`, seeking
+  /// past every feature payload.
+  Result<ChunkTimes> ReadChunkTimes(size_t i);
+
+  /// Reads the per-feature min/max stats of chunk `i` (headers only).
+  Result<std::vector<FeatureStats>> ReadChunkFeatureStats(size_t i);
+
+ private:
+  ColumnStoreReader() = default;
+
+  Schema schema_;
+  std::vector<std::string> env_names_;
+  FeatureEncoding feature_encoding_ = FeatureEncoding::kLossless;
+  std::vector<std::vector<float>> feature_grids_;
+  std::unique_ptr<std::ifstream> in_;
+  std::vector<ChunkInfo> chunks_;
+  uint64_t total_rows_ = 0;
+  uint64_t file_bytes_ = 0;
+};
+
+}  // namespace lightmirm::data

@@ -43,6 +43,10 @@ const double kEconomy[kNumProvinces] = {
 constexpr int kNumVehicleTypes = 4;   // new_sedan, used_car, trailer, suv
 constexpr int kNumOccupations = 8;
 
+// Rows per generation shard; shard s always covers global rows
+// [s*grain, (s+1)*grain) whichever entry point drives the generation.
+constexpr size_t kGeneratorRowGrain = 2048;
+
 const char* kNumericNames[] = {
     "age",
     "annual_income",
@@ -182,21 +186,18 @@ std::vector<double> LoanGenerator::VehicleMix(int province, int year) const {
   return {new_sedan / total, used_car / total, trailer / total, suv / total};
 }
 
-Result<Dataset> LoanGenerator::Generate(
-    std::vector<double>* true_logits) const {
-  const LoanGeneratorOptions& opt = options_;
-  if (opt.rows_per_year <= 0) {
+Status LoanGenerator::CheckOptions() const {
+  if (options_.rows_per_year <= 0) {
     return Status::InvalidArgument("rows_per_year must be positive");
   }
-  if (opt.last_year < opt.first_year) {
+  if (options_.last_year < options_.first_year) {
     return Status::InvalidArgument("last_year before first_year");
   }
-  const int num_years = opt.last_year - opt.first_year + 1;
-  const size_t total_rows =
-      static_cast<size_t>(opt.rows_per_year) * static_cast<size_t>(num_years);
-  const int d = NumFeatures();
+  return Status::OK();
+}
 
-  // Schema.
+std::vector<FieldSpec> LoanGenerator::BuildFields() const {
+  const LoanGeneratorOptions& opt = options_;
   std::vector<FieldSpec> fields;
   for (int i = 0; i < opt.num_numeric; ++i) {
     fields.push_back({kNumericNames[i % 12], FeatureKind::kNumeric, 0});
@@ -214,26 +215,145 @@ Result<Dataset> LoanGenerator::Generate(
   for (int i = 0; i < opt.num_noise; ++i) {
     fields.push_back({StrFormat("ext_attr_%03d", i), FeatureKind::kNumeric, 0});
   }
+  return fields;
+}
 
+std::vector<std::vector<double>> LoanGenerator::MeanShifts() const {
+  // Province-dependent mean shifts for numeric features (covariate shift).
+  Rng shift_rng(options_.seed ^ 0x51F7ULL);
+  std::vector<std::vector<double>> mean_shift(kNumProvinces);
+  for (int m = 0; m < kNumProvinces; ++m) {
+    mean_shift[m].resize(options_.num_numeric);
+    for (double& v : mean_shift[m]) {
+      v = shift_rng.Normal(0.0, options_.covariate_shift);
+    }
+  }
+  return mean_shift;
+}
+
+void LoanGenerator::GenerateShard(
+    size_t shard, size_t begin, size_t end,
+    const std::vector<std::vector<double>>& year_shares,
+    const std::vector<std::vector<double>>& mean_shift, const Rng& base,
+    double* feats, int* labels, int* envs, int* years, int* halves,
+    double* true_logits) const {
+  const LoanGeneratorOptions& opt = options_;
+  const int hubei = 6;  // index in kProvinceNames
+  const int d = NumFeatures();
+  Rng rng = base.Fork(shard);
+  std::vector<double> z(opt.latent_dim);
+  std::vector<double> xnum(opt.num_numeric);
+  for (size_t row = begin; row < end; ++row) {
+    const size_t slot = row - begin;
+    const int year_index =
+        static_cast<int>(row / static_cast<size_t>(opt.rows_per_year));
+    const int year = opt.first_year + year_index;
+    const std::vector<double>& shares =
+        year_shares[static_cast<size_t>(year_index)];
+    const int m = static_cast<int>(rng.Categorical(shares));
+    const ProvinceProfile& prof = profiles_[m];
+    const int half = rng.Bernoulli(0.5) ? 2 : 1;
+    const bool covid = (year == 2020 && m == hubei && half == 1);
+
+    // Latent creditworthiness and the invariant part of the logit.
+    for (double& v : z) v = rng.Normal();
+    double inv_score = 0.0;
+    for (int k = 0; k < opt.latent_dim; ++k) {
+      inv_score += invariant_weights_[k] * z[k];
+    }
+    // Nonlinear invariant mechanisms (normalized to roughly unit
+    // variance): a leverage threshold effect on the first factor, and an
+    // affordability interaction between the next two. Axis-aligned tree
+    // splits capture these; a linear model on raw features cannot.
+    const double leverage_term = z[0] > 0.8 ? 1.0 : -0.27;
+    const double distress_term = z[3] < -1.0 ? 1.0 : -0.19;
+    const double interaction_term = z[1] * z[2];
+    const double nonlinear_score = 0.7 * leverage_term +
+                                   0.6 * distress_term +
+                                   0.35 * interaction_term;
+    double inv_scale = opt.invariant_strength;
+    if (covid) inv_scale *= opt.covid_invariant_retention;
+
+    // Vehicle type and occupation.
+    const std::vector<double> mix = VehicleMix(m, year);
+    const int vehicle = static_cast<int>(rng.Categorical(mix));
+    const int occupation = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(kNumOccupations)));
+
+    double logit = opt.base_rate_logit + prof.base_logit_offset +
+                   inv_scale * inv_score +
+                   (inv_scale / opt.invariant_strength) *
+                       opt.nonlinear_strength * nonlinear_score +
+                   vehicle_logit_[vehicle] +
+                   occupation_logit_[occupation];
+    if (covid) logit += opt.covid_logit_shock;
+    if (true_logits != nullptr) true_logits[slot] = logit;
+    const int y = rng.Bernoulli(1.0 / (1.0 + std::exp(-logit))) ? 1 : 0;
+
+    // Numeric causal features: noisy, province-shifted views of z.
+    // Developed provinces have cleaner bureau data.
+    const double noise_scale =
+        opt.numeric_noise * (1.25 - 0.5 * prof.economy);
+    numeric_mixing_.MatVec(z, &xnum);
+    double* out = feats + slot * static_cast<size_t>(d);
+    int col = 0;
+    for (int j = 0; j < opt.num_numeric; ++j) {
+      out[col++] =
+          xnum[j] + mean_shift[m][j] + rng.Normal(0.0, noise_scale);
+    }
+    // One-hot vehicle and occupation.
+    for (int j = 0; j < kNumVehicleTypes; ++j) {
+      out[col++] = (j == vehicle) ? 1.0 : 0.0;
+    }
+    for (int j = 0; j < kNumOccupations; ++j) {
+      out[col++] = (j == occupation) ? 1.0 : 0.0;
+    }
+    // Spurious bureau attributes: each agrees with the label with a
+    // province/period-dependent probability.
+    double agree_p = prof.spurious_agree_train;
+    if (year >= 2020) {
+      double retention = prof.retention_2020;
+      if (m == hubei) {
+        retention = (half == 1) ? opt.covid_spurious_retention : 0.35;
+      }
+      agree_p = 0.5 + (agree_p - 0.5) * retention;
+    }
+    const double sign_y = y == 1 ? 1.0 : -1.0;
+    for (int j = 0; j < opt.num_spurious; ++j) {
+      const double dir = rng.Bernoulli(agree_p) ? sign_y : -sign_y;
+      out[col++] = opt.spurious_strength * dir + rng.Normal();
+    }
+    // Pure noise block.
+    for (int j = 0; j < opt.num_noise; ++j) out[col++] = rng.Normal();
+
+    labels[slot] = y;
+    envs[slot] = m;
+    years[slot] = year;
+    halves[slot] = half;
+  }
+}
+
+Result<Dataset> LoanGenerator::Generate(
+    std::vector<double>* true_logits) const {
+  LIGHTMIRM_RETURN_NOT_OK(CheckOptions());
+  const LoanGeneratorOptions& opt = options_;
+  const int num_years = opt.last_year - opt.first_year + 1;
+  const size_t total_rows =
+      static_cast<size_t>(opt.rows_per_year) * static_cast<size_t>(num_years);
+  const int d = NumFeatures();
+
+  std::vector<FieldSpec> fields = BuildFields();
   Matrix feats(total_rows, static_cast<size_t>(d));
   std::vector<int> labels(total_rows), envs(total_rows), years(total_rows),
       halves(total_rows);
   if (true_logits != nullptr) true_logits->assign(total_rows, 0.0);
-
-  // Province-dependent mean shifts for numeric features (covariate shift).
-  Rng shift_rng(opt.seed ^ 0x51F7ULL);
-  std::vector<std::vector<double>> mean_shift(kNumProvinces);
-  for (int m = 0; m < kNumProvinces; ++m) {
-    mean_shift[m].resize(opt.num_numeric);
-    for (double& v : mean_shift[m]) {
-      v = shift_rng.Normal(0.0, opt.covariate_shift);
-    }
-  }
+  const std::vector<std::vector<double>> mean_shift = MeanShifts();
 
   // Row-sharded generation: shard s covers the fixed row range
   // [s*grain, (s+1)*grain) and draws from its own stream Fork(s), so the
-  // dataset is a pure function of the options at any thread count. Shards
-  // never depend on each other; a row's year is derived from its index.
+  // dataset is a pure function of the options at any thread count (and of
+  // the entry point: GenerateToStore walks the same shards). Shards never
+  // depend on each other; a row's year is derived from its index.
   const std::vector<std::vector<double>> year_shares = [&] {
     std::vector<std::vector<double>> shares;
     for (int year = opt.first_year; year <= opt.last_year; ++year) {
@@ -242,8 +362,6 @@ Result<Dataset> LoanGenerator::Generate(
     return shares;
   }();
   const Rng base(opt.seed);
-  const int hubei = 6;  // index in kProvinceNames
-  constexpr size_t kGeneratorRowGrain = 2048;
   obs::Histogram* shard_seconds = nullptr;
   obs::Counter* rows_generated = nullptr;
   if (obs::TelemetryEnabled()) {
@@ -255,97 +373,12 @@ Result<Dataset> LoanGenerator::Generate(
                                                            size_t begin,
                                                            size_t end) {
     WallTimer shard_watch;
-    Rng rng = base.Fork(shard);
-    std::vector<double> z(opt.latent_dim);
-    std::vector<double> xnum(opt.num_numeric);
-    for (size_t row = begin; row < end; ++row) {
-      const int year_index =
-          static_cast<int>(row / static_cast<size_t>(opt.rows_per_year));
-      const int year = opt.first_year + year_index;
-      const std::vector<double>& shares =
-          year_shares[static_cast<size_t>(year_index)];
-      const int m = static_cast<int>(rng.Categorical(shares));
-      const ProvinceProfile& prof = profiles_[m];
-      const int half = rng.Bernoulli(0.5) ? 2 : 1;
-      const bool covid = (year == 2020 && m == hubei && half == 1);
-
-      // Latent creditworthiness and the invariant part of the logit.
-      for (double& v : z) v = rng.Normal();
-      double inv_score = 0.0;
-      for (int k = 0; k < opt.latent_dim; ++k) {
-        inv_score += invariant_weights_[k] * z[k];
-      }
-      // Nonlinear invariant mechanisms (normalized to roughly unit
-      // variance): a leverage threshold effect on the first factor, and an
-      // affordability interaction between the next two. Axis-aligned tree
-      // splits capture these; a linear model on raw features cannot.
-      const double leverage_term = z[0] > 0.8 ? 1.0 : -0.27;
-      const double distress_term = z[3] < -1.0 ? 1.0 : -0.19;
-      const double interaction_term = z[1] * z[2];
-      const double nonlinear_score = 0.7 * leverage_term +
-                                     0.6 * distress_term +
-                                     0.35 * interaction_term;
-      double inv_scale = opt.invariant_strength;
-      if (covid) inv_scale *= opt.covid_invariant_retention;
-
-      // Vehicle type and occupation.
-      const std::vector<double> mix = VehicleMix(m, year);
-      const int vehicle = static_cast<int>(rng.Categorical(mix));
-      const int occupation = static_cast<int>(
-          rng.UniformInt(static_cast<uint64_t>(kNumOccupations)));
-
-      double logit = opt.base_rate_logit + prof.base_logit_offset +
-                     inv_scale * inv_score +
-                     (inv_scale / opt.invariant_strength) *
-                         opt.nonlinear_strength * nonlinear_score +
-                     vehicle_logit_[vehicle] +
-                     occupation_logit_[occupation];
-      if (covid) logit += opt.covid_logit_shock;
-      if (true_logits != nullptr) (*true_logits)[row] = logit;
-      const int y = rng.Bernoulli(1.0 / (1.0 + std::exp(-logit))) ? 1 : 0;
-
-      // Numeric causal features: noisy, province-shifted views of z.
-      // Developed provinces have cleaner bureau data.
-      const double noise_scale =
-          opt.numeric_noise * (1.25 - 0.5 * prof.economy);
-      numeric_mixing_.MatVec(z, &xnum);
-      double* out = feats.Row(row);
-      int col = 0;
-      for (int j = 0; j < opt.num_numeric; ++j) {
-        out[col++] =
-            xnum[j] + mean_shift[m][j] + rng.Normal(0.0, noise_scale);
-      }
-      // One-hot vehicle and occupation.
-      for (int j = 0; j < kNumVehicleTypes; ++j) {
-        out[col++] = (j == vehicle) ? 1.0 : 0.0;
-      }
-      for (int j = 0; j < kNumOccupations; ++j) {
-        out[col++] = (j == occupation) ? 1.0 : 0.0;
-      }
-      // Spurious bureau attributes: each agrees with the label with a
-      // province/period-dependent probability.
-      double agree_p = prof.spurious_agree_train;
-      if (year >= 2020) {
-        double retention = prof.retention_2020;
-        if (m == hubei) {
-          retention =
-              (half == 1) ? opt.covid_spurious_retention : 0.35;
-        }
-        agree_p = 0.5 + (agree_p - 0.5) * retention;
-      }
-      const double sign_y = y == 1 ? 1.0 : -1.0;
-      for (int j = 0; j < opt.num_spurious; ++j) {
-        const double dir = rng.Bernoulli(agree_p) ? sign_y : -sign_y;
-        out[col++] = opt.spurious_strength * dir + rng.Normal();
-      }
-      // Pure noise block.
-      for (int j = 0; j < opt.num_noise; ++j) out[col++] = rng.Normal();
-
-      labels[row] = y;
-      envs[row] = m;
-      years[row] = year;
-      halves[row] = half;
-    }
+    GenerateShard(shard, begin, end, year_shares, mean_shift, base,
+                  feats.Row(begin), labels.data() + begin,
+                  envs.data() + begin, years.data() + begin,
+                  halves.data() + begin,
+                  true_logits != nullptr ? true_logits->data() + begin
+                                         : nullptr);
     if (shard_seconds != nullptr) {
       shard_seconds->Record(shard_watch.Seconds());
       rows_generated->Increment(end - begin);
@@ -358,6 +391,60 @@ Result<Dataset> LoanGenerator::Generate(
   dataset.set_env_names(ProvinceNames());
   LIGHTMIRM_RETURN_NOT_OK(dataset.Validate());
   return dataset;
+}
+
+Result<uint64_t> LoanGenerator::GenerateToStore(
+    const std::string& path, const ColumnStoreOptions& store_options) const {
+  LIGHTMIRM_RETURN_NOT_OK(CheckOptions());
+  const LoanGeneratorOptions& opt = options_;
+  const int num_years = opt.last_year - opt.first_year + 1;
+  const size_t total_rows =
+      static_cast<size_t>(opt.rows_per_year) * static_cast<size_t>(num_years);
+  const size_t d = static_cast<size_t>(NumFeatures());
+
+  const Schema schema{BuildFields()};
+  LIGHTMIRM_ASSIGN_OR_RETURN(
+      ColumnStoreWriter writer,
+      ColumnStoreWriter::Open(path, schema, ProvinceNames(), store_options));
+
+  const std::vector<std::vector<double>> mean_shift = MeanShifts();
+  const std::vector<std::vector<double>> year_shares = [&] {
+    std::vector<std::vector<double>> shares;
+    for (int year = opt.first_year; year <= opt.last_year; ++year) {
+      shares.push_back(YearShares(year));
+    }
+    return shares;
+  }();
+  const Rng base(opt.seed);
+
+  // Generate a bounded block of whole shards at a time (shard indices stay
+  // global, so every row is drawn from the same rng stream Generate would
+  // use), then hand the block to the writer. Memory high-water mark is one
+  // block plus one buffered chunk, independent of rows_per_year.
+  constexpr size_t kShardsPerBlock = 8;
+  constexpr size_t kBlockRows = kShardsPerBlock * kGeneratorRowGrain;
+  for (size_t block_begin = 0; block_begin < total_rows;
+       block_begin += kBlockRows) {
+    const size_t block_end = std::min(total_rows, block_begin + kBlockRows);
+    const size_t block_rows = block_end - block_begin;
+    Matrix feats(block_rows, d);
+    std::vector<int> labels(block_rows), envs(block_rows), years(block_rows),
+        halves(block_rows);
+    ParallelForShards(
+        block_begin, block_end, kGeneratorRowGrain,
+        [&](size_t shard, size_t begin, size_t end) {
+          const size_t slot = begin - block_begin;
+          GenerateShard(block_begin / kGeneratorRowGrain + shard, begin, end,
+                        year_shares, mean_shift, base, feats.Row(slot),
+                        labels.data() + slot, envs.data() + slot,
+                        years.data() + slot, halves.data() + slot, nullptr);
+        });
+    Dataset block(schema, std::move(feats), std::move(labels),
+                  std::move(envs), std::move(years), std::move(halves));
+    LIGHTMIRM_RETURN_NOT_OK(writer.Append(block));
+  }
+  LIGHTMIRM_RETURN_NOT_OK(writer.Finish());
+  return writer.rows_written();
 }
 
 }  // namespace lightmirm::data

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
+#include "data/column_store.h"
 #include "data/dataset.h"
 
 namespace lightmirm::data {
@@ -112,6 +114,17 @@ class LoanGenerator {
   /// for upper-bounding achievable metrics in tests.
   Result<Dataset> Generate(std::vector<double>* true_logits = nullptr) const;
 
+  /// Streams the full dataset into a compressed column store at `path`
+  /// instead of materializing it: rows are generated a few shards at a
+  /// time (bounded memory at any rows_per_year) and appended to a
+  /// ColumnStoreWriter. The generator is row-sharded with a per-shard rng
+  /// stream, so the rows written are bit-identical to Generate()'s —
+  /// reading the store back (lossless encoding) reproduces the in-memory
+  /// dataset exactly. Returns the number of rows written.
+  Result<uint64_t> GenerateToStore(
+      const std::string& path,
+      const ColumnStoreOptions& store_options = {}) const;
+
   /// Province application shares for a given year (normalized).
   std::vector<double> YearShares(int year) const;
 
@@ -120,6 +133,29 @@ class LoanGenerator {
   std::vector<double> VehicleMix(int province, int year) const;
 
  private:
+  /// Shared validation of the generation options (both entry points).
+  Status CheckOptions() const;
+
+  /// Feature schema of the generated dataset.
+  std::vector<FieldSpec> BuildFields() const;
+
+  /// Province-dependent numeric mean shifts (covariate shift), fixed by
+  /// the seed.
+  std::vector<std::vector<double>> MeanShifts() const;
+
+  /// Generates global rows [begin, end) — one shard: `shard` must be
+  /// begin / kGeneratorRowGrain and end - begin <= the grain — into output
+  /// slots [0, end - begin) of the given buffers (`feats` points at row
+  /// `begin`'s feature slot, stride NumFeatures()). Drawing from the
+  /// shard's own rng stream makes the rows a pure function of the options
+  /// and the global row range, which is what keeps Generate and
+  /// GenerateToStore bit-identical.
+  void GenerateShard(size_t shard, size_t begin, size_t end,
+                     const std::vector<std::vector<double>>& year_shares,
+                     const std::vector<std::vector<double>>& mean_shift,
+                     const Rng& base, double* feats, int* labels, int* envs,
+                     int* years, int* halves, double* true_logits) const;
+
   LoanGeneratorOptions options_;
   std::vector<ProvinceProfile> profiles_;
   std::vector<double> invariant_weights_;  // latent_dim

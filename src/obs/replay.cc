@@ -1,6 +1,7 @@
 #include "obs/replay.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <utility>
 
@@ -50,7 +51,13 @@ Result<ReplayResult> ReplayStream(const serve::ScoringSession& session,
   // periods chronologically.
   std::map<std::pair<int, int>, std::vector<size_t>> periods;
   for (size_t i = 0; i < stream.NumRows(); ++i) {
+    if (options.only_year != 0 && stream.years()[i] != options.only_year) {
+      continue;
+    }
     periods[{stream.years()[i], stream.halves()[i]}].push_back(i);
+  }
+  if (periods.empty()) {
+    return Status::InvalidArgument("no rows to replay after the year filter");
   }
 
   ReplayResult result;
@@ -72,6 +79,88 @@ Result<ReplayResult> ReplayStream(const serve::ScoringSession& session,
       LIGHTMIRM_RETURN_NOT_OK(monitor->ObserveBatch(
           scores, &batch.envs(),
           options.feed_labels ? &batch.labels() : nullptr));
+    }
+    ReplayPeriod replayed;
+    replayed.year = when.first;
+    replayed.half = when.second;
+    replayed.rows = rows.size();
+    replayed.health = monitor->Evaluate(options.registry);
+    result.periods.push_back(std::move(replayed));
+  }
+  return result;
+}
+
+Result<ReplayResult> ReplayCompressedStream(
+    const serve::ScoringSession& session, ModelHealthMonitor* monitor,
+    data::ColumnStoreReader* reader, const ReplayOptions& options) {
+  if (monitor == nullptr) {
+    return Status::InvalidArgument("monitor must be non-null");
+  }
+  if (reader == nullptr) {
+    return Status::InvalidArgument("reader must be non-null");
+  }
+  if (options.batch_rows == 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+  if (reader->total_rows() == 0) {
+    return Status::InvalidArgument("empty replay stream");
+  }
+
+  // Pass 1 — build the period index from chunk headers and int columns
+  // only. The chunk index's year range skips whole chunks under a year
+  // filter; feature payloads are not touched either way. Chunks ascend and
+  // rows within a chunk ascend, so each period's row list is in global
+  // dataset order — the same order ReplayStream visits.
+  std::map<std::pair<int, int>, std::vector<std::pair<size_t, size_t>>>
+      periods;
+  for (size_t c = 0; c < reader->num_chunks(); ++c) {
+    const data::ChunkInfo& info = reader->chunk(c);
+    if (options.only_year != 0 && (info.year_min > options.only_year ||
+                                   info.year_max < options.only_year)) {
+      continue;
+    }
+    LIGHTMIRM_ASSIGN_OR_RETURN(const data::ChunkTimes times,
+                               reader->ReadChunkTimes(c));
+    for (size_t r = 0; r < times.years.size(); ++r) {
+      if (options.only_year != 0 && times.years[r] != options.only_year) {
+        continue;
+      }
+      periods[{times.years[r], times.halves[r]}].push_back({c, r});
+    }
+  }
+  if (periods.empty()) {
+    return Status::InvalidArgument("no rows to replay after the year filter");
+  }
+
+  // Pass 2 — replay period by period, decoding a chunk only when one of
+  // its rows comes due and keeping a single decoded chunk cached (rows
+  // ascend within a period, so each period streams chunks forward).
+  const size_t d = reader->schema().num_features();
+  ReplayResult result;
+  result.periods.reserve(periods.size());
+  std::vector<double> scores;
+  size_t cached_index = std::numeric_limits<size_t>::max();
+  data::Dataset cached_chunk;
+  for (const auto& [when, rows] : periods) {
+    for (size_t begin = 0; begin < rows.size(); begin += options.batch_rows) {
+      const size_t end = std::min(rows.size(), begin + options.batch_rows);
+      const size_t n = end - begin;
+      Matrix feats(n, d);
+      std::vector<int> envs(n), labels(n);
+      for (size_t i = 0; i < n; ++i) {
+        const auto [chunk, row] = rows[begin + i];
+        if (chunk != cached_index) {
+          LIGHTMIRM_ASSIGN_OR_RETURN(cached_chunk, reader->ReadChunk(chunk));
+          cached_index = chunk;
+        }
+        const double* src = cached_chunk.features().Row(row);
+        std::copy(src, src + d, feats.Row(i));
+        envs[i] = cached_chunk.envs()[row];
+        labels[i] = cached_chunk.labels()[row];
+      }
+      LIGHTMIRM_RETURN_NOT_OK(session.Score(feats, &envs, &scores));
+      LIGHTMIRM_RETURN_NOT_OK(monitor->ObserveBatch(
+          scores, &envs, options.feed_labels ? &labels : nullptr));
     }
     ReplayPeriod replayed;
     replayed.year = when.first;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "data/column_store.h"
 #include "data/dataset.h"
 #include "obs/monitor.h"
 #include "serve/scoring_session.h"
@@ -31,6 +32,10 @@ struct ReplayOptions {
   bool feed_labels = true;
   /// When non-null, every period snapshot is published here.
   MetricsRegistry* registry = nullptr;
+  /// When non-zero, only rows of this calendar year are replayed. The
+  /// compressed path additionally skips whole chunks whose indexed year
+  /// range excludes it, without decoding them.
+  int only_year = 0;
 };
 
 /// One replayed (year, half) period and the monitor state after it.
@@ -61,5 +66,20 @@ Result<ReplayResult> ReplayStream(const serve::ScoringSession& session,
                                   ModelHealthMonitor* monitor,
                                   const data::Dataset& stream,
                                   const ReplayOptions& options = {});
+
+/// Out-of-core form of ReplayStream: replays a compressed column store
+/// (data::ColumnStoreReader) one chunk at a time instead of an in-RAM
+/// dataset. The period structure, row order and batch boundaries are
+/// identical to ReplayStream over the store's decoded contents — a first
+/// pass over the chunk *headers* (plus the cheap int columns) maps every
+/// (year, half) period to its rows, then periods are replayed in ascending
+/// order, decoding each feature chunk only when one of its rows is due.
+/// With a lossless store — or a serving-grid store scored by the forest
+/// its grids came from — the scores, and therefore the monitor verdicts,
+/// are bit-identical to replaying the original dataset. Peak memory is one
+/// decoded chunk plus one batch.
+Result<ReplayResult> ReplayCompressedStream(
+    const serve::ScoringSession& session, ModelHealthMonitor* monitor,
+    data::ColumnStoreReader* reader, const ReplayOptions& options = {});
 
 }  // namespace lightmirm::obs

@@ -193,4 +193,21 @@ uint32_t QuantizedForest::LeafColumn(size_t t, const float* row) const {
   return leaf_col_[static_cast<size_t>(idx)];
 }
 
+std::vector<std::vector<float>> ScoringFeatureGrid(
+    const CompiledForest& forest) {
+  std::vector<std::vector<float>> grids(forest.min_feature_count());
+  for (size_t i = 0; i < forest.num_nodes(); ++i) {
+    // Leaves self-loop (left == right == own index); only real splits
+    // contribute a threshold.
+    if (forest.left()[i] == static_cast<int32_t>(i)) continue;
+    grids[static_cast<size_t>(forest.feature()[i])].push_back(
+        gbdt::QuantizeThreshold(forest.threshold()[i]));
+  }
+  for (std::vector<float>& grid : grids) {
+    std::sort(grid.begin(), grid.end());
+    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  }
+  return grids;
+}
+
 }  // namespace lightmirm::serve

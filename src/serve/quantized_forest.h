@@ -113,4 +113,16 @@ class QuantizedForest {
   std::vector<uint32_t> leaf_col_by_bit_;
 };
 
+/// Per-feature threshold grids of a compiled forest: entry f is the
+/// sorted-unique list of QuantizeThreshold images of every split threshold
+/// on feature f (empty when the forest never splits on f), indexed up to
+/// forest.min_feature_count(). Scores depend on a feature value only
+/// through `value <= threshold` against these grids — on both the scalar
+/// (double) and SIMD (float) kernels, by the QuantizeThreshold tie
+/// invariant — which is what lets data::ColumnStore's serving-grid
+/// encoding replace each value by its grid interval and stay
+/// score-bit-identical.
+std::vector<std::vector<float>> ScoringFeatureGrid(
+    const CompiledForest& forest);
+
 }  // namespace lightmirm::serve

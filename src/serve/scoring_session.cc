@@ -11,8 +11,8 @@
 namespace lightmirm::serve {
 namespace {
 
-// Rows per shard of the batch loop; fixed so shard structure (and thus
-// scheduling) depends only on the batch size, never the thread count.
+// Upper bound on rows per shard of the batch loop (and the size of the
+// per-shard weight-table pointer block in ScoreRange).
 constexpr size_t kRowGrain = 1024;
 
 // Rows walked through one tree level in lockstep before moving on (the
@@ -134,28 +134,29 @@ void ScoreBlockwiseSimdPerRow(const QuantizedForest& forest,
   }
 }
 
-// Float image of the batch, restricted to the columns the forest actually
-// reads. Cells are rounded with gbdt::QuantizeThreshold — the same
-// largest-float-below rounding the node thresholds get — so a feature that
-// exactly equals a split threshold (the common case here: bin bounds are
-// observed training values) lands on the quantized threshold and still
-// goes left, and every float-representable value decides exactly as the
-// double descent would (DESIGN.md §11). The buffer is thread-local so
-// steady-state scoring stays allocation-free: repeated batches on one
-// caller thread reuse its capacity, concurrent callers each get their own
-// plane, and the pool workers only ever read it.
-const float* ConvertPlane(const Matrix& raw, size_t stride) {
+// Deterministic shard grain for a batch of `rows`: whole 64-row blocks,
+// sized so a batch splits into roughly kTargetShards shards — enough
+// slack for any plausible pool width to balance (the old fixed 1024-row
+// grain cut a 20k-row batch into only 20 shards, so an 8-thread pool ran
+// the tail 4 threads idle) — but never finer than one block nor coarser
+// than kRowGrain (the ScoreRange table-pointer bound). A pure function of
+// the batch size only: shard structure stays independent of the thread
+// count, exactly like the fixed grain it replaces.
+size_t ServingGrain(size_t rows) {
+  constexpr size_t kTargetShards = 64;
+  const size_t blocks = (rows + kBlock - 1) / kBlock;
+  const size_t blocks_per_shard = (blocks + kTargetShards - 1) / kTargetShards;
+  return std::min(blocks_per_shard, kRowGrain / kBlock) * kBlock;
+}
+
+// Thread-local float plane of the calling thread, so steady-state scoring
+// stays allocation-free: repeated batches on one caller thread reuse its
+// capacity, concurrent callers each get their own plane, and pool workers
+// write only their own shard's rows.
+float* PlaneBuffer(size_t cells) {
   static thread_local std::vector<float> plane;
-  plane.resize(raw.rows() * stride);
-  float* data = plane.data();
-  ParallelForShards(0, raw.rows(), kRowGrain,
-                    [&](size_t, size_t begin, size_t end) {
-                      for (size_t r = begin; r < end; ++r) {
-                        Avx2QuantizeCells(raw.Row(r), data + r * stride,
-                                          stride);
-                      }
-                    });
-  return data;
+  plane.resize(cells);
+  return plane.data();
 }
 
 }  // namespace
@@ -271,31 +272,64 @@ Status WidthError(const BatchWidthError& width) {
 
 }  // namespace
 
-Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
-                             std::vector<double>* out) const {
-  if (out == nullptr) return Status::InvalidArgument("out must be non-null");
-  // One width check per batch — every per-block kernel below relies on it.
-  if (const std::optional<BatchWidthError> width = CheckBatchWidth(raw)) {
-    return WidthError(*width);
+Status ScoringSession::ScoreBatch(const ScoringSession* const* sessions,
+                                  size_t num_sessions, const Matrix& raw,
+                                  const std::vector<int>* envs,
+                                  std::vector<double>* const* outs) {
+  size_t stride = 0;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    if (outs[s] == nullptr) {
+      return Status::InvalidArgument("out must be non-null");
+    }
+    for (size_t other = 0; other < s; ++other) {
+      if (outs[s] == outs[other]) {
+        return Status::InvalidArgument(
+            "champion and challenger outputs must be distinct");
+      }
+    }
+    // One width check per batch and session — every per-block kernel
+    // below relies on it.
+    if (const std::optional<BatchWidthError> width =
+            sessions[s]->CheckBatchWidth(raw)) {
+      return WidthError(*width);
+    }
+    stride = std::max(stride, sessions[s]->quantized_->min_feature_count());
   }
   if (envs != nullptr && envs->size() != raw.rows()) {
     return Status::InvalidArgument(
         StrFormat("envs has %zu entries for %zu rows", envs->size(),
                   raw.rows()));
   }
-  WallTimer batch_watch;
-  out->resize(raw.rows());
+  for (size_t s = 0; s < num_sessions; ++s) outs[s]->resize(raw.rows());
   const bool use_simd = ActiveSimdLevel() != SimdLevel::kScalar;
-  // The float plane is converted once per batch and shared by every shard
-  // and every tree — the scalar path instead re-reads the double rows tree
-  // by tree.
-  const size_t stride = quantized_->min_feature_count();
-  const float* plane = use_simd ? ConvertPlane(raw, stride) : nullptr;
-  ParallelForShards(0, raw.rows(), kRowGrain,
-                    [&](size_t, size_t begin, size_t end) {
-                      ScoreRange(raw, plane, stride, begin, end, envs,
-                                 out->data());
-                    });
+  // The float plane is shared by every session and every tree; each shard
+  // converts its own rows (gbdt::QuantizeThreshold rounding, vectorized)
+  // right before scoring them, so the cells are still in cache for the
+  // descent and the batch needs exactly one pool dispatch. The scalar
+  // path skips the plane and re-reads the double rows tree by tree.
+  float* plane =
+      use_simd ? PlaneBuffer(raw.rows() * stride) : nullptr;
+  ParallelForShards(
+      0, raw.rows(), ServingGrain(raw.rows()),
+      [&](size_t, size_t begin, size_t end) {
+        if (plane != nullptr) {
+          for (size_t r = begin; r < end; ++r) {
+            Avx2QuantizeCells(raw.Row(r), plane + r * stride, stride);
+          }
+        }
+        for (size_t s = 0; s < num_sessions; ++s) {
+          sessions[s]->ScoreRange(raw, plane, stride, begin, end, envs,
+                                  outs[s]->data());
+        }
+      });
+  return Status::OK();
+}
+
+Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
+                             std::vector<double>* out) const {
+  WallTimer batch_watch;
+  const ScoringSession* session = this;
+  LIGHTMIRM_RETURN_NOT_OK(ScoreBatch(&session, 1, raw, envs, &out));
   if (telemetry_.batches != nullptr) {
     telemetry_.batches->Increment();
     telemetry_.rows_scored->Increment(raw.rows());
@@ -315,44 +349,12 @@ Status ScoringSession::ScoreShadow(const ScoringSession& champion,
                                    const std::vector<int>* envs,
                                    std::vector<double>* champion_out,
                                    std::vector<double>* challenger_out) {
-  if (champion_out == nullptr || challenger_out == nullptr) {
-    return Status::InvalidArgument("output vectors must be non-null");
-  }
-  if (champion_out == challenger_out) {
-    return Status::InvalidArgument(
-        "champion and challenger outputs must be distinct");
-  }
-  for (const ScoringSession* session : {&champion, &challenger}) {
-    if (const std::optional<BatchWidthError> width =
-            session->CheckBatchWidth(raw)) {
-      return WidthError(*width);
-    }
-  }
-  if (envs != nullptr && envs->size() != raw.rows()) {
-    return Status::InvalidArgument(
-        StrFormat("envs has %zu entries for %zu rows", envs->size(),
-                  raw.rows()));
-  }
   WallTimer batch_watch;
-  champion_out->resize(raw.rows());
-  challenger_out->resize(raw.rows());
-  const bool use_simd = ActiveSimdLevel() != SimdLevel::kScalar;
-  // One conversion covers both forests: the plane is laid out at the wider
-  // stride and each kernel indexes it through that stride explicitly, so
-  // per-feature cells (and therefore scores) are bit-identical to scoring
-  // each session alone.
-  const size_t stride = std::max(champion.quantized_->min_feature_count(),
-                                 challenger.quantized_->min_feature_count());
-  const float* plane = use_simd ? ConvertPlane(raw, stride) : nullptr;
-  ParallelForShards(0, raw.rows(), kRowGrain,
-                    [&](size_t, size_t begin, size_t end) {
-                      champion.ScoreRange(raw, plane, stride, begin, end,
-                                          envs, champion_out->data());
-                      challenger.ScoreRange(raw, plane, stride, begin, end,
-                                            envs, challenger_out->data());
-                    });
+  const ScoringSession* sessions[2] = {&champion, &challenger};
+  std::vector<double>* outs[2] = {champion_out, challenger_out};
+  LIGHTMIRM_RETURN_NOT_OK(ScoreBatch(sessions, 2, raw, envs, outs));
   const double seconds = batch_watch.Seconds();
-  for (const ScoringSession* session : {&champion, &challenger}) {
+  for (const ScoringSession* session : sessions) {
     if (session->telemetry_.batches != nullptr) {
       session->telemetry_.batches->Increment();
       session->telemetry_.rows_scored->Increment(raw.rows());

@@ -110,6 +110,20 @@ class ScoringSession {
  private:
   ScoringSession() = default;
 
+  /// The one batch-prep + dispatch path behind Score and ScoreShadow:
+  /// validates the batch against every session (width, envs size), sizes
+  /// the outputs, and runs a single fused shard dispatch in which each
+  /// shard converts its own rows into the shared float plane (SIMD levels
+  /// only) and scores them for every session while they are cache-hot —
+  /// one pool wakeup per batch, no separate conversion pass. The plane is
+  /// laid out at the widest session's stride and indexed through it
+  /// explicitly, so cells (and scores) are bit-identical however many
+  /// sessions share the batch.
+  static Status ScoreBatch(const ScoringSession* const* sessions,
+                           size_t num_sessions, const Matrix& raw,
+                           const std::vector<int>* envs,
+                           std::vector<double>* const* outs);
+
   /// Scores rows [begin, end) (one shard, <= the shard grain) against the
   /// per-env/global tables, reading the shared float plane when non-null.
   /// Factored out of Score so the shadow path can interleave two sessions

@@ -18,19 +18,39 @@ bool CpuSupportsAvx2() {
 #endif
 }
 
-bool ForceScalarFromEnv() {
-  const char* value = std::getenv("LIGHTMIRM_FORCE_SCALAR");
-  return value != nullptr && value[0] != '\0' &&
-         std::strcmp(value, "0") != 0;
-}
-
 std::atomic<int>& ActiveLevelSlot() {
   static std::atomic<int> level{static_cast<int>(
-      ForceScalarFromEnv() ? SimdLevel::kScalar : DetectedSimdLevel())};
+      ResolveSimdLevel(std::getenv("LIGHTMIRM_SIMD_LEVEL"),
+                       std::getenv("LIGHTMIRM_FORCE_SCALAR"),
+                       DetectedSimdLevel()))};
   return level;
 }
 
 }  // namespace
+
+SimdLevel ResolveSimdLevel(const char* simd_level, const char* force_scalar,
+                           SimdLevel detected) {
+  if (simd_level != nullptr && simd_level[0] != '\0') {
+    if (std::strcmp(simd_level, "scalar") == 0) return SimdLevel::kScalar;
+    if (std::strcmp(simd_level, "avx2") == 0) {
+      // A tier the build or CPU cannot run clamps to the best it can.
+      return detected >= SimdLevel::kAvx2 ? SimdLevel::kAvx2
+                                          : SimdLevel::kScalar;
+    }
+    if (std::strcmp(simd_level, "auto") != 0) {
+      std::fprintf(stderr,
+                   "lightmirm: unknown LIGHTMIRM_SIMD_LEVEL '%s' "
+                   "(want scalar|avx2|auto); using auto\n",
+                   simd_level);
+    }
+    // "auto" (and unknown values) fall through to the legacy variable.
+  }
+  if (force_scalar != nullptr && force_scalar[0] != '\0' &&
+      std::strcmp(force_scalar, "0") != 0) {
+    return SimdLevel::kScalar;
+  }
+  return detected;
+}
 
 const char* SimdLevelName(SimdLevel level) {
   switch (level) {

@@ -2,10 +2,18 @@
 // lives in its own translation unit (simd_kernel.cc, compiled with -mavx2);
 // everything else in the binary is built for the baseline ISA, so whether
 // the vector kernel may run is a runtime question: the build must contain
-// it, the CPU must report AVX2, and the operator must not have forced the
-// portable path (LIGHTMIRM_FORCE_SCALAR=1). ScoringSession consults
-// ActiveSimdLevel() per batch; benches and tests pin levels explicitly to
-// compare kernels on the same machine.
+// it, the CPU must report AVX2, and the operator must not have pinned a
+// tier through the environment. ScoringSession consults ActiveSimdLevel()
+// per batch; benches and tests pin levels explicitly to compare kernels on
+// the same machine.
+//
+// Environment control, in precedence order (resolved once at first use):
+//   LIGHTMIRM_SIMD_LEVEL=scalar|avx2|auto  pins a kernel tier per process
+//       ("avx2" is clamped to what the build + CPU support; "auto" defers
+//       to the legacy variable, then to detection; unknown values warn and
+//       behave like "auto").
+//   LIGHTMIRM_FORCE_SCALAR=1               legacy spelling of "scalar",
+//       still honored when LIGHTMIRM_SIMD_LEVEL is unset or "auto".
 #pragma once
 
 #include <string>
@@ -27,10 +35,19 @@ const char* SimdLevelName(SimdLevel level);
 /// override and any SetSimdLevel call). Computed once.
 SimdLevel DetectedSimdLevel();
 
-/// Level the scoring path currently selects. Starts at DetectedSimdLevel(),
-/// demoted to kScalar when LIGHTMIRM_FORCE_SCALAR is set to anything but
-/// "0" or empty in the environment at first use.
+/// Level the scoring path currently selects. Starts at the environment
+/// resolution above (ResolveSimdLevel over LIGHTMIRM_SIMD_LEVEL /
+/// LIGHTMIRM_FORCE_SCALAR), read once at first use.
 SimdLevel ActiveSimdLevel();
+
+/// Pure resolution of the environment controls, exposed so the precedence
+/// order is unit-testable without mutating the process environment:
+/// `simd_level` / `force_scalar` stand in for the two variables (null =
+/// unset), `detected` for DetectedSimdLevel(). Requested tiers above
+/// `detected` are clamped to it; an unrecognized `simd_level` value warns
+/// on stderr and falls through to the "auto" path.
+SimdLevel ResolveSimdLevel(const char* simd_level, const char* force_scalar,
+                           SimdLevel detected);
 
 /// Overrides the active level, clamped to DetectedSimdLevel() (requesting
 /// kAvx2 on a scalar-only machine stays scalar). Returns the level actually

@@ -1,0 +1,233 @@
+// Out-of-core replay equivalence: stream the generator into a compressed
+// column store, replay the 2020 timeline from disk chunk by chunk, and
+// compare against the in-RAM ReplayStream over the same rows.
+//   * lossless store: decoded rows are bit-identical, so everything is;
+//   * serving-grid store (a few bits per value): the *features* differ but
+//     every forest comparison is preserved, so scores — and with them all
+//     monitor verdicts — stay bit-identical, on the scalar and SIMD
+//     kernels alike;
+//   * chunk skipping via the year index never changes the result.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/gbdt_lr_model.h"
+#include "data/column_store.h"
+#include "data/env_split.h"
+#include "data/loan_generator.h"
+#include "obs/monitor.h"
+#include "obs/replay.h"
+#include "serve/quantized_forest.h"
+#include "serve/simd_dispatch.h"
+
+namespace lightmirm {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "/" + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+data::LoanGeneratorOptions GeneratorOptions() {
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = 2000;
+  gen.seed = 7;
+  return gen;
+}
+
+core::GbdtLrOptions FastModelOptions() {
+  core::GbdtLrOptions options;
+  options.booster.num_trees = 15;
+  options.booster.tree.max_leaves = 8;
+  options.trainer.epochs = 40;
+  options.min_env_rows = 60;
+  return options;
+}
+
+obs::MonitorOptions ReplayMonitorOptions() {
+  obs::MonitorOptions options;
+  options.window = 2048;
+  options.min_rows = 150;
+  options.min_labeled = 150;
+  options.fairness_min_labeled = 300;
+  return options;
+}
+
+void ExpectSameSignal(const obs::SignalHealth& a, const obs::SignalHealth& b) {
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.value, b.value);  // bit-identical, not approximately equal
+}
+
+void ExpectSameWindow(const obs::WindowHealth& a, const obs::WindowHealth& b) {
+  EXPECT_EQ(a.seen, b.seen);
+  EXPECT_EQ(a.window_rows, b.window_rows);
+  EXPECT_EQ(a.labeled_rows, b.labeled_rows);
+  EXPECT_EQ(a.default_rate, b.default_rate);
+  EXPECT_EQ(a.auc, b.auc);
+  EXPECT_EQ(a.ks, b.ks);
+  ExpectSameSignal(a.psi, b.psi);
+  ExpectSameSignal(a.drift_ks, b.drift_ks);
+  ExpectSameSignal(a.default_rate_rise, b.default_rate_rise);
+  ExpectSameSignal(a.auc_drop, b.auc_drop);
+  ExpectSameSignal(a.ks_drop, b.ks_drop);
+  ExpectSameSignal(a.calibration, b.calibration);
+  EXPECT_EQ(a.overall, b.overall);
+}
+
+void ExpectSameReplay(const obs::ReplayResult& a, const obs::ReplayResult& b) {
+  ASSERT_EQ(a.periods.size(), b.periods.size());
+  for (size_t p = 0; p < a.periods.size(); ++p) {
+    const obs::ReplayPeriod& x = a.periods[p];
+    const obs::ReplayPeriod& y = b.periods[p];
+    EXPECT_EQ(x.year, y.year);
+    EXPECT_EQ(x.half, y.half);
+    EXPECT_EQ(x.rows, y.rows);
+    ExpectSameWindow(x.health.global, y.health.global);
+    ASSERT_EQ(x.health.per_env.size(), y.health.per_env.size());
+    for (const auto& [env, health] : x.health.per_env) {
+      ASSERT_EQ(y.health.per_env.count(env), 1u);
+      ExpectSameWindow(health, y.health.per_env.at(env));
+    }
+    ExpectSameSignal(x.health.fairness_gap, y.health.fairness_gap);
+    EXPECT_EQ(x.health.fairness_envs, y.health.fairness_envs);
+    EXPECT_EQ(x.health.overall, y.health.overall);
+  }
+}
+
+struct TrainedSetup {
+  data::Dataset full;
+  core::GbdtLrModel model;
+};
+
+TrainedSetup TrainSetup() {
+  data::LoanGenerator generator(GeneratorOptions());
+  auto full = generator.Generate();
+  EXPECT_TRUE(full.ok());
+  auto split = data::TemporalSplit(*full, 2020);
+  EXPECT_TRUE(split.ok());
+  auto model = core::GbdtLrModel::Train(split->train, core::Method::kErm,
+                                        FastModelOptions());
+  EXPECT_TRUE(model.ok());
+  return {std::move(*full), std::move(*model)};
+}
+
+obs::ReplayResult InRamReplay2020(const TrainedSetup& setup) {
+  auto monitor = obs::ModelHealthMonitor::Create(
+      setup.model.score_reference(), ReplayMonitorOptions());
+  EXPECT_TRUE(monitor.ok());
+  obs::ReplayOptions options;
+  options.only_year = 2020;
+  auto replay = obs::ReplayStream(*setup.model.scoring_session(),
+                                  monitor->get(), setup.full, options);
+  EXPECT_TRUE(replay.ok());
+  return std::move(*replay);
+}
+
+obs::ReplayResult CompressedReplay2020(const TrainedSetup& setup,
+                                       const std::string& store_path,
+                                       const data::ColumnStoreOptions& store) {
+  data::LoanGenerator generator(GeneratorOptions());
+  auto rows = generator.GenerateToStore(store_path, store);
+  EXPECT_TRUE(rows.ok());
+  auto reader = data::ColumnStoreReader::Open(store_path);
+  EXPECT_TRUE(reader.ok());
+  auto monitor = obs::ModelHealthMonitor::Create(
+      setup.model.score_reference(), ReplayMonitorOptions());
+  EXPECT_TRUE(monitor.ok());
+  obs::ReplayOptions options;
+  options.only_year = 2020;
+  auto replay = obs::ReplayCompressedStream(*setup.model.scoring_session(),
+                                            monitor->get(), &*reader,
+                                            options);
+  EXPECT_TRUE(replay.ok());
+  return std::move(*replay);
+}
+
+TEST(CompressedReplayTest, LosslessStoreMatchesInRamReplayBitForBit) {
+  const TrainedSetup setup = TrainSetup();
+  const obs::ReplayResult in_ram = InRamReplay2020(setup);
+
+  TempFile file("compressed_replay_lossless.lmcs");
+  data::ColumnStoreOptions store;
+  store.chunk_rows = 1024;
+  const obs::ReplayResult compressed =
+      CompressedReplay2020(setup, file.path(), store);
+  ExpectSameReplay(in_ram, compressed);
+}
+
+TEST(CompressedReplayTest, ServingGridStoreKeepsVerdictsBitIdentical) {
+  const TrainedSetup setup = TrainSetup();
+  const obs::ReplayResult in_ram = InRamReplay2020(setup);
+
+  const auto session = setup.model.scoring_session();
+  TempFile file("compressed_replay_grid.lmcs");
+  data::ColumnStoreOptions store;
+  store.chunk_rows = 1024;
+  store.feature_encoding = data::FeatureEncoding::kServingGrid;
+  store.feature_grids = serve::ScoringFeatureGrid(session->forest());
+  store.feature_grids.resize(setup.full.NumFeatures());
+
+  // Grid-decoded features are a few bits per value, yet scores — and so
+  // every monitor verdict — must match the in-RAM replay bit for bit, on
+  // whichever kernel tier is active.
+  for (const serve::SimdLevel level :
+       {serve::SimdLevel::kScalar, serve::SimdLevel::kAvx2}) {
+    serve::ScopedSimdLevel pin(level);
+    const obs::ReplayResult compressed =
+        CompressedReplay2020(setup, file.path(), store);
+    ExpectSameReplay(in_ram, compressed);
+  }
+}
+
+TEST(CompressedReplayTest, YearFilterSkipsChunksWithoutChangingResults) {
+  const TrainedSetup setup = TrainSetup();
+  TempFile file("compressed_replay_filter.lmcs");
+  data::LoanGenerator generator(GeneratorOptions());
+  data::ColumnStoreOptions store;
+  store.chunk_rows = 512;
+  ASSERT_TRUE(generator.GenerateToStore(file.path(), store).ok());
+  auto reader = data::ColumnStoreReader::Open(file.path());
+  ASSERT_TRUE(reader.ok());
+
+  // The generator writes years in order, so most chunks are skippable
+  // under a 2020 filter — and at least one chunk must be pure 2020.
+  size_t skippable = 0, in_2020 = 0;
+  for (size_t c = 0; c < reader->num_chunks(); ++c) {
+    if (reader->chunk(c).year_max < 2020) ++skippable;
+    if (reader->chunk(c).year_min >= 2020) ++in_2020;
+  }
+  EXPECT_GT(skippable, 0u);
+  EXPECT_GT(in_2020, 0u);
+
+  // Replaying the filtered store equals replaying the full store with the
+  // same filter applied row by row (the skip is an optimization only) —
+  // and both equal the in-RAM filtered replay.
+  const obs::ReplayResult in_ram = InRamReplay2020(setup);
+  auto monitor = obs::ModelHealthMonitor::Create(
+      setup.model.score_reference(), ReplayMonitorOptions());
+  ASSERT_TRUE(monitor.ok());
+  obs::ReplayOptions options;
+  options.only_year = 2020;
+  auto compressed = obs::ReplayCompressedStream(
+      *setup.model.scoring_session(), monitor->get(), &*reader, options);
+  ASSERT_TRUE(compressed.ok());
+  for (const obs::ReplayPeriod& period : compressed->periods) {
+    EXPECT_EQ(period.year, 2020);
+  }
+  ExpectSameReplay(in_ram, *compressed);
+}
+
+}  // namespace
+}  // namespace lightmirm
