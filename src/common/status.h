@@ -18,6 +18,7 @@ enum class StatusCode : int {
   kFailedPrecondition = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kResourceExhausted = 8,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -1,9 +1,9 @@
 #include "common/string_util.h"
 
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
-#include <cerrno>
+#include <system_error>
 
 namespace lightmirm {
 
@@ -40,18 +40,40 @@ std::string Join(const std::vector<std::string>& pieces,
   return out;
 }
 
+namespace {
+
+// std::from_chars never accepts a leading '+', which the strtod/strtoll
+// family (and therefore old data files) did. Strip exactly one, and reject
+// a second sign after it so "+-3" stays malformed.
+bool StripLeadingPlus(std::string_view* s) {
+  if (s->empty() || s->front() != '+') return true;
+  s->remove_prefix(1);
+  return !s->empty() && s->front() != '+' && s->front() != '-';
+}
+
+}  // namespace
+
 Result<double> ParseDouble(std::string_view s) {
   s = Trim(s);
   if (s.empty()) return Status::InvalidArgument("empty numeric field");
-  std::string buf(s);
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(buf.c_str(), &end);
-  if (errno == ERANGE) {
-    return Status::OutOfRange("numeric value out of range: " + buf);
+  // std::from_chars is locale-independent by definition: "1.5" parses as
+  // one-and-a-half under any LC_NUMERIC, where strtod under a
+  // comma-decimal locale (de_DE) would stop at the '.' and report the
+  // field malformed (or silently truncate in call sites less careful than
+  // this one).
+  std::string_view body = s;
+  if (!StripLeadingPlus(&body)) {
+    return Status::InvalidArgument("malformed number: " + std::string(s));
   }
-  if (end == buf.c_str() || *end != '\0') {
-    return Status::InvalidArgument("malformed number: " + buf);
+  double v = 0.0;
+  const auto [end, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange("numeric value out of range: " +
+                              std::string(s));
+  }
+  if (ec != std::errc() || end != body.data() + body.size()) {
+    return Status::InvalidArgument("malformed number: " + std::string(s));
   }
   return v;
 }
@@ -59,17 +81,35 @@ Result<double> ParseDouble(std::string_view s) {
 Result<int64_t> ParseInt(std::string_view s) {
   s = Trim(s);
   if (s.empty()) return Status::InvalidArgument("empty integer field");
-  std::string buf(s);
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(buf.c_str(), &end, 10);
-  if (errno == ERANGE) {
-    return Status::OutOfRange("integer value out of range: " + buf);
+  std::string_view body = s;
+  if (!StripLeadingPlus(&body)) {
+    return Status::InvalidArgument("malformed integer: " + std::string(s));
   }
-  if (end == buf.c_str() || *end != '\0') {
-    return Status::InvalidArgument("malformed integer: " + buf);
+  int64_t v = 0;
+  const auto [end, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), v, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange("integer value out of range: " +
+                              std::string(s));
   }
-  return static_cast<int64_t>(v);
+  if (ec != std::errc() || end != body.data() + body.size()) {
+    return Status::InvalidArgument("malformed integer: " + std::string(s));
+  }
+  return v;
+}
+
+std::string FormatG17(double v) {
+  // std::to_chars with an explicit precision formats "in the style of
+  // printf %.17g in the C locale" — the exact bytes the %.17g persistence
+  // sites always meant to write, but immune to LC_NUMERIC: a process
+  // running under a comma-decimal locale (de_DE) would otherwise save
+  // model files and monitor checkpoints with ',' decimal separators that
+  // no parser (locale-independent or not) reads back as one number.
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                       std::chars_format::general, 17);
+  if (ec != std::errc()) return "0";  // cannot happen at this buffer size
+  return std::string(buf, end);
 }
 
 std::string StrFormat(const char* fmt, ...) {

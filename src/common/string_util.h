@@ -20,10 +20,19 @@ std::string Join(const std::vector<std::string>& pieces,
                  std::string_view sep);
 
 /// Parses a double; errors on malformed or trailing garbage.
+/// Locale-independent (std::from_chars): '.' is the decimal separator
+/// under any LC_NUMERIC, so CSV and model files parse identically whether
+/// the process runs under "C" or a comma-decimal locale like de_DE.
 Result<double> ParseDouble(std::string_view s);
 
-/// Parses a signed 64-bit integer.
+/// Parses a signed 64-bit integer. Locale-independent like ParseDouble.
 Result<int64_t> ParseInt(std::string_view s);
+
+/// Formats `v` exactly as printf's "%.17g" would in the "C" locale, under
+/// any LC_NUMERIC (std::to_chars). The persistence formats (model files,
+/// monitor checkpoints, forest serialization) write doubles through this
+/// so a comma-decimal locale can never corrupt them.
+std::string FormatG17(double v);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)

@@ -60,7 +60,7 @@ Status SectionError(const char* section, const LineCountingBuf& buf,
 
 Status WriteParams(const linear::ParamVec& params, std::ostream* out) {
   (*out) << params.size();
-  for (double p : params) (*out) << StrFormat(" %.17g", p);
+  for (double p : params) (*out) << " " << FormatG17(p);
   (*out) << "\n";
   return out->good() ? Status::OK() : Status::IoError("write failed");
 }

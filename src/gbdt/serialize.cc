@@ -14,16 +14,17 @@ constexpr const char* kMagic = "lightmirm-booster-v1";
 
 Status SaveBooster(const Booster& booster, std::ostream* out) {
   (*out) << kMagic << "\n";
-  (*out) << StrFormat("base_score %.17g\n", booster.base_score());
+  (*out) << "base_score " << FormatG17(booster.base_score()) << "\n";
   (*out) << StrFormat("num_trees %zu\n", booster.trees().size());
   for (const Tree& tree : booster.trees()) {
     (*out) << StrFormat("tree %zu\n", tree.num_nodes());
     for (const TreeNode& n : tree.nodes()) {
       if (n.is_leaf) {
-        (*out) << StrFormat("leaf %d %.17g\n", n.leaf_ordinal, n.leaf_value);
+        (*out) << "leaf " << n.leaf_ordinal << " "
+               << FormatG17(n.leaf_value) << "\n";
       } else {
-        (*out) << StrFormat("split %d %.17g %d %d\n", n.feature, n.threshold,
-                            n.left, n.right);
+        (*out) << "split " << n.feature << " " << FormatG17(n.threshold)
+               << " " << n.left << " " << n.right << "\n";
       }
     }
   }

@@ -25,9 +25,9 @@ Status ReadLine(std::istream* in, const char* what, std::string* line) {
 }  // namespace
 
 Status AlertStateMachine::SaveState(std::ostream* out) const {
-  (*out) << "alert_machine"
-         << StrFormat(" %.17g %.17g %.17g ", thresholds_.warn,
-                      thresholds_.alert, thresholds_.hysteresis)
+  (*out) << "alert_machine " << FormatG17(thresholds_.warn) << " "
+         << FormatG17(thresholds_.alert) << " "
+         << FormatG17(thresholds_.hysteresis) << " "
          << static_cast<int>(state_) << "\n";
   return out->good() ? Status::OK() : Status::IoError("write failed");
 }
@@ -60,9 +60,9 @@ Status MonitorOptions::SaveState(std::ostream* out) const {
          << min_labeled << " " << fairness_min_labeled << "\n";
   const auto thresholds = [out](const char* name,
                                 const AlertThresholds& t) {
-    (*out) << "thresholds " << name
-           << StrFormat(" %.17g %.17g %.17g\n", t.warn, t.alert,
-                        t.hysteresis);
+    (*out) << "thresholds " << name << " " << FormatG17(t.warn) << " "
+           << FormatG17(t.alert) << " " << FormatG17(t.hysteresis)
+           << "\n";
   };
   thresholds("psi", psi);
   thresholds("drift_ks", drift_ks);
@@ -144,15 +144,16 @@ Status ModelHealthMonitor::SaveCheckpoint(std::ostream* out) const {
   LIGHTMIRM_RETURN_NOT_OK(fairness_.SaveState(out));
   (*out) << "window global\n";
   LIGHTMIRM_RETURN_NOT_OK(SaveEnvMonitorState(
-      global_.window, global_.psi, global_.drift_ks,
-      global_.default_rate_rise, global_.auc_drop, global_.ks_drop,
-      global_.calibration, out));
+      global_.window, global_.machines.psi, global_.machines.drift_ks,
+      global_.machines.default_rate_rise, global_.machines.auc_drop,
+      global_.machines.ks_drop, global_.machines.calibration, out));
   (*out) << "env_windows " << per_env_.size() << "\n";
   for (const auto& [env, mon] : per_env_) {
     (*out) << "window env " << env << "\n";
     LIGHTMIRM_RETURN_NOT_OK(SaveEnvMonitorState(
-        mon.window, mon.psi, mon.drift_ks, mon.default_rate_rise,
-        mon.auc_drop, mon.ks_drop, mon.calibration, out));
+        mon.window, mon.machines.psi, mon.machines.drift_ks,
+        mon.machines.default_rate_rise, mon.machines.auc_drop,
+        mon.machines.ks_drop, mon.machines.calibration, out));
   }
   (*out) << "end_monitor_checkpoint\n";
   return out->good() ? Status::OK() : Status::IoError("write failed");
@@ -208,16 +209,17 @@ Result<std::unique_ptr<ModelHealthMonitor>> ModelHealthMonitor::LoadCheckpoint(
       return Status::InvalidArgument(
           "checkpoint window bin count disagrees with the reference");
     }
-    LIGHTMIRM_ASSIGN_OR_RETURN(mon->psi, AlertStateMachine::LoadState(in));
-    LIGHTMIRM_ASSIGN_OR_RETURN(mon->drift_ks,
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->machines.psi,
                                AlertStateMachine::LoadState(in));
-    LIGHTMIRM_ASSIGN_OR_RETURN(mon->default_rate_rise,
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->machines.drift_ks,
                                AlertStateMachine::LoadState(in));
-    LIGHTMIRM_ASSIGN_OR_RETURN(mon->auc_drop,
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->machines.default_rate_rise,
                                AlertStateMachine::LoadState(in));
-    LIGHTMIRM_ASSIGN_OR_RETURN(mon->ks_drop,
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->machines.auc_drop,
                                AlertStateMachine::LoadState(in));
-    LIGHTMIRM_ASSIGN_OR_RETURN(mon->calibration,
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->machines.ks_drop,
+                               AlertStateMachine::LoadState(in));
+    LIGHTMIRM_ASSIGN_OR_RETURN(mon->machines.calibration,
                                AlertStateMachine::LoadState(in));
     return Status::OK();
   };

@@ -214,7 +214,7 @@ Status SlidingWindow::SaveState(std::ostream* out) const {
   write_counts("labeled", labeled_);
   write_counts("positives", positives_);
   (*out) << "score_sums";
-  for (double s : score_sums_) (*out) << StrFormat(" %.17g", s);
+  for (double s : score_sums_) (*out) << " " << FormatG17(s);
   (*out) << "\n";
   (*out) << "labeled_totals "
          << static_cast<unsigned long long>(labeled_total_) << " "

@@ -221,24 +221,27 @@ std::vector<int> ModelHealthMonitor::MonitoredEnvs() const {
   return envs;
 }
 
-WindowHealth ModelHealthMonitor::EvaluateWindow(
-    EnvMonitor* mon, const BinnedScores& reference) {
-  const SlidingWindow& win = mon->window;
+WindowHealth EvaluateWindowAggregates(const WindowAggregates& window,
+                                      const BinnedScores& reference,
+                                      const MonitorOptions& options,
+                                      WindowStateMachines* machines,
+                                      uint64_t* escalations) {
   WindowHealth health;
-  health.seen = win.total_seen();
-  health.window_rows = win.size();
-  health.labeled_rows = win.labeled_total();
+  health.seen = window.seen;
+  health.window_rows = window.rows;
+  health.labeled_rows = window.labeled;
 
-  const auto advance = [this](AlertStateMachine* sm, double value,
-                              bool evaluable) {
+  const auto advance = [escalations](AlertStateMachine* sm, double value,
+                                     bool evaluable) {
     SignalHealth signal;
     signal.evaluated = evaluable;
     if (evaluable) {
       const AlertState before = sm->state();
       signal.value = value;
       signal.state = sm->Update(value);
-      if (static_cast<int>(signal.state) > static_cast<int>(before)) {
-        ++escalations_;
+      if (static_cast<int>(signal.state) > static_cast<int>(before) &&
+          escalations != nullptr) {
+        ++*escalations;
       }
     } else {
       signal.state = sm->state();  // hold
@@ -247,24 +250,23 @@ WindowHealth ModelHealthMonitor::EvaluateWindow(
   };
 
   // Distribution signals: window score histogram vs the reference.
-  const bool dist_ready = health.window_rows >= options_.min_rows &&
-                          reference.Total() > 0;
+  const bool dist_ready =
+      health.window_rows >= options.min_rows && reference.Total() > 0;
   double psi = 0.0, drift = 0.0;
   if (dist_ready) {
-    auto psi_result =
-        metrics::PsiFromCounts(reference.counts, win.bin_counts());
-    auto ks_result = metrics::KsFromCounts(win.bin_counts(), reference.counts);
+    auto psi_result = metrics::PsiFromCounts(reference.counts, window.counts);
+    auto ks_result = metrics::KsFromCounts(window.counts, reference.counts);
     psi = psi_result.ok() ? *psi_result : 0.0;
     drift = ks_result.ok() ? *ks_result : 0.0;
   }
-  health.psi = advance(&mon->psi, psi, dist_ready);
-  health.drift_ks = advance(&mon->drift_ks, drift, dist_ready);
+  health.psi = advance(&machines->psi, psi, dist_ready);
+  health.drift_ks = advance(&machines->drift_ks, drift, dist_ready);
 
   // Label signals over the window's labeled subset.
-  const uint64_t labeled = win.labeled_total();
-  const uint64_t positives = win.positive_total();
+  const uint64_t labeled = window.labeled;
+  const uint64_t positives = window.positives;
   const uint64_t negatives = labeled - positives;
-  const bool rate_ready = labeled >= options_.min_labeled;
+  const bool rate_ready = labeled >= options.min_labeled;
   double rate_rise = 0.0;
   if (rate_ready) {
     health.default_rate =
@@ -274,21 +276,21 @@ WindowHealth ModelHealthMonitor::EvaluateWindow(
     rate_rise = std::max(0.0, health.default_rate - ref_rate) / ref_rate;
   }
   health.default_rate_rise =
-      advance(&mon->default_rate_rise, rate_rise, rate_ready);
+      advance(&machines->default_rate_rise, rate_rise, rate_ready);
 
   const uint64_t ref_pos = reference.TotalPositives();
   const bool auc_ready = rate_ready && positives > 0 && negatives > 0 &&
                          ref_pos > 0 && ref_pos < reference.Total();
   double auc_drop = 0.0, ks_drop = 0.0;
   if (auc_ready) {
-    std::vector<uint64_t> window_neg(win.labeled_counts().size(), 0);
+    std::vector<uint64_t> window_neg(window.labeled_counts.size(), 0);
     for (size_t b = 0; b < window_neg.size(); ++b) {
-      window_neg[b] = win.labeled_counts()[b] - win.labeled_positives()[b];
+      window_neg[b] = window.labeled_counts[b] - window.labeled_positives[b];
     }
     const std::vector<uint64_t> ref_neg = reference.Negatives();
-    auto auc = metrics::AucFromBinnedCounts(win.labeled_positives(),
-                                            window_neg);
-    auto ks = metrics::KsFromCounts(win.labeled_positives(), window_neg);
+    auto auc =
+        metrics::AucFromBinnedCounts(window.labeled_positives, window_neg);
+    auto ks = metrics::KsFromCounts(window.labeled_positives, window_neg);
     auto ref_auc = metrics::AucFromBinnedCounts(reference.positives, ref_neg);
     auto ref_ks = metrics::KsFromCounts(reference.positives, ref_neg);
     if (auc.ok() && ref_auc.ok()) {
@@ -300,17 +302,16 @@ WindowHealth ModelHealthMonitor::EvaluateWindow(
       ks_drop = std::max(0.0, *ref_ks - *ks);
     }
   }
-  health.auc_drop = advance(&mon->auc_drop, auc_drop, auc_ready);
-  health.ks_drop = advance(&mon->ks_drop, ks_drop, auc_ready);
+  health.auc_drop = advance(&machines->auc_drop, auc_drop, auc_ready);
+  health.ks_drop = advance(&machines->ks_drop, ks_drop, auc_ready);
 
   double ece = 0.0;
   if (rate_ready) {
-    auto result = metrics::EceFromBinnedSums(win.labeled_counts(),
-                                             win.labeled_score_sums(),
-                                             win.labeled_positives());
+    auto result = metrics::EceFromBinnedSums(
+        window.labeled_counts, window.score_sums, window.labeled_positives);
     ece = result.ok() ? *result : 0.0;
   }
-  health.calibration = advance(&mon->calibration, ece, rate_ready);
+  health.calibration = advance(&machines->calibration, ece, rate_ready);
 
   health.overall = health.psi.state;
   health.overall = MaxState(health.overall, health.drift_ks.state);
@@ -321,22 +322,74 @@ WindowHealth ModelHealthMonitor::EvaluateWindow(
   return health;
 }
 
-HealthSnapshot ModelHealthMonitor::Evaluate() {
-  std::lock_guard<std::mutex> lock(mu_);
+WindowAggregates MergeWindowAggregates(
+    const std::vector<WindowAggregates>& parts) {
+  WindowAggregates merged;
+  size_t bins = 0;
+  for (const WindowAggregates& part : parts) {
+    bins = std::max(bins, part.counts.size());
+  }
+  merged.counts.assign(bins, 0);
+  merged.labeled_counts.assign(bins, 0);
+  merged.labeled_positives.assign(bins, 0);
+  merged.score_sums.assign(bins, 0.0);
+  for (const WindowAggregates& part : parts) {
+    merged.rows += part.rows;
+    merged.seen += part.seen;
+    merged.labeled += part.labeled;
+    merged.positives += part.positives;
+    for (size_t b = 0; b < part.counts.size(); ++b) {
+      merged.counts[b] += part.counts[b];
+    }
+    for (size_t b = 0; b < part.labeled_counts.size(); ++b) {
+      merged.labeled_counts[b] += part.labeled_counts[b];
+    }
+    for (size_t b = 0; b < part.labeled_positives.size(); ++b) {
+      merged.labeled_positives[b] += part.labeled_positives[b];
+    }
+    for (size_t b = 0; b < part.score_sums.size(); ++b) {
+      merged.score_sums[b] += part.score_sums[b];
+    }
+  }
+  return merged;
+}
+
+namespace {
+
+// One environment's slot in a snapshot evaluation: merged-or-live
+// aggregates, the matching reference histogram, and the state machines to
+// advance. Shared by ModelHealthMonitor::Evaluate and
+// MergedHealthEvaluator so the per-env loop + fairness-gap verdict logic
+// exists exactly once.
+struct EnvSlot {
+  int env = 0;
+  const WindowAggregates* window = nullptr;
+  const BinnedScores* reference = nullptr;
+  WindowStateMachines* machines = nullptr;
+};
+
+HealthSnapshot EvaluateSnapshotImpl(const MonitorOptions& options,
+                                    const WindowAggregates& global_window,
+                                    const BinnedScores& global_reference,
+                                    WindowStateMachines* global_machines,
+                                    const std::vector<EnvSlot>& envs,
+                                    AlertStateMachine* fairness,
+                                    uint64_t* evaluations,
+                                    uint64_t* escalations) {
   HealthSnapshot snapshot;
-  snapshot.evaluation = ++evaluations_;
-  snapshot.global = EvaluateWindow(&global_, reference_.global);
+  snapshot.evaluation = ++*evaluations;
+  snapshot.global = EvaluateWindowAggregates(
+      global_window, global_reference, options, global_machines, escalations);
   snapshot.overall = snapshot.global.overall;
 
   // Per-province windows, then the paper's minimax-fairness signal: the
   // worst-vs-best streaming AUC gap across provinces with enough labels.
   double best_auc = 0.0, worst_auc = 0.0;
-  for (auto& [env, mon] : per_env_) {
-    WindowHealth health =
-        EvaluateWindow(&mon, reference_.per_env.at(env));
-    const bool in_gap =
-        health.labeled_rows >= options_.fairness_min_labeled &&
-        health.auc_drop.evaluated;
+  for (const EnvSlot& slot : envs) {
+    WindowHealth health = EvaluateWindowAggregates(
+        *slot.window, *slot.reference, options, slot.machines, escalations);
+    const bool in_gap = health.labeled_rows >= options.fairness_min_labeled &&
+                        health.auc_drop.evaluated;
     if (in_gap) {
       if (snapshot.fairness_envs.empty()) {
         best_auc = worst_auc = health.auc;
@@ -344,27 +397,112 @@ HealthSnapshot ModelHealthMonitor::Evaluate() {
         best_auc = std::max(best_auc, health.auc);
         worst_auc = std::min(worst_auc, health.auc);
       }
-      snapshot.fairness_envs.push_back(env);
+      snapshot.fairness_envs.push_back(slot.env);
     }
     snapshot.overall = MaxState(snapshot.overall, health.overall);
-    snapshot.per_env.emplace(env, std::move(health));
+    snapshot.per_env.emplace(slot.env, std::move(health));
   }
   const bool gap_ready = snapshot.fairness_envs.size() >= 2;
   const double gap = gap_ready ? best_auc - worst_auc : 0.0;
   snapshot.fairness_gap.evaluated = gap_ready;
   if (gap_ready) {
-    const AlertState before = fairness_.state();
+    const AlertState before = fairness->state();
     snapshot.fairness_gap.value = gap;
-    snapshot.fairness_gap.state = fairness_.Update(gap);
+    snapshot.fairness_gap.state = fairness->Update(gap);
     if (static_cast<int>(snapshot.fairness_gap.state) >
         static_cast<int>(before)) {
-      ++escalations_;
+      ++*escalations;
     }
   } else {
-    snapshot.fairness_gap.state = fairness_.state();
+    snapshot.fairness_gap.state = fairness->state();
   }
   snapshot.overall = MaxState(snapshot.overall, snapshot.fairness_gap.state);
   return snapshot;
+}
+
+}  // namespace
+
+HealthSnapshot ModelHealthMonitor::Evaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot the windows' O(bins) aggregates and run the shared verdict
+  // code over them — the identical path MergedHealthEvaluator runs over
+  // bin-wise sums, which is what makes single-monitor and merged-fleet
+  // timelines comparable by construction.
+  const WindowAggregates global_agg = CopyAggregates(global_.window);
+  std::map<int, WindowAggregates> env_aggs;
+  std::vector<EnvSlot> slots;
+  slots.reserve(per_env_.size());
+  for (auto& [env, mon] : per_env_) {
+    const auto it =
+        env_aggs.emplace(env, CopyAggregates(mon.window)).first;
+    slots.push_back(EnvSlot{env, &it->second, &reference_.per_env.at(env),
+                            &mon.machines});
+  }
+  return EvaluateSnapshotImpl(options_, global_agg, reference_.global,
+                              &global_.machines, slots, &fairness_,
+                              &evaluations_, &escalations_);
+}
+
+MergedHealthEvaluator::MergedHealthEvaluator(ScoreReference reference,
+                                             MonitorOptions options)
+    : reference_(std::move(reference)),
+      options_(options),
+      global_(options_),
+      fairness_(options_.fairness_gap) {
+  for (const auto& [env, bins] : reference_.per_env) {
+    (void)bins;
+    per_env_.emplace(env, WindowStateMachines(options_));
+  }
+}
+
+Result<MergedHealthEvaluator> MergedHealthEvaluator::Create(
+    ScoreReference reference, MonitorOptions options) {
+  if (reference.empty()) {
+    return Status::InvalidArgument(
+        "merged evaluator needs a non-empty score reference");
+  }
+  return MergedHealthEvaluator(std::move(reference), options);
+}
+
+Result<HealthSnapshot> MergedHealthEvaluator::Evaluate(
+    const std::vector<const ModelHealthMonitor*>& shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument(
+        "merged evaluation needs at least one shard monitor");
+  }
+  for (const ModelHealthMonitor* shard : shards) {
+    if (shard == nullptr) {
+      return Status::InvalidArgument("null shard monitor");
+    }
+    if (shard->reference().num_bins != reference_.num_bins) {
+      return Status::InvalidArgument(StrFormat(
+          "shard monitor has %d reference bins, evaluator has %d",
+          shard->reference().num_bins, reference_.num_bins));
+    }
+  }
+  std::vector<WindowAggregates> parts;
+  parts.reserve(shards.size());
+  for (const ModelHealthMonitor* shard : shards) {
+    parts.push_back(shard->GlobalWindow());
+  }
+  const WindowAggregates global_agg = MergeWindowAggregates(parts);
+  std::map<int, WindowAggregates> env_aggs;
+  std::vector<EnvSlot> slots;
+  slots.reserve(per_env_.size());
+  for (auto& [env, machines] : per_env_) {
+    parts.clear();
+    for (const ModelHealthMonitor* shard : shards) {
+      LIGHTMIRM_ASSIGN_OR_RETURN(WindowAggregates part,
+                                 shard->EnvWindow(env));
+      parts.push_back(std::move(part));
+    }
+    const auto it = env_aggs.emplace(env, MergeWindowAggregates(parts)).first;
+    slots.push_back(EnvSlot{env, &it->second, &reference_.per_env.at(env),
+                            &machines});
+  }
+  return EvaluateSnapshotImpl(options_, global_agg, reference_.global,
+                              &global_, slots, &fairness_, &evaluations_,
+                              &escalations_);
 }
 
 HealthSnapshot ModelHealthMonitor::Evaluate(MetricsRegistry* registry) {

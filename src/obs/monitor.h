@@ -160,6 +160,86 @@ struct WindowAggregates {
   std::vector<double> score_sums;          ///< labeled score sums per bin
 };
 
+/// The six per-window hysteresis machines, bundled so the same signal
+/// state can live inside a ModelHealthMonitor's window or inside a
+/// MergedHealthEvaluator (which has no windows of its own, only merged
+/// aggregates).
+struct WindowStateMachines {
+  WindowStateMachines() = default;
+  explicit WindowStateMachines(const MonitorOptions& options)
+      : psi(options.psi),
+        drift_ks(options.drift_ks),
+        default_rate_rise(options.default_rate_rise),
+        auc_drop(options.auc_drop),
+        ks_drop(options.ks_drop),
+        calibration(options.calibration) {}
+
+  AlertStateMachine psi;
+  AlertStateMachine drift_ks;
+  AlertStateMachine default_rate_rise;
+  AlertStateMachine auc_drop;
+  AlertStateMachine ks_drop;
+  AlertStateMachine calibration;
+};
+
+/// Evaluates one window's signals from its binned aggregates alone and
+/// advances the given state machines — the single verdict implementation
+/// behind both ModelHealthMonitor::Evaluate (aggregates of a live
+/// SlidingWindow) and MergedHealthEvaluator (bin-wise sums across shard
+/// windows). `escalations` is incremented per signal that escalated; may
+/// be null.
+WindowHealth EvaluateWindowAggregates(const WindowAggregates& window,
+                                      const BinnedScores& reference,
+                                      const MonitorOptions& options,
+                                      WindowStateMachines* machines,
+                                      uint64_t* escalations);
+
+/// Bin-wise sum of shard window aggregates: O(bins) per part, independent
+/// of window capacity or row count. Histogram vectors are summed at the
+/// widest part's bin count (shorter parts contribute zeros — callers
+/// merging same-reference monitors always have equal widths).
+WindowAggregates MergeWindowAggregates(
+    const std::vector<WindowAggregates>& parts);
+
+class ModelHealthMonitor;
+
+/// Global health over a fleet of per-shard monitors, by snapshot merge:
+/// each Evaluate tick copies every shard's O(bins) window aggregates,
+/// bin-wise-sums them per environment, and runs the exact per-window
+/// verdict code a single monitor runs — same signals, same hysteresis,
+/// same fairness gap — over the merged aggregates. The evaluator owns its
+/// own state machines (shard-local machines never advance), so a fleet's
+/// merged timeline is exactly what one monitor observing the union stream
+/// would produce whenever no shard window has evicted.
+class MergedHealthEvaluator {
+ public:
+  /// Same validation as ModelHealthMonitor::Create; the reference defines
+  /// which environments are merged and compared.
+  static Result<MergedHealthEvaluator> Create(ScoreReference reference,
+                                              MonitorOptions options = {});
+
+  /// One merged evaluation tick over the shard monitors. Errors when the
+  /// list is empty, holds a null entry, or a shard's reference bin count
+  /// disagrees with this evaluator's (merging those sums would be
+  /// meaningless).
+  Result<HealthSnapshot> Evaluate(
+      const std::vector<const ModelHealthMonitor*>& shards);
+
+  const ScoreReference& reference() const { return reference_; }
+  const MonitorOptions& options() const { return options_; }
+
+ private:
+  MergedHealthEvaluator(ScoreReference reference, MonitorOptions options);
+
+  ScoreReference reference_;
+  MonitorOptions options_;
+  WindowStateMachines global_;
+  std::map<int, WindowStateMachines> per_env_;
+  AlertStateMachine fairness_;
+  uint64_t evaluations_ = 0;
+  uint64_t escalations_ = 0;
+};
+
 /// Thread-safe online monitor; see file comment.
 class ModelHealthMonitor {
  public:
@@ -217,26 +297,13 @@ class ModelHealthMonitor {
  private:
   struct EnvMonitor {
     explicit EnvMonitor(const MonitorOptions& options, int num_bins)
-        : window(num_bins, options.window),
-          psi(options.psi),
-          drift_ks(options.drift_ks),
-          default_rate_rise(options.default_rate_rise),
-          auc_drop(options.auc_drop),
-          ks_drop(options.ks_drop),
-          calibration(options.calibration) {}
+        : window(num_bins, options.window), machines(options) {}
 
     SlidingWindow window;
-    AlertStateMachine psi;
-    AlertStateMachine drift_ks;
-    AlertStateMachine default_rate_rise;
-    AlertStateMachine auc_drop;
-    AlertStateMachine ks_drop;
-    AlertStateMachine calibration;
+    WindowStateMachines machines;
   };
 
   ModelHealthMonitor(ScoreReference reference, MonitorOptions options);
-
-  WindowHealth EvaluateWindow(EnvMonitor* mon, const BinnedScores& reference);
 
   mutable std::mutex mu_;
   ScoreReference reference_;

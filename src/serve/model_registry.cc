@@ -21,13 +21,33 @@ Result<std::shared_ptr<const ModelVersion>> ModelVersion::Create(
   }
   // shared_ptr<ModelVersion> first, const later: Create must fill the
   // members after construction (the constructor only moves the model in).
-  std::shared_ptr<ModelVersion> version(
-      new ModelVersion(std::move(id), std::move(model)));
-  version->session_ = version->model_.scoring_session();
-  if (!version->model_.score_reference().empty()) {
+  std::shared_ptr<ModelVersion> version(new ModelVersion(
+      std::move(id),
+      std::make_shared<const core::GbdtLrModel>(std::move(model))));
+  version->session_ = version->model_->scoring_session();
+  if (!version->model_->score_reference().empty()) {
     LIGHTMIRM_ASSIGN_OR_RETURN(
         std::unique_ptr<obs::ModelHealthMonitor> monitor,
-        obs::ModelHealthMonitor::Create(version->model_.score_reference(),
+        obs::ModelHealthMonitor::Create(version->model_->score_reference(),
+                                        monitor_options));
+    version->monitor_ = std::move(monitor);
+  }
+  return std::shared_ptr<const ModelVersion>(std::move(version));
+}
+
+Result<std::shared_ptr<const ModelVersion>> ModelVersion::CreateSibling(
+    const std::shared_ptr<const ModelVersion>& base,
+    const obs::MonitorOptions& monitor_options) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("sibling needs a non-null base version");
+  }
+  std::shared_ptr<ModelVersion> version(
+      new ModelVersion(base->id_, base->model_));
+  version->session_ = base->session_;
+  if (!version->model_->score_reference().empty()) {
+    LIGHTMIRM_ASSIGN_OR_RETURN(
+        std::unique_ptr<obs::ModelHealthMonitor> monitor,
+        obs::ModelHealthMonitor::Create(version->model_->score_reference(),
                                         monitor_options));
     version->monitor_ = std::move(monitor);
   }

@@ -54,8 +54,18 @@ class ModelVersion {
       std::string id, core::GbdtLrModel model,
       const obs::MonitorOptions& monitor_options = {});
 
+  /// A sibling version: shares `base`'s immutable model (and through it
+  /// the compiled/quantized serving artifacts — GbdtLrModel is move-only,
+  /// so siblings are how many registries serve one trained model) under
+  /// the same id, but carries its OWN freshly created monitor. The
+  /// sharded service registers one sibling per shard so every shard's
+  /// windows observe only that shard's slice of the traffic.
+  static Result<std::shared_ptr<const ModelVersion>> CreateSibling(
+      const std::shared_ptr<const ModelVersion>& base,
+      const obs::MonitorOptions& monitor_options = {});
+
   const std::string& id() const { return id_; }
-  const core::GbdtLrModel& model() const { return model_; }
+  const core::GbdtLrModel& model() const { return *model_; }
   const std::shared_ptr<const ScoringSession>& session() const {
     return session_;
   }
@@ -66,11 +76,13 @@ class ModelVersion {
   }
 
  private:
-  ModelVersion(std::string id, core::GbdtLrModel model)
+  ModelVersion(std::string id,
+               std::shared_ptr<const core::GbdtLrModel> model)
       : id_(std::move(id)), model_(std::move(model)) {}
 
   std::string id_;
-  core::GbdtLrModel model_;
+  /// Shared, never mutated after Create; siblings alias it.
+  std::shared_ptr<const core::GbdtLrModel> model_;
   std::shared_ptr<const ScoringSession> session_;
   std::shared_ptr<obs::ModelHealthMonitor> monitor_;
 };

@@ -149,17 +149,38 @@ size_t ServingGrain(size_t rows) {
   return std::min(blocks_per_shard, kRowGrain / kBlock) * kBlock;
 }
 
+}  // namespace
+
+namespace internal {
+
+namespace {
+
+std::vector<float>& ThreadPlane() {
+  static thread_local std::vector<float> plane;
+  return plane;
+}
+
+}  // namespace
+
 // Thread-local float plane of the calling thread, so steady-state scoring
 // stays allocation-free: repeated batches on one caller thread reuse its
 // capacity, concurrent callers each get their own plane, and pool workers
-// write only their own shard's rows.
+// write only their own shard's rows. Capacity far beyond the request is
+// released first: one huge batch used to pin its high-water mark on every
+// pool thread for the process lifetime, so a single 1M-row spike left
+// every worker holding megabytes it would never touch again.
 float* PlaneBuffer(size_t cells) {
-  static thread_local std::vector<float> plane;
+  std::vector<float>& plane = ThreadPlane();
+  if (plane.capacity() > cells * kPlaneShrinkFactor) {
+    std::vector<float>().swap(plane);
+  }
   plane.resize(cells);
   return plane.data();
 }
 
-}  // namespace
+size_t PlaneBufferCapacity() { return ThreadPlane().capacity(); }
+
+}  // namespace internal
 
 Result<ScoringSession> ScoringSession::Create(
     std::shared_ptr<const CompiledForest> forest,
@@ -308,7 +329,7 @@ Status ScoringSession::ScoreBatch(const ScoringSession* const* sessions,
   // descent and the batch needs exactly one pool dispatch. The scalar
   // path skips the plane and re-reads the double rows tree by tree.
   float* plane =
-      use_simd ? PlaneBuffer(raw.rows() * stride) : nullptr;
+      use_simd ? internal::PlaneBuffer(raw.rows() * stride) : nullptr;
   ParallelForShards(
       0, raw.rows(), ServingGrain(raw.rows()),
       [&](size_t, size_t begin, size_t end) {

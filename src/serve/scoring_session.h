@@ -34,6 +34,27 @@
 
 namespace lightmirm::serve {
 
+namespace internal {
+
+/// A thread's plane scratch is released (not just left unused) when its
+/// capacity exceeds kPlaneShrinkFactor × the current request, so one huge
+/// batch cannot pin its high-water allocation on every pool thread for the
+/// process lifetime. 4× keeps steady mixed traffic allocation-free: batch
+/// sizes that wander within a 4× band reuse the buffer, only a genuine
+/// collapse (e.g. 1M-row backfill followed by 64-row interactive requests)
+/// triggers the free + reallocation.
+inline constexpr size_t kPlaneShrinkFactor = 4;
+
+/// Returns this thread's float plane scratch, resized to `cells`
+/// (shrinking first per kPlaneShrinkFactor). Exposed for the regression
+/// test; scoring code reaches it only through ScoringSession.
+float* PlaneBuffer(size_t cells);
+
+/// Capacity of this thread's plane scratch (test observability).
+size_t PlaneBufferCapacity();
+
+}  // namespace internal
+
 /// Structured description of a batch/forest width mismatch: the first row
 /// whose width cannot satisfy the forest's feature reads, plus the widths
 /// involved. Row-major Matrix batches are uniform, so `row` is the first

@@ -1,0 +1,370 @@
+#include "serve/service/dispatcher.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace lightmirm::serve {
+namespace {
+
+// SplitMix64 finalizer: a fixed, platform-independent avalanche of the
+// loan id. std::hash would be both implementation-defined (libstdc++
+// hashes integers to themselves — sequential ids would all land on shard
+// id % N, a pathological skew) and unstable across toolchains.
+uint64_t MixLoanId(int64_t id) {
+  uint64_t x = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct BatchDispatcher::PendingRequest {
+  std::vector<double> scores;
+  std::atomic<uint64_t> remaining{0};
+  std::mutex mu;      ///< guards status
+  Status status;      ///< first shard error wins
+  CompletionFn done;
+};
+
+size_t BatchDispatcher::ShardOf(int64_t loan_id) const {
+  return static_cast<size_t>(MixLoanId(loan_id) % options_.num_shards);
+}
+
+Result<std::unique_ptr<BatchDispatcher>> BatchDispatcher::Create(
+    DispatcherOptions options, ShardScoreFn score_fn) {
+  if (score_fn == nullptr) {
+    return Status::InvalidArgument("dispatcher needs a shard score fn");
+  }
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (options.feature_width == 0) {
+    return Status::InvalidArgument("feature_width must be positive");
+  }
+  if (options.max_batch_rows == 0) {
+    return Status::InvalidArgument("max_batch_rows must be positive");
+  }
+  if (options.max_pending_rows < options.max_batch_rows) {
+    return Status::InvalidArgument(
+        "max_pending_rows must be >= max_batch_rows");
+  }
+  if (options.max_delay.count() <= 0) {
+    return Status::InvalidArgument("max_delay must be positive");
+  }
+  if (options.score_threads <= 0) options.score_threads = DefaultThreads();
+  return std::unique_ptr<BatchDispatcher>(
+      new BatchDispatcher(std::move(options), std::move(score_fn)));
+}
+
+BatchDispatcher::BatchDispatcher(DispatcherOptions options,
+                                 ShardScoreFn score_fn)
+    : options_(std::move(options)),
+      score_fn_(std::move(score_fn)),
+      pool_(options_.score_threads) {
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->batch.width = options_.feature_width;
+    shards_.push_back(std::move(shard));
+  }
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+BatchDispatcher::~BatchDispatcher() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  dispatcher_.join();
+}
+
+Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
+  if (done == nullptr) {
+    return Status::InvalidArgument("Submit needs a completion fn");
+  }
+  const size_t n = request.loan_ids.size();
+  if (request.features.size() != n * options_.feature_width) {
+    return Status::InvalidArgument(StrFormat(
+        "request has %zu feature values for %zu rows of width %zu",
+        request.features.size(), n, options_.feature_width));
+  }
+  if (!request.envs.empty() && request.envs.size() != n) {
+    return Status::InvalidArgument(StrFormat(
+        "request has %zu envs for %zu rows", request.envs.size(), n));
+  }
+  if (!request.labels.empty()) {
+    if (request.labels.size() != n) {
+      return Status::InvalidArgument(StrFormat(
+          "request has %zu labels for %zu rows", request.labels.size(), n));
+    }
+    for (const int label : request.labels) {
+      if (label < -1 || label > 1) {
+        return Status::InvalidArgument("labels must be -1, 0 or 1");
+      }
+    }
+  }
+  if (n == 0) {
+    done(ScoreResponse{});
+    return Status::OK();
+  }
+
+  // Partition rows by shard up front so the locked section is a straight
+  // append.
+  std::vector<uint32_t> shard_of(n);
+  std::vector<size_t> add_count(options_.num_shards, 0);
+  for (size_t i = 0; i < n; ++i) {
+    shard_of[i] = static_cast<uint32_t>(ShardOf(request.loan_ids[i]));
+    ++add_count[shard_of[i]];
+  }
+  std::vector<size_t> involved;
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    if (add_count[s] != 0) involved.push_back(s);
+  }
+
+  // Account the rows before they become visible to the dispatcher, so the
+  // pending total can never be decremented below the rows actually in the
+  // accumulators (Flush waits on it reaching zero).
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_rows_total_ += n;
+  }
+
+  // Lock every involved shard in ascending index order (deadlock-free
+  // against concurrent submitters) and check capacity across all of them
+  // before appending anything: a shed request leaves no partial rows.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(involved.size());
+  for (const size_t s : involved) locks.emplace_back(shards_[s]->mu);
+  for (const size_t s : involved) {
+    if (shards_[s]->batch.rows + add_count[s] > options_.max_pending_rows) {
+      locks.clear();
+      {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        pending_rows_total_ -= n;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.shed_requests;
+      }
+      return Status::ResourceExhausted(StrFormat(
+          "shard %zu holds %zu pending rows (+%zu requested, cap %zu)", s,
+          shards_[s]->batch.rows, add_count[s], options_.max_pending_rows));
+    }
+  }
+
+  auto pending = std::make_shared<PendingRequest>();
+  pending->scores.resize(n);
+  pending->remaining.store(n, std::memory_order_relaxed);
+  pending->done = std::move(done);
+
+  const auto now = std::chrono::steady_clock::now();
+  bool size_ready = false;
+  for (size_t i = 0; i < n; ++i) {
+    Shard& shard = *shards_[shard_of[i]];
+    if (shard.batch.rows == 0) shard.oldest = now;
+    const double* row = request.features.data() + i * options_.feature_width;
+    shard.batch.features.insert(shard.batch.features.end(), row,
+                                row + options_.feature_width);
+    shard.batch.envs.push_back(request.envs.empty() ? -1 : request.envs[i]);
+    shard.batch.labels.push_back(request.labels.empty() ? -1
+                                                        : request.labels[i]);
+    shard.rows.push_back(RowRef{pending, static_cast<uint32_t>(i)});
+    ++shard.batch.rows;
+    size_ready |= shard.batch.rows >= options_.max_batch_rows;
+  }
+  locks.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    stats_.rows += n;
+  }
+  // Wake the dispatcher: immediately when a shard crossed the size
+  // trigger, otherwise so it re-arms its deadline timer for the rows that
+  // just arrived.
+  (void)size_ready;
+  wake_cv_.notify_one();
+  return Status::OK();
+}
+
+Result<ScoreResponse> BatchDispatcher::Score(ScoreRequest request) {
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<ScoreResponse> result = Status::OK();
+  };
+  auto state = std::make_shared<SyncState>();
+  LIGHTMIRM_RETURN_NOT_OK(
+      Submit(std::move(request), [state](Result<ScoreResponse> result) {
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->result = std::move(result);
+          state->done = true;
+        }
+        state->cv.notify_one();
+      }));
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done; });
+  return std::move(state->result);
+}
+
+void BatchDispatcher::Flush() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  flush_requested_ = true;
+  wake_cv_.notify_one();
+  idle_cv_.wait(lock, [this] {
+    return !flush_requested_ && pending_rows_total_ == 0 && !cycle_running_;
+  });
+}
+
+DispatcherStats BatchDispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void BatchDispatcher::DispatchLoop() {
+  using Clock = std::chrono::steady_clock;
+  for (;;) {
+    bool flush_all;
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      flush_all = flush_requested_ || stop_;
+    }
+
+    // Scan the shards: swap out every ready batch, remember the earliest
+    // deadline among the rest.
+    const auto now = Clock::now();
+    auto next_deadline = Clock::time_point::max();
+    std::vector<size_t> ready;
+    std::vector<ShardBatch> batches;
+    std::vector<std::vector<RowRef>> rows;
+    uint64_t size_flushes = 0, deadline_flushes = 0, explicit_flushes = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> shard_lock(shard.mu);
+      if (shard.batch.rows == 0) continue;
+      const auto deadline = shard.oldest + options_.max_delay;
+      const bool size_ready = shard.batch.rows >= options_.max_batch_rows;
+      const bool deadline_ready = deadline <= now;
+      if (!flush_all && !size_ready && !deadline_ready) {
+        next_deadline = std::min(next_deadline, deadline);
+        continue;
+      }
+      if (size_ready) {
+        ++size_flushes;
+      } else if (deadline_ready) {
+        ++deadline_flushes;
+      } else {
+        ++explicit_flushes;
+      }
+      ready.push_back(s);
+      batches.push_back(std::move(shard.batch));
+      rows.push_back(std::move(shard.rows));
+      shard.batch = ShardBatch{};
+      shard.batch.width = options_.feature_width;
+      shard.rows.clear();
+    }
+
+    if (!ready.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.size_flushes += size_flushes;
+        stats_.deadline_flushes += deadline_flushes;
+        stats_.explicit_flushes += explicit_flushes;
+      }
+      uint64_t scored = 0;
+      for (const ShardBatch& batch : batches) scored += batch.rows;
+      {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        cycle_running_ = true;
+      }
+      ScoreCycle(std::move(ready), std::move(batches), std::move(rows));
+      {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        cycle_running_ = false;
+        pending_rows_total_ -= scored;
+      }
+      idle_cv_.notify_all();
+      continue;  // rescan immediately: more shards may have filled up
+    }
+
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (pending_rows_total_ == 0) {
+      if (flush_requested_) {
+        flush_requested_ = false;
+        idle_cv_.notify_all();
+      }
+      if (stop_) return;
+    }
+    // Nothing ready: sleep to the earliest pending deadline (or until new
+    // work / a flush / stop wakes us). Rows accounted but not yet appended
+    // by an in-flight Submit will notify once visible.
+    if (next_deadline == Clock::time_point::max()) {
+      wake_cv_.wait(lock);
+    } else {
+      wake_cv_.wait_until(lock, next_deadline);
+    }
+  }
+}
+
+void BatchDispatcher::ScoreCycle(std::vector<size_t> ready,
+                                 std::vector<ShardBatch> batches,
+                                 std::vector<std::vector<RowRef>> rows) {
+  // One pool task per ready shard; a shard's rows never score twice
+  // concurrently because cycles are serialized on the dispatcher thread.
+  pool_.Apply(ready.size(), [&](size_t i) {
+    const size_t shard = ready[i];
+    const ShardBatch& batch = batches[i];
+    std::vector<double> scores(batch.rows, 0.0);
+    Status status = score_fn_(shard, batch, &scores);
+    if (status.ok() && scores.size() != batch.rows) {
+      status = Status::Internal(
+          StrFormat("shard %zu scored %zu rows for a %zu-row batch", shard,
+                    scores.size(), batch.rows));
+    }
+    // Scatter scores back and retire rows per contiguous same-request run
+    // (a request's rows land consecutively in a shard, so this is one
+    // atomic decrement per request per shard).
+    const std::vector<RowRef>& refs = rows[i];
+    size_t j = 0;
+    while (j < refs.size()) {
+      PendingRequest* request = refs[j].request.get();
+      size_t run = 0;
+      while (j + run < refs.size() &&
+             refs[j + run].request.get() == request) {
+        if (status.ok()) {
+          request->scores[refs[j + run].row] = scores[j + run];
+        }
+        ++run;
+      }
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(request->mu);
+        if (request->status.ok()) request->status = status;
+      }
+      if (request->remaining.fetch_sub(run, std::memory_order_acq_rel) ==
+          run) {
+        Status final_status;
+        {
+          std::lock_guard<std::mutex> lock(request->mu);
+          final_status = request->status;
+        }
+        if (final_status.ok()) {
+          ScoreResponse response;
+          response.scores = std::move(request->scores);
+          request->done(std::move(response));
+        } else {
+          request->done(std::move(final_status));
+        }
+      }
+      j += run;
+    }
+  });
+}
+
+}  // namespace lightmirm::serve

@@ -2,8 +2,38 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <clocale>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
 namespace lightmirm {
 namespace {
+
+// Switches LC_NUMERIC to a comma-decimal locale for the test's scope.
+// active() is false when the container has no such locale generated (the
+// CI Release job runs `locale-gen de_DE.UTF-8` so the locale tests
+// actually execute there) or when the alias silently resolves to a
+// period-decimal one.
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale() {
+    const char* saved = std::setlocale(LC_NUMERIC, nullptr);
+    saved_ = saved == nullptr ? "C" : saved;
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) break;
+    }
+  }
+  ~ScopedCommaLocale() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+
+  bool active() const {
+    return std::strcmp(std::localeconv()->decimal_point, ",") == 0;
+  }
+
+ private:
+  std::string saved_;
+};
 
 TEST(SplitTest, BasicSplit) {
   const auto parts = Split("a,b,c", ',');
@@ -75,6 +105,94 @@ TEST(ParseIntTest, RejectsOverflow) {
 TEST(StrFormatTest, FormatsLikePrintf) {
   EXPECT_EQ(StrFormat("%d-%s-%.2f", 5, "x", 1.5), "5-x-1.50");
   EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+// strtod accepted a leading '+' (and old hand-edited files use it);
+// from_chars does not, so the parsers strip exactly one.
+TEST(ParseDoubleTest, AcceptsSingleLeadingPlus) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("+3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" +0.25 "), 0.25);
+  EXPECT_FALSE(ParseDouble("++3").ok());
+  EXPECT_FALSE(ParseDouble("+-3").ok());
+  EXPECT_FALSE(ParseDouble("+").ok());
+}
+
+TEST(ParseIntTest, AcceptsSingleLeadingPlus) {
+  EXPECT_EQ(*ParseInt("+7"), 7);
+  EXPECT_FALSE(ParseInt("++7").ok());
+  EXPECT_FALSE(ParseInt("+-7").ok());
+  EXPECT_FALSE(ParseInt("+").ok());
+}
+
+// A comma decimal separator is malformed input in every locale — data
+// files are period-decimal by contract.
+TEST(ParseDoubleTest, RejectsCommaDecimal) {
+  EXPECT_FALSE(ParseDouble("3,25").ok());
+  EXPECT_FALSE(ParseDouble("1,5e3").ok());
+}
+
+TEST(ParseDoubleTest, HugeMagnitudeIsOutOfRange) {
+  const auto r = ParseDouble("1e99999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FormatG17Test, MatchesPrintfG17InCLocale) {
+  // StrFormat("%.17g") is the legacy write path; FormatG17 must emit the
+  // same bytes it produced under the C locale, for every double shape the
+  // persistence formats hit.
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.5,
+                           0.1,
+                           1.0 / 3.0,
+                           3.141592653589793,
+                           123456789.123456789,
+                           -2.5e-5,
+                           1e-300,
+                           1.7976931348623157e308,   // max double
+                           2.2250738585072014e-308,  // min normal
+                           4.9406564584124654e-324}; // min subnormal
+  for (double v : values) {
+    EXPECT_EQ(FormatG17(v), StrFormat("%.17g", v)) << v;
+  }
+}
+
+TEST(FormatG17Test, RoundTripsBitsThroughParseDouble) {
+  const double values[] = {0.1, 1.0 / 3.0, 3.141592653589793, 1e-300,
+                           -7.25};
+  for (double v : values) {
+    const auto parsed = ParseDouble(FormatG17(v));
+    ASSERT_TRUE(parsed.ok()) << FormatG17(v);
+    EXPECT_EQ(std::bit_cast<uint64_t>(*parsed), std::bit_cast<uint64_t>(v))
+        << FormatG17(v);
+  }
+}
+
+// The regression the from_chars/to_chars switch fixes: under a
+// comma-decimal LC_NUMERIC, strtod stopped at the '.' of every fraction
+// and %.17g wrote commas nothing could read back. The helpers must behave
+// exactly as in the C locale. Skips when no comma locale is generated in
+// the image (CI's Release job generates de_DE.UTF-8 and runs this).
+TEST(LocaleIndependenceTest, ParseAndFormatIgnoreCommaLocale) {
+  ScopedCommaLocale locale;
+  if (!locale.active()) {
+    GTEST_SKIP() << "no comma-decimal locale available (locale-gen "
+                    "de_DE.UTF-8 to enable)";
+  }
+  // Sanity: the C library itself is now comma-decimal...
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1,50");
+  // ...while the persistence helpers still speak periods, both ways.
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e-3"), -1e-3);
+  EXPECT_FALSE(ParseDouble("3,25").ok());
+  EXPECT_EQ(*ParseInt("-42"), -42);
+  EXPECT_EQ(FormatG17(1.5), "1.5");
+  EXPECT_EQ(FormatG17(0.1), "0.10000000000000001");
+  const double v = 3.141592653589793;
+  EXPECT_EQ(std::bit_cast<uint64_t>(*ParseDouble(FormatG17(v))),
+            std::bit_cast<uint64_t>(v));
 }
 
 }  // namespace

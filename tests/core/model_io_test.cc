@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <clocale>
+#include <cstring>
 #include <sstream>
 #include <string>
 
@@ -214,6 +216,60 @@ TEST(ModelIoTest, MissingFileIsIoError) {
   auto r = LoadModelFromFile("/no/such/model.txt");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// Scopes LC_NUMERIC to a comma-decimal locale (see the twin helper in
+// common/string_util_test.cc; CI's Release job generates de_DE.UTF-8 so
+// this runs there, locally it skips when the locale is absent).
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale() {
+    const char* saved = std::setlocale(LC_NUMERIC, nullptr);
+    saved_ = saved == nullptr ? "C" : saved;
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) break;
+    }
+  }
+  ~ScopedCommaLocale() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+
+  bool active() const {
+    return std::strcmp(std::localeconv()->decimal_point, ",") == 0;
+  }
+
+ private:
+  std::string saved_;
+};
+
+// The end-to-end regression for the locale bugfix: a process running
+// under a comma-decimal LC_NUMERIC must save byte-identical model files
+// and load them back to bit-identical scores. Before the
+// from_chars/to_chars switch, saving under de_DE wrote ','-decimal
+// doubles and loading period-decimal files truncated every fraction.
+TEST(ModelIoLocaleTest, RoundTripsByteAndBitIdenticalUnderCommaLocale) {
+  const GbdtLrModel original = TrainSmallModel(Method::kLightMirm);
+  std::stringstream c_locale_bytes;
+  ASSERT_TRUE(SaveModel(original, &c_locale_bytes).ok());
+
+  ScopedCommaLocale locale;
+  if (!locale.active()) {
+    GTEST_SKIP() << "no comma-decimal locale available (locale-gen "
+                    "de_DE.UTF-8 to enable)";
+  }
+  std::stringstream comma_locale_bytes;
+  ASSERT_TRUE(SaveModel(original, &comma_locale_bytes).ok());
+  EXPECT_EQ(comma_locale_bytes.str(), c_locale_bytes.str());
+
+  const auto loaded = LoadModel(&c_locale_bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = 400;
+  gen.last_year = 2018;
+  gen.seed = 12;
+  const data::Dataset fresh = *data::LoanGenerator(gen).Generate();
+  const auto a = *original.Predict(fresh);
+  const auto b = *loaded->Predict(fresh);
+  EXPECT_EQ(a, b);  // bit-identical, not approximately equal
 }
 
 }  // namespace

@@ -183,5 +183,93 @@ TEST(ModelRegistryHotSwapTest, BatchesNeverMixVersionsDuringSwaps) {
   EXPECT_EQ(registry.size(), 2u);
 }
 
+TEST(ModelVersionTest, SiblingsShareModelWithIndependentMonitors) {
+  auto base = ModelVersion::Create("v1", TrainModel(core::Method::kErm, 1));
+  ASSERT_TRUE(base.ok());
+  auto sibling = ModelVersion::CreateSibling(*base);
+  ASSERT_TRUE(sibling.ok()) << sibling.status().ToString();
+  EXPECT_EQ((*sibling)->id(), "v1");
+  // Same immutable model and session, so siblings score bit-identically
+  // at zero extra memory...
+  EXPECT_EQ(&(*sibling)->model(), &(*base)->model());
+  EXPECT_EQ((*sibling)->session(), (*base)->session());
+  // ...but each carries its own monitor: feeding one sibling's windows
+  // leaves the other's untouched (the sharded service's per-shard view).
+  ASSERT_NE((*sibling)->monitor(), nullptr);
+  EXPECT_NE((*sibling)->monitor(), (*base)->monitor());
+  const data::Dataset batch = GenSet(100, 7);
+  std::vector<double> out;
+  ASSERT_TRUE((*base)->session()
+                  ->Score(batch.features(), &batch.envs(), &out)
+                  .ok());
+  ASSERT_TRUE(
+      (*sibling)->monitor()->ObserveBatch(out, &batch.envs(), nullptr).ok());
+  EXPECT_EQ((*sibling)->monitor()->GlobalWindow().rows, out.size());
+  EXPECT_EQ((*base)->monitor()->GlobalWindow().rows, 0u);
+
+  EXPECT_FALSE(ModelVersion::CreateSibling(nullptr).ok());
+}
+
+// The eviction race the sharded service leans on: scorers pin a batch
+// snapshot, the version gets retired, and eviction sweeps run while those
+// batches are still in flight. EvictUnreferenced must never drop (and so
+// free) the held version — scores on the retired snapshot stay
+// bit-identical throughout — and must reap it as soon as the last batch
+// lets go. TSan (CI job `tsan`) checks Score-vs-eviction synchronization.
+TEST(ModelRegistryEvictRaceTest, ConcurrentEvictionSparesInFlightSnapshots) {
+  ModelRegistry registry;
+  auto va = registry.Register("a", TrainModel(core::Method::kErm, 1));
+  auto vb = registry.Register("b", TrainModel(core::Method::kLightMirm, 2));
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vb.ok());
+  const data::Dataset batch = GenSet(200, 7);
+  std::vector<double> scores_a;
+  ASSERT_TRUE((*va)->session()
+                  ->Score(batch.features(), &batch.envs(), &scores_a)
+                  .ok());
+  // Drop the test's own handles so the scorers' snapshots are the only
+  // references keeping "a" alive.
+  (*va).reset();
+  (*vb).reset();
+
+  std::atomic<int> holding{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> scorers;
+  for (int t = 0; t < 3; ++t) {
+    scorers.emplace_back([&] {
+      // Pin the champion before the swap, then keep scoring batch after
+      // batch on the pinned snapshot long after it is retired.
+      const std::shared_ptr<const ModelVersion> snap = registry.active();
+      holding.fetch_add(1);
+      std::vector<double> out;
+      while (!release.load(std::memory_order_acquire)) {
+        if (!snap->session()
+                 ->Score(batch.features(), &batch.envs(), &out)
+                 .ok() ||
+            out != scores_a) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  while (holding.load() < 3) std::this_thread::yield();
+  ASSERT_TRUE(registry.Activate("b").ok());  // "a" is now retired
+  // Eviction runs concurrently with the in-flight batches; the held
+  // version must survive every sweep.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(registry.EvictUnreferenced(), 0u);
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(registry.Get("a").ok());
+  release.store(true, std::memory_order_release);
+  for (auto& t : scorers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Last reference gone -> the retired version is reclaimable.
+  EXPECT_EQ(registry.EvictUnreferenced(), 1u);
+  EXPECT_FALSE(registry.Get("a").ok());
+  EXPECT_EQ(registry.VersionIds(), (std::vector<std::string>{"b"}));
+}
+
 }  // namespace
 }  // namespace lightmirm::serve

@@ -200,5 +200,29 @@ TEST(ScoringSessionTest, RejectsNullForest) {
   EXPECT_FALSE(ScoringSession::Create(nullptr, predictor).ok());
 }
 
+// Regression for the monotonically-growing plane scratch: the
+// thread-local buffer used to keep its high-water capacity forever, so
+// one huge backfill batch pinned megabytes on every pool thread for the
+// process lifetime. It must now release when a request is under 1/4 of
+// the held capacity, and keep reusing inside that band.
+TEST(ScoringSessionTest, PlaneScratchShrinksAfterLargeBatch) {
+  constexpr size_t kHuge = size_t{1} << 20;
+  internal::PlaneBuffer(kHuge);
+  ASSERT_GE(internal::PlaneBufferCapacity(), kHuge);
+
+  // A small request after the spike frees the spike's allocation.
+  internal::PlaneBuffer(1024);
+  EXPECT_LE(internal::PlaneBufferCapacity(),
+            1024 * internal::kPlaneShrinkFactor);
+
+  // Wandering within the 4x band reuses the buffer (no churn on steady
+  // mixed traffic): after a 4096-cell request, 2048 must not shrink.
+  internal::PlaneBuffer(4096);
+  const size_t held = internal::PlaneBufferCapacity();
+  ASSERT_GE(held, 4096u);
+  internal::PlaneBuffer(2048);
+  EXPECT_EQ(internal::PlaneBufferCapacity(), held);
+}
+
 }  // namespace
 }  // namespace lightmirm::serve

@@ -1,0 +1,684 @@
+// BatchDispatcher and ShardedScoringService: request partitioning, batch
+// triggers (size / deadline / explicit flush), atomic shed, row-aligned
+// completions across shards, per-shard monitor feeds, and the merged
+// health verdict matching a single monitor over the same traffic. The
+// concurrency tests run under TSan in CI (job `tsan`).
+#include "serve/service/sharded_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/gbdt_lr_model.h"
+#include "data/loan_generator.h"
+#include "obs/monitor.h"
+#include "serve/service/dispatcher.h"
+
+namespace lightmirm::serve {
+namespace {
+
+constexpr auto kNever = std::chrono::microseconds(30'000'000);
+
+data::Dataset GenSet(int rows_per_year, uint64_t seed) {
+  data::LoanGeneratorOptions gen;
+  gen.rows_per_year = rows_per_year;
+  gen.last_year = 2017;
+  gen.seed = seed;
+  return *data::LoanGenerator(gen).Generate();
+}
+
+core::GbdtLrModel TrainModel(core::Method method, uint64_t seed) {
+  core::GbdtLrOptions options;
+  options.booster.num_trees = 12;
+  options.booster.tree.max_leaves = 6;
+  options.trainer.epochs = 10;
+  options.min_env_rows = 30;
+  auto model = core::GbdtLrModel::Train(GenSet(800, seed), method, options);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return std::move(model).value();
+}
+
+// A dispatcher whose "scorer" computes a value any test can predict:
+// score = first feature + 1000 * shard, so both the routed shard and the
+// row alignment are visible in every returned score.
+Result<std::unique_ptr<BatchDispatcher>> MakeFakeDispatcher(
+    DispatcherOptions options) {
+  return BatchDispatcher::Create(
+      options, [](size_t shard, const ShardBatch& batch,
+                  std::vector<double>* scores) {
+        for (size_t r = 0; r < batch.rows; ++r) {
+          (*scores)[r] = batch.features[r * batch.width] + 1000.0 * shard;
+        }
+        return Status::OK();
+      });
+}
+
+TEST(DispatcherTest, CreateValidatesOptions) {
+  const auto ok_fn = [](size_t, const ShardBatch&, std::vector<double>*) {
+    return Status::OK();
+  };
+  DispatcherOptions options;
+  options.feature_width = 1;
+  EXPECT_TRUE(BatchDispatcher::Create(options, ok_fn).ok());
+  EXPECT_FALSE(BatchDispatcher::Create(options, nullptr).ok());
+
+  DispatcherOptions bad = options;
+  bad.num_shards = 0;
+  EXPECT_FALSE(BatchDispatcher::Create(bad, ok_fn).ok());
+  bad = options;
+  bad.feature_width = 0;
+  EXPECT_FALSE(BatchDispatcher::Create(bad, ok_fn).ok());
+  bad = options;
+  bad.max_batch_rows = 0;
+  EXPECT_FALSE(BatchDispatcher::Create(bad, ok_fn).ok());
+  bad = options;
+  bad.max_pending_rows = options.max_batch_rows - 1;
+  EXPECT_FALSE(BatchDispatcher::Create(bad, ok_fn).ok());
+  bad = options;
+  bad.max_delay = std::chrono::microseconds(0);
+  EXPECT_FALSE(BatchDispatcher::Create(bad, ok_fn).ok());
+}
+
+TEST(DispatcherTest, ShardMappingIsStableAndBalanced) {
+  DispatcherOptions options;
+  options.num_shards = 8;
+  options.feature_width = 1;
+  auto a = MakeFakeDispatcher(options);
+  auto b = MakeFakeDispatcher(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<size_t> counts(options.num_shards, 0);
+  for (int64_t id = 0; id < 10000; ++id) {
+    const size_t shard = (*a)->ShardOf(id);
+    ASSERT_LT(shard, options.num_shards);
+    // The mapping is a pure function of (id, num_shards) — no per-process
+    // seed — so replays route identically across runs and machines.
+    EXPECT_EQ(shard, (*b)->ShardOf(id));
+    ++counts[shard];
+  }
+  // Sequential ids must spread (std::hash would put them all on id % N).
+  for (const size_t count : counts) {
+    EXPECT_GT(count, 1000u);
+    EXPECT_LT(count, 1500u);
+  }
+}
+
+TEST(DispatcherTest, ScoresLandRowAlignedAcrossShards) {
+  DispatcherOptions options;
+  options.num_shards = 4;
+  options.feature_width = 2;
+  options.max_batch_rows = 16;
+  options.max_delay = std::chrono::microseconds(1000);
+  auto dispatcher = MakeFakeDispatcher(options);
+  ASSERT_TRUE(dispatcher.ok());
+
+  ScoreRequest request;
+  std::vector<double> expected;
+  for (int i = 0; i < 100; ++i) {
+    const int64_t loan_id = 7919 * i;  // spread over every shard
+    request.loan_ids.push_back(loan_id);
+    request.features.push_back(i);
+    request.features.push_back(-i);
+    expected.push_back(i + 1000.0 * (*dispatcher)->ShardOf(loan_id));
+  }
+  const auto response = (*dispatcher)->Score(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // Scores arrive in submit row order even though four shard batches
+  // scored them concurrently — and each row's score proves it was scored
+  // on exactly the shard ShardOf names.
+  EXPECT_EQ(response->scores, expected);
+}
+
+TEST(DispatcherTest, KeepsEnvsAndLabelsRowAlignedWithinShardBatches) {
+  // The scorer sees each shard batch with envs/labels aligned to its
+  // rows; rows whose request omitted them carry -1.
+  struct Seen {
+    std::mutex mu;
+    std::vector<ShardBatch> batches;
+  };
+  auto seen = std::make_shared<Seen>();
+  DispatcherOptions options;
+  options.num_shards = 3;
+  options.feature_width = 1;
+  options.max_delay = std::chrono::microseconds(500);
+  auto dispatcher = BatchDispatcher::Create(
+      options, [seen](size_t, const ShardBatch& batch,
+                      std::vector<double>* scores) {
+        {
+          std::lock_guard<std::mutex> lock(seen->mu);
+          seen->batches.push_back(batch);
+        }
+        scores->assign(batch.rows, 0.0);
+        return Status::OK();
+      });
+  ASSERT_TRUE(dispatcher.ok());
+
+  ScoreRequest with;
+  for (int i = 0; i < 30; ++i) {
+    with.loan_ids.push_back(31 * i);
+    with.features.push_back(i);
+    with.envs.push_back(i % 5);
+    with.labels.push_back(i % 2);
+  }
+  ASSERT_TRUE((*dispatcher)->Score(std::move(with)).ok());
+  ScoreRequest without;
+  for (int i = 0; i < 10; ++i) {
+    without.loan_ids.push_back(17 * i);
+    without.features.push_back(100 + i);
+  }
+  ASSERT_TRUE((*dispatcher)->Score(std::move(without)).ok());
+
+  std::lock_guard<std::mutex> lock(seen->mu);
+  size_t rows_seen = 0;
+  for (const ShardBatch& batch : seen->batches) {
+    ASSERT_EQ(batch.envs.size(), batch.rows);
+    ASSERT_EQ(batch.labels.size(), batch.rows);
+    for (size_t r = 0; r < batch.rows; ++r) {
+      const int i = static_cast<int>(batch.features[r]);
+      if (i < 100) {
+        EXPECT_EQ(batch.envs[r], i % 5);
+        EXPECT_EQ(batch.labels[r], i % 2);
+      } else {
+        EXPECT_EQ(batch.envs[r], -1);
+        EXPECT_EQ(batch.labels[r], -1);
+      }
+    }
+    rows_seen += batch.rows;
+  }
+  EXPECT_EQ(rows_seen, 40u);
+}
+
+TEST(DispatcherTest, SizeTriggerFlushesAFullBatchImmediately) {
+  DispatcherOptions options;
+  options.num_shards = 1;
+  options.feature_width = 1;
+  options.max_batch_rows = 4;
+  options.max_delay = kNever;  // a deadline flush would hang the test out
+  auto dispatcher = MakeFakeDispatcher(options);
+  ASSERT_TRUE(dispatcher.ok());
+  ScoreRequest request;
+  for (int i = 0; i < 4; ++i) {
+    request.loan_ids.push_back(i);
+    request.features.push_back(i);
+  }
+  ASSERT_TRUE((*dispatcher)->Score(std::move(request)).ok());
+  const DispatcherStats stats = (*dispatcher)->stats();
+  EXPECT_GE(stats.size_flushes, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 0u);
+}
+
+TEST(DispatcherTest, DeadlineTriggerRescuesTrickleTraffic) {
+  DispatcherOptions options;
+  options.num_shards = 2;
+  options.feature_width = 1;
+  options.max_batch_rows = 1000;  // never reached by one row
+  options.max_delay = std::chrono::microseconds(2000);
+  auto dispatcher = MakeFakeDispatcher(options);
+  ASSERT_TRUE(dispatcher.ok());
+  ScoreRequest request;
+  request.loan_ids.push_back(99);
+  request.features.push_back(1.0);
+  const auto response = (*dispatcher)->Score(std::move(request));
+  ASSERT_TRUE(response.ok());
+  const DispatcherStats stats = (*dispatcher)->stats();
+  EXPECT_GE(stats.deadline_flushes, 1u);
+  EXPECT_EQ(stats.size_flushes, 0u);
+}
+
+TEST(DispatcherTest, FlushDrainsEveryPendingRow) {
+  DispatcherOptions options;
+  options.num_shards = 4;
+  options.feature_width = 1;
+  options.max_batch_rows = 1000;
+  options.max_delay = kNever;
+  auto dispatcher = MakeFakeDispatcher(options);
+  ASSERT_TRUE(dispatcher.ok());
+  std::atomic<int> completed{0};
+  for (int r = 0; r < 10; ++r) {
+    ScoreRequest request;
+    for (int i = 0; i < 3; ++i) {
+      request.loan_ids.push_back(r * 100 + i);
+      request.features.push_back(i);
+    }
+    ASSERT_TRUE((*dispatcher)
+                    ->Submit(std::move(request),
+                             [&completed](Result<ScoreResponse> response) {
+                               EXPECT_TRUE(response.ok());
+                               completed.fetch_add(1);
+                             })
+                    .ok());
+  }
+  (*dispatcher)->Flush();
+  EXPECT_EQ(completed.load(), 10);
+  const DispatcherStats stats = (*dispatcher)->stats();
+  EXPECT_GE(stats.explicit_flushes, 1u);
+  EXPECT_EQ(stats.requests, 10u);
+  EXPECT_EQ(stats.rows, 30u);
+}
+
+TEST(DispatcherTest, ShedsAtomicallyWhenAShardIsFull) {
+  // Block the scorer so the accumulator refills while a flush cycle is in
+  // flight, then overflow it.
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool entered = false;
+    bool release = false;
+  };
+  auto gate = std::make_shared<Gate>();
+  DispatcherOptions options;
+  options.num_shards = 1;
+  options.feature_width = 1;
+  options.max_batch_rows = 8;
+  options.max_pending_rows = 8;
+  options.max_delay = kNever;
+  auto dispatcher = BatchDispatcher::Create(
+      options, [gate](size_t, const ShardBatch& batch,
+                      std::vector<double>* scores) {
+        std::unique_lock<std::mutex> lock(gate->mu);
+        gate->entered = true;
+        gate->cv.notify_all();
+        gate->cv.wait(lock, [&] { return gate->release; });
+        scores->assign(batch.rows, 1.0);
+        return Status::OK();
+      });
+  ASSERT_TRUE(dispatcher.ok());
+
+  std::atomic<int> completed{0};
+  const auto submit_rows = [&](size_t rows) {
+    ScoreRequest request;
+    for (size_t i = 0; i < rows; ++i) {
+      request.loan_ids.push_back(static_cast<int64_t>(i));
+      request.features.push_back(0.0);
+    }
+    return (*dispatcher)
+        ->Submit(std::move(request),
+                 [&completed](Result<ScoreResponse> response) {
+                   EXPECT_TRUE(response.ok());
+                   completed.fetch_add(1);
+                 });
+  };
+  // Fills the shard to the size trigger; the cycle starts and parks in
+  // the gate with the accumulator already swapped out...
+  ASSERT_TRUE(submit_rows(8).ok());
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->entered; });
+  }
+  // ...so this refills the accumulator exactly to the cap...
+  ASSERT_TRUE(submit_rows(8).ok());
+  // ...and one more row must shed, leaving no partial rows behind.
+  const Status shed = submit_rows(1);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+
+  {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->release = true;
+  }
+  gate->cv.notify_all();
+  (*dispatcher)->Flush();
+  EXPECT_EQ(completed.load(), 2);  // the shed request's done never fired
+  const DispatcherStats stats = (*dispatcher)->stats();
+  EXPECT_EQ(stats.shed_requests, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.rows, 16u);
+}
+
+TEST(DispatcherTest, RejectsMalformedRequestsWithoutCompleting) {
+  DispatcherOptions options;
+  options.num_shards = 2;
+  options.feature_width = 2;
+  auto dispatcher = MakeFakeDispatcher(options);
+  ASSERT_TRUE(dispatcher.ok());
+  std::atomic<int> called{0};
+  const auto done = [&called](Result<ScoreResponse>) {
+    called.fetch_add(1);
+  };
+
+  ScoreRequest request;
+  request.loan_ids = {1, 2};
+  request.features = {0.0, 0.0, 0.0};  // 3 values for 2 rows of width 2
+  EXPECT_FALSE((*dispatcher)->Submit(request, done).ok());
+  request.features = {0.0, 0.0, 0.0, 0.0};
+  request.envs = {0};  // mis-sized
+  EXPECT_FALSE((*dispatcher)->Submit(request, done).ok());
+  request.envs = {0, 1};
+  request.labels = {1};  // mis-sized
+  EXPECT_FALSE((*dispatcher)->Submit(request, done).ok());
+  request.labels = {1, 2};  // 2 is not a label
+  EXPECT_FALSE((*dispatcher)->Submit(request, done).ok());
+  EXPECT_FALSE((*dispatcher)->Submit(ScoreRequest{}, nullptr).ok());
+  EXPECT_EQ(called.load(), 0);
+
+  // An empty request is valid and completes inline.
+  const auto empty = (*dispatcher)->Score(ScoreRequest{});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->scores.empty());
+  EXPECT_EQ((*dispatcher)->stats().requests, 0u);
+}
+
+TEST(DispatcherTest, ShardErrorReachesTheCompletion) {
+  DispatcherOptions options;
+  options.num_shards = 2;
+  options.feature_width = 1;
+  options.max_delay = std::chrono::microseconds(500);
+  auto dispatcher = BatchDispatcher::Create(
+      options,
+      [](size_t, const ShardBatch&, std::vector<double>*) {
+        return Status::Internal("scorer died");
+      });
+  ASSERT_TRUE(dispatcher.ok());
+  ScoreRequest request;
+  request.loan_ids = {7};
+  request.features = {1.0};
+  const auto response = (*dispatcher)->Score(std::move(request));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInternal);
+}
+
+TEST(DispatcherTest, DestructionFlushesAndCompletesPendingRows) {
+  std::atomic<int> completed{0};
+  {
+    DispatcherOptions options;
+    options.num_shards = 2;
+    options.feature_width = 1;
+    options.max_batch_rows = 1000;
+    options.max_delay = kNever;
+    auto dispatcher = MakeFakeDispatcher(options);
+    ASSERT_TRUE(dispatcher.ok());
+    ScoreRequest request;
+    request.loan_ids = {1, 2, 3};
+    request.features = {1.0, 2.0, 3.0};
+    ASSERT_TRUE((*dispatcher)
+                    ->Submit(std::move(request),
+                             [&completed](Result<ScoreResponse> response) {
+                               EXPECT_TRUE(response.ok());
+                               completed.fetch_add(1);
+                             })
+                    .ok());
+  }  // destructor must score + complete, not drop
+  EXPECT_EQ(completed.load(), 1);
+}
+
+ScoreRequest DatasetRequest(const data::Dataset& set, int64_t id_base,
+                            bool with_labels) {
+  ScoreRequest request;
+  request.features = set.features().data();
+  request.envs = set.envs();
+  if (with_labels) request.labels = set.labels();
+  for (size_t i = 0; i < set.NumRows(); ++i) {
+    request.loan_ids.push_back(id_base + static_cast<int64_t>(i));
+  }
+  return request;
+}
+
+TEST(ServiceTest, CreateValidatesOptions) {
+  ServiceOptions empty_id;
+  empty_id.initial_version_id = "";
+  EXPECT_FALSE(ShardedScoringService::Create(
+                   TrainModel(core::Method::kErm, 1), empty_id)
+                   .ok());
+  ServiceOptions no_shards;
+  no_shards.dispatcher.num_shards = 0;
+  EXPECT_FALSE(ShardedScoringService::Create(
+                   TrainModel(core::Method::kErm, 1), no_shards)
+                   .ok());
+}
+
+TEST(ServiceTest, DefaultFeatureWidthComesFromTheModel) {
+  core::GbdtLrModel model = TrainModel(core::Method::kErm, 6);
+  const size_t width = model.compiled_forest()->min_feature_count();
+  ASSERT_GT(width, 0u);
+  auto service = ShardedScoringService::Create(std::move(model), {});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ScoreRequest request;
+  request.loan_ids = {42};
+  request.features.assign(width, 0.0);
+  const auto response = (*service)->Score(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->scores.size(), 1u);
+  ScoreRequest mis_sized;
+  mis_sized.loan_ids = {43};
+  mis_sized.features.assign(width + 1, 0.0);
+  EXPECT_FALSE((*service)->Score(std::move(mis_sized)).ok());
+}
+
+TEST(ServiceTest, ScoresBitIdenticalToTheDirectSession) {
+  // kErmFineTune carries per-env weight overrides, so any env/row
+  // misalignment across the shard partition would change scores.
+  core::GbdtLrModel model = TrainModel(core::Method::kErmFineTune, 3);
+  const data::Dataset batch = GenSet(150, 9);
+  const std::vector<double> direct =
+      *model.scoring_session()->Score(batch.features(), &batch.envs());
+
+  ServiceOptions options;
+  options.dispatcher.num_shards = 4;
+  options.dispatcher.feature_width = batch.NumFeatures();
+  options.dispatcher.max_batch_rows = 32;
+  auto service = ShardedScoringService::Create(std::move(model), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const auto response =
+      (*service)->Score(DatasetRequest(batch, 5000, /*with_labels=*/false));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->scores, direct);
+}
+
+TEST(ServiceShardTest, MonitorsObserveDisjointSlicesOfTheTraffic) {
+  core::GbdtLrModel model = TrainModel(core::Method::kErm, 4);
+  const data::Dataset traffic = GenSet(200, 11);
+  ServiceOptions options;
+  options.dispatcher.num_shards = 3;
+  options.dispatcher.feature_width = traffic.NumFeatures();
+  options.monitor.window = 8192;
+  auto service = ShardedScoringService::Create(std::move(model), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  const int64_t id_base = 90000;
+  ASSERT_TRUE((*service)
+                  ->Score(DatasetRequest(traffic, id_base,
+                                         /*with_labels=*/true))
+                  .ok());
+  (*service)->Flush();
+
+  std::vector<uint64_t> expected((*service)->num_shards(), 0);
+  for (size_t i = 0; i < traffic.NumRows(); ++i) {
+    ++expected[(*service)->ShardOf(id_base + static_cast<int64_t>(i))];
+  }
+  uint64_t total = 0;
+  for (size_t s = 0; s < (*service)->num_shards(); ++s) {
+    const auto version = (*service)->shard_registry(s)->active();
+    ASSERT_NE(version, nullptr);
+    ASSERT_NE(version->monitor(), nullptr);
+    const obs::WindowAggregates window = version->monitor()->GlobalWindow();
+    EXPECT_EQ(window.rows, expected[s]) << "shard " << s;
+    EXPECT_EQ(window.seen, expected[s]) << "shard " << s;
+    total += window.rows;
+  }
+  EXPECT_EQ(total, traffic.NumRows());
+}
+
+TEST(ServiceHealthTest, MergedEvaluationMatchesASingleMonitor) {
+  // The snapshot-merge contract: with windows sized past the traffic, the
+  // merged fleet verdict must equal what one monitor observing the whole
+  // stream reports — same rows, same signal values, same states.
+  core::GbdtLrModel model = TrainModel(core::Method::kLightMirm, 5);
+  obs::MonitorOptions monitor_options;
+  monitor_options.window = 8192;
+  auto single = obs::ModelHealthMonitor::Create(model.score_reference(),
+                                                monitor_options);
+  ASSERT_TRUE(single.ok());
+  const data::Dataset traffic = GenSet(400, 12);
+  const std::vector<double> scores =
+      *model.scoring_session()->Score(traffic.features(), &traffic.envs());
+  ASSERT_TRUE((*single)
+                  ->ObserveBatch(scores, &traffic.envs(), &traffic.labels())
+                  .ok());
+
+  ServiceOptions options;
+  options.dispatcher.num_shards = 3;
+  options.dispatcher.feature_width = traffic.NumFeatures();
+  options.monitor = monitor_options;
+  auto service = ShardedScoringService::Create(std::move(model), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE((*service)
+                  ->Score(DatasetRequest(traffic, 31000,
+                                         /*with_labels=*/true))
+                  .ok());
+  (*service)->Flush();
+
+  const auto merged = (*service)->EvaluateHealth();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const obs::HealthSnapshot expect = (*single)->Evaluate();
+
+  const auto expect_windows_match = [](const obs::WindowHealth& a,
+                                       const obs::WindowHealth& b) {
+    EXPECT_EQ(a.seen, b.seen);
+    EXPECT_EQ(a.window_rows, b.window_rows);
+    EXPECT_EQ(a.labeled_rows, b.labeled_rows);
+    EXPECT_EQ(a.default_rate, b.default_rate);
+    EXPECT_EQ(a.auc, b.auc);
+    EXPECT_EQ(a.ks, b.ks);
+    EXPECT_EQ(a.psi.value, b.psi.value);
+    EXPECT_EQ(a.psi.state, b.psi.state);
+    EXPECT_EQ(a.drift_ks.value, b.drift_ks.value);
+    EXPECT_EQ(a.auc_drop.value, b.auc_drop.value);
+    EXPECT_EQ(a.ks_drop.value, b.ks_drop.value);
+    EXPECT_EQ(a.default_rate_rise.value, b.default_rate_rise.value);
+    // Calibration sums labeled scores per bin; shard-merge adds them in a
+    // different order than the single window, so allow float-association
+    // noise (everything above is integer-derived and exact).
+    EXPECT_NEAR(a.calibration.value, b.calibration.value, 1e-12);
+    EXPECT_EQ(a.calibration.state, b.calibration.state);
+    EXPECT_EQ(a.overall, b.overall);
+  };
+  EXPECT_EQ(merged->evaluation, expect.evaluation);
+  expect_windows_match(merged->global, expect.global);
+  ASSERT_EQ(merged->per_env.size(), expect.per_env.size());
+  for (const auto& [env, health] : expect.per_env) {
+    ASSERT_EQ(merged->per_env.count(env), 1u) << "env " << env;
+    expect_windows_match(merged->per_env.at(env), health);
+  }
+  EXPECT_EQ(merged->fairness_gap.value, expect.fairness_gap.value);
+  EXPECT_EQ(merged->fairness_gap.state, expect.fairness_gap.state);
+  EXPECT_EQ(merged->fairness_envs, expect.fairness_envs);
+  EXPECT_EQ(merged->overall, expect.overall);
+}
+
+TEST(ServiceDeployTest, DeploySwapsEveryShardAndEvictReclaimsTheOld) {
+  core::GbdtLrModel champion = TrainModel(core::Method::kErm, 1);
+  core::GbdtLrModel challenger = TrainModel(core::Method::kLightMirm, 2);
+  const data::Dataset batch = GenSet(100, 13);
+  const std::vector<double> champion_scores =
+      *champion.scoring_session()->Score(batch.features(), &batch.envs());
+  const std::vector<double> challenger_scores =
+      *challenger.scoring_session()->Score(batch.features(), &batch.envs());
+  ASSERT_NE(champion_scores, challenger_scores);
+
+  ServiceOptions options;
+  options.dispatcher.num_shards = 4;
+  options.dispatcher.feature_width = batch.NumFeatures();
+  auto service = ShardedScoringService::Create(std::move(champion), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  auto response =
+      (*service)->Score(DatasetRequest(batch, 1000, /*with_labels=*/false));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->scores, champion_scores);
+
+  ASSERT_TRUE((*service)->Deploy("v2", std::move(challenger)).ok());
+  response =
+      (*service)->Score(DatasetRequest(batch, 1000, /*with_labels=*/false));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->scores, challenger_scores);
+  for (size_t s = 0; s < (*service)->num_shards(); ++s) {
+    EXPECT_EQ((*service)->shard_registry(s)->active()->id(), "v2");
+    EXPECT_EQ((*service)->shard_registry(s)->size(), 2u);
+  }
+  // The retired champion is unreferenced once the traffic drained: one
+  // eviction per shard.
+  EXPECT_EQ((*service)->EvictRetired(), (*service)->num_shards());
+  for (size_t s = 0; s < (*service)->num_shards(); ++s) {
+    EXPECT_EQ((*service)->shard_registry(s)->VersionIds(),
+              (std::vector<std::string>{"v2"}));
+  }
+}
+
+// Submitters, a rolling deploy, health ticks, and eviction sweeps all at
+// once — the service's full concurrency surface. TSan (CI job `tsan`)
+// checks the synchronization; the assertions check nothing is lost.
+TEST(ServiceConcurrencyTest, ParallelSubmitsDeployAndHealthTicks) {
+  core::GbdtLrModel model = TrainModel(core::Method::kErm, 7);
+  core::GbdtLrModel next = TrainModel(core::Method::kLightMirm, 8);
+  const data::Dataset rows = GenSet(100, 14);  // 200 rows to draw from
+
+  ServiceOptions options;
+  options.dispatcher.num_shards = 4;
+  options.dispatcher.feature_width = rows.NumFeatures();
+  options.dispatcher.max_batch_rows = 16;
+  options.dispatcher.max_delay = std::chrono::microseconds(500);
+  auto service = ShardedScoringService::Create(std::move(model), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 25;
+  constexpr size_t kRowsPerRequest = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        ScoreRequest request;
+        const size_t base_row =
+            (static_cast<size_t>(r) * kRowsPerRequest) % rows.NumRows();
+        for (size_t i = 0; i < kRowsPerRequest; ++i) {
+          const size_t row = (base_row + i) % rows.NumRows();
+          request.loan_ids.push_back(t * 100000 + r * 100 +
+                                     static_cast<int64_t>(i));
+          const double* features = rows.features().Row(row);
+          request.features.insert(request.features.end(), features,
+                                  features + rows.NumFeatures());
+          request.envs.push_back(rows.envs()[row]);
+          request.labels.push_back(rows.labels()[row]);
+        }
+        const auto response = (*service)->Score(std::move(request));
+        if (!response.ok() ||
+            response->scores.size() != kRowsPerRequest) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread controller([&] {
+    for (int i = 0; i < 20; ++i) {
+      if (i == 10) {
+        EXPECT_TRUE((*service)->Deploy("v2", std::move(next)).ok());
+      }
+      EXPECT_TRUE((*service)->EvaluateHealth().ok());
+      (*service)->EvictRetired();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : submitters) t.join();
+  controller.join();
+  (*service)->Flush();
+
+  EXPECT_EQ(failures.load(), 0);
+  const DispatcherStats stats = (*service)->dispatcher_stats();
+  EXPECT_EQ(stats.requests, uint64_t{kThreads} * kRequestsPerThread);
+  EXPECT_EQ(stats.rows,
+            uint64_t{kThreads} * kRequestsPerThread * kRowsPerRequest);
+  EXPECT_EQ(stats.shed_requests, 0u);
+  EXPECT_TRUE((*service)->EvaluateHealth().ok());
+}
+
+}  // namespace
+}  // namespace lightmirm::serve
