@@ -210,6 +210,16 @@ Result<WindowAggregates> ModelHealthMonitor::EnvWindow(int env) const {
   return CopyAggregates(it->second.window);
 }
 
+MonitorAggregates ModelHealthMonitor::SnapshotWindows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MonitorAggregates snapshot;
+  snapshot.global = CopyAggregates(global_.window);
+  for (const auto& [env, mon] : per_env_) {
+    snapshot.per_env.emplace(env, CopyAggregates(mon.window));
+  }
+  return snapshot;
+}
+
 std::vector<int> ModelHealthMonitor::MonitoredEnvs() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> envs;
@@ -480,10 +490,20 @@ Result<HealthSnapshot> MergedHealthEvaluator::Evaluate(
           shard->reference().num_bins, reference_.num_bins));
     }
   }
-  std::vector<WindowAggregates> parts;
-  parts.reserve(shards.size());
+  // One SnapshotWindows call per shard: each shard's global and env
+  // aggregates are copied under a single lock acquisition, so a batch
+  // observed concurrently with this tick is either in both views of its
+  // shard or in neither — never a torn contribution (env labeled sums
+  // exceeding what the shard's global window implied, or vice versa).
+  std::vector<MonitorAggregates> snapshots;
+  snapshots.reserve(shards.size());
   for (const ModelHealthMonitor* shard : shards) {
-    parts.push_back(shard->GlobalWindow());
+    snapshots.push_back(shard->SnapshotWindows());
+  }
+  std::vector<WindowAggregates> parts;
+  parts.reserve(snapshots.size());
+  for (MonitorAggregates& snapshot : snapshots) {
+    parts.push_back(std::move(snapshot.global));
   }
   const WindowAggregates global_agg = MergeWindowAggregates(parts);
   std::map<int, WindowAggregates> env_aggs;
@@ -491,10 +511,13 @@ Result<HealthSnapshot> MergedHealthEvaluator::Evaluate(
   slots.reserve(per_env_.size());
   for (auto& [env, machines] : per_env_) {
     parts.clear();
-    for (const ModelHealthMonitor* shard : shards) {
-      LIGHTMIRM_ASSIGN_OR_RETURN(WindowAggregates part,
-                                 shard->EnvWindow(env));
-      parts.push_back(std::move(part));
+    for (size_t s = 0; s < snapshots.size(); ++s) {
+      const auto it = snapshots[s].per_env.find(env);
+      if (it == snapshots[s].per_env.end()) {
+        return Status::NotFound(StrFormat(
+            "shard %zu does not monitor environment %d", s, env));
+      }
+      parts.push_back(std::move(it->second));
     }
     const auto it = env_aggs.emplace(env, MergeWindowAggregates(parts)).first;
     slots.push_back(EnvSlot{env, &it->second, &reference_.per_env.at(env),

@@ -160,6 +160,18 @@ struct WindowAggregates {
   std::vector<double> score_sums;          ///< labeled score sums per bin
 };
 
+/// Global + every monitored environment window's aggregates, copied under
+/// ONE lock acquisition (ModelHealthMonitor::SnapshotWindows), so the
+/// bundle is internally consistent: a concurrently observed batch is
+/// either in both the global and the env aggregates or in neither. The
+/// merged fleet evaluator reads shards through this — per-window getters
+/// (GlobalWindow, then EnvWindow per env) would let a batch land between
+/// the two copies and show up in one view but not the other.
+struct MonitorAggregates {
+  WindowAggregates global;
+  std::map<int, WindowAggregates> per_env;  ///< monitored envs, ascending
+};
+
 /// The six per-window hysteresis machines, bundled so the same signal
 /// state can live inside a ModelHealthMonitor's window or inside a
 /// MergedHealthEvaluator (which has no windows of its own, only merged
@@ -279,6 +291,10 @@ class ModelHealthMonitor {
   /// monitor does not track.
   WindowAggregates GlobalWindow() const;
   Result<WindowAggregates> EnvWindow(int env) const;
+  /// Every window's aggregates in one lock acquisition — the internally
+  /// consistent read surface (see MonitorAggregates). Use this whenever
+  /// global and per-env views of the same monitor are compared or merged.
+  MonitorAggregates SnapshotWindows() const;
   /// Monitored environment ids, ascending.
   std::vector<int> MonitoredEnvs() const;
 

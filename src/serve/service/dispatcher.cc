@@ -78,6 +78,7 @@ BatchDispatcher::~BatchDispatcher() {
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     stop_ = true;
+    ++wake_seq_;
   }
   wake_cv_.notify_all();
   dispatcher_.join();
@@ -141,19 +142,26 @@ Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
   locks.reserve(involved.size());
   for (const size_t s : involved) locks.emplace_back(shards_[s]->mu);
   for (const size_t s : involved) {
-    if (shards_[s]->batch.rows + add_count[s] > options_.max_pending_rows) {
+    // Capture the row count while the shard lock is still held: after
+    // locks.clear() it races with concurrent appends and batch swaps.
+    const size_t held = shards_[s]->batch.rows;
+    if (held + add_count[s] > options_.max_pending_rows) {
       locks.clear();
       {
         std::lock_guard<std::mutex> lock(wake_mu_);
         pending_rows_total_ -= n;
+        ++wake_seq_;
       }
+      // Wake the dispatcher: a Flush may be waiting on exactly this
+      // decrement bringing the pending total to zero.
+      wake_cv_.notify_one();
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.shed_requests;
       }
       return Status::ResourceExhausted(StrFormat(
           "shard %zu holds %zu pending rows (+%zu requested, cap %zu)", s,
-          shards_[s]->batch.rows, add_count[s], options_.max_pending_rows));
+          held, add_count[s], options_.max_pending_rows));
     }
   }
 
@@ -163,7 +171,6 @@ Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
   pending->done = std::move(done);
 
   const auto now = std::chrono::steady_clock::now();
-  bool size_ready = false;
   for (size_t i = 0; i < n; ++i) {
     Shard& shard = *shards_[shard_of[i]];
     if (shard.batch.rows == 0) shard.oldest = now;
@@ -175,7 +182,6 @@ Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
                                                         : request.labels[i]);
     shard.rows.push_back(RowRef{pending, static_cast<uint32_t>(i)});
     ++shard.batch.rows;
-    size_ready |= shard.batch.rows >= options_.max_batch_rows;
   }
   locks.clear();
 
@@ -184,10 +190,15 @@ Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
     ++stats_.requests;
     stats_.rows += n;
   }
-  // Wake the dispatcher: immediately when a shard crossed the size
-  // trigger, otherwise so it re-arms its deadline timer for the rows that
-  // just arrived.
-  (void)size_ready;
+  // Wake the dispatcher so it flushes (size trigger) or re-arms its
+  // deadline timer for the rows that just arrived. The seq bump is what
+  // makes this race-free: a dispatcher that scanned the shards before the
+  // append sees the moved seq and rescans instead of sleeping, even if
+  // this notify fires in the window between its scan and its wait.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++wake_seq_;
+  }
   wake_cv_.notify_one();
   return Status::OK();
 }
@@ -217,6 +228,7 @@ Result<ScoreResponse> BatchDispatcher::Score(ScoreRequest request) {
 void BatchDispatcher::Flush() {
   std::unique_lock<std::mutex> lock(wake_mu_);
   flush_requested_ = true;
+  ++wake_seq_;
   wake_cv_.notify_one();
   idle_cv_.wait(lock, [this] {
     return !flush_requested_ && pending_rows_total_ == 0 && !cycle_running_;
@@ -232,9 +244,11 @@ void BatchDispatcher::DispatchLoop() {
   using Clock = std::chrono::steady_clock;
   for (;;) {
     bool flush_all;
+    uint64_t seen_seq;
     {
       std::lock_guard<std::mutex> lock(wake_mu_);
       flush_all = flush_requested_ || stop_;
+      seen_seq = wake_seq_;
     }
 
     // Scan the shards: swap out every ready batch, remember the earliest
@@ -303,12 +317,16 @@ void BatchDispatcher::DispatchLoop() {
       if (stop_) return;
     }
     // Nothing ready: sleep to the earliest pending deadline (or until new
-    // work / a flush / stop wakes us). Rows accounted but not yet appended
-    // by an in-flight Submit will notify once visible.
+    // work / a shed / a flush / stop wakes us). The predicate re-checks
+    // wake_seq_ under wake_mu_ before blocking, so an event that landed
+    // after the shard scan — rows appended by an in-flight Submit, a shed
+    // zeroing the pending total a Flush waits on — forces an immediate
+    // rescan instead of an indefinite wait whose notify already fired.
+    const auto woken = [&] { return wake_seq_ != seen_seq; };
     if (next_deadline == Clock::time_point::max()) {
-      wake_cv_.wait(lock);
+      wake_cv_.wait(lock, woken);
     } else {
-      wake_cv_.wait_until(lock, next_deadline);
+      wake_cv_.wait_until(lock, next_deadline, woken);
     }
   }
 }
@@ -320,7 +338,7 @@ void BatchDispatcher::ScoreCycle(std::vector<size_t> ready,
   // concurrently because cycles are serialized on the dispatcher thread.
   pool_.Apply(ready.size(), [&](size_t i) {
     const size_t shard = ready[i];
-    const ShardBatch& batch = batches[i];
+    ShardBatch& batch = batches[i];
     std::vector<double> scores(batch.rows, 0.0);
     Status status = score_fn_(shard, batch, &scores);
     if (status.ok() && scores.size() != batch.rows) {

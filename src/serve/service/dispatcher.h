@@ -77,10 +77,13 @@ struct ShardBatch {
 };
 
 /// Scores one shard's batch into `scores` (must be resized to batch.rows).
-/// Called on a pool thread, never concurrently for the same shard.
-using ShardScoreFn =
-    std::function<Status(size_t shard, const ShardBatch& batch,
-                         std::vector<double>* scores)>;
+/// Called on a pool thread, never concurrently for the same shard. The
+/// batch is owned by the flush cycle and dies when the callback returns,
+/// so the callback may consume it — moving `features` out (e.g. into a
+/// Matrix) avoids copying the whole block on the hot path. `rows`, `envs`
+/// and `labels` must stay intact through the call.
+using ShardScoreFn = std::function<Status(
+    size_t shard, ShardBatch& batch, std::vector<double>* scores)>;
 
 struct DispatcherOptions {
   size_t num_shards = 4;
@@ -184,6 +187,12 @@ class BatchDispatcher {
   bool flush_requested_ = false;
   bool cycle_running_ = false;
   uint64_t pending_rows_total_ = 0;  ///< rows accepted but not yet scored
+  /// Bumped (under wake_mu_) by every event the dispatcher must react to:
+  /// rows appended, a shed decrementing the pending total, Flush, stop.
+  /// The dispatch loop records it before scanning the shards and refuses
+  /// to sleep while it has moved — so a notify that fires between the
+  /// scan and the wait is never lost (the classic lost-wakeup window).
+  uint64_t wake_seq_ = 0;
 
   mutable std::mutex stats_mu_;
   DispatcherStats stats_;

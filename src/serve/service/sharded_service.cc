@@ -58,7 +58,7 @@ Result<std::unique_ptr<ShardedScoringService>> ShardedScoringService::Create(
       service->dispatcher_,
       BatchDispatcher::Create(
           options.dispatcher,
-          [raw](size_t shard, const ShardBatch& batch,
+          [raw](size_t shard, ShardBatch& batch,
                 std::vector<double>* scores) {
             return raw->ScoreShardBatch(shard, batch, scores);
           }));
@@ -66,7 +66,7 @@ Result<std::unique_ptr<ShardedScoringService>> ShardedScoringService::Create(
 }
 
 Status ShardedScoringService::ScoreShardBatch(size_t shard,
-                                              const ShardBatch& batch,
+                                              ShardBatch& batch,
                                               std::vector<double>* scores) {
   // One registry snapshot per batch: a concurrent Deploy never splits a
   // batch across versions, and the version (with its monitor) stays alive
@@ -77,7 +77,9 @@ Status ShardedScoringService::ScoreShardBatch(size_t shard,
     return Status::FailedPrecondition(
         StrFormat("shard %zu has no active model version", shard));
   }
-  Matrix rows(batch.rows, batch.width, batch.features);
+  // Move, don't copy: the dispatcher owns the batch for this cycle only,
+  // and an O(rows × width) copy here would sit on every flush's hot path.
+  Matrix rows(batch.rows, batch.width, std::move(batch.features));
   LIGHTMIRM_RETURN_NOT_OK(version->session()->Score(rows, &batch.envs,
                                                     scores));
   // Feed the shard's own monitor explicitly (never AttachMonitor: shards

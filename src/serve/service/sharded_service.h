@@ -103,7 +103,9 @@ class ShardedScoringService {
   /// The dispatcher's per-shard scoring callback: snapshot the shard's
   /// active version, score the batch on its session, feed the version's
   /// monitor. Runs on a pool thread, never concurrently per shard.
-  Status ScoreShardBatch(size_t shard, const ShardBatch& batch,
+  /// Consumes batch.features (moved into the scoring matrix — the batch
+  /// dies with the flush cycle, so copying it would be pure overhead).
+  Status ScoreShardBatch(size_t shard, ShardBatch& batch,
                          std::vector<double>* scores);
 
   ServiceOptions options_;

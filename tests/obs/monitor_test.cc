@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "obs/drift.h"
@@ -155,6 +158,68 @@ TEST(ModelHealthMonitorTest, ObserveBatchValidatesAlignment) {
   const std::vector<int> bad_labels = {0, 3};
   EXPECT_FALSE((*monitor)->ObserveBatch(scores, &short_envs, nullptr).ok());
   EXPECT_FALSE((*monitor)->ObserveBatch(scores, nullptr, &bad_labels).ok());
+}
+
+TEST(ModelHealthMonitorTest, SnapshotWindowsMatchesPerWindowGetters) {
+  auto monitor = ModelHealthMonitor::Create(TestReference());
+  ASSERT_TRUE(monitor.ok());
+  FeedReferencePopulation(monitor->get());
+  const MonitorAggregates snapshot = (*monitor)->SnapshotWindows();
+  const WindowAggregates global = (*monitor)->GlobalWindow();
+  EXPECT_EQ(snapshot.global.rows, global.rows);
+  EXPECT_EQ(snapshot.global.seen, global.seen);
+  EXPECT_EQ(snapshot.global.labeled, global.labeled);
+  EXPECT_EQ(snapshot.global.positives, global.positives);
+  EXPECT_EQ(snapshot.global.counts, global.counts);
+  ASSERT_EQ(snapshot.per_env.size(), 2u);
+  for (const int env : (*monitor)->MonitoredEnvs()) {
+    const auto window = (*monitor)->EnvWindow(env);
+    ASSERT_TRUE(window.ok());
+    ASSERT_TRUE(snapshot.per_env.count(env));
+    EXPECT_EQ(snapshot.per_env.at(env).rows, window->rows);
+    EXPECT_EQ(snapshot.per_env.at(env).counts, window->counts);
+  }
+}
+
+TEST(ModelHealthMonitorTest, SnapshotWindowsIsConsistentUnderConcurrency) {
+  // Every observed row carries a monitored env, so at any instant the
+  // global window's totals equal the sum over env windows — but only if
+  // the copies are taken under one lock acquisition. Per-window getters
+  // (the merged evaluator's old read path) let a batch land between the
+  // global and env copies, tearing the invariant this reader asserts.
+  auto monitor = ModelHealthMonitor::Create(TestReference());
+  ASSERT_TRUE(monitor.ok());
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      // 2 writers x 250 batches x 8 rows = 4000 < the 4096 window
+      // capacity: nothing evicts, so the global in-window totals must
+      // equal the env sums exactly whenever the snapshot is untorn.
+      const std::vector<double> scores(8, 0.25 + 0.4 * w);
+      const std::vector<int> envs(8, w);
+      const std::vector<int> labels(8, w);
+      for (int i = 0; i < 250; ++i) {
+        ASSERT_TRUE((*monitor)->ObserveBatch(scores, &envs, &labels).ok());
+      }
+      done.store(true);
+    });
+  }
+  int torn = 0;
+  while (!done.load()) {
+    const MonitorAggregates snapshot = (*monitor)->SnapshotWindows();
+    uint64_t env_seen = 0, env_labeled = 0, env_positives = 0;
+    for (const auto& [env, window] : snapshot.per_env) {
+      env_seen += window.seen;
+      env_labeled += window.labeled;
+      env_positives += window.positives;
+    }
+    torn += snapshot.global.seen != env_seen;
+    torn += snapshot.global.labeled != env_labeled;
+    torn += snapshot.global.positives != env_positives;
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(torn, 0);
 }
 
 TEST(ModelHealthMonitorTest, PublishesGaugesIntoRegistry) {

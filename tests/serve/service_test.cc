@@ -410,6 +410,41 @@ TEST(DispatcherTest, DestructionFlushesAndCompletesPendingRows) {
   EXPECT_EQ(completed.load(), 1);
 }
 
+TEST(DispatcherTest, SubmitWakeupsAreNeverLost) {
+  // Regression for a lost-wakeup race: Submit's notify could fire in the
+  // window after the dispatcher scanned the shards (empty — the append
+  // wasn't visible yet) but before it entered its untimed wait, stranding
+  // the rows until some unrelated Submit/Flush arrived. With max_delay
+  // effectively off and max_batch_rows = 1, every one of these blocking
+  // Score calls depends on its own wakeup being seen — a single lost one
+  // hangs the test instead of passing slowly.
+  DispatcherOptions options;
+  options.num_shards = 2;
+  options.feature_width = 1;
+  options.max_batch_rows = 1;
+  options.max_delay = kNever;
+  auto dispatcher = MakeFakeDispatcher(options);
+  ASSERT_TRUE(dispatcher.ok());
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const int64_t loan_id = 1000 * t + i;
+        ScoreRequest request;
+        request.loan_ids = {loan_id};
+        request.features = {static_cast<double>(i)};
+        const auto response = (*dispatcher)->Score(std::move(request));
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        ASSERT_EQ(response->scores.size(), 1u);
+        EXPECT_EQ(response->scores[0],
+                  i + 1000.0 * (*dispatcher)->ShardOf(loan_id));
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ((*dispatcher)->stats().rows, 800u);
+}
+
 ScoreRequest DatasetRequest(const data::Dataset& set, int64_t id_base,
                             bool with_labels) {
   ScoreRequest request;
