@@ -19,6 +19,16 @@
 // BENCH_service.json with CI gates: every point must sustain
 // min_sustained_frac of its offered load with zero shed and p99 under
 // max_p99_ms.
+//
+// Telemetry leg (format_version 2): the same service runs with the
+// request-lifecycle instrumentation (serve/service/telemetry.h) attached
+// to a dedicated registry. Gates: the full Submit->score lifecycle with
+// telemetry enabled must stay within max_overhead_percent (default 2%) of
+// disabled, best-of-N alternating; scores must be bit-identical either
+// way. The report adds per-stage latency quantiles (queue wait, batch
+// formation, scoring, monitor feed) read from the `service.stage.*`
+// histograms, plus the slowest-request exemplars with their stage
+// breakdowns.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -38,8 +48,10 @@
 #include "core/report.h"
 #include "data/env_split.h"
 #include "data/loan_generator.h"
+#include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/replay.h"
+#include "serve/service/exemplar.h"
 #include "serve/service/sharded_service.h"
 
 using namespace lightmirm;
@@ -125,6 +137,26 @@ struct LoadPoint {
 
 const char* BoolName(bool value) { return value ? "true" : "false"; }
 
+struct StageQuantiles {
+  const char* key = "";
+  uint64_t count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+StageQuantiles ReadStage(obs::MetricsRegistry* registry, const char* key,
+                         const std::string& histogram) {
+  const obs::Histogram* h = registry->GetHistogram(histogram);
+  StageQuantiles q;
+  q.key = key;
+  q.count = h->Count();
+  q.p50_ms = h->Quantile(0.50) * 1e3;
+  q.p95_ms = h->Quantile(0.95) * 1e3;
+  q.p99_ms = h->Quantile(0.99) * 1e3;
+  return q;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,7 +217,11 @@ int main(int argc, char** argv) {
   // ---- The same stream through the sharded service: rows hash across
   // shards, each shard's monitor sees only its slice, and the per-period
   // verdict is the snapshot merge over all shard windows.
+  obs::MetricsRegistry service_registry;
   serve::ServiceOptions service_options;
+  service_options.telemetry_registry = &service_registry;
+  service_options.slowest_k =
+      static_cast<size_t>(cfg.GetInt("slowest_k", 16));
   service_options.dispatcher.num_shards = num_shards;
   service_options.dispatcher.feature_width = full.NumFeatures();
   service_options.dispatcher.max_batch_rows =
@@ -295,6 +331,74 @@ int main(int argc, char** argv) {
   std::printf("closed-loop capacity: %.0f rows/s (%d threads, 64-row "
               "requests)\n\n",
               capacity_rows_per_sec, capacity_threads);
+
+  // ---- Telemetry overhead leg: the same sync lifecycle with the
+  // instrumentation attached vs detached. Alternating best-of-N over a
+  // fixed request schedule keeps thermal / cache drift from biasing one
+  // leg; the service is already warm from the replay and capacity legs.
+  const int overhead_iters = static_cast<int>(cfg.GetInt("overhead_iters", 7));
+  const int overhead_requests =
+      static_cast<int>(cfg.GetInt("overhead_requests", 96));
+  const double max_overhead_percent =
+      cfg.GetDouble("max_overhead_percent", 2.0);
+  std::vector<std::vector<size_t>> overhead_schedule(
+      static_cast<size_t>(overhead_requests));
+  {
+    Rng rng(gen.seed + 4242);
+    for (auto& rows : overhead_schedule) {
+      rows.resize(64);
+      for (size_t& row : rows) row = all_rows[rng.UniformInt(all_rows.size())];
+    }
+  }
+  double enabled_seconds = 1e300;
+  double disabled_seconds = 1e300;
+  bool scores_match = true;
+  std::vector<double> identity_scores;
+  for (int iter = -1; iter < overhead_iters; ++iter) {
+    for (const bool enabled : {true, false}) {
+      obs::SetTelemetryEnabled(enabled);
+      WallTimer watch;
+      for (const std::vector<size_t>& rows : overhead_schedule) {
+        const auto response = service->Score(
+            RowsRequest(year2020, rows, 7000000, /*with_labels=*/false));
+        Check(response.status(), "overhead leg request");
+        // Bit-identity gate: the same rows must score to the same bits
+        // whether or not the lifecycle instrumentation is attached.
+        if (&rows == &overhead_schedule.front()) {
+          if (identity_scores.empty()) {
+            identity_scores = response->scores;
+          } else if (identity_scores != response->scores) {
+            scores_match = false;
+          }
+        }
+      }
+      const double seconds = watch.Seconds();
+      if (iter < 0) continue;  // warmup pass, both legs discarded
+      double& slot = enabled ? enabled_seconds : disabled_seconds;
+      slot = std::min(slot, seconds);
+    }
+  }
+  obs::SetTelemetryEnabled(true);
+  const double overhead_percent =
+      disabled_seconds > 0.0
+          ? (enabled_seconds / disabled_seconds - 1.0) * 100.0
+          : 0.0;
+  const bool overhead_ok = overhead_percent < max_overhead_percent;
+  std::printf("telemetry overhead: %.3f%% (on %.4fs vs off %.4fs, best of "
+              "%d, gate < %.1f%%)\n",
+              overhead_percent, enabled_seconds, disabled_seconds,
+              overhead_iters, max_overhead_percent);
+  std::printf("scores bit-identical with telemetry on/off: %s\n\n",
+              BoolName(scores_match));
+  if (!overhead_ok) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry overhead %.3f%% above the %.1f%% gate\n",
+                 overhead_percent, max_overhead_percent);
+  }
+  if (!scores_match) {
+    std::fprintf(stderr,
+                 "FAIL: scores changed when telemetry was detached\n");
+  }
 
   // ---- Open-loop load points.
   const std::vector<double> fractions =
@@ -415,6 +519,30 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.explicit_flushes),
               static_cast<unsigned long long>(stats.shed_requests));
 
+  // ---- Stage-latency breakdown: where time went inside the service,
+  // from the lifecycle histograms (fleet-wide, all legs above). Queue
+  // wait and batch formation come from request stamps; scoring and
+  // monitor feed from the shard batch path.
+  const std::vector<StageQuantiles> stages = {
+      ReadStage(&service_registry, "queue_wait",
+                "service.stage.queue_wait.seconds"),
+      ReadStage(&service_registry, "batch_form",
+                "service.stage.batch_form.seconds"),
+      ReadStage(&service_registry, "score", "service.stage.score.seconds"),
+      ReadStage(&service_registry, "monitor_feed",
+                "service.stage.monitor_feed.seconds"),
+  };
+  std::printf("\n%-14s %10s %10s %10s %10s\n", "stage", "count", "p50 ms",
+              "p95 ms", "p99 ms");
+  for (const StageQuantiles& stage : stages) {
+    std::printf("%-14s %10llu %10.4f %10.4f %10.4f\n", stage.key,
+                static_cast<unsigned long long>(stage.count), stage.p50_ms,
+                stage.p95_ms, stage.p99_ms);
+  }
+  const std::vector<serve::RequestExemplar> slowest =
+      service->SlowestRequests();
+  std::printf("slowest-request exemplars captured: %zu\n", slowest.size());
+
   // ---- Gates.
   const double min_sustained_frac = cfg.GetDouble("min_sustained_frac", 0.9);
   const double max_p99_ms = cfg.GetDouble("max_p99_ms", 100.0);
@@ -443,12 +571,12 @@ int main(int argc, char** argv) {
       load_ok = false;
     }
   }
-  const bool pass =
-      timeline_match && hubei_alert && guangdong_alert && load_ok;
+  const bool pass = timeline_match && hubei_alert && guangdong_alert &&
+                    load_ok && overhead_ok && scores_match;
   std::printf("verdict: %s\n", pass ? "PASS" : "FAIL");
 
   std::string json = "{\n";
-  json += "  \"format_version\": 1,\n";
+  json += "  \"format_version\": 2,\n";
   json += StrFormat("  \"rows_per_year\": %d,\n", gen.rows_per_year);
   json += StrFormat("  \"seed\": %llu,\n",
                     static_cast<unsigned long long>(gen.seed));
@@ -481,6 +609,29 @@ int main(int argc, char** argv) {
         point.p95_ms, point.p99_ms, i + 1 < points.size() ? "," : "");
   }
   json += "  ],\n";
+  json += "  \"telemetry_overhead\": {\n";
+  json += StrFormat("    \"enabled_seconds\": %.6f,\n", enabled_seconds);
+  json += StrFormat("    \"disabled_seconds\": %.6f,\n", disabled_seconds);
+  json += StrFormat("    \"overhead_percent\": %.4f,\n", overhead_percent);
+  json += StrFormat("    \"max_overhead_percent\": %.2f,\n",
+                    max_overhead_percent);
+  json += StrFormat("    \"within_target\": %s\n", BoolName(overhead_ok));
+  json += "  },\n";
+  json += StrFormat("  \"scores_bit_identical\": %s,\n",
+                    BoolName(scores_match));
+  json += "  \"stages\": {\n";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageQuantiles& stage = stages[i];
+    json += StrFormat(
+        "    \"%s\": {\"count\": %llu, \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+        "\"p99_ms\": %.4f}%s\n",
+        stage.key, static_cast<unsigned long long>(stage.count),
+        stage.p50_ms, stage.p95_ms, stage.p99_ms,
+        i + 1 < stages.size() ? "," : "");
+  }
+  json += "  },\n";
+  json += StrFormat("  \"slowest_requests\": %s,\n",
+                    serve::ExportExemplarsJson(slowest).c_str());
   json += StrFormat("  \"pass\": %s\n", BoolName(pass));
   json += "}\n";
   const std::string json_path =

@@ -12,6 +12,19 @@ std::string Num(double v) { return StrFormat("%.12g", v); }
 
 std::string JsonKey(const std::string& name) { return "\"" + name + "\""; }
 
+// Inline rendering of a labeled cell's name for the JSON export:
+// `family{shard="3"}` — the same spelling Prometheus users grep for.
+std::string LabeledJsonName(const std::string& family,
+                            const MetricLabels& labels) {
+  std::string out = family + "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\\\"" +
+           PromEscapeLabelValue(labels[i].second) + "\\\"";
+  }
+  return out + "}";
+}
+
 void AppendHistogramJson(const std::string& name, const Histogram& h,
                          std::string* out) {
   *out += "    " + JsonKey(name) + ": {";
@@ -44,46 +57,68 @@ void AppendHistogramJson(const std::string& name, const Histogram& h,
 std::string ExportJson(const MetricsRegistry& registry) {
   std::string out = "{\n";
 
-  out += "  \"counters\": {\n";
-  const auto counters = registry.Counters();
-  for (size_t i = 0; i < counters.size(); ++i) {
-    out += "    " + JsonKey(counters[i].first) + ": " +
-           StrFormat("%llu", static_cast<unsigned long long>(
-                                 counters[i].second->Value()));
-    out += i + 1 < counters.size() ? ",\n" : "\n";
-  }
-  out += "  },\n";
-
-  out += "  \"gauges\": {\n";
-  const auto gauges = registry.Gauges();
-  for (size_t i = 0; i < gauges.size(); ++i) {
-    out += "    " + JsonKey(gauges[i].first) + ": " +
-           Num(gauges[i].second->Value());
-    out += i + 1 < gauges.size() ? ",\n" : "\n";
-  }
-  out += "  },\n";
-
-  out += "  \"histograms\": {\n";
-  const auto histograms = registry.Histograms();
-  for (size_t i = 0; i < histograms.size(); ++i) {
-    AppendHistogramJson(histograms[i].first, *histograms[i].second, &out);
-    out += i + 1 < histograms.size() ? ",\n" : "\n";
-  }
-  out += "  },\n";
-
-  out += "  \"series\": {\n";
-  const auto series = registry.AllSeries();
-  for (size_t i = 0; i < series.size(); ++i) {
-    out += "    " + JsonKey(series[i].first) + ": [";
-    const std::vector<double> values = series[i].second->Values();
-    for (size_t j = 0; j < values.size(); ++j) {
-      if (j > 0) out += ", ";
-      out += Num(values[j]);
+  // Each section renders its entries first (unlabeled by name, then
+  // labeled cells as `family{label="value"}` keys) so the ",\n"
+  // separators come out right with any mix of the two.
+  std::vector<std::string> entries;
+  const auto flush_section = [&](const char* name, bool last = false) {
+    out += "  \"" + std::string(name) + "\": {\n";
+    for (size_t i = 0; i < entries.size(); ++i) {
+      out += entries[i];
+      out += i + 1 < entries.size() ? ",\n" : "\n";
     }
-    out += "]";
-    out += i + 1 < series.size() ? ",\n" : "\n";
+    out += last ? "  }\n" : "  },\n";
+    entries.clear();
+  };
+
+  for (const auto& [name, counter] : registry.Counters()) {
+    entries.push_back(
+        "    " + JsonKey(name) + ": " +
+        StrFormat("%llu", static_cast<unsigned long long>(counter->Value())));
   }
-  out += "  }\n}\n";
+  for (const auto& cell : registry.LabeledCounters()) {
+    entries.push_back(
+        "    " + JsonKey(LabeledJsonName(cell.family, cell.labels)) + ": " +
+        StrFormat("%llu",
+                  static_cast<unsigned long long>(cell.metric->Value())));
+  }
+  flush_section("counters");
+
+  for (const auto& [name, gauge] : registry.Gauges()) {
+    entries.push_back("    " + JsonKey(name) + ": " + Num(gauge->Value()));
+  }
+  for (const auto& cell : registry.LabeledGauges()) {
+    entries.push_back("    " +
+                      JsonKey(LabeledJsonName(cell.family, cell.labels)) +
+                      ": " + Num(cell.metric->Value()));
+  }
+  flush_section("gauges");
+
+  for (const auto& [name, hist] : registry.Histograms()) {
+    std::string entry;
+    AppendHistogramJson(name, *hist, &entry);
+    entries.push_back(std::move(entry));
+  }
+  for (const auto& cell : registry.LabeledHistograms()) {
+    std::string entry;
+    AppendHistogramJson(LabeledJsonName(cell.family, cell.labels),
+                        *cell.metric, &entry);
+    entries.push_back(std::move(entry));
+  }
+  flush_section("histograms");
+
+  for (const auto& [name, s] : registry.AllSeries()) {
+    std::string entry = "    " + JsonKey(name) + ": [";
+    const std::vector<double> values = s->Values();
+    for (size_t j = 0; j < values.size(); ++j) {
+      if (j > 0) entry += ", ";
+      entry += Num(values[j]);
+    }
+    entry += "]";
+    entries.push_back(std::move(entry));
+  }
+  flush_section("series", /*last=*/true);
+  out += "}\n";
   return out;
 }
 
@@ -217,6 +252,84 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
     if (!IsValidPromMetricName(prom)) continue;
     out += "# TYPE " + prom + " gauge\n";
     out += prom + " " + (values.empty() ? "0" : Num(values.back())) + "\n";
+  }
+
+  // Labeled families: one TYPE line per family, then one sample line per
+  // cell (histograms get the family's bucket/sum/count lines per cell,
+  // with the cell's labels on every line). Cells whose label names fail
+  // the grammar are skipped — the exposition text stays parseable.
+  const auto label_block = [](const MetricLabels& labels,
+                              const char* le) -> Result<std::string> {
+    std::string block = "{";
+    bool first = true;
+    for (const auto& [label_name, value] : labels) {
+      if (!IsValidPromLabelName(label_name) || label_name == "le") {
+        return Status::InvalidArgument("invalid Prometheus label name: " +
+                                       label_name);
+      }
+      if (!first) block += ",";
+      first = false;
+      block += label_name + "=\"" + PromEscapeLabelValue(value) + "\"";
+    }
+    if (le != nullptr) {
+      if (!first) block += ",";
+      block += std::string("le=\"") + le + "\"";
+    }
+    return block + "}";
+  };
+
+  std::string last_family;
+  for (const auto& cell : registry.LabeledCounters()) {
+    const std::string prom = PromName(cell.family);
+    if (!IsValidPromMetricName(prom)) continue;
+    const auto labels = label_block(cell.labels, nullptr);
+    if (!labels.ok()) continue;
+    if (cell.family != last_family) {
+      out += "# TYPE " + prom + " counter\n";
+      last_family = cell.family;
+    }
+    out += prom + *labels + " " +
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(cell.metric->Value())) +
+           "\n";
+  }
+  last_family.clear();
+  for (const auto& cell : registry.LabeledGauges()) {
+    const std::string prom = PromName(cell.family);
+    if (!IsValidPromMetricName(prom)) continue;
+    const auto labels = label_block(cell.labels, nullptr);
+    if (!labels.ok()) continue;
+    if (cell.family != last_family) {
+      out += "# TYPE " + prom + " gauge\n";
+      last_family = cell.family;
+    }
+    out += prom + *labels + " " + Num(cell.metric->Value()) + "\n";
+  }
+  last_family.clear();
+  for (const auto& cell : registry.LabeledHistograms()) {
+    const std::string prom = PromName(cell.family);
+    if (!IsValidPromMetricName(prom)) continue;
+    const auto plain = label_block(cell.labels, nullptr);
+    if (!plain.ok()) continue;
+    if (cell.family != last_family) {
+      out += "# TYPE " + prom + " histogram\n";
+      last_family = cell.family;
+    }
+    const std::vector<uint64_t> counts = cell.metric->BucketCounts();
+    const std::vector<double>& bounds = cell.metric->bounds();
+    unsigned long long cum = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cum += counts[i];
+      const std::string le =
+          i < bounds.size() ? PromEscapeLabelValue(Num(bounds[i])) : "+Inf";
+      out += prom + "_bucket" + *label_block(cell.labels, le.c_str()) + " " +
+             StrFormat("%llu", cum) + "\n";
+    }
+    out += prom + "_sum" + *plain + " " + Num(cell.metric->Sum()) + "\n";
+    out += prom + "_count" + *plain + " " +
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(cell.metric->Count())) +
+           "\n";
   }
   return out;
 }

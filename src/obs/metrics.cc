@@ -139,6 +139,30 @@ std::string SanitizeMetricName(std::string_view name) {
   return out.empty() ? "_" : out;
 }
 
+namespace {
+
+// Canonical cell key inside one family: labels sorted by name, joined
+// with unprintable separators so no label value can collide with the
+// joining scheme.
+MetricLabels CanonicalLabels(const MetricLabels& labels) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::string LabelKey(const MetricLabels& canonical) {
+  std::string key;
+  for (const auto& [name, value] : canonical) {
+    key += name;
+    key += '\x1e';
+    key += value;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
@@ -169,6 +193,47 @@ Series* MetricsRegistry::GetSeries(const std::string& name) {
   auto& slot = series_[name];
   if (slot == nullptr) slot = std::make_unique<Series>();
   return slot.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& family,
+                                     const MetricLabels& labels) {
+  MetricLabels canonical = CanonicalLabels(labels);
+  std::string key = LabelKey(canonical);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = labeled_counters_[family][key];
+  if (cell.metric == nullptr) {
+    cell.labels = std::move(canonical);
+    cell.metric = std::make_unique<Counter>();
+  }
+  return cell.metric.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& family,
+                                 const MetricLabels& labels) {
+  MetricLabels canonical = CanonicalLabels(labels);
+  std::string key = LabelKey(canonical);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = labeled_gauges_[family][key];
+  if (cell.metric == nullptr) {
+    cell.labels = std::move(canonical);
+    cell.metric = std::make_unique<Gauge>();
+  }
+  return cell.metric.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& family,
+                                         const MetricLabels& labels,
+                                         const std::vector<double>* bounds) {
+  MetricLabels canonical = CanonicalLabels(labels);
+  std::string key = LabelKey(canonical);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = labeled_histograms_[family][key];
+  if (cell.metric == nullptr) {
+    cell.labels = std::move(canonical);
+    cell.metric = std::make_unique<Histogram>(
+        bounds != nullptr ? *bounds : Histogram::DefaultLatencyBounds());
+  }
+  return cell.metric.get();
 }
 
 std::vector<std::pair<std::string, const Counter*>>
@@ -207,12 +272,47 @@ MetricsRegistry::AllSeries() const {
   return out;
 }
 
+template <typename Metric>
+std::vector<LabeledMetric<Metric>> MetricsRegistry::SnapshotLabeled(
+    const LabeledFamilies<Metric>& families) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LabeledMetric<Metric>> out;
+  for (const auto& [family, cells] : families) {
+    for (const auto& [key, cell] : cells) {
+      out.push_back({family, cell.labels, cell.metric.get()});
+    }
+  }
+  return out;
+}
+
+std::vector<LabeledMetric<Counter>> MetricsRegistry::LabeledCounters() const {
+  return SnapshotLabeled(labeled_counters_);
+}
+
+std::vector<LabeledMetric<Gauge>> MetricsRegistry::LabeledGauges() const {
+  return SnapshotLabeled(labeled_gauges_);
+}
+
+std::vector<LabeledMetric<Histogram>> MetricsRegistry::LabeledHistograms()
+    const {
+  return SnapshotLabeled(labeled_histograms_);
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
   for (auto& [name, s] : series_) s->Reset();
+  for (auto& [family, cells] : labeled_counters_) {
+    for (auto& [key, cell] : cells) cell.metric->Reset();
+  }
+  for (auto& [family, cells] : labeled_gauges_) {
+    for (auto& [key, cell] : cells) cell.metric->Reset();
+  }
+  for (auto& [family, cells] : labeled_histograms_) {
+    for (auto& [key, cell] : cells) cell.metric->Reset();
+  }
 }
 
 MetricsRegistry* MetricsRegistry::Global() {

@@ -108,6 +108,23 @@ class Series {
 /// separators are trimmed ("meta-IRM(5)" -> "meta_IRM_5").
 std::string SanitizeMetricName(std::string_view name);
 
+/// Label set of one labeled metric: (name, value) pairs. The registry
+/// canonicalizes the order (sorted by label name), so callers may pass
+/// labels in any order and still address the same cell. Label names
+/// should match the Prometheus grammar [a-zA-Z_][a-zA-Z0-9_]* ("le" is
+/// reserved for histogram buckets); the exporters skip cells whose names
+/// do not.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Snapshot view of one labeled metric cell: the family name (shared by
+/// every cell of the family), its canonicalized labels, and the handle.
+template <typename Metric>
+struct LabeledMetric {
+  std::string family;
+  MetricLabels labels;
+  const Metric* metric = nullptr;
+};
+
 /// Named metric store. Get* registers on first use and afterwards returns
 /// the same pointer, which stays valid (and keeps its identity across
 /// Reset) for the registry's lifetime — callers may cache handles.
@@ -125,11 +142,28 @@ class MetricsRegistry {
                           const std::vector<double>* bounds = nullptr);
   Series* GetSeries(const std::string& name);
 
+  /// Labeled families: one metric cell per (family, label-set), e.g.
+  /// `service.shed.requests{shard="3"}`. Cells follow the same contract
+  /// as the unlabeled getters (first call registers, handles are stable,
+  /// updates are lock-free); labels are canonicalized by sorting on the
+  /// label name, so `{a=1,b=2}` and `{b=2,a=1}` address the same cell.
+  /// Labeled and unlabeled metrics of the same name are distinct.
+  Counter* GetCounter(const std::string& family, const MetricLabels& labels);
+  Gauge* GetGauge(const std::string& family, const MetricLabels& labels);
+  Histogram* GetHistogram(const std::string& family,
+                          const MetricLabels& labels,
+                          const std::vector<double>* bounds = nullptr);
+
   /// Name-sorted handle snapshots for the exporters.
   std::vector<std::pair<std::string, const Counter*>> Counters() const;
   std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
   std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
   std::vector<std::pair<std::string, const Series*>> AllSeries() const;
+
+  /// Labeled snapshots, sorted by family then canonical label key.
+  std::vector<LabeledMetric<Counter>> LabeledCounters() const;
+  std::vector<LabeledMetric<Gauge>> LabeledGauges() const;
+  std::vector<LabeledMetric<Histogram>> LabeledHistograms() const;
 
   /// Zeroes every metric. Registrations (and handle pointers) survive.
   void Reset();
@@ -139,11 +173,28 @@ class MetricsRegistry {
   static MetricsRegistry* Global();
 
  private:
+  template <typename Metric>
+  struct LabeledCell {
+    MetricLabels labels;  ///< canonical (name-sorted) order
+    std::unique_ptr<Metric> metric;
+  };
+  /// family -> canonical label key -> cell.
+  template <typename Metric>
+  using LabeledFamilies =
+      std::map<std::string, std::map<std::string, LabeledCell<Metric>>>;
+
+  template <typename Metric>
+  std::vector<LabeledMetric<Metric>> SnapshotLabeled(
+      const LabeledFamilies<Metric>& families) const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::unique_ptr<Series>> series_;
+  LabeledFamilies<Counter> labeled_counters_;
+  LabeledFamilies<Gauge> labeled_gauges_;
+  LabeledFamilies<Histogram> labeled_histograms_;
 };
 
 /// Process-wide switch for the built-in instrumentation sites (thread

@@ -562,29 +562,45 @@ void PublishWindow(MetricsRegistry* registry, const std::string& prefix,
 
 }  // namespace
 
+void PublishHealthSnapshot(MetricsRegistry* registry,
+                           const std::string& prefix,
+                           const HealthSnapshot& snapshot,
+                           const ScoreReference& reference) {
+  if (registry == nullptr) return;
+  PublishWindow(registry, prefix + "global.", snapshot.global);
+  for (const auto& [env, health] : snapshot.per_env) {
+    PublishWindow(registry,
+                  prefix + "env." +
+                      SanitizeMetricName(reference.EnvName(env)) + ".",
+                  health);
+  }
+  registry->GetGauge(prefix + "fairness_gap")
+      ->Set(snapshot.fairness_gap.value);
+  registry->GetGauge(prefix + "fairness_gap_state")
+      ->Set(static_cast<double>(snapshot.fairness_gap.state));
+  registry->GetGauge(prefix + "state")
+      ->Set(static_cast<double>(snapshot.overall));
+  registry->GetGauge(prefix + "evaluations")
+      ->Set(static_cast<double>(snapshot.evaluation));
+}
+
 void ModelHealthMonitor::PublishTo(MetricsRegistry* registry,
                                    const HealthSnapshot& snapshot) const {
   if (registry == nullptr) return;
-  PublishWindow(registry, "monitor.global.", snapshot.global);
-  for (const auto& [env, health] : snapshot.per_env) {
-    PublishWindow(registry,
-                  "monitor.env." +
-                      SanitizeMetricName(reference_.EnvName(env)) + ".",
-                  health);
-  }
-  registry->GetGauge("monitor.fairness_gap")
-      ->Set(snapshot.fairness_gap.value);
-  registry->GetGauge("monitor.fairness_gap_state")
-      ->Set(static_cast<double>(snapshot.fairness_gap.state));
-  registry->GetGauge("monitor.state")
-      ->Set(static_cast<double>(snapshot.overall));
-  registry->GetGauge("monitor.evaluations")
-      ->Set(static_cast<double>(snapshot.evaluation));
+  PublishHealthSnapshot(registry, "monitor.", snapshot, reference_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     registry->GetGauge("monitor.escalations")
         ->Set(static_cast<double>(escalations_));
   }
+}
+
+void MergedHealthEvaluator::PublishTo(MetricsRegistry* registry,
+                                      const HealthSnapshot& snapshot) const {
+  if (registry == nullptr) return;
+  PublishHealthSnapshot(registry, "monitor.fleet.", snapshot, reference_);
+  registry->GetGauge("monitor.fleet.escalations")
+      ->Set(static_cast<double>(escalations_));
 }
 
 }  // namespace lightmirm::obs

@@ -213,6 +213,18 @@ WindowHealth EvaluateWindowAggregates(const WindowAggregates& window,
 WindowAggregates MergeWindowAggregates(
     const std::vector<WindowAggregates>& parts);
 
+/// Publishes a snapshot as registry gauges under `prefix` ("monitor." for
+/// a single monitor, "monitor.fleet." for the merged verdict): value and
+/// numeric state (0 OK / 1 WARN / 2 ALERT) per signal per window
+/// (`<prefix>env.<province>.psi`, `<prefix>global.auc`, ...), plus
+/// `<prefix>fairness_gap`, `<prefix>state` and `<prefix>evaluations`.
+/// `reference` supplies the environment names. The shared publisher behind
+/// ModelHealthMonitor::PublishTo and MergedHealthEvaluator::PublishTo.
+void PublishHealthSnapshot(MetricsRegistry* registry,
+                           const std::string& prefix,
+                           const HealthSnapshot& snapshot,
+                           const ScoreReference& reference);
+
 class ModelHealthMonitor;
 
 /// Global health over a fleet of per-shard monitors, by snapshot merge:
@@ -236,6 +248,12 @@ class MergedHealthEvaluator {
   /// meaningless).
   Result<HealthSnapshot> Evaluate(
       const std::vector<const ModelHealthMonitor*>& shards);
+
+  /// Publishes a merged snapshot under `monitor.fleet.` (same gauge layout
+  /// as ModelHealthMonitor::PublishTo), so the fleet verdict reaches the
+  /// JSON/Prometheus exporters just like a single monitor's does.
+  void PublishTo(MetricsRegistry* registry,
+                 const HealthSnapshot& snapshot) const;
 
   const ScoreReference& reference() const { return reference_; }
   const MonitorOptions& options() const { return options_; }

@@ -1,6 +1,8 @@
 #include "serve/scoring_session.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "common/string_util.h"
@@ -296,7 +298,8 @@ Status WidthError(const BatchWidthError& width) {
 Status ScoringSession::ScoreBatch(const ScoringSession* const* sessions,
                                   size_t num_sessions, const Matrix& raw,
                                   const std::vector<int>* envs,
-                                  std::vector<double>* const* outs) {
+                                  std::vector<double>* const* outs,
+                                  ScoreStageTiming* stages) {
   size_t stride = 0;
   for (size_t s = 0; s < num_sessions; ++s) {
     if (outs[s] == nullptr) {
@@ -330,27 +333,57 @@ Status ScoringSession::ScoreBatch(const ScoringSession* const* sessions,
   // path skips the plane and re-reads the double rows tree by tree.
   float* plane =
       use_simd ? internal::PlaneBuffer(raw.rows() * stride) : nullptr;
+  // Stage attribution: busy time per internal shard, summed atomically.
+  // The timing brackets never reorder or touch the compute, so scores are
+  // bit-identical with or without `stages`.
+  std::atomic<uint64_t> convert_ns{0};
+  std::atomic<uint64_t> kernel_ns{0};
   ParallelForShards(
       0, raw.rows(), ServingGrain(raw.rows()),
       [&](size_t, size_t begin, size_t end) {
+        using Clock = std::chrono::steady_clock;
+        const auto t0 = stages != nullptr ? Clock::now()
+                                          : Clock::time_point{};
         if (plane != nullptr) {
           for (size_t r = begin; r < end; ++r) {
             Avx2QuantizeCells(raw.Row(r), plane + r * stride, stride);
           }
         }
+        const auto t1 = stages != nullptr ? Clock::now()
+                                          : Clock::time_point{};
         for (size_t s = 0; s < num_sessions; ++s) {
           sessions[s]->ScoreRange(raw, plane, stride, begin, end, envs,
                                   outs[s]->data());
         }
+        if (stages != nullptr) {
+          const auto t2 = Clock::now();
+          convert_ns.fetch_add(
+              static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                       t0)
+                      .count()),
+              std::memory_order_relaxed);
+          kernel_ns.fetch_add(
+              static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t2 -
+                                                                       t1)
+                      .count()),
+              std::memory_order_relaxed);
+        }
       });
+  if (stages != nullptr) {
+    stages->convert_ns = convert_ns.load(std::memory_order_relaxed);
+    stages->kernel_ns = kernel_ns.load(std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 
 Status ScoringSession::Score(const Matrix& raw, const std::vector<int>* envs,
-                             std::vector<double>* out) const {
+                             std::vector<double>* out,
+                             ScoreStageTiming* stages) const {
   WallTimer batch_watch;
   const ScoringSession* session = this;
-  LIGHTMIRM_RETURN_NOT_OK(ScoreBatch(&session, 1, raw, envs, &out));
+  LIGHTMIRM_RETURN_NOT_OK(ScoreBatch(&session, 1, raw, envs, &out, stages));
   if (telemetry_.batches != nullptr) {
     telemetry_.batches->Increment();
     telemetry_.rows_scored->Increment(raw.rows());

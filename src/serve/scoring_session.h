@@ -66,6 +66,19 @@ struct BatchWidthError {
   size_t expected_width = 0;
 };
 
+/// Busy-time split of one Score call, for stage attribution (the service
+/// records these as `service.stage.convert.seconds` /
+/// `service.stage.kernel.seconds`). Durations are summed across the
+/// batch's internal shards; when the whole batch scores inline on one
+/// thread (service-sized batches do: nested session parallelism runs
+/// inline on a pool worker) convert + kernel equals the call's wall time
+/// minus dispatch overhead. Collecting costs two clock reads per internal
+/// shard; passing nullptr costs one branch.
+struct ScoreStageTiming {
+  uint64_t convert_ns = 0;  ///< float-plane conversion (0 on scalar path)
+  uint64_t kernel_ns = 0;   ///< forest traversal + LR accumulation
+};
+
 /// Batch scorer binding a compiled forest to trained LR weights.
 class ScoringSession {
  public:
@@ -91,9 +104,11 @@ class ScoringSession {
   /// otherwise; envs = nullptr forces the global table. Errors
   /// (InvalidArgument) when `raw` is narrower than the booster's trained
   /// feature count or `envs` is mis-sized. Scores are bit-identical to the
-  /// legacy encode-then-dot path at any thread count.
+  /// legacy encode-then-dot path at any thread count, and identical with
+  /// or without `stages` (timing never touches the compute).
   Status Score(const Matrix& raw, const std::vector<int>* envs,
-               std::vector<double>* out) const;
+               std::vector<double>* out,
+               ScoreStageTiming* stages = nullptr) const;
 
   /// Convenience form allocating the output vector.
   Result<std::vector<double>> Score(const Matrix& raw,
@@ -143,7 +158,8 @@ class ScoringSession {
   static Status ScoreBatch(const ScoringSession* const* sessions,
                            size_t num_sessions, const Matrix& raw,
                            const std::vector<int>* envs,
-                           std::vector<double>* const* outs);
+                           std::vector<double>* const* outs,
+                           ScoreStageTiming* stages = nullptr);
 
   /// Scores rows [begin, end) (one shard, <= the shard grain) against the
   /// per-env/global tables, reading the shared float plane when non-null.

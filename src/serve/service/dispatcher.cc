@@ -5,9 +5,18 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "serve/service/telemetry.h"
 
 namespace lightmirm::serve {
 namespace {
+
+uint64_t ToNanos(std::chrono::steady_clock::time_point tp) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
 
 // SplitMix64 finalizer: a fixed, platform-independent avalanche of the
 // loan id. std::hash would be both implementation-defined (libstdc++
@@ -25,9 +34,17 @@ uint64_t MixLoanId(int64_t id) {
 struct BatchDispatcher::PendingRequest {
   std::vector<double> scores;
   std::atomic<uint64_t> remaining{0};
-  std::mutex mu;      ///< guards status
+  std::mutex mu;      ///< guards status + stamps
   Status status;      ///< first shard error wins
   CompletionFn done;
+  /// Lifecycle tracing (id != 0 iff the request is tracked). `enqueue_ns`
+  /// is written under the shard locks before they release, so every later
+  /// stage stamp — taken by code that re-acquires a shard lock — orders
+  /// after it on the monotonic clock.
+  uint64_t id = 0;
+  uint64_t admit_ns = 0;
+  uint64_t enqueue_ns = 0;
+  std::vector<ShardStageStamps> stamps;  ///< one per involved shard
 };
 
 size_t BatchDispatcher::ShardOf(int64_t loan_id) const {
@@ -85,6 +102,12 @@ BatchDispatcher::~BatchDispatcher() {
 }
 
 Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
+  // Resolve the tracking decision once per request: every later stamp in
+  // this request's life keys off the assigned id, so a telemetry toggle
+  // mid-flight can never half-trace a request.
+  ServiceTelemetry* const tel = options_.telemetry;
+  const bool tracked = tel != nullptr && obs::TelemetryEnabled();
+  const uint64_t admit_ns = tracked ? MonotonicNanos() : 0;
   if (done == nullptr) {
     return Status::InvalidArgument("Submit needs a completion fn");
   }
@@ -151,6 +174,7 @@ Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
         std::lock_guard<std::mutex> lock(wake_mu_);
         pending_rows_total_ -= n;
         ++wake_seq_;
+        if (tracked) tel->OnPendingRows(pending_rows_total_);
       }
       // Wake the dispatcher: a Flush may be waiting on exactly this
       // decrement bringing the pending total to zero.
@@ -159,9 +183,11 @@ Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.shed_requests;
       }
+      if (tracked) tel->OnShed(s, add_count[s], held);
       return Status::ResourceExhausted(StrFormat(
-          "shard %zu holds %zu pending rows (+%zu requested, cap %zu)", s,
-          held, add_count[s], options_.max_pending_rows));
+          "shard %zu holds %zu pending rows (+%zu requested) over "
+          "max_pending_rows=%zu; request shed",
+          s, held, add_count[s], options_.max_pending_rows));
     }
   }
 
@@ -169,8 +195,14 @@ Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
   pending->scores.resize(n);
   pending->remaining.store(n, std::memory_order_relaxed);
   pending->done = std::move(done);
+  if (tracked) {
+    pending->id = tel->NextRequestId();
+    pending->admit_ns = admit_ns;
+    pending->stamps.reserve(involved.size());
+  }
 
   const auto now = std::chrono::steady_clock::now();
+  if (tracked) pending->enqueue_ns = ToNanos(now);
   for (size_t i = 0; i < n; ++i) {
     Shard& shard = *shards_[shard_of[i]];
     if (shard.batch.rows == 0) shard.oldest = now;
@@ -182,6 +214,13 @@ Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
                                                         : request.labels[i]);
     shard.rows.push_back(RowRef{pending, static_cast<uint32_t>(i)});
     ++shard.batch.rows;
+  }
+  if (tracked) {
+    // Queue-depth gauges while the shard locks are still held, so the
+    // reading matches a state the accumulator actually passed through.
+    for (const size_t s : involved) {
+      tel->OnShardQueue(s, shards_[s]->batch.rows);
+    }
   }
   locks.clear();
 
@@ -198,8 +237,13 @@ Status BatchDispatcher::Submit(ScoreRequest request, CompletionFn done) {
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     ++wake_seq_;
+    if (tracked) tel->OnPendingRows(pending_rows_total_);
   }
   wake_cv_.notify_one();
+  if (tracked) {
+    tel->OnAdmission(pending->id, n,
+                     static_cast<double>(MonotonicNanos() - admit_ns) * 1e-9);
+  }
   return Status::OK();
 }
 
@@ -242,7 +286,15 @@ DispatcherStats BatchDispatcher::stats() const {
 
 void BatchDispatcher::DispatchLoop() {
   using Clock = std::chrono::steady_clock;
+  struct FlushRecord {
+    size_t shard;
+    FlushReason reason;
+    size_t rows;
+    double queue_wait_s;
+  };
   for (;;) {
+    ServiceTelemetry* const tel = options_.telemetry;
+    const bool tracked = tel != nullptr && obs::TelemetryEnabled();
     bool flush_all;
     uint64_t seen_seq;
     {
@@ -258,6 +310,7 @@ void BatchDispatcher::DispatchLoop() {
     std::vector<size_t> ready;
     std::vector<ShardBatch> batches;
     std::vector<std::vector<RowRef>> rows;
+    std::vector<FlushRecord> flushes;
     uint64_t size_flushes = 0, deadline_flushes = 0, explicit_flushes = 0;
     for (size_t s = 0; s < shards_.size(); ++s) {
       Shard& shard = *shards_[s];
@@ -270,12 +323,16 @@ void BatchDispatcher::DispatchLoop() {
         next_deadline = std::min(next_deadline, deadline);
         continue;
       }
+      FlushReason reason;
       if (size_ready) {
         ++size_flushes;
+        reason = FlushReason::kSize;
       } else if (deadline_ready) {
         ++deadline_flushes;
+        reason = FlushReason::kDeadline;
       } else {
         ++explicit_flushes;
+        reason = FlushReason::kExplicit;
       }
       ready.push_back(s);
       batches.push_back(std::move(shard.batch));
@@ -283,9 +340,31 @@ void BatchDispatcher::DispatchLoop() {
       shard.batch = ShardBatch{};
       shard.batch.width = options_.feature_width;
       shard.rows.clear();
+      if (tracked) {
+        // Stamp the flush on the swapped-out batch while the shard lock
+        // is held: appends stamped their enqueue before releasing this
+        // lock, so flush_ns >= every row's enqueue_ns (no negative queue
+        // waits however the race falls).
+        ShardBatch& moved = batches.back();
+        moved.collect_stages = true;
+        moved.stages.shard = static_cast<uint32_t>(s);
+        moved.stages.batch_rows = static_cast<uint32_t>(moved.rows);
+        moved.stages.flush_ns = MonotonicNanos();
+        flushes.push_back(FlushRecord{
+            s, reason, moved.rows,
+            static_cast<double>(moved.stages.flush_ns -
+                                ToNanos(shard.oldest)) *
+                1e-9});
+        tel->OnShardQueue(s, 0);
+      }
     }
 
     if (!ready.empty()) {
+      if (tracked) {
+        for (const FlushRecord& f : flushes) {
+          tel->OnFlush(f.shard, f.reason, f.rows, f.queue_wait_s);
+        }
+      }
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         stats_.size_flushes += size_flushes;
@@ -303,6 +382,7 @@ void BatchDispatcher::DispatchLoop() {
         std::lock_guard<std::mutex> lock(wake_mu_);
         cycle_running_ = false;
         pending_rows_total_ -= scored;
+        if (tracked) tel->OnPendingRows(pending_rows_total_);
       }
       idle_cv_.notify_all();
       continue;  // rescan immediately: more shards may have filled up
@@ -334,17 +414,23 @@ void BatchDispatcher::DispatchLoop() {
 void BatchDispatcher::ScoreCycle(std::vector<size_t> ready,
                                  std::vector<ShardBatch> batches,
                                  std::vector<std::vector<RowRef>> rows) {
+  ServiceTelemetry* const tel = options_.telemetry;
   // One pool task per ready shard; a shard's rows never score twice
   // concurrently because cycles are serialized on the dispatcher thread.
   pool_.Apply(ready.size(), [&](size_t i) {
     const size_t shard = ready[i];
     ShardBatch& batch = batches[i];
+    if (batch.collect_stages) batch.stages.score_start_ns = MonotonicNanos();
     std::vector<double> scores(batch.rows, 0.0);
     Status status = score_fn_(shard, batch, &scores);
     if (status.ok() && scores.size() != batch.rows) {
       status = Status::Internal(
           StrFormat("shard %zu scored %zu rows for a %zu-row batch", shard,
                     scores.size(), batch.rows));
+    }
+    if (batch.collect_stages) {
+      batch.stages.score_end_ns = MonotonicNanos();
+      if (tel != nullptr) tel->OnBatchScored(batch.stages);
     }
     // Scatter scores back and retire rows per contiguous same-request run
     // (a request's rows land consecutively in a shard, so this is one
@@ -365,8 +451,28 @@ void BatchDispatcher::ScoreCycle(std::vector<size_t> ready,
         std::lock_guard<std::mutex> lock(request->mu);
         if (request->status.ok()) request->status = status;
       }
+      if (batch.collect_stages && request->id != 0) {
+        // One stamps entry per (request, shard): a request's rows on one
+        // shard are appended atomically, so exactly one run sees them.
+        ShardStageStamps stamp = batch.stages;
+        stamp.enqueue_ns = request->enqueue_ns;
+        std::lock_guard<std::mutex> lock(request->mu);
+        request->stamps.push_back(stamp);
+      }
       if (request->remaining.fetch_sub(run, std::memory_order_acq_rel) ==
           run) {
+        if (tel != nullptr && request->id != 0) {
+          RequestExemplar exemplar;
+          exemplar.request_id = request->id;
+          exemplar.rows = static_cast<uint32_t>(request->scores.size());
+          exemplar.admit_ns = request->admit_ns;
+          exemplar.complete_ns = MonotonicNanos();
+          {
+            std::lock_guard<std::mutex> lock(request->mu);
+            exemplar.shards = std::move(request->stamps);
+          }
+          tel->OnRequestComplete(std::move(exemplar));
+        }
         Status final_status;
         {
           std::lock_guard<std::mutex> lock(request->mu);

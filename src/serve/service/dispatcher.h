@@ -43,8 +43,11 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "serve/service/exemplar.h"
 
 namespace lightmirm::serve {
+
+class ServiceTelemetry;
 
 /// One scoring request: `features` is row-major `loan_ids.size()` ×
 /// `feature_width` (the dispatcher's configured width). `envs` is empty or
@@ -74,6 +77,12 @@ struct ShardBatch {
   std::vector<double> features;  ///< row-major rows × width
   std::vector<int> envs;
   std::vector<int> labels;
+  /// Lifecycle tracing (set by the dispatcher when telemetry is attached
+  /// and enabled): the scorer fills `stages`' convert/kernel/monitor
+  /// durations when `collect_stages` is true; the dispatcher stamps the
+  /// shard/flush/score fields around it. Never affects the scores.
+  bool collect_stages = false;
+  ShardStageStamps stages;
 };
 
 /// Scores one shard's batch into `scores` (must be resized to batch.rows).
@@ -102,6 +111,13 @@ struct DispatcherOptions {
   /// one pool task per shard (nested session parallelism runs inline on a
   /// pool worker), so this bounds cross-shard scoring concurrency.
   int score_threads = 0;
+  /// Lifecycle telemetry sink (serve/service/telemetry.h), not owned; must
+  /// outlive the dispatcher. Null = no tracing. With a sink attached the
+  /// dispatcher assigns request ids, stamps every stage, feeds the
+  /// per-shard metric families and offers completed requests to the
+  /// slowest-K exemplar store — all gated on obs::TelemetryEnabled(), and
+  /// none of it touches scores, batching or completion order.
+  ServiceTelemetry* telemetry = nullptr;
 };
 
 /// Counters, monotonically increasing over the dispatcher's lifetime.

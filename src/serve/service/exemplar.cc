@@ -1,0 +1,173 @@
+#include "serve/service/exemplar.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace lightmirm::serve {
+namespace {
+
+constexpr double kNanos = 1e-9;
+
+double MaxDeltaSeconds(const std::vector<ShardStageStamps>& shards,
+                       uint64_t ShardStageStamps::*end,
+                       uint64_t ShardStageStamps::*begin) {
+  uint64_t worst = 0;
+  for (const ShardStageStamps& s : shards) {
+    if (s.*end > s.*begin) worst = std::max(worst, s.*end - s.*begin);
+  }
+  return static_cast<double>(worst) * kNanos;
+}
+
+double MaxDurationSeconds(const std::vector<ShardStageStamps>& shards,
+                          uint64_t ShardStageStamps::*field) {
+  uint64_t worst = 0;
+  for (const ShardStageStamps& s : shards) worst = std::max(worst, s.*field);
+  return static_cast<double>(worst) * kNanos;
+}
+
+}  // namespace
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+StageBreakdown RequestExemplar::Breakdown() const {
+  StageBreakdown b;
+  b.queue_wait_s = MaxDeltaSeconds(shards, &ShardStageStamps::flush_ns,
+                                   &ShardStageStamps::enqueue_ns);
+  b.batch_form_s = MaxDeltaSeconds(shards, &ShardStageStamps::score_start_ns,
+                                   &ShardStageStamps::flush_ns);
+  b.scoring_s = MaxDeltaSeconds(shards, &ShardStageStamps::score_end_ns,
+                                &ShardStageStamps::score_start_ns);
+  b.convert_s = MaxDurationSeconds(shards, &ShardStageStamps::convert_ns);
+  b.kernel_s = MaxDurationSeconds(shards, &ShardStageStamps::kernel_ns);
+  b.monitor_feed_s =
+      MaxDurationSeconds(shards, &ShardStageStamps::monitor_ns);
+  b.total_s = static_cast<double>(TotalNanos()) * kNanos;
+  return b;
+}
+
+ExemplarStore::ExemplarStore(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void ExemplarStore::Offer(RequestExemplar exemplar) {
+  const uint64_t total = exemplar.TotalNanos();
+  // Fast reject: a full store's floor only rises, so a stale read can at
+  // worst let a borderline request take the lock and lose there.
+  if (total <= floor_ns_.load(std::memory_order_relaxed)) return;
+  const auto slower = [](const RequestExemplar& a, const RequestExemplar& b) {
+    return a.TotalNanos() > b.TotalNanos();  // min-heap on total
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heap_.size() < capacity_) {
+    heap_.push_back(std::move(exemplar));
+    std::push_heap(heap_.begin(), heap_.end(), slower);
+  } else {
+    if (total <= heap_.front().TotalNanos()) return;
+    std::pop_heap(heap_.begin(), heap_.end(), slower);
+    heap_.back() = std::move(exemplar);
+    std::push_heap(heap_.begin(), heap_.end(), slower);
+  }
+  if (heap_.size() == capacity_) {
+    floor_ns_.store(heap_.front().TotalNanos(), std::memory_order_relaxed);
+  }
+}
+
+std::vector<RequestExemplar> ExemplarStore::Slowest() const {
+  std::vector<RequestExemplar> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestExemplar& a, const RequestExemplar& b) {
+              if (a.TotalNanos() != b.TotalNanos()) {
+                return a.TotalNanos() > b.TotalNanos();
+              }
+              return a.request_id < b.request_id;
+            });
+  return out;
+}
+
+std::string ExportExemplarsJson(
+    const std::vector<RequestExemplar>& exemplars) {
+  std::string out = "[";
+  for (size_t i = 0; i < exemplars.size(); ++i) {
+    const RequestExemplar& e = exemplars[i];
+    const StageBreakdown b = e.Breakdown();
+    if (i > 0) out += ",";
+    out += StrFormat(
+        "\n    {\"request_id\": %llu, \"rows\": %u, \"total_s\": %.9f, "
+        "\"queue_wait_s\": %.9f, \"batch_form_s\": %.9f, "
+        "\"scoring_s\": %.9f, \"convert_s\": %.9f, \"kernel_s\": %.9f, "
+        "\"monitor_feed_s\": %.9f, \"shards\": [",
+        static_cast<unsigned long long>(e.request_id), e.rows, b.total_s,
+        b.queue_wait_s, b.batch_form_s, b.scoring_s, b.convert_s, b.kernel_s,
+        b.monitor_feed_s);
+    for (size_t s = 0; s < e.shards.size(); ++s) {
+      const ShardStageStamps& st = e.shards[s];
+      if (s > 0) out += ", ";
+      out += StrFormat(
+          "{\"shard\": %u, \"batch_rows\": %u, \"enqueue_ns\": %llu, "
+          "\"flush_ns\": %llu, \"score_start_ns\": %llu, "
+          "\"score_end_ns\": %llu, \"convert_ns\": %llu, "
+          "\"kernel_ns\": %llu, \"monitor_ns\": %llu}",
+          st.shard, st.batch_rows,
+          static_cast<unsigned long long>(st.enqueue_ns),
+          static_cast<unsigned long long>(st.flush_ns),
+          static_cast<unsigned long long>(st.score_start_ns),
+          static_cast<unsigned long long>(st.score_end_ns),
+          static_cast<unsigned long long>(st.convert_ns),
+          static_cast<unsigned long long>(st.kernel_ns),
+          static_cast<unsigned long long>(st.monitor_ns));
+    }
+    out += "]}";
+  }
+  out += exemplars.empty() ? "]" : "\n  ]";
+  return out;
+}
+
+std::vector<obs::TraceEvent> ExemplarTraceEvents(
+    const std::vector<RequestExemplar>& exemplars) {
+  std::vector<obs::TraceEvent> events;
+  if (exemplars.empty()) return events;
+  uint64_t origin = exemplars.front().admit_ns;
+  for (const RequestExemplar& e : exemplars) {
+    origin = std::min(origin, e.admit_ns);
+  }
+  const auto us = [origin](uint64_t ns) {
+    return ns >= origin ? static_cast<double>(ns - origin) * 1e-3 : 0.0;
+  };
+  const auto span = [&](const std::string& name, int tid, uint64_t begin,
+                        uint64_t end) {
+    if (end <= begin) return;
+    obs::TraceEvent event;
+    event.name = name;
+    event.tid = tid;
+    event.ts_us = us(begin);
+    event.dur_us = static_cast<double>(end - begin) * 1e-3;
+    events.push_back(std::move(event));
+  };
+  for (const RequestExemplar& e : exemplars) {
+    const std::string id = StrFormat("service.request.%llu",
+                                     static_cast<unsigned long long>(
+                                         e.request_id));
+    // tid 0 is the request track; each shard's stages draw on tid shard+1
+    // so one request's parallel shard lives stack under it visually.
+    span(id, 0, e.admit_ns, e.complete_ns);
+    for (const ShardStageStamps& st : e.shards) {
+      const int tid = static_cast<int>(st.shard) + 1;
+      span(id + ".queue_wait", tid, st.enqueue_ns, st.flush_ns);
+      span(id + ".batch_form", tid, st.flush_ns, st.score_start_ns);
+      span(id + ".score", tid, st.score_start_ns, st.score_end_ns);
+    }
+  }
+  return events;
+}
+
+}  // namespace lightmirm::serve

@@ -1,0 +1,109 @@
+// Tail-latency attribution for the sharded scoring service: per-request
+// stage stamps and a bounded slowest-K exemplar store. Every tracked
+// request carries monotonic nanosecond stamps for each lifecycle stage
+// (admission, shard enqueue, flush dispatch, scoring with its plane-
+// conversion / kernel / monitor-feed split, completion); the store keeps
+// the K slowest completed requests with their full breakdowns, so "p99
+// regressed" comes with the exact requests that paid it and the stage that
+// cost them. Offers are lock-free in the common case: a full store keeps
+// an atomic floor (its current fastest member), and anything faster is
+// rejected with one relaxed load — the mutex is only taken by requests
+// slow enough to actually belong in the tail.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace lightmirm::serve {
+
+/// Nanoseconds on the std::chrono::steady_clock epoch — the one clock
+/// every service stage stamp uses, so stamp differences are meaningful
+/// across threads and never jump with wall-clock adjustments.
+uint64_t MonotonicNanos();
+
+/// One shard's slice of a request's life. `enqueue_ns`..`score_end_ns`
+/// are points on the MonotonicNanos clock; `convert_ns`, `kernel_ns` and
+/// `monitor_ns` are durations (busy time inside the scoring call — summed
+/// across the session's internal shards, so they can exceed the
+/// score_start..score_end wall time only when the session fans a batch
+/// out across pool threads, which service-sized batches do not).
+struct ShardStageStamps {
+  uint32_t shard = 0;
+  uint32_t batch_rows = 0;    ///< rows in the flushed shard batch
+  uint64_t enqueue_ns = 0;    ///< request's rows appended to the shard
+  uint64_t flush_ns = 0;      ///< dispatcher swapped the batch out
+  uint64_t score_start_ns = 0;///< pool task picked the batch up
+  uint64_t score_end_ns = 0;  ///< scores + monitor feed done
+  uint64_t convert_ns = 0;    ///< float-plane conversion (duration)
+  uint64_t kernel_ns = 0;     ///< forest + LR kernel (duration)
+  uint64_t monitor_ns = 0;    ///< monitor ObserveBatch (duration)
+};
+
+/// Per-stage seconds of one request, reduced across its shards. Stages
+/// before completion take the *straggler* view — max over shards — since
+/// the request completes only when its slowest shard does.
+struct StageBreakdown {
+  double queue_wait_s = 0;   ///< enqueue -> flush (max over shards)
+  double batch_form_s = 0;   ///< flush -> score start (max over shards)
+  double scoring_s = 0;      ///< score start -> end (max over shards)
+  double convert_s = 0;      ///< plane conversion (max over shards)
+  double kernel_s = 0;       ///< kernel (max over shards)
+  double monitor_feed_s = 0; ///< monitor feed (max over shards)
+  double total_s = 0;        ///< admission -> completion
+};
+
+/// One completed request's full lifecycle record.
+struct RequestExemplar {
+  uint64_t request_id = 0;
+  uint32_t rows = 0;
+  uint64_t admit_ns = 0;     ///< Submit entry
+  uint64_t complete_ns = 0;  ///< completion callback about to fire
+  std::vector<ShardStageStamps> shards;
+
+  uint64_t TotalNanos() const {
+    return complete_ns >= admit_ns ? complete_ns - admit_ns : 0;
+  }
+  StageBreakdown Breakdown() const;
+};
+
+/// Bounded slowest-K store; see file comment. Thread-safe.
+class ExemplarStore {
+ public:
+  /// `capacity` must be positive (the store keeps at most that many).
+  explicit ExemplarStore(size_t capacity);
+
+  /// Offers a completed request; kept iff it is among the K slowest seen.
+  void Offer(RequestExemplar exemplar);
+
+  /// The current exemplars, slowest first.
+  std::vector<RequestExemplar> Slowest() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  /// TotalNanos of the fastest kept exemplar once full; offers below it
+  /// reject without the lock. 0 while the store still has room.
+  std::atomic<uint64_t> floor_ns_{0};
+  mutable std::mutex mu_;
+  std::vector<RequestExemplar> heap_;  ///< min-heap on TotalNanos
+};
+
+/// Renders exemplars (slowest first) as a JSON array: request id, rows,
+/// total and per-stage seconds, and the raw per-shard stamps.
+std::string ExportExemplarsJson(const std::vector<RequestExemplar>& exemplars);
+
+/// Reconstructs exemplars as Chrome-trace spans (obs/export.h renders
+/// them): per request one `service.request` span plus, per shard touched,
+/// `service.queue_wait` / `service.batch_form` / `service.score` child
+/// spans, each on a tid derived from the shard so one request's life reads
+/// as parallel tracks. Timestamps are relative to the earliest admission.
+std::vector<obs::TraceEvent> ExemplarTraceEvents(
+    const std::vector<RequestExemplar>& exemplars);
+
+}  // namespace lightmirm::serve

@@ -4,6 +4,7 @@
 
 #include "common/matrix.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace lightmirm::serve {
 
@@ -33,6 +34,15 @@ Result<std::unique_ptr<ShardedScoringService>> ShardedScoringService::Create(
 
   auto service =
       std::unique_ptr<ShardedScoringService>(new ShardedScoringService());
+  ServiceTelemetryOptions telemetry_options;
+  telemetry_options.num_shards = options.dispatcher.num_shards;
+  telemetry_options.slowest_k = options.slowest_k;
+  telemetry_options.flight_recorder_capacity =
+      options.flight_recorder_capacity;
+  telemetry_options.registry = options.telemetry_registry;
+  service->telemetry_ =
+      std::make_unique<ServiceTelemetry>(telemetry_options);
+  options.dispatcher.telemetry = service->telemetry_.get();
   service->options_ = options;
   service->merged_.emplace(std::move(evaluator));
   service->shards_.reserve(options.dispatcher.num_shards);
@@ -68,6 +78,12 @@ Result<std::unique_ptr<ShardedScoringService>> ShardedScoringService::Create(
 Status ShardedScoringService::ScoreShardBatch(size_t shard,
                                               ShardBatch& batch,
                                               std::vector<double>* scores) {
+  // Trace span per shard batch: `span.service.shard_score.seconds` in the
+  // service's registry, and a Chrome-trace event when recording is on.
+  // Inert (null registry) when lifecycle tracing is off for this batch.
+  obs::TraceSpan span(
+      batch.collect_stages ? telemetry_->registry() : nullptr,
+      "service.shard_score");
   // One registry snapshot per batch: a concurrent Deploy never splits a
   // batch across versions, and the version (with its monitor) stays alive
   // for the whole batch even if it is retired and evicted mid-flight.
@@ -80,14 +96,24 @@ Status ShardedScoringService::ScoreShardBatch(size_t shard,
   // Move, don't copy: the dispatcher owns the batch for this cycle only,
   // and an O(rows × width) copy here would sit on every flush's hot path.
   Matrix rows(batch.rows, batch.width, std::move(batch.features));
-  LIGHTMIRM_RETURN_NOT_OK(version->session()->Score(rows, &batch.envs,
-                                                    scores));
+  ScoreStageTiming timing;
+  LIGHTMIRM_RETURN_NOT_OK(version->session()->Score(
+      rows, &batch.envs, scores,
+      batch.collect_stages ? &timing : nullptr));
+  if (batch.collect_stages) {
+    batch.stages.convert_ns = timing.convert_ns;
+    batch.stages.kernel_ns = timing.kernel_ns;
+  }
   // Feed the shard's own monitor explicitly (never AttachMonitor: shards
   // share the model's session, and the labels here may carry the delayed
   // ground truth the serving path itself does not have).
   if (version->monitor() != nullptr) {
+    const uint64_t feed_start = batch.collect_stages ? MonotonicNanos() : 0;
     LIGHTMIRM_RETURN_NOT_OK(version->monitor()->ObserveBatch(
         *scores, &batch.envs, &batch.labels));
+    if (batch.collect_stages) {
+      batch.stages.monitor_ns = MonotonicNanos() - feed_start;
+    }
   }
   return Status::OK();
 }
@@ -103,7 +129,8 @@ Result<ScoreResponse> ShardedScoringService::Score(ScoreRequest request) {
 
 void ShardedScoringService::Flush() { dispatcher_->Flush(); }
 
-Result<obs::HealthSnapshot> ShardedScoringService::EvaluateHealth() {
+Result<obs::HealthSnapshot> ShardedScoringService::EvaluateHealth(
+    obs::MetricsRegistry* registry) {
   // Snapshot every shard's active monitor first (each shard pins its
   // version so a concurrent swap cannot free a monitor mid-merge), then
   // run one merged tick.
@@ -121,8 +148,53 @@ Result<obs::HealthSnapshot> ShardedScoringService::EvaluateHealth() {
     monitors.push_back(version->monitor().get());
     versions.push_back(std::move(version));
   }
+  const bool publish = obs::TelemetryEnabled();
+  if (registry == nullptr && publish) registry = telemetry_->registry();
   std::lock_guard<std::mutex> lock(health_mu_);
-  return merged_->Evaluate(monitors);
+  LIGHTMIRM_ASSIGN_OR_RETURN(obs::HealthSnapshot snapshot,
+                             merged_->Evaluate(monitors));
+  if (publish) {
+    telemetry_->OnHealthEvaluation(static_cast<uint32_t>(snapshot.overall),
+                                   snapshot.evaluation);
+    // Fleet verdict + per-shard window gauges (labeled by shard), so the
+    // merge result and each shard's slice both reach the exporters.
+    merged_->PublishTo(registry, snapshot);
+    for (size_t s = 0; s < monitors.size(); ++s) {
+      const obs::WindowAggregates window = monitors[s]->SnapshotWindows().global;
+      const obs::MetricLabels shard{{"shard", StrFormat("%zu", s)}};
+      registry->GetGauge("monitor.shard.window_rows", shard)
+          ->Set(static_cast<double>(window.rows));
+      registry->GetGauge("monitor.shard.labeled_rows", shard)
+          ->Set(static_cast<double>(window.labeled));
+      registry->GetGauge("monitor.shard.seen", shard)
+          ->Set(static_cast<double>(window.seen));
+      registry->GetGauge("monitor.shard.default_rate", shard)
+          ->Set(window.labeled == 0
+                    ? 0.0
+                    : static_cast<double>(window.positives) /
+                          static_cast<double>(window.labeled));
+    }
+  }
+  // Flight-recorder dump on the OK/WARN -> ALERT transition: record the
+  // alert event first so the dump's last line is the alert itself, then
+  // freeze the ring's contents next to the snapshot.
+  const obs::AlertState previous = last_overall_;
+  last_overall_ = snapshot.overall;
+  if (snapshot.overall == obs::AlertState::kAlert &&
+      previous != obs::AlertState::kAlert) {
+    telemetry_->OnAlert(static_cast<uint32_t>(snapshot.overall),
+                        snapshot.evaluation);
+    last_alert_dump_ = telemetry_->flight_recorder()->Dump();
+    if (options_.on_alert_dump) {
+      options_.on_alert_dump(snapshot, last_alert_dump_);
+    }
+  }
+  return snapshot;
+}
+
+std::string ShardedScoringService::last_alert_dump() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return last_alert_dump_;
 }
 
 Status ShardedScoringService::Deploy(const std::string& id,
@@ -148,6 +220,10 @@ Status ShardedScoringService::Deploy(const std::string& id,
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     LIGHTMIRM_RETURN_NOT_OK(shards_[s]->registry.Activate(id));
+  }
+  if (obs::TelemetryEnabled()) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    telemetry_->OnDeploy(++deploy_seq_);
   }
   return Status::OK();
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -30,12 +31,14 @@
 #include "obs/monitor.h"
 #include "serve/model_registry.h"
 #include "serve/service/dispatcher.h"
+#include "serve/service/telemetry.h"
 
 namespace lightmirm::serve {
 
 struct ServiceOptions {
   /// Dispatcher shape. `feature_width` may be left 0: Create fills it
-  /// with the model's trained feature count.
+  /// with the model's trained feature count. `telemetry` is overwritten:
+  /// the service always wires its own ServiceTelemetry in.
   DispatcherOptions dispatcher;
   /// Per-shard monitor configuration. Size `window` to the horizon you
   /// evaluate over: merged-fleet verdicts equal a single monitor's
@@ -43,6 +46,18 @@ struct ServiceOptions {
   obs::MonitorOptions monitor;
   /// Version id the initial model registers under, in every shard.
   std::string initial_version_id = "v1";
+  /// Registry the service's metric families (service.*, monitor.fleet.*)
+  /// live in; null = the process-global registry.
+  obs::MetricsRegistry* telemetry_registry = nullptr;
+  /// Slowest-K exemplar store size (tail attribution).
+  size_t slowest_k = 16;
+  /// Flight-recorder ring size (recent service events; rounded to pow2).
+  size_t flight_recorder_capacity = 1024;
+  /// Fired (under the health lock, so at most once per transition) when
+  /// the merged fleet health enters ALERT: the snapshot that tripped it
+  /// plus the flight-recorder dump of the events leading up to it.
+  std::function<void(const obs::HealthSnapshot&, const std::string&)>
+      on_alert_dump;
 };
 
 class ShardedScoringService {
@@ -70,8 +85,15 @@ class ShardedScoringService {
   void Flush();
 
   /// One merged evaluation tick across all shard monitors; see file
-  /// comment. Evaluates the *active* versions' monitors.
-  Result<obs::HealthSnapshot> EvaluateHealth();
+  /// comment. Evaluates the *active* versions' monitors. When telemetry
+  /// is enabled the tick also publishes the fleet verdict as
+  /// `monitor.fleet.*` gauges plus per-shard `monitor.shard.*{shard=...}`
+  /// window gauges into `registry` (null = the service's telemetry
+  /// registry), and a transition of the merged overall state into ALERT
+  /// snapshots the flight recorder: the dump is kept (last_alert_dump)
+  /// and handed to ServiceOptions::on_alert_dump with the snapshot.
+  Result<obs::HealthSnapshot> EvaluateHealth(
+      obs::MetricsRegistry* registry = nullptr);
 
   /// Registers `model` under `id` in every shard registry and activates
   /// it (the rolling deploy, applied shard-by-shard in index order;
@@ -93,6 +115,18 @@ class ShardedScoringService {
   }
   DispatcherStats dispatcher_stats() const { return dispatcher_->stats(); }
 
+  /// The service's instrumentation hub (request ids, metric handles,
+  /// exemplar store, flight recorder). Never null.
+  ServiceTelemetry* telemetry() { return telemetry_.get(); }
+  /// Slowest tracked requests with full stage breakdowns, slowest first.
+  std::vector<RequestExemplar> SlowestRequests() const {
+    return telemetry_->SlowestRequests();
+  }
+  FlightRecorder* flight_recorder() { return telemetry_->flight_recorder(); }
+  /// Flight-recorder dump captured at the most recent OK/WARN -> ALERT
+  /// transition of the merged health ("" when none has happened).
+  std::string last_alert_dump() const;
+
  private:
   struct ShardState {
     ModelRegistry registry;
@@ -113,8 +147,13 @@ class ShardedScoringService {
   /// Fleet-level evaluator: owns the merged hysteresis machines, which
   /// persist across ticks (and across Deploys — an elevated state carries
   /// over a model swap until the merged signals clear it).
-  std::mutex health_mu_;
+  mutable std::mutex health_mu_;
   std::optional<obs::MergedHealthEvaluator> merged_;
+  obs::AlertState last_overall_ = obs::AlertState::kOk;  ///< health_mu_
+  std::string last_alert_dump_;                          ///< health_mu_
+  uint64_t deploy_seq_ = 0;  ///< deploys applied (health_mu_)
+  /// Outlives the dispatcher (whose hooks point into it).
+  std::unique_ptr<ServiceTelemetry> telemetry_;
   std::unique_ptr<BatchDispatcher> dispatcher_;  ///< stops before shards die
 };
 

@@ -95,6 +95,85 @@ TEST(ExportPrometheusTest, MatchesGolden) {
   EXPECT_EQ(ExportPrometheus(registry), expected);
 }
 
+TEST(ExportJsonTest, LabeledCellsRenderAfterUnlabeledEntries) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests")->Increment(3);
+  registry.GetCounter("service.flushes", {{"shard", "0"}, {"reason", "size"}})
+      ->Increment(4);
+  registry.GetGauge("service.shard.queue_rows", {{"shard", "1"}})->Set(7);
+  const std::vector<double> bounds = {1.0, 2.0};
+  registry.GetHistogram("lat", {{"shard", "0"}}, &bounds)->Record(1.5);
+  const std::string json = ExportJson(registry);
+  // Labeled cells render as `family{label=\"value\"}` keys (canonical
+  // label order), after the unlabeled entries of the section.
+  EXPECT_NE(json.find("\"requests\": 3,\n"
+                      "    \"service.flushes"
+                      "{reason=\\\"size\\\",shard=\\\"0\\\"}\": 4\n"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(
+      json.find("\"service.shard.queue_rows{shard=\\\"1\\\"}\": 7"),
+      std::string::npos);
+  EXPECT_NE(json.find("\"lat{shard=\\\"0\\\"}\": {\"count\": 1"),
+            std::string::npos);
+}
+
+TEST(ExportPrometheusTest, LabeledFamiliesGetOneTypeLineAndPerCellSamples) {
+  MetricsRegistry registry;
+  registry.GetCounter("service.flushes", {{"shard", "0"}, {"reason", "size"}})
+      ->Increment(2);
+  registry
+      .GetCounter("service.flushes", {{"shard", "1"}, {"reason", "deadline"}})
+      ->Increment(5);
+  registry.GetGauge("service.shard.queue_rows", {{"shard", "0"}})->Set(12);
+  const std::vector<double> bounds = {1.0, 2.0};
+  Histogram* h =
+      registry.GetHistogram("service.batch.rows", {{"shard", "0"}}, &bounds);
+  h->Record(0.5);
+  h->Record(1.5);
+  h->Record(5.0);
+  const std::string expected =
+      "# TYPE lightmirm_service_batch_rows histogram\n"
+      "lightmirm_service_batch_rows_bucket{shard=\"0\",le=\"1\"} 1\n"
+      "lightmirm_service_batch_rows_bucket{shard=\"0\",le=\"2\"} 2\n"
+      "lightmirm_service_batch_rows_bucket{shard=\"0\",le=\"+Inf\"} 3\n"
+      "lightmirm_service_batch_rows_sum{shard=\"0\"} 7\n"
+      "lightmirm_service_batch_rows_count{shard=\"0\"} 3\n";
+  const std::string prom = ExportPrometheus(registry);
+  EXPECT_NE(prom.find(expected), std::string::npos) << prom;
+  // One TYPE line for the two-cell counter family, cells in canonical
+  // (label-sorted) order.
+  EXPECT_NE(prom.find(
+                "# TYPE lightmirm_service_flushes counter\n"
+                "lightmirm_service_flushes{reason=\"deadline\",shard=\"1\"} "
+                "5\n"
+                "lightmirm_service_flushes{reason=\"size\",shard=\"0\"} 2\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find("# TYPE lightmirm_service_shard_queue_rows gauge\n"
+                "lightmirm_service_shard_queue_rows{shard=\"0\"} 12\n"),
+      std::string::npos);
+}
+
+TEST(ExportPrometheusTest, SkipsCellsWithInvalidOrReservedLabelNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("ok", {{"shard", "0"}})->Increment();
+  registry.GetCounter("bad", {{"le", "1"}})->Increment();       // reserved
+  registry.GetCounter("bad2", {{"has space", "x"}})->Increment();
+  const std::string prom = ExportPrometheus(registry);
+  EXPECT_NE(prom.find("lightmirm_ok{shard=\"0\"} 1"), std::string::npos);
+  EXPECT_EQ(prom.find("lightmirm_bad"), std::string::npos);
+}
+
+TEST(ExportPrometheusTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.GetGauge("g", {{"province", "He\"nan\\\n"}})->Set(1);
+  EXPECT_NE(ExportPrometheus(registry)
+                .find("lightmirm_g{province=\"He\\\"nan\\\\\\n\"} 1"),
+            std::string::npos);
+}
+
 TEST(WriteTelemetryFileTest, PicksFormatFromExtension) {
   MetricsRegistry registry;
   FillRegistry(&registry);

@@ -191,6 +191,102 @@ TEST(MetricsRegistryTest, ConcurrentRecordingIsRaceFree) {
             static_cast<uint64_t>(kThreads) * kOps);
 }
 
+TEST(LabeledMetricsTest, LabelOrderDoesNotSplitCells) {
+  MetricsRegistry registry;
+  Counter* c =
+      registry.GetCounter("service.flushes", {{"shard", "3"}, {"reason", "size"}});
+  // Same labels in the other order resolve to the same cell.
+  EXPECT_EQ(registry.GetCounter("service.flushes",
+                                {{"reason", "size"}, {"shard", "3"}}),
+            c);
+  // Different label values are distinct cells of the same family.
+  EXPECT_NE(registry.GetCounter("service.flushes",
+                                {{"reason", "deadline"}, {"shard", "3"}}),
+            c);
+  // Labeled and unlabeled metrics under one name never collide.
+  EXPECT_NE(reinterpret_cast<void*>(registry.GetCounter("service.flushes")),
+            reinterpret_cast<void*>(c));
+  c->Increment(2);
+  EXPECT_EQ(c->Value(), 2u);
+  EXPECT_EQ(registry.GetCounter("service.flushes")->Value(), 0u);
+}
+
+TEST(LabeledMetricsTest, SnapshotsAreSortedAndCanonical) {
+  MetricsRegistry registry;
+  registry.GetGauge("b.family", {{"x", "2"}});
+  registry.GetGauge("b.family", {{"x", "1"}});
+  registry.GetGauge("a.family", {{"z", "9"}, {"a", "0"}});
+  const auto gauges = registry.LabeledGauges();
+  ASSERT_EQ(gauges.size(), 3u);
+  EXPECT_EQ(gauges[0].family, "a.family");
+  // Labels come back in canonical (name-sorted) order however they were
+  // passed in.
+  ASSERT_EQ(gauges[0].labels.size(), 2u);
+  EXPECT_EQ(gauges[0].labels[0].first, "a");
+  EXPECT_EQ(gauges[0].labels[1].first, "z");
+  EXPECT_EQ(gauges[1].family, "b.family");
+  EXPECT_EQ(gauges[1].labels[0].second, "1");
+  EXPECT_EQ(gauges[2].labels[0].second, "2");
+}
+
+TEST(LabeledMetricsTest, ResetZeroesCellsButKeepsHandles) {
+  MetricsRegistry registry;
+  const MetricLabels labels{{"shard", "0"}};
+  Counter* c = registry.GetCounter("f", labels);
+  Gauge* g = registry.GetGauge("g", labels);
+  Histogram* h = registry.GetHistogram("h", labels);
+  c->Increment(5);
+  g->Set(1.5);
+  h->Record(0.25);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("f", labels), c);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+}
+
+TEST(LabeledMetricsTest, HistogramBoundsApplyPerCellOnFirstUse) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0, 8.0};
+  Histogram* h = registry.GetHistogram("rows", {{"shard", "0"}}, &bounds);
+  EXPECT_EQ(h->bounds(), bounds);
+  // A different cell of the same family may carry different bounds.
+  Histogram* other = registry.GetHistogram("rows", {{"shard", "1"}});
+  EXPECT_NE(other, h);
+  EXPECT_EQ(other->bounds(), Histogram::DefaultLatencyBounds());
+}
+
+TEST(LabeledMetricsTest, ConcurrentLabeledRecordingIsRaceFree) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      // Every thread resolves its own shard cell plus a shared one,
+      // exercising cell-registration races in one family.
+      const MetricLabels own{{"shard", std::to_string(t)}};
+      for (int i = 0; i < kOps; ++i) {
+        registry.GetCounter("ops", own)->Increment();
+        registry.GetCounter("ops", {{"shard", "all"}})->Increment();
+        registry.GetHistogram("lat", own)->Record(1e-5);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(registry.GetCounter("ops", {{"shard", "all"}})->Value(),
+            static_cast<uint64_t>(kThreads) * kOps);
+  for (int t = 0; t < kThreads; ++t) {
+    const MetricLabels own{{"shard", std::to_string(t)}};
+    EXPECT_EQ(registry.GetCounter("ops", own)->Value(),
+              static_cast<uint64_t>(kOps));
+    EXPECT_EQ(registry.GetHistogram("lat", own)->Count(),
+              static_cast<uint64_t>(kOps));
+  }
+  EXPECT_EQ(registry.LabeledCounters().size(), kThreads + 1u);
+}
+
 TEST(TelemetryEnabledTest, TogglesProcessWide) {
   EXPECT_TRUE(TelemetryEnabled());  // default on
   SetTelemetryEnabled(false);
